@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Decoder ablation: the paper decodes with MWPM ("the gold standard",
+ * Section 2.2) but notes any decoder works. This bench swaps in the
+ * Union-Find decoder under identical leakage conditions to quantify
+ * what the decoder choice costs each scheduling policy — and to show
+ * that ERASER's advantage over Always-LRCs is decoder-independent.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace qec;
+
+int
+main()
+{
+    banner("MWPM vs Union-Find under leakage (d = 5, 10 cycles)",
+           "Decoder-independence check (Sections 2.2, 5.3)");
+
+    RotatedSurfaceCode code(5);
+    ExperimentConfig cfg;
+    cfg.rounds = 50;
+    cfg.shots = scaledShots(4000);
+    cfg.seed = 55;
+
+    MemoryExperiment mwpm_exp(code, cfg);
+    cfg.decoderKind = DecoderKind::UnionFind;
+    MemoryExperiment uf_exp(code, cfg);
+
+    std::printf("%-12s %14s %14s %10s\n", "policy", "MWPM LER",
+                "UnionFind LER", "UF/MWPM");
+    double gain_mwpm = 0.0;
+    double gain_uf = 0.0;
+    ExperimentResult mwpm_always;
+    ExperimentResult uf_always;
+    for (PolicyKind kind : {PolicyKind::Always, PolicyKind::Eraser,
+                            PolicyKind::Optimal}) {
+        auto mwpm = mwpm_exp.run(kind);
+        auto uf = uf_exp.run(kind);
+        std::printf("%-12s %14s %14s %9.2fx\n", mwpm.policy.c_str(),
+                    lerCell(mwpm).c_str(), lerCell(uf).c_str(),
+                    uf.ler() / (mwpm.ler() + 1e-12));
+        if (kind == PolicyKind::Always) {
+            mwpm_always = mwpm;
+            uf_always = uf;
+        } else if (kind == PolicyKind::Eraser) {
+            gain_mwpm = mwpm_always.ler() / (mwpm.ler() + 1e-12);
+            gain_uf = uf_always.ler() / (uf.ler() + 1e-12);
+        }
+    }
+    std::printf("\nERASER-over-Always gain: %.2fx with MWPM, %.2fx"
+                " with Union-Find\n", gain_mwpm, gain_uf);
+    std::printf("Expectation: UF pays a modest accuracy tax on every\n"
+                "policy, while ERASER's relative gain survives the\n"
+                "decoder swap (\"any other decoder may be used\").\n");
+    return 0;
+}

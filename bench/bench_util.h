@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: shot-count
+ * scaling via the ERASER_SHOTS environment variable, and uniform table
+ * printing so bench_output.txt reads like the paper's evaluation.
+ */
+
+#ifndef QEC_BENCH_BENCH_UTIL_H
+#define QEC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/memory_experiment.h"
+
+namespace qec
+{
+
+/** Multiplier applied to every bench's default shot count. */
+inline double
+shotScale()
+{
+    const char *env = std::getenv("ERASER_SHOTS");
+    if (!env)
+        return 1.0;
+    const double scale = std::atof(env);
+    return scale > 0.0 ? scale : 1.0;
+}
+
+inline uint64_t
+scaledShots(uint64_t base)
+{
+    const uint64_t shots = (uint64_t)((double)base * shotScale());
+    return shots < 8 ? 8 : shots;
+}
+
+/** Print the bench banner with the paper artifact it reproduces. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("(shots scale with env ERASER_SHOTS; current x%.2g)\n",
+                shotScale());
+    std::printf("==========================================================\n");
+}
+
+/** LER cell: value or the <1/shots bound when nothing was observed. */
+inline std::string
+lerCell(const ExperimentResult &r)
+{
+    char buf[40];
+    if (r.logicalErrors == 0) {
+        std::snprintf(buf, sizeof(buf), "<%.1e",
+                      1.0 / (double)r.shots);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3e", r.ler());
+    }
+    return buf;
+}
+
+/** Ratio cell; "-" when the denominator is unresolved. */
+inline std::string
+ratioCell(const ExperimentResult &num, const ExperimentResult &den)
+{
+    char buf[40];
+    if (num.logicalErrors == 0 || den.logicalErrors == 0)
+        return "-";
+    std::snprintf(buf, sizeof(buf), "%.2fx", num.ler() / den.ler());
+    return buf;
+}
+
+} // namespace qec
+
+#endif // QEC_BENCH_BENCH_UTIL_H

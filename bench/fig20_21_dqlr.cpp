@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Appendix A.2 (Figs. 20-21): applying ERASER's adaptive
+ * scheduling to Google's DQLR protocol (LeakageISWAP-based removal)
+ * instead of SWAP LRCs, under the exchange transport model. Paper
+ * shape: DQLR stabilizes the LPR quickly, but scheduling it only when
+ * needed still wins — ERASER 1.8x / ERASER+M 2x better LER on
+ * average, with a ~4.4x gap between baseline DQLR and Optimal.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace qec;
+
+int
+main()
+{
+    banner("Adaptive scheduling of the DQLR protocol",
+           "Figs. 20-21, Appendix A.2");
+
+    // Fig. 20: LER vs distance with the DQLR protocol.
+    std::printf("%4s %8s %12s %12s %12s %12s %16s\n", "d", "shots",
+                "DQLR", "ERASER", "ERASER+M", "Optimal",
+                "DQLR/ERASER gain");
+    for (int d : {3, 5, 7, 9, 11}) {
+        RotatedSurfaceCode code(d);
+        ExperimentConfig cfg;
+        cfg.rounds = 10 * d;
+        cfg.protocol = RemovalProtocol::Dqlr;
+        cfg.em = ErrorModel::standard(1e-3);
+        cfg.em.transport = TransportModel::Exchange;
+        cfg.shots = scaledShots(90000 / (uint64_t)(d * d));
+        cfg.seed = 20000 + d;
+        MemoryExperiment exp(code, cfg);
+
+        auto dqlr = exp.run(PolicyKind::Always);     // every round
+        auto eraser = exp.run(PolicyKind::Eraser);
+        auto eraser_m = exp.run(PolicyKind::EraserM);
+        auto optimal = exp.run(PolicyKind::Optimal);
+        std::printf("%4d %8llu %12s %12s %12s %12s %16s\n", d,
+                    (unsigned long long)cfg.shots,
+                    lerCell(dqlr).c_str(), lerCell(eraser).c_str(),
+                    lerCell(eraser_m).c_str(),
+                    lerCell(optimal).c_str(),
+                    ratioCell(dqlr, eraser).c_str());
+    }
+
+    // Fig. 21: LPR over 110 rounds at d=11.
+    RotatedSurfaceCode code(11);
+    ExperimentConfig cfg;
+    cfg.rounds = 110;
+    cfg.shots = scaledShots(1000);
+    cfg.seed = 21;
+    cfg.decode = false;
+    cfg.trackLpr = true;
+    cfg.protocol = RemovalProtocol::Dqlr;
+    cfg.em.transport = TransportModel::Exchange;
+    MemoryExperiment exp(code, cfg);
+    auto dqlr = exp.run(PolicyKind::Always);
+    auto eraser = exp.run(PolicyKind::Eraser);
+    auto eraser_m = exp.run(PolicyKind::EraserM);
+    auto optimal = exp.run(PolicyKind::Optimal);
+
+    std::printf("\nLPR (1e-4), d = 11, DQLR protocol:\n");
+    std::printf("%6s %10s %12s %12s %12s\n", "round", "DQLR",
+                "ERASER", "ERASER+M", "Optimal");
+    for (int r = 0; r < cfg.rounds; r += 11) {
+        std::printf("%6d %10.2f %12.2f %12.2f %12.2f\n", r,
+                    dqlr.lprTotal(r) * 1e4, eraser.lprTotal(r) * 1e4,
+                    eraser_m.lprTotal(r) * 1e4,
+                    optimal.lprTotal(r) * 1e4);
+    }
+    std::printf("\nPaper shape: DQLR's LPR plateaus quickly; adaptive\n"
+                "scheduling still reduces both LPR (~1.4-1.5x) and\n"
+                "LER (1.8-2x).\n");
+    return 0;
+}

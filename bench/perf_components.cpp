@@ -1,0 +1,136 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the latency-critical components:
+ * the speculation + insertion path (the paper's 5 ns FPGA budget and
+ * ~120 ns control window, Section 4.3), one syndrome extraction round
+ * of the frame simulator, a full-shot MWPM decode, and the blossom
+ * matcher on decoder-shaped instances.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "code/builder.h"
+#include "code/rotated_surface_code.h"
+#include "core/policies.h"
+#include "decoder/defects.h"
+#include "decoder/detector_model.h"
+#include "decoder/matching.h"
+#include "decoder/mwpm_decoder.h"
+#include "sim/frame_simulator.h"
+
+namespace
+{
+
+using namespace qec;
+
+void
+BM_LsbDliRoundDecision(benchmark::State &state)
+{
+    // The whole software model of the control decision: speculation
+    // over a syndrome plus LRC insertion, at the given distance.
+    const int d = (int)state.range(0);
+    RotatedSurfaceCode code(d);
+    SwapLookupTable lookup(code);
+    EraserPolicy policy(code, lookup, false);
+    Rng rng(1);
+
+    RoundObservation obs;
+    obs.events.assign(code.numStabilizers(), 0);
+    obs.leakedLabels.assign(code.numStabilizers(), 0);
+    obs.hadLrc.assign(code.numData(), 0);
+    for (auto &event : obs.events)
+        event = rng.bernoulli(0.03) ? 1 : 0;
+
+    for (auto _ : state) {
+        obs.round = (obs.round + 1) % 1000;
+        benchmark::DoNotOptimize(policy.nextRound(obs));
+    }
+}
+BENCHMARK(BM_LsbDliRoundDecision)->Arg(3)->Arg(7)->Arg(11);
+
+void
+BM_FrameSimRound(benchmark::State &state)
+{
+    const int d = (int)state.range(0);
+    RotatedSurfaceCode code(d);
+    FrameSimulator sim(code.numQubits(), ErrorModel::standard(1e-3),
+                       Rng(2));
+    RoundSchedule round = buildRoundSchedule(code, 0, {});
+    for (auto _ : state) {
+        sim.executeRange(round.ops.data(),
+                         round.ops.data() + round.ops.size());
+        benchmark::DoNotOptimize(sim.record().size());
+        if (sim.record().size() > 1000000)
+            sim.reset();
+    }
+}
+BENCHMARK(BM_FrameSimRound)->Arg(3)->Arg(7)->Arg(11);
+
+void
+BM_DecodeShot(benchmark::State &state)
+{
+    // Decode realistic defect sets: pre-sample shots at p=1e-3.
+    const int d = (int)state.range(0);
+    const int rounds = 3 * d;
+    RotatedSurfaceCode code(d);
+    Circuit circuit = buildMemoryCircuit(code, rounds, Basis::Z);
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+
+    std::vector<std::vector<int>> shots;
+    FrameSimulator sim(code.numQubits(), ErrorModel::standard(1e-3),
+                       Rng(3));
+    for (int i = 0; i < 32; ++i) {
+        sim.run(circuit);
+        shots.push_back(
+            extractDefects(code, Basis::Z, rounds, sim.record())
+                .defects);
+    }
+
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decoder.decode(shots[i & 31]));
+        ++i;
+    }
+}
+BENCHMARK(BM_DecodeShot)->Arg(3)->Arg(7)->Arg(11)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_BlossomDecoderShaped(benchmark::State &state)
+{
+    // 2n-vertex instances shaped like the decoder's reduction.
+    const int n = (int)state.range(0);
+    Rng rng(4);
+    std::vector<MatchEdge> edges;
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n && j < i + 8; ++j) {
+            edges.push_back({i, j, (int64_t)(1 + rng.randint(2000))});
+            edges.push_back({n + i, n + j, 0});
+        }
+        edges.push_back({i, n + i, (int64_t)(1 + rng.randint(2000))});
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            minWeightPerfectMatching(2 * n, edges));
+}
+BENCHMARK(BM_BlossomDecoderShaped)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_DemBuildTiled(benchmark::State &state)
+{
+    const int d = (int)state.range(0);
+    RotatedSurfaceCode code(d);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            buildDetectorModel(code, 10 * d, Basis::Z));
+    }
+}
+BENCHMARK(BM_DemBuildTiled)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Table 3: FPGA cost of the ERASER block for d = 3..11 on
+ * a Kintex UltraScale+ xcku3p. Vivado is unavailable offline, so the
+ * SystemVerilog is generated (as the artifact's eraser_rtl_gen does)
+ * and utilization is estimated with the structural resource model; the
+ * paper's numbers are printed alongside. Shape to match: utilization
+ * grows ~d^2 and stays below 1%, with ~5 ns speculation latency.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "code/rotated_surface_code.h"
+#include "rtl/timing_model.h"
+#include "rtl/verilog_gen.h"
+
+using namespace qec;
+
+int
+main()
+{
+    std::printf("==========================================================\n");
+    std::printf("ERASER FPGA cost model (xcku3p), generated RTL\n");
+    std::printf("Reproduces: Table 3 and the 5 ns latency claim, 6.3\n");
+    std::printf("==========================================================\n");
+
+    const double paper_lut[] = {0.04, 0.12, 0.26, 0.42, 0.76};
+    const double paper_ff[] = {0.02, 0.05, 0.10, 0.18, 0.26};
+
+    std::printf("%4s %8s %8s %10s %10s %12s %12s %10s %9s\n", "d",
+                "LUTs", "FFs", "LUT %", "FF %", "paper LUT%",
+                "paper FF%", "levels", "crit ns");
+    int idx = 0;
+    for (int d : {3, 5, 7, 9, 11}) {
+        RotatedSurfaceCode code(d);
+        const ResourceEstimate est = estimateResources(code);
+        const std::string rtl = generateEraserRtl(code);
+        std::printf("%4d %8d %8d %9.3f%% %9.3f%% %11.2f%% %11.2f%%"
+                    " %10d %9.2f\n",
+                    d, est.luts, est.ffs, est.lutPercent,
+                    est.ffPercent, paper_lut[idx], paper_ff[idx],
+                    est.logicLevels, est.critPathNs);
+        ++idx;
+        // Keep the generated RTL honest: it must at least mention the
+        // module for this distance.
+        if (rtl.find("module eraser_d" + std::to_string(d)) ==
+            std::string::npos) {
+            std::printf("RTL generation FAILED for d=%d\n", d);
+            return 1;
+        }
+    }
+
+    RotatedSurfaceCode d11(11);
+    RtlOptions m_opts;
+    m_opts.multiLevel = true;
+    const auto base = estimateResources(d11);
+    const auto plus_m = estimateResources(d11, m_opts);
+    std::printf("\nERASER+M (d=11) adds %d LUTs (%.3f%% -> %.3f%%).\n",
+                plus_m.luts - base.luts, base.lutPercent,
+                plus_m.lutPercent);
+    std::printf("Estimates come from structural counting (no Vivado\n"
+                "offline); the d^2 scaling and <1%% / ~5 ns headlines\n"
+                "are the reproduced shape.\n");
+
+    // Fig. 12's real-time constraint, checked against the emitted
+    // circuit under Sycamore-class gate latencies.
+    const RoundTiming timing = analyzeRoundTiming(d11);
+    std::printf("\nControl timing (Sycamore latencies): plain round"
+                " %.0f ns,\nfull-LRC round %.0f ns, decision window"
+                " %.0f ns (paper: ~120 ns),\nspeculation latency"
+                " %.2f ns -> fits with %.0fx margin.\n",
+                timing.roundNs, timing.lrcRoundNs,
+                timing.decisionWindowNs, base.critPathNs,
+                timing.decisionWindowNs / base.critPathNs);
+    return 0;
+}

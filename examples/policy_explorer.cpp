@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Policy explorer: a small CLI over the experiment harness for
+ * interactive what-if studies, e.g.
+ *
+ *   policy_explorer --distance 7 --rounds 70 --p 1e-3 \
+ *                   --policy eraser --transport exchange
+ *
+ * Options:
+ *   --distance D     odd code distance (default 5)
+ *   --rounds R       syndrome extraction rounds (default 10*D)
+ *   --p P            physical error rate (default 1e-3)
+ *   --shots N        shots (default 2000)
+ *   --policy NAME    never|always|eraser|eraser_m|optimal|all
+ *   --protocol NAME  swap|dqlr (default swap)
+ *   --transport NAME conservative|exchange (default conservative)
+ *   --no-leakage     disable leakage entirely
+ *   --seed S         RNG seed
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/memory_experiment.h"
+
+using namespace qec;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--distance D] [--rounds R] [--p P]\n"
+                 "          [--shots N] [--policy NAME]"
+                 " [--protocol swap|dqlr]\n"
+                 "          [--transport conservative|exchange]"
+                 " [--no-leakage] [--seed S]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+report(const ExperimentResult &r, int rounds)
+{
+    std::printf("%-12s  LER %-12s  LRCs/round %-8.3f  acc %5.1f%%"
+                "  FPR %6.2f%%  FNR %5.1f%%  LPR(end) %.5f\n",
+                r.policy.c_str(), r.lerString().c_str(),
+                r.avgLrcsPerRound(),
+                r.speculationAccuracy() * 100.0,
+                r.falsePositiveRate() * 100.0,
+                r.falseNegativeRate() * 100.0,
+                r.lprTotal(rounds - 1));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int distance = 5;
+    int rounds = -1;
+    double p = 1e-3;
+    uint64_t shots = 2000;
+    uint64_t seed = 1;
+    std::string policy = "all";
+    RemovalProtocol protocol = RemovalProtocol::SwapLrc;
+    TransportModel transport = TransportModel::Conservative;
+    bool leakage = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--distance") {
+            distance = std::atoi(next());
+        } else if (arg == "--rounds") {
+            rounds = std::atoi(next());
+        } else if (arg == "--p") {
+            p = std::atof(next());
+        } else if (arg == "--shots") {
+            shots = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--policy") {
+            policy = next();
+        } else if (arg == "--protocol") {
+            const std::string v = next();
+            if (v == "dqlr")
+                protocol = RemovalProtocol::Dqlr;
+            else if (v != "swap")
+                usage(argv[0]);
+        } else if (arg == "--transport") {
+            const std::string v = next();
+            if (v == "exchange")
+                transport = TransportModel::Exchange;
+            else if (v != "conservative")
+                usage(argv[0]);
+        } else if (arg == "--no-leakage") {
+            leakage = false;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (rounds <= 0)
+        rounds = 10 * distance;
+
+    RotatedSurfaceCode code(distance);
+    ExperimentConfig cfg;
+    cfg.rounds = rounds;
+    cfg.shots = shots;
+    cfg.seed = seed;
+    cfg.protocol = protocol;
+    cfg.trackLpr = true;
+    cfg.em = leakage ? ErrorModel::standard(p)
+                     : ErrorModel::withoutLeakage(p);
+    cfg.em.transport = transport;
+    MemoryExperiment experiment(code, cfg);
+
+    std::printf("d=%d rounds=%d p=%g shots=%llu protocol=%s"
+                " transport=%s leakage=%s\n\n",
+                distance, rounds, p, (unsigned long long)shots,
+                protocol == RemovalProtocol::Dqlr ? "dqlr" : "swap",
+                transport == TransportModel::Exchange ? "exchange"
+                                                      : "conservative",
+                leakage ? "on" : "off");
+
+    std::vector<std::pair<std::string, PolicyKind>> kinds = {
+        {"never", PolicyKind::Never},     {"always", PolicyKind::Always},
+        {"eraser", PolicyKind::Eraser},   {"eraser_m", PolicyKind::EraserM},
+        {"optimal", PolicyKind::Optimal},
+    };
+    bool matched = false;
+    for (const auto &[name, kind] : kinds) {
+        if (policy == "all" || policy == name) {
+            report(experiment.run(kind), rounds);
+            matched = true;
+        }
+    }
+    if (!matched)
+        usage(argv[0]);
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "analytics/leakage_math.h"
+
+#include <cmath>
+
+namespace qec
+{
+
+double
+pDataGivenParityLeaked(const LeakageConstants &c)
+{
+    // Leakage transport through the one CNOT with the leaked parity
+    // qubit, plus operation-induced leakage over the four CNOTs the
+    // data qubit takes part in.
+    double op_leak = 0.0;
+    for (int k = 1; k <= 4; ++k)
+        op_leak += std::pow(1.0 - c.pLeak, k - 1) * c.pLeak;
+    return c.pTransport + op_leak;
+}
+
+double
+pParityGivenDataLeaked(const LeakageConstants &c)
+{
+    // With an LRC the parity qubit sees nine CNOTs of operation-
+    // induced leakage and four transport opportunities before the data
+    // qubit is reset.
+    double op_leak = 0.0;
+    for (int k = 1; k <= 9; ++k)
+        op_leak += std::pow(1.0 - c.pLeak, k - 1) * c.pLeak;
+    double transport = 0.0;
+    for (int k = 1; k <= 4; ++k)
+        transport += std::pow(1.0 - c.pTransport, k - 1) * c.pTransport;
+    return op_leak + transport;
+}
+
+double
+pInvisible(int rounds)
+{
+    if (rounds < 0)
+        return 0.0;
+    // A leaked data qubit escapes notice in one round only if none of
+    // its (up to four) neighbouring checks is disturbed: (1/2)^4.
+    return (15.0 / 16.0) * std::pow(1.0 / 16.0, rounds);
+}
+
+double
+expectedInvisibleRounds()
+{
+    // Geometric distribution with success probability 15/16:
+    // E[r] = (1/16) / (15/16).
+    return (1.0 / 16.0) / (15.0 / 16.0);
+}
+
+} // namespace qec

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Closed-form leakage models from Sections 3.1 and 4.1 of the paper.
+ */
+
+#ifndef QEC_ANALYTICS_LEAKAGE_MATH_H
+#define QEC_ANALYTICS_LEAKAGE_MATH_H
+
+namespace qec
+{
+
+/** Default constants of Table 1. */
+struct LeakageConstants
+{
+    double pLeak = 1e-4;       ///< CNOT leakage error, 0.1 * p.
+    double pTransport = 0.1;   ///< CNOT leakage transport probability.
+};
+
+/**
+ * Eq. (1): probability a data qubit leaks during a round without an
+ * LRC, given its parity qubit is already leaked (~10%).
+ */
+double pDataGivenParityLeaked(const LeakageConstants &c = {});
+
+/**
+ * Eq. (2): probability a parity qubit leaks during a round with an
+ * LRC, given its data qubit is already leaked (~34%).
+ */
+double pParityGivenDataLeaked(const LeakageConstants &c = {});
+
+/**
+ * Eq. (3): probability a leaked data qubit stays invisible to
+ * syndrome extraction for exactly `rounds` rounds (Table 2).
+ */
+double pInvisible(int rounds);
+
+/** Expected rounds a leaked data qubit stays invisible. */
+double expectedInvisibleRounds();
+
+} // namespace qec
+
+#endif // QEC_ANALYTICS_LEAKAGE_MATH_H

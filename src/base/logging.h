@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * panic() is for conditions that indicate a bug in this library itself;
+ * fatal() is for user errors (bad configuration, invalid arguments).
+ */
+
+#ifndef QEC_BASE_LOGGING_H
+#define QEC_BASE_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace qec
+{
+
+/**
+ * Abort because of an internal invariant violation (a library bug).
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Exit because the caller supplied an unusable configuration.
+ * @param msg Description of the configuration problem.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Print a status message that requires no user action. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless the stated library invariant holds. */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+/** fatal() unless the stated user-facing precondition holds. */
+inline void
+fatalIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+} // namespace qec
+
+#endif // QEC_BASE_LOGGING_H

@@ -1,0 +1,46 @@
+#include "base/parallel.h"
+
+#include <algorithm>
+
+namespace qec
+{
+
+unsigned
+defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+parallelFor(uint64_t count, const std::function<void(uint64_t)> &body,
+            unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultThreadCount();
+    num_threads = std::min<uint64_t>(num_threads, count);
+
+    if (num_threads <= 1) {
+        for (uint64_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<uint64_t> cursor{0};
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        workers.emplace_back([&]() {
+            while (true) {
+                uint64_t i = cursor.fetch_add(1);
+                if (i >= count)
+                    return;
+                body(i);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+}
+
+} // namespace qec

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal data-parallel helpers for running experiment shots on all
+ * cores. Deterministic: work item i always receives index i, so
+ * per-shot RNG streams are independent of thread scheduling.
+ */
+
+#ifndef QEC_BASE_PARALLEL_H
+#define QEC_BASE_PARALLEL_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace qec
+{
+
+/** Number of worker threads to use by default (hardware concurrency). */
+unsigned defaultThreadCount();
+
+/**
+ * Run body(i) for i in [0, count) across threads.
+ *
+ * @param count       Number of work items.
+ * @param body        Callable invoked once per index; must be thread-safe
+ *                    with respect to other indices.
+ * @param num_threads Worker count; 0 selects defaultThreadCount().
+ */
+void parallelFor(uint64_t count,
+                 const std::function<void(uint64_t)> &body,
+                 unsigned num_threads = 0);
+
+} // namespace qec
+
+#endif // QEC_BASE_PARALLEL_H

@@ -1,0 +1,98 @@
+#include "base/rng.h"
+
+namespace qec
+{
+
+namespace
+{
+
+/** splitmix64 step, used only to expand seeds into full states. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+Rng
+Rng::forShot(uint64_t seed, uint64_t shot)
+{
+    // Mix the shot index through splitmix64 so that consecutive shots do
+    // not share low-entropy state words.
+    uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (shot + 1));
+    return Rng(splitmix64(sm));
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa construction; uniform on [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+uint32_t
+Rng::randint(uint32_t n)
+{
+    // Multiply-shift bounded draw (Lemire); bias is negligible for the
+    // small ranges used here but we keep the rejection loop for
+    // exactness in property tests.
+    uint64_t threshold = (-static_cast<uint64_t>(n)) % n;
+    while (true) {
+        uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        if (static_cast<uint64_t>(m) >= threshold)
+            return static_cast<uint32_t>(m >> 64);
+    }
+}
+
+bool
+Rng::bit()
+{
+    return (next() >> 63) != 0;
+}
+
+} // namespace qec

@@ -1,0 +1,66 @@
+#include "code/circuit.h"
+
+#include <sstream>
+
+namespace qec
+{
+
+int
+Circuit::countOps(OpType type) const
+{
+    int n = 0;
+    for (const auto &op : ops)
+        n += (op.type == type) ? 1 : 0;
+    return n;
+}
+
+int
+Circuit::countTwoQubitOps() const
+{
+    return countOps(OpType::Cnot) + countOps(OpType::LeakageIswap);
+}
+
+int
+Circuit::countMeasurements() const
+{
+    return countOps(OpType::Measure) + countOps(OpType::MeasureX);
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream out;
+    for (const auto &op : ops) {
+        switch (op.type) {
+          case OpType::RoundStart:
+            out << "ROUND " << op.round << "\n";
+            break;
+          case OpType::DataNoise:
+            out << "  NOISE q" << op.q0 << "\n";
+            break;
+          case OpType::Reset:
+            out << "  R q" << op.q0 << "\n";
+            break;
+          case OpType::H:
+            out << "  H q" << op.q0 << "\n";
+            break;
+          case OpType::Cnot:
+            out << "  CX q" << op.q0 << " q" << op.q1 << "\n";
+            break;
+          case OpType::LeakageIswap:
+            out << "  LISWAP q" << op.q0 << " q" << op.q1 << "\n";
+            break;
+          case OpType::Measure:
+          case OpType::MeasureX:
+            out << "  " << (op.type == OpType::Measure ? "M" : "MX")
+                << " q" << op.q0 << " stab=" << op.stab
+                << " round=" << op.round
+                << (op.finalData ? " final" : "")
+                << (op.lrcData ? " lrc" : "") << "\n";
+            break;
+        }
+    }
+    return out.str();
+}
+
+} // namespace qec

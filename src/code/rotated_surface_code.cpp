@@ -1,0 +1,112 @@
+#include "code/rotated_surface_code.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+namespace
+{
+
+/**
+ * Corner roles of a plaquette with top-left data coordinate (i, j).
+ * Layer orders (hook-error safe): X sweeps NW,NE,SW,SE; Z sweeps
+ * NW,SW,NE,SE. Expressed as (row offset, col offset) per layer.
+ */
+constexpr int kXOrder[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+constexpr int kZOrder[4][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+
+} // namespace
+
+RotatedSurfaceCode::RotatedSurfaceCode(int distance)
+    : distance_(distance)
+{
+    fatalIf(distance < 3 || distance % 2 == 0,
+            "rotated surface code distance must be odd and >= 3");
+
+    const int d = distance_;
+    stabsOfData_.resize(numData());
+
+    // Enumerate candidate plaquettes with top-left data corner (i, j),
+    // i, j in [-1, d-1]. Color rule: (i + j) odd -> X, even -> Z.
+    // Boundary rule: top/bottom rows host only X checks, left/right
+    // columns only Z checks; single-corner plaquettes are dropped.
+    int next_ancilla = numData();
+    for (int i = -1; i < d; ++i) {
+        for (int j = -1; j < d; ++j) {
+            const bool is_x = ((i + j) & 1) != 0;
+            const StabType type = is_x ? StabType::X : StabType::Z;
+
+            const bool top_bottom = (i == -1 || i == d - 1);
+            const bool left_right = (j == -1 || j == d - 1);
+            if (top_bottom && left_right)
+                continue;           // corner plaquette, weight 1
+            if (top_bottom && !is_x)
+                continue;
+            if (left_right && is_x)
+                continue;
+
+            Stabilizer stab;
+            stab.index = (int)stabs_.size();
+            stab.type = type;
+            stab.row = i + 0.5;
+            stab.col = j + 0.5;
+
+            const auto &order = is_x ? kXOrder : kZOrder;
+            int weight = 0;
+            for (int layer = 0; layer < 4; ++layer) {
+                const int r = i + order[layer][0];
+                const int c = j + order[layer][1];
+                if (r < 0 || r >= d || c < 0 || c >= d)
+                    continue;
+                stab.dataInLayer[layer] = dataId(r, c);
+                ++weight;
+            }
+            panicIf(weight != 2 && weight != 4,
+                    "plaquette weight must be 2 or 4");
+
+            for (int q : stab.dataInLayer) {
+                if (q >= 0)
+                    stab.support.push_back(q);
+            }
+            std::sort(stab.support.begin(), stab.support.end());
+
+            stab.ancilla = next_ancilla++;
+            stab.basisIndex = is_x ? (int)xStabs_.size()
+                                   : (int)zStabs_.size();
+            (is_x ? xStabs_ : zStabs_).push_back(stab.index);
+            for (int q : stab.support)
+                stabsOfData_[q].push_back(stab.index);
+            stabs_.push_back(std::move(stab));
+        }
+    }
+
+    panicIf((int)stabs_.size() != numStabilizers(),
+            "stabilizer count must be d^2-1");
+    panicIf(numZStabilizers() != numXStabilizers(),
+            "X/Z stabilizer counts must match");
+
+    ancillaToStab_.assign(numQubits(), -1);
+    for (const auto &stab : stabs_)
+        ancillaToStab_[stab.ancilla] = stab.index;
+
+    // Logical Z runs along the top row (crosses the Z boundaries);
+    // logical X runs along the left column. Both verified to commute
+    // with every stabilizer in the test suite.
+    for (int c = 0; c < d; ++c)
+        logicalZ_.push_back(dataId(0, c));
+    for (int r = 0; r < d; ++r)
+        logicalX_.push_back(dataId(r, 0));
+}
+
+int
+RotatedSurfaceCode::stabilizerOfAncilla(int ancilla) const
+{
+    panicIf(ancilla < numData() || ancilla >= numQubits(),
+            "not an ancilla qubit id");
+    return ancillaToStab_[ancilla];
+}
+
+} // namespace qec

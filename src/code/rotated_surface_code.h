@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Rotated surface code lattice (Fig. 2(a) of the ERASER paper).
+ *
+ * A distance-d rotated surface code uses d*d data qubits on an integer
+ * grid and d*d-1 parity (ancilla) qubits on the dual plaquette grid.
+ * Bulk plaquettes weigh four; boundary plaquettes weigh two. X-type
+ * weight-2 stabilizers live on the top/bottom boundaries, Z-type on the
+ * left/right boundaries.
+ *
+ * Qubit ids: data qubits are 0 .. d*d-1 in row-major order; ancillas are
+ * d*d .. 2*d*d-2 in stabilizer-index order.
+ */
+
+#ifndef QEC_CODE_ROTATED_SURFACE_CODE_H
+#define QEC_CODE_ROTATED_SURFACE_CODE_H
+
+#include <array>
+#include <vector>
+
+#include "code/types.h"
+
+namespace qec
+{
+
+/**
+ * One stabilizer (parity check) of the code, with its CNOT layer
+ * schedule. dataInLayer[l] holds the data qubit touched in CNOT layer l
+ * (or -1 when a boundary stabilizer skips that layer). The layer orders
+ * are the standard hook-error-safe patterns: X stabilizers sweep
+ * NW, NE, SW, SE and Z stabilizers sweep NW, SW, NE, SE.
+ */
+struct Stabilizer
+{
+    int index = -1;             ///< Index within all stabilizers.
+    StabType type = StabType::Z;
+    int ancilla = -1;           ///< Qubit id of the parity qubit.
+    int basisIndex = -1;        ///< Index within same-type stabilizers.
+    double row = 0.0;           ///< Plaquette center row coordinate.
+    double col = 0.0;           ///< Plaquette center column coordinate.
+    std::array<int, 4> dataInLayer{-1, -1, -1, -1};
+    std::vector<int> support;   ///< Data qubit ids (compact, sorted).
+};
+
+/**
+ * Immutable description of a distance-d rotated surface code: qubits,
+ * stabilizers, adjacency, CNOT schedule and logical operator supports.
+ */
+class RotatedSurfaceCode
+{
+  public:
+    /** Build the lattice. @param distance Odd code distance >= 3. */
+    explicit RotatedSurfaceCode(int distance);
+
+    int distance() const { return distance_; }
+    /** Total physical qubits, 2d^2-1. */
+    int numQubits() const { return 2 * numData() - 1; }
+    /** Data qubits, d^2. */
+    int numData() const { return distance_ * distance_; }
+    /** Parity qubits / stabilizers, d^2-1. */
+    int numStabilizers() const { return numData() - 1; }
+    int numZStabilizers() const { return (int)zStabs_.size(); }
+    int numXStabilizers() const { return (int)xStabs_.size(); }
+    /** Count of stabilizers whose type protects the given basis. */
+    int
+    numBasisStabilizers(Basis basis) const
+    {
+        return protectingStabType(basis) == StabType::Z
+            ? numZStabilizers() : numXStabilizers();
+    }
+
+    bool isData(int qubit) const { return qubit < numData(); }
+    int dataId(int row, int col) const { return row * distance_ + col; }
+    int dataRow(int data) const { return data / distance_; }
+    int dataCol(int data) const { return data % distance_; }
+
+    const std::vector<Stabilizer> &
+    stabilizers() const
+    {
+        return stabs_;
+    }
+    const Stabilizer & stabilizer(int idx) const { return stabs_[idx]; }
+    /** Stabilizer index owning the given ancilla qubit. */
+    int stabilizerOfAncilla(int ancilla) const;
+
+    /** Indices of stabilizers adjacent to a data qubit (2..4 entries). */
+    const std::vector<int> &
+    stabilizersOfData(int data) const
+    {
+        return stabsOfData_[data];
+    }
+
+    /** Stabilizer indices of each type, in basisIndex order. */
+    const std::vector<int> & zStabilizers() const { return zStabs_; }
+    const std::vector<int> & xStabilizers() const { return xStabs_; }
+    /** Stabilizer indices protecting a memory basis. */
+    const std::vector<int> &
+    basisStabilizers(Basis basis) const
+    {
+        return protectingStabType(basis) == StabType::Z ? zStabs_
+                                                        : xStabs_;
+    }
+
+    /** Data qubits of the logical Z operator (top row). */
+    const std::vector<int> &
+    logicalZSupport() const
+    {
+        return logicalZ_;
+    }
+    /** Data qubits of the logical X operator (left column). */
+    const std::vector<int> &
+    logicalXSupport() const
+    {
+        return logicalX_;
+    }
+    /** Logical operator measured by a memory experiment. */
+    const std::vector<int> &
+    logicalSupport(Basis basis) const
+    {
+        return basis == Basis::Z ? logicalZ_ : logicalX_;
+    }
+
+  private:
+    int distance_;
+    std::vector<Stabilizer> stabs_;
+    std::vector<int> zStabs_;
+    std::vector<int> xStabs_;
+    std::vector<std::vector<int>> stabsOfData_;
+    std::vector<int> ancillaToStab_;
+    std::vector<int> logicalZ_;
+    std::vector<int> logicalX_;
+};
+
+} // namespace qec
+
+#endif // QEC_CODE_ROTATED_SURFACE_CODE_H

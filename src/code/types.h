@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared plain types for the surface-code substrate.
+ */
+
+#ifndef QEC_CODE_TYPES_H
+#define QEC_CODE_TYPES_H
+
+#include <cstdint>
+
+namespace qec
+{
+
+/** Stabilizer basis: X stabilizers detect Z errors and vice versa. */
+enum class StabType : uint8_t { X, Z };
+
+/** Memory experiment basis (which logical observable is preserved). */
+enum class Basis : uint8_t { X, Z };
+
+/** Single-qubit Pauli label. */
+enum class Pauli : uint8_t { I, X, Y, Z };
+
+/** Multi-level readout label: computational results or leaked. */
+enum class Label : uint8_t { Zero, One, Leaked };
+
+/** Returns the stabilizer type that protects a memory basis.
+ *  Memory-Z experiments decode Z-type stabilizers (they detect the X
+ *  errors that corrupt the logical-Z observable). */
+constexpr StabType
+protectingStabType(Basis basis)
+{
+    return basis == Basis::Z ? StabType::Z : StabType::X;
+}
+
+} // namespace qec
+
+#endif // QEC_CODE_TYPES_H

@@ -1,0 +1,85 @@
+#include "core/dli.h"
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+DynamicLrcInsertion::DynamicLrcInsertion(const RotatedSurfaceCode &code,
+                                         const SwapLookupTable &lookup,
+                                         DliAllocator allocator)
+    : code_(code), lookup_(lookup), allocator_(allocator)
+{
+}
+
+std::vector<LrcPair>
+DynamicLrcInsertion::allocate(LeakageTrackingTable &ltt,
+                              const ParityUsageTable &putt,
+                              std::vector<int> &used_stabs) const
+{
+    if (allocator_ == DliAllocator::LookupTable)
+        return allocateLookup(ltt, putt, used_stabs);
+    return allocateMatching(ltt, putt, used_stabs);
+}
+
+std::vector<LrcPair>
+DynamicLrcInsertion::allocateLookup(LeakageTrackingTable &ltt,
+                                    const ParityUsageTable &putt,
+                                    std::vector<int> &used_stabs) const
+{
+    std::vector<LrcPair> lrcs;
+    std::vector<uint8_t> taken(code_.numStabilizers(), 0);
+
+    for (int q = 0; q < ltt.size(); ++q) {
+        if (!ltt.marked(q))
+            continue;
+        const SwapEntry &entry = lookup_.entry(q);
+        int chosen = -1;
+        if (!putt.used(entry.primary) && !taken[entry.primary]) {
+            chosen = entry.primary;
+        } else {
+            for (int backup : entry.backups) {
+                if (!putt.used(backup) && !taken[backup]) {
+                    chosen = backup;
+                    break;
+                }
+            }
+        }
+        if (chosen < 0)
+            continue;   // Stays marked; retried next round.
+        taken[chosen] = 1;
+        used_stabs.push_back(chosen);
+        lrcs.push_back({q, chosen});
+        ltt.clear(q);
+    }
+    return lrcs;
+}
+
+std::vector<LrcPair>
+DynamicLrcInsertion::allocateMatching(LeakageTrackingTable &ltt,
+                                      const ParityUsageTable &putt,
+                                      std::vector<int> &used_stabs) const
+{
+    const auto marked = ltt.markedList();
+    std::vector<std::vector<int>> adjacency(marked.size());
+    for (size_t i = 0; i < marked.size(); ++i) {
+        for (int s : code_.stabilizersOfData(marked[i])) {
+            if (!putt.used(s))
+                adjacency[i].push_back(s);
+        }
+    }
+    auto match = maxBipartiteMatching((int)marked.size(), adjacency,
+                                      code_.numStabilizers());
+
+    std::vector<LrcPair> lrcs;
+    for (size_t i = 0; i < marked.size(); ++i) {
+        if (match[i] < 0)
+            continue;
+        used_stabs.push_back(match[i]);
+        lrcs.push_back({marked[i], match[i]});
+        ltt.clear(marked[i]);
+    }
+    return lrcs;
+}
+
+} // namespace qec

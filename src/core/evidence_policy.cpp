@@ -1,0 +1,50 @@
+#include "core/evidence_policy.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+EvidenceEraserPolicy::EvidenceEraserPolicy(
+    const RotatedSurfaceCode &code, const SwapLookupTable &lookup,
+    EvidenceOptions options)
+    : code_(code), options_(options), dli_(code, lookup),
+      ltt_(code.numData()), putt_(code.numStabilizers()),
+      evidence_(code.numData(), 0)
+{
+    fatalIf(options_.fireThreshold < 1, "fire threshold must be >= 1");
+}
+
+std::vector<LrcPair>
+EvidenceEraserPolicy::nextRound(const RoundObservation &obs)
+{
+    for (int q = 0; q < code_.numData(); ++q) {
+        if (obs.hadLrc[q]) {
+            // Just cleaned: any residual flips are echoes.
+            evidence_[q] = 0;
+            continue;
+        }
+        int flips = 0;
+        for (int s : code_.stabilizersOfData(q))
+            flips += obs.events[s] ? 1 : 0;
+        if (flips == 0) {
+            evidence_[q] = std::max(0, evidence_[q] - options_.decay);
+        } else {
+            evidence_[q] = std::min(options_.saturate,
+                                    evidence_[q] + flips);
+        }
+        if (evidence_[q] >= options_.fireThreshold)
+            ltt_.mark(q);
+    }
+
+    std::vector<int> used_stabs;
+    auto lrcs = dli_.allocate(ltt_, putt_, used_stabs);
+    putt_.advanceRound(used_stabs);
+    for (const auto &pair : lrcs)
+        evidence_[pair.data] = 0;
+    return lrcs;
+}
+
+} // namespace qec

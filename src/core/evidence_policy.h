@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Evidence-accumulating speculation — the "more sophisticated
+ * speculation strategies" the paper's conclusion calls a rich area for
+ * future work.
+ *
+ * ERASER's weakness is its false-negative rate: leakage that flips
+ * only one parity check per round never crosses the >=2-flips-in-one-
+ * round threshold (Section 6.4.2). This extension keeps a saturating
+ * evidence counter per data qubit: each round adds the number of
+ * flipped neighbours, idle rounds decay the counter, and an LRC is
+ * requested once accumulated evidence crosses the threshold. A qubit
+ * that flips a single check round after round is caught in two rounds
+ * instead of never.
+ */
+
+#ifndef QEC_CORE_EVIDENCE_POLICY_H
+#define QEC_CORE_EVIDENCE_POLICY_H
+
+#include <vector>
+
+#include "core/policies.h"
+
+namespace qec
+{
+
+/** Tuning of the evidence accumulator. */
+struct EvidenceOptions
+{
+    /** Evidence needed to schedule an LRC. 2 reproduces base ERASER's
+     *  same-round behaviour while adding cross-round accumulation. */
+    int fireThreshold = 2;
+    /** Evidence removed after a round with no flipped neighbours. */
+    int decay = 1;
+    /** Counter saturation (bits in a hardware realization). */
+    int saturate = 3;
+};
+
+/**
+ * ERASER with cross-round evidence accumulation. Drop-in LrcPolicy;
+ * reuses the Dynamic LRC Insertion and tracking tables unchanged (the
+ * LSB is the only block that differs, so the FPGA delta is one small
+ * counter per data qubit).
+ */
+class EvidenceEraserPolicy : public LrcPolicy
+{
+  public:
+    EvidenceEraserPolicy(const RotatedSurfaceCode &code,
+                         const SwapLookupTable &lookup,
+                         EvidenceOptions options = {});
+
+    std::string name() const override { return "ERASER+EV"; }
+    std::vector<LrcPair> nextRound(const RoundObservation &obs)
+        override;
+
+    /** Current evidence for a data qubit (tests/diagnostics). */
+    int evidence(int data) const { return evidence_[data]; }
+
+  private:
+    const RotatedSurfaceCode &code_;
+    EvidenceOptions options_;
+    DynamicLrcInsertion dli_;
+    LeakageTrackingTable ltt_;
+    ParityUsageTable putt_;
+    std::vector<int> evidence_;
+};
+
+} // namespace qec
+
+#endif // QEC_CORE_EVIDENCE_POLICY_H

@@ -1,0 +1,68 @@
+#include "core/lsb.h"
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+LeakageSpeculationBlock::LeakageSpeculationBlock(
+    const RotatedSurfaceCode &code, LsbOptions options)
+    : code_(code), options_(options)
+{
+}
+
+int
+LeakageSpeculationBlock::thresholdFor(int neighbors) const
+{
+    switch (options_.threshold) {
+      case LsbThreshold::AtLeastTwo:
+        return 2;
+      case LsbThreshold::HalfNeighbors:
+        return (neighbors + 1) / 2;
+      case LsbThreshold::AllNeighbors:
+        return neighbors;
+    }
+    panic("unknown LSB threshold mode");
+}
+
+void
+LeakageSpeculationBlock::speculate(
+    const std::vector<uint8_t> &events,
+    const std::vector<uint8_t> &leaked_labels,
+    const std::vector<uint8_t> &had_lrc,
+    LeakageTrackingTable &ltt) const
+{
+    panicIf((int)events.size() != code_.numStabilizers(),
+            "need one detection event per stabilizer");
+
+    for (int q = 0; q < code_.numData(); ++q) {
+        // An LRC in the round producing this syndrome already removed
+        // any leakage on this qubit (Section 4.2.1).
+        if (had_lrc[q])
+            continue;
+        const auto &stabs = code_.stabilizersOfData(q);
+        int flips = 0;
+        for (int s : stabs)
+            flips += events[s] ? 1 : 0;
+        if (flips >= thresholdFor((int)stabs.size()))
+            ltt.mark(q);
+    }
+
+    if (options_.useMultiLevelReadout) {
+        // A parity qubit read out as |L> presumably transported
+        // leakage to a neighbour: suspect all its data qubits
+        // (Section 4.6.1).
+        panicIf((int)leaked_labels.size() != code_.numStabilizers(),
+                "need one |L> label per stabilizer");
+        for (int s = 0; s < code_.numStabilizers(); ++s) {
+            if (!leaked_labels[s])
+                continue;
+            for (int q : code_.stabilizer(s).support) {
+                if (!had_lrc[q])
+                    ltt.mark(q);
+            }
+        }
+    }
+}
+
+} // namespace qec

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Leakage Speculation Block (Sections 4.1-4.2).
+ *
+ * Consumes the current syndrome's detection events and marks suspect
+ * data qubits in the LTT. A data qubit is speculated leaked when at
+ * least `threshold(neighbors)` of its adjacent parity checks flipped,
+ * unless it received an LRC in the round that produced this syndrome
+ * (its leakage was just removed, so flips are residual). ERASER+M
+ * additionally marks every data neighbour of a parity qubit whose
+ * multi-level readout reported |L> (Section 4.6.1).
+ */
+
+#ifndef QEC_CORE_LSB_H
+#define QEC_CORE_LSB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "code/rotated_surface_code.h"
+#include "core/tracking_tables.h"
+
+namespace qec
+{
+
+/** Speculation threshold rule (ablation knob, Section 4.1.2). */
+enum class LsbThreshold
+{
+    /** Paper hardware (Fig. 10): at least two flipped neighbours. */
+    AtLeastTwo,
+    /** Paper prose (4.2.1): at least half the neighbours (1 flip is
+     *  enough for weight-2 boundary data qubits) — more conservative,
+     *  schedules more LRCs. */
+    HalfNeighbors,
+    /** Aggressive: all neighbours must flip. */
+    AllNeighbors,
+};
+
+/** Configuration of the speculation logic. */
+struct LsbOptions
+{
+    LsbThreshold threshold = LsbThreshold::AtLeastTwo;
+    /** ERASER+M: use multi-level |L> labels on parity readout. */
+    bool useMultiLevelReadout = false;
+};
+
+class LeakageSpeculationBlock
+{
+  public:
+    LeakageSpeculationBlock(const RotatedSurfaceCode &code,
+                            LsbOptions options);
+
+    /**
+     * Analyze one round's syndrome and update the LTT.
+     *
+     * @param events        Detection event per stabilizer index.
+     * @param leaked_labels Multi-level |L> flag per stabilizer index
+     *                      (ignored unless options.useMultiLevelReadout).
+     * @param had_lrc       Data qubits that received an LRC in the
+     *                      round that produced this syndrome.
+     * @param ltt           Table to update.
+     */
+    void speculate(const std::vector<uint8_t> &events,
+                   const std::vector<uint8_t> &leaked_labels,
+                   const std::vector<uint8_t> &had_lrc,
+                   LeakageTrackingTable &ltt) const;
+
+    /** Flip-count threshold for a data qubit with `neighbors`
+     *  adjacent parity qubits. */
+    int thresholdFor(int neighbors) const;
+
+  private:
+    const RotatedSurfaceCode &code_;
+    LsbOptions options_;
+};
+
+} // namespace qec
+
+#endif // QEC_CORE_LSB_H

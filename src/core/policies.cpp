@@ -1,0 +1,195 @@
+#include "core/policies.h"
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+namespace
+{
+
+/**
+ * Build a near-perfect (data, stab) pairing with Kuhn's matching,
+ * processing `first_data` first so it is guaranteed a partner.
+ */
+std::vector<LrcPair>
+buildPairing(const RotatedSurfaceCode &code, int first_data,
+             int &leftover)
+{
+    const int n_data = code.numData();
+    std::vector<int> order;
+    if (first_data >= 0)
+        order.push_back(first_data);
+    for (int q = 0; q < n_data; ++q) {
+        if (q != first_data)
+            order.push_back(q);
+    }
+
+    // Kuhn's matching in the chosen order: left vertices matched
+    // earlier are never unmatched by later augmentations.
+    std::vector<int> match_right(code.numStabilizers(), -1);
+    std::function<bool(int, std::vector<uint8_t> &)> augment =
+        [&](int q, std::vector<uint8_t> &seen) {
+            for (int s : code.stabilizersOfData(q)) {
+                if (seen[s])
+                    continue;
+                seen[s] = 1;
+                if (match_right[s] == -1 ||
+                    augment(match_right[s], seen)) {
+                    match_right[s] = q;
+                    return true;
+                }
+            }
+            return false;
+        };
+    for (int q : order) {
+        std::vector<uint8_t> seen(code.numStabilizers(), 0);
+        augment(q, seen);
+    }
+
+    std::vector<int> match_left(n_data, -1);
+    for (int s = 0; s < code.numStabilizers(); ++s) {
+        if (match_right[s] != -1)
+            match_left[match_right[s]] = s;
+    }
+
+    std::vector<LrcPair> pairs;
+    leftover = -1;
+    for (int q = 0; q < n_data; ++q) {
+        if (match_left[q] >= 0) {
+            pairs.push_back({q, match_left[q]});
+        } else {
+            panicIf(leftover != -1,
+                    "exactly one data qubit must be left over");
+            leftover = q;
+        }
+    }
+    panicIf(leftover == -1, "pairing cannot be perfect on data qubits");
+    return pairs;
+}
+
+} // namespace
+
+AlwaysLrcPolicy::AlwaysLrcPolicy(const RotatedSurfaceCode &code,
+                                 bool every_round)
+    : everyRound_(every_round)
+{
+    // Two alternating pairings whose leftover data qubits differ, so
+    // every data qubit is serviced across consecutive LRC rounds.
+    int leftover_a = -1;
+    pairings_.push_back(buildPairing(code, -1, leftover_a));
+    int leftover_b = -1;
+    pairings_.push_back(buildPairing(code, leftover_a, leftover_b));
+    panicIf(leftover_a == leftover_b,
+            "alternating pairings must rotate the leftover qubit");
+}
+
+std::vector<LrcPair>
+AlwaysLrcPolicy::scheduleFor(int round)
+{
+    if (everyRound_)
+        return pairings_[round % 2];
+    // LRC rounds are the odd rounds (Fig. 3: R1 plain, R2 LRCs, ...).
+    if (round % 2 == 0)
+        return {};
+    return pairings_[(round / 2) % 2];
+}
+
+std::vector<LrcPair>
+AlwaysLrcPolicy::firstRound()
+{
+    return scheduleFor(0);
+}
+
+std::vector<LrcPair>
+AlwaysLrcPolicy::nextRound(const RoundObservation &obs)
+{
+    return scheduleFor(obs.round + 1);
+}
+
+EraserPolicy::EraserPolicy(const RotatedSurfaceCode &code,
+                           const SwapLookupTable &lookup,
+                           bool multi_level, LsbThreshold threshold,
+                           DliAllocator allocator, bool putt_cooldown)
+    : multiLevel_(multi_level), puttCooldown_(putt_cooldown),
+      lsb_(code, LsbOptions{threshold, multi_level}),
+      dli_(code, lookup, allocator),
+      ltt_(code.numData()),
+      putt_(code.numStabilizers())
+{
+}
+
+std::vector<LrcPair>
+EraserPolicy::nextRound(const RoundObservation &obs)
+{
+    lsb_.speculate(obs.events, obs.leakedLabels, obs.hadLrc, ltt_);
+    std::vector<int> used_stabs;
+    auto lrcs = dli_.allocate(ltt_, putt_, used_stabs);
+    if (puttCooldown_)
+        putt_.advanceRound(used_stabs);
+    return lrcs;
+}
+
+OptimalLrcPolicy::OptimalLrcPolicy(const RotatedSurfaceCode &code,
+                                   const SwapLookupTable &lookup)
+    : code_(code), dli_(code, lookup, DliAllocator::ExactMatching),
+      emptyPutt_(code.numStabilizers())
+{
+}
+
+std::vector<LrcPair>
+OptimalLrcPolicy::nextRound(const RoundObservation &obs)
+{
+    panicIf(obs.trueLeakedData.empty(),
+            "Optimal policy needs oracle leakage state");
+    LeakageTrackingTable ltt(code_.numData());
+    for (int q = 0; q < code_.numData(); ++q) {
+        if (obs.trueLeakedData[q])
+            ltt.mark(q);
+    }
+    std::vector<int> used_stabs;
+    return dli_.allocate(ltt, emptyPutt_, used_stabs);
+}
+
+PolicyFactory
+makePolicyFactory(PolicyKind kind, const RotatedSurfaceCode &code,
+                  const SwapLookupTable &lookup, bool every_round)
+{
+    switch (kind) {
+      case PolicyKind::Never:
+        return []() { return std::make_unique<NeverLrcPolicy>(); };
+      case PolicyKind::Always:
+        return [&code, every_round]() {
+            return std::make_unique<AlwaysLrcPolicy>(code, every_round);
+        };
+      case PolicyKind::Eraser:
+        return [&code, &lookup]() {
+            return std::make_unique<EraserPolicy>(code, lookup, false);
+        };
+      case PolicyKind::EraserM:
+        return [&code, &lookup]() {
+            return std::make_unique<EraserPolicy>(code, lookup, true);
+        };
+      case PolicyKind::Optimal:
+        return [&code, &lookup]() {
+            return std::make_unique<OptimalLrcPolicy>(code, lookup);
+        };
+    }
+    panic("unknown policy kind");
+}
+
+std::string
+policyKindName(PolicyKind kind, bool every_round)
+{
+    switch (kind) {
+      case PolicyKind::Never: return "No-LRC";
+      case PolicyKind::Always:
+        return every_round ? "DQLR" : "Always-LRCs";
+      case PolicyKind::Eraser: return "ERASER";
+      case PolicyKind::EraserM: return "ERASER+M";
+      case PolicyKind::Optimal: return "Optimal";
+    }
+    panic("unknown policy kind");
+}
+
+} // namespace qec

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * LRC scheduling policies: the paper's baselines (Never, Always-LRCs,
+ * idealized Optimal) and the proposed ERASER / ERASER+M controllers.
+ *
+ * A policy observes each round's syndrome and returns the LRC pairs to
+ * insert into the *next* round — matching the paper's pipeline where
+ * the control processor has ~120 ns after readout to adapt the next
+ * schedule (Fig. 12).
+ */
+
+#ifndef QEC_CORE_POLICIES_H
+#define QEC_CORE_POLICIES_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "code/builder.h"
+#include "code/rotated_surface_code.h"
+#include "core/dli.h"
+#include "core/lsb.h"
+#include "core/swap_lookup.h"
+#include "core/tracking_tables.h"
+
+namespace qec
+{
+
+/** How scheduled leakage removal is realized in the circuit. */
+enum class RemovalProtocol
+{
+    SwapLrc,   ///< SWAP-based LRC (main text).
+    Dqlr,      ///< LeakageISWAP-based DQLR protocol (Appendix A.2).
+};
+
+/** What a policy sees after each syndrome extraction round. */
+struct RoundObservation
+{
+    int round = 0;
+    /** Detection event (syndrome flip vs previous round) per
+     *  stabilizer index. */
+    std::vector<uint8_t> events;
+    /** Multi-level |L> label per stabilizer (ERASER+M input). */
+    std::vector<uint8_t> leakedLabels;
+    /** Data qubits that received leakage removal in this round. */
+    std::vector<uint8_t> hadLrc;
+    /** Ground-truth data-qubit leakage (visible to Optimal only). */
+    std::vector<uint8_t> trueLeakedData;
+};
+
+/** Scheduling policy interface. */
+class LrcPolicy
+{
+  public:
+    virtual ~LrcPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** ERASER+M consumes |L> labels and squashes the MOV-back when an
+     *  LRC'd data qubit reads out as |L> (Section 4.6). */
+    virtual bool usesMultiLevelReadout() const { return false; }
+
+    /** LRC pairs to execute in round 0 (before any syndrome). */
+    virtual std::vector<LrcPair> firstRound() { return {}; }
+
+    /** Observe round obs.round's syndrome; return LRCs for the next
+     *  round. */
+    virtual std::vector<LrcPair> nextRound(
+        const RoundObservation &obs) = 0;
+};
+
+/** No leakage removal at all. */
+class NeverLrcPolicy : public LrcPolicy
+{
+  public:
+    std::string name() const override { return "No-LRC"; }
+    std::vector<LrcPair>
+    nextRound(const RoundObservation &) override
+    {
+        return {};
+    }
+};
+
+/**
+ * Always-LRCs (Section 2.4): schedule LRCs for d^2-1 data qubits in
+ * every other round (or every round, for the DQLR baseline), rotating
+ * which data qubit sits out so all qubits are serviced.
+ */
+class AlwaysLrcPolicy : public LrcPolicy
+{
+  public:
+    AlwaysLrcPolicy(const RotatedSurfaceCode &code, bool every_round);
+
+    std::string
+    name() const override
+    {
+        return everyRound_ ? "DQLR" : "Always-LRCs";
+    }
+    std::vector<LrcPair> firstRound() override;
+    std::vector<LrcPair> nextRound(const RoundObservation &obs)
+        override;
+
+  private:
+    std::vector<LrcPair> scheduleFor(int round);
+
+    bool everyRound_;
+    /** Two alternating near-perfect pairings with different leftover
+     *  data qubits. */
+    std::vector<std::vector<LrcPair>> pairings_;
+    int lrcRoundsSeen_ = 0;
+};
+
+/**
+ * The proposed controller: Leakage Speculation Block + Dynamic LRC
+ * Insertion + tracking tables. With `multi_level` this is ERASER+M.
+ */
+class EraserPolicy : public LrcPolicy
+{
+  public:
+    /**
+     * @param putt_cooldown Block parity qubits used last round
+     *        (Section 4.2.2); disabling it is an ablation that lets
+     *        leakage accumulate on repeatedly-swapped parity qubits.
+     */
+    EraserPolicy(const RotatedSurfaceCode &code,
+                 const SwapLookupTable &lookup, bool multi_level,
+                 LsbThreshold threshold = LsbThreshold::AtLeastTwo,
+                 DliAllocator allocator = DliAllocator::LookupTable,
+                 bool putt_cooldown = true);
+
+    std::string
+    name() const override
+    {
+        return multiLevel_ ? "ERASER+M" : "ERASER";
+    }
+    bool usesMultiLevelReadout() const override { return multiLevel_; }
+    std::vector<LrcPair> nextRound(const RoundObservation &obs)
+        override;
+
+    const LeakageTrackingTable & ltt() const { return ltt_; }
+    const ParityUsageTable & putt() const { return putt_; }
+
+  private:
+    bool multiLevel_;
+    bool puttCooldown_;
+    LeakageSpeculationBlock lsb_;
+    DynamicLrcInsertion dli_;
+    LeakageTrackingTable ltt_;
+    ParityUsageTable putt_;
+};
+
+/**
+ * Idealized scheduling (Section 3.2): an oracle schedules removal for
+ * exactly the data qubits that are truly leaked, resolving SWAP
+ * conflicts with an exact matching and no cooldown constraints.
+ */
+class OptimalLrcPolicy : public LrcPolicy
+{
+  public:
+    OptimalLrcPolicy(const RotatedSurfaceCode &code,
+                     const SwapLookupTable &lookup);
+
+    std::string name() const override { return "Optimal"; }
+    std::vector<LrcPair> nextRound(const RoundObservation &obs)
+        override;
+
+  private:
+    const RotatedSurfaceCode &code_;
+    DynamicLrcInsertion dli_;
+    ParityUsageTable emptyPutt_;
+};
+
+/** Named policy kinds for factories and benches. */
+enum class PolicyKind
+{
+    Never,
+    Always,
+    Eraser,
+    EraserM,
+    Optimal,
+};
+
+/** Factory producing a fresh policy instance per experiment shot. */
+using PolicyFactory = std::function<std::unique_ptr<LrcPolicy>()>;
+
+/**
+ * Build a factory for a policy kind.
+ * @param every_round For Always under the DQLR protocol (schedules
+ *        removal each round instead of alternating).
+ */
+PolicyFactory makePolicyFactory(PolicyKind kind,
+                                const RotatedSurfaceCode &code,
+                                const SwapLookupTable &lookup,
+                                bool every_round = false);
+
+/** Display name of a policy kind (matches LrcPolicy::name()). */
+std::string policyKindName(PolicyKind kind, bool every_round = false);
+
+} // namespace qec
+
+#endif // QEC_CORE_POLICIES_H

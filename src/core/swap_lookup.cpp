@@ -1,0 +1,87 @@
+#include "core/swap_lookup.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+namespace
+{
+
+bool
+tryAugment(int left, const std::vector<std::vector<int>> &adjacency,
+           std::vector<int> &match_right, std::vector<uint8_t> &seen)
+{
+    for (int right : adjacency[left]) {
+        if (seen[right])
+            continue;
+        seen[right] = 1;
+        if (match_right[right] == -1 ||
+            tryAugment(match_right[right], adjacency, match_right,
+                       seen)) {
+            match_right[right] = left;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<int>
+maxBipartiteMatching(int num_left,
+                     const std::vector<std::vector<int>> &adjacency,
+                     int num_right)
+{
+    std::vector<int> match_right(num_right, -1);
+    for (int l = 0; l < num_left; ++l) {
+        std::vector<uint8_t> seen(num_right, 0);
+        tryAugment(l, adjacency, match_right, seen);
+    }
+    std::vector<int> match_left(num_left, -1);
+    for (int r = 0; r < num_right; ++r) {
+        if (match_right[r] != -1)
+            match_left[match_right[r]] = r;
+    }
+    return match_left;
+}
+
+SwapLookupTable::SwapLookupTable(const RotatedSurfaceCode &code,
+                                 int backup_limit)
+{
+    const int n_data = code.numData();
+    std::vector<std::vector<int>> adjacency(n_data);
+    for (int q = 0; q < n_data; ++q)
+        adjacency[q] = code.stabilizersOfData(q);
+
+    auto match = maxBipartiteMatching(n_data, adjacency,
+                                      code.numStabilizers());
+
+    entries_.resize(n_data);
+    for (int q = 0; q < n_data; ++q) {
+        SwapEntry &entry = entries_[q];
+        if (match[q] != -1) {
+            entry.primary = match[q];
+            pairs_.push_back({q, match[q]});
+        } else {
+            panicIf(unmatched_ != -1,
+                    "matching must leave exactly one data qubit over");
+            unmatched_ = q;
+            entry.primary = adjacency[q].front();
+        }
+        for (int s : adjacency[q]) {
+            if (s == entry.primary)
+                continue;
+            if ((int)entry.backups.size() < backup_limit)
+                entry.backups.push_back(s);
+        }
+    }
+    panicIf((int)pairs_.size() != code.numStabilizers(),
+            "primary matching must cover every parity qubit");
+    panicIf(unmatched_ == -1,
+            "d^2 data and d^2-1 parity qubits imply one unmatched");
+}
+
+} // namespace qec

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SWAP Lookup Table (Section 4.4): per data qubit, a pre-determined
+ * primary parity qubit plus backup parity qubits, used by Dynamic LRC
+ * Insertion to allocate SWAP partners in constant time instead of
+ * solving a maximum matching at run time.
+ *
+ * Primaries are chosen by a maximum bipartite matching so that d^2-1
+ * data qubits hold conflict-free primaries (the same pairing drives
+ * Always-LRCs scheduling); the one unmatched data qubit shares a
+ * primary and relies on its backup (or the next LRC round).
+ */
+
+#ifndef QEC_CORE_SWAP_LOOKUP_H
+#define QEC_CORE_SWAP_LOOKUP_H
+
+#include <vector>
+
+#include "code/rotated_surface_code.h"
+
+namespace qec
+{
+
+/** Primary/backup SWAP partners for one data qubit. */
+struct SwapEntry
+{
+    int primary = -1;              ///< Stabilizer index.
+    std::vector<int> backups;      ///< Remaining adjacent stabilizers.
+};
+
+class SwapLookupTable
+{
+  public:
+    /**
+     * Build the table. @param backup_limit Backups kept per data qubit
+     * (the paper's default hardware keeps one).
+     */
+    explicit SwapLookupTable(const RotatedSurfaceCode &code,
+                             int backup_limit = 1);
+
+    const SwapEntry & entry(int data) const { return entries_[data]; }
+    int numData() const { return (int)entries_.size(); }
+
+    /** Data qubit left without a unique primary by the matching (used
+     *  by Always-LRCs leftover rotation). */
+    int unmatchedData() const { return unmatched_; }
+
+    /** The conflict-free (data, stab) pairs found by the matching:
+     *  exactly d^2-1 entries. */
+    const std::vector<std::pair<int, int>> &
+    perfectPairs() const
+    {
+        return pairs_;
+    }
+
+  private:
+    std::vector<SwapEntry> entries_;
+    std::vector<std::pair<int, int>> pairs_;
+    int unmatched_ = -1;
+};
+
+/**
+ * Maximum bipartite matching (Kuhn's augmenting paths). Exposed for
+ * reuse by the exact-matching DLI ablation and by tests.
+ *
+ * @param num_left  Left vertex count.
+ * @param adjacency adjacency[l] lists right vertices of l.
+ * @param num_right Right vertex count.
+ * @return match_left[l] = matched right vertex or -1.
+ */
+std::vector<int> maxBipartiteMatching(
+    int num_left, const std::vector<std::vector<int>> &adjacency,
+    int num_right);
+
+} // namespace qec
+
+#endif // QEC_CORE_SWAP_LOOKUP_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The two state tables of the ERASER microarchitecture (Fig. 10).
+ *
+ * The Leakage Tracking Table (LTT) holds one bit per data qubit: set
+ * when the Leakage Speculation Block suspects leakage, cleared when an
+ * LRC services the qubit.
+ *
+ * The Parity qubit Usage Tracking Table (PUTT) holds one bit per
+ * parity qubit: set while the qubit is cooling down after taking part
+ * in an LRC (it skipped its measure+reset that round, so using it
+ * again immediately would let leakage accumulate — Section 4.2.2).
+ */
+
+#ifndef QEC_CORE_TRACKING_TABLES_H
+#define QEC_CORE_TRACKING_TABLES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace qec
+{
+
+/** Leakage Tracking Table: one speculation bit per data qubit. */
+class LeakageTrackingTable
+{
+  public:
+    explicit LeakageTrackingTable(int num_data)
+        : marks_(num_data, 0)
+    {
+    }
+
+    void mark(int data) { marks_[data] = 1; }
+    void clear(int data) { marks_[data] = 0; }
+    bool marked(int data) const { return marks_[data] != 0; }
+    int size() const { return (int)marks_.size(); }
+
+    void
+    reset()
+    {
+        std::fill(marks_.begin(), marks_.end(), 0);
+    }
+
+    /** Marked data qubits in ascending id order. */
+    std::vector<int>
+    markedList() const
+    {
+        std::vector<int> out;
+        for (int q = 0; q < (int)marks_.size(); ++q) {
+            if (marks_[q])
+                out.push_back(q);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<uint8_t> marks_;
+};
+
+/** Parity qubit Usage Tracking Table: cooldown bit per stabilizer. */
+class ParityUsageTable
+{
+  public:
+    explicit ParityUsageTable(int num_stabs)
+        : used_(num_stabs, 0)
+    {
+    }
+
+    bool used(int stab) const { return used_[stab] != 0; }
+    int size() const { return (int)used_.size(); }
+
+    void
+    reset()
+    {
+        std::fill(used_.begin(), used_.end(), 0);
+    }
+
+    /**
+     * Advance one round: parity qubits that took part in an LRC this
+     * round are blocked for the next round (they are measured and
+     * reset next round, clearing any accumulated leakage).
+     */
+    void
+    advanceRound(const std::vector<int> &stabs_used_this_round)
+    {
+        std::fill(used_.begin(), used_.end(), 0);
+        for (int s : stabs_used_this_round)
+            used_[s] = 1;
+    }
+
+  private:
+    std::vector<uint8_t> used_;
+};
+
+} // namespace qec
+
+#endif // QEC_CORE_TRACKING_TABLES_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Decoder interface. The paper evaluates with MWPM ("the gold
+ * standard") but notes any decoder works; the harness accepts any
+ * implementation of this interface so decoders can be compared under
+ * identical leakage conditions.
+ */
+
+#ifndef QEC_DECODER_DECODER_BASE_H
+#define QEC_DECODER_DECODER_BASE_H
+
+#include <vector>
+
+namespace qec
+{
+
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /**
+     * Decode one shot.
+     * @param defects Fired detector ids.
+     * @return Predicted logical-observable flip.
+     */
+    virtual bool decode(const std::vector<int> &defects) const = 0;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODER_DECODER_BASE_H

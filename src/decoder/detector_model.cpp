@@ -1,0 +1,489 @@
+#include "decoder/detector_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.h"
+#include "code/builder.h"
+#include "sim/frame_simulator.h"
+
+namespace qec
+{
+
+double
+DemEdge::probability(double p) const
+{
+    // XOR-combination of independent mechanisms: the edge fires iff an
+    // odd number of its mechanisms fire.
+    // P(odd) = (1 - prod(1 - 2 q_i)) / 2.
+    double prod = 1.0;
+    prod *= std::pow(1.0 - 2.0 * p, n1);
+    prod *= std::pow(1.0 - 2.0 * (p / 3.0), n3);
+    prod *= std::pow(1.0 - 2.0 * (p / 15.0), n15);
+    return (1.0 - prod) / 2.0;
+}
+
+namespace
+{
+
+/** Probability class of a mechanism (shared error rate divisor). */
+enum class ProbClass { P1, P3, P15 };
+
+/** Signature of one mechanism: flipped detectors + observable. */
+struct Signature
+{
+    std::vector<int> dets;
+    bool obs = false;
+};
+
+uint64_t
+edgeKey(int a, int b, bool obs)
+{
+    // a <= b after normalization; boundary (-1) stored as 0.
+    return ((uint64_t)(a + 1) << 33) | ((uint64_t)(b + 1) << 1) |
+           (obs ? 1 : 0);
+}
+
+/** Accumulates mechanisms into merged DEM edges. */
+class EdgeAccumulator
+{
+  public:
+    void
+    add(int a, int b, bool obs, ProbClass cls, int count = 1)
+    {
+        if (a > b)
+            std::swap(a, b);
+        if (a == kBoundary && b == kBoundary)
+            return;
+        if (a == kBoundary)
+            std::swap(a, b);  // keep the real detector in `a`
+        auto [it, inserted] =
+            index_.try_emplace(edgeKey(a, b, obs), edges_.size());
+        if (inserted) {
+            DemEdge edge;
+            edge.a = a;
+            edge.b = b;
+            edge.obsFlip = obs;
+            edges_.push_back(edge);
+        }
+        DemEdge &edge = edges_[it->second];
+        switch (cls) {
+          case ProbClass::P1: edge.n1 += count; break;
+          case ProbClass::P3: edge.n3 += count; break;
+          case ProbClass::P15: edge.n15 += count; break;
+        }
+    }
+
+    void
+    addEdgeCounts(const DemEdge &src, int a, int b)
+    {
+        if (src.n1)
+            add(a, b, src.obsFlip, ProbClass::P1, src.n1);
+        if (src.n3)
+            add(a, b, src.obsFlip, ProbClass::P3, src.n3);
+        if (src.n15)
+            add(a, b, src.obsFlip, ProbClass::P15, src.n15);
+    }
+
+    /** True if (a, b) exists as an edge with the given observable. */
+    bool
+    has(int a, int b, bool obs) const
+    {
+        if (a > b)
+            std::swap(a, b);
+        if (a == kBoundary)
+            std::swap(a, b);
+        return index_.count(edgeKey(a, b, obs)) != 0;
+    }
+
+    std::vector<DemEdge> take() { return std::move(edges_); }
+
+  private:
+    std::unordered_map<uint64_t, size_t> index_;
+    std::vector<DemEdge> edges_;
+};
+
+/**
+ * Enumerates all Pauli mechanisms of a base memory circuit and
+ * produces their detector signatures by frame propagation.
+ */
+class Enumerator
+{
+  public:
+    Enumerator(const RotatedSurfaceCode &code, int rounds, Basis basis)
+        : code_(code), rounds_(rounds), basis_(basis),
+          type_(protectingStabType(basis)),
+          nS_(code.numBasisStabilizers(basis)),
+          circuit_(buildMemoryCircuit(code, rounds, basis)),
+          sim_(code.numQubits(), ErrorModel::noiseless(), Rng(0))
+    {
+    }
+
+    /**
+     * Visit every mechanism. The callback receives the source round
+     * (final data block = `rounds`), the probability class, and the
+     * signature.
+     */
+    template <typename Fn>
+    void
+    forEachMechanism(Fn &&fn)
+    {
+        int round = -1;
+        for (size_t k = 0; k < circuit_.ops.size(); ++k) {
+            const Op &op = circuit_.ops[k];
+            switch (op.type) {
+              case OpType::RoundStart:
+                round = op.round;
+                break;
+              case OpType::DataNoise:
+              case OpType::H:
+                for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+                    fn(round, ProbClass::P3,
+                       propagate(k, {{op.q0, p}}));
+                }
+                break;
+              case OpType::Cnot:
+                for (int pp = 1; pp < 16; ++pp) {
+                    const Pauli pa = (Pauli)(pp & 3);
+                    const Pauli pb = (Pauli)((pp >> 2) & 3);
+                    fn(round, ProbClass::P15,
+                       propagate(k, {{op.q0, pa}, {op.q1, pb}}));
+                }
+                break;
+              case OpType::Reset:
+                fn(round, ProbClass::P1, propagate(k, {{op.q0,
+                                                        Pauli::X}}));
+                break;
+              case OpType::Measure:
+              case OpType::MeasureX:
+                fn(op.finalData ? rounds_ : round, ProbClass::P1,
+                   measureFlip(op));
+                break;
+              case OpType::LeakageIswap:
+                panic("base circuit must not contain DQLR ops");
+            }
+        }
+    }
+
+  private:
+    /** Signature of flipping one measurement outcome. */
+    Signature
+    measureFlip(const Op &op)
+    {
+        flips_.clear();
+        bool obs = false;
+        if (op.finalData) {
+            recordFinalFlip(op.q0, obs);
+        } else {
+            recordAncillaFlip(op.stab, op.round);
+        }
+        return finishSignature(obs);
+    }
+
+    /** Propagate Paulis injected after op k through the rest. */
+    Signature
+    propagate(size_t k,
+              std::initializer_list<std::pair<int, Pauli>> inject)
+    {
+        sim_.reset();
+        for (const auto &[q, p] : inject)
+            sim_.injectPauli(q, p);
+        const Op *ops = circuit_.ops.data();
+        sim_.executeRange(ops + k + 1, ops + circuit_.ops.size());
+
+        flips_.clear();
+        bool obs = false;
+        for (const auto &rec : sim_.record()) {
+            if (!rec.flip)
+                continue;
+            if (rec.finalData)
+                recordFinalFlip(rec.qubit, obs);
+            else
+                recordAncillaFlip(rec.stab, rec.round);
+        }
+        return finishSignature(obs);
+    }
+
+    /** Toggle the detectors affected by an ancilla outcome flip. */
+    void
+    recordAncillaFlip(int stab_index, int round)
+    {
+        const auto &stab = code_.stabilizer(stab_index);
+        if (stab.type != type_)
+            return;
+        toggle(round * nS_ + stab.basisIndex);
+        toggle((round + 1) * nS_ + stab.basisIndex);
+    }
+
+    /** Toggle detectors/observable for a final data outcome flip. */
+    void
+    recordFinalFlip(int data, bool &obs)
+    {
+        for (int s : code_.stabilizersOfData(data)) {
+            const auto &stab = code_.stabilizer(s);
+            if (stab.type != type_)
+                continue;
+            toggle(rounds_ * nS_ + stab.basisIndex);
+        }
+        const auto &logical = code_.logicalSupport(basis_);
+        if (std::find(logical.begin(), logical.end(), data) !=
+            logical.end())
+            obs = !obs;
+    }
+
+    void
+    toggle(int det)
+    {
+        auto it = std::find(flips_.begin(), flips_.end(), det);
+        if (it != flips_.end())
+            flips_.erase(it);
+        else
+            flips_.push_back(det);
+    }
+
+    Signature
+    finishSignature(bool obs)
+    {
+        Signature sig;
+        sig.dets = flips_;
+        std::sort(sig.dets.begin(), sig.dets.end());
+        sig.obs = obs;
+        return sig;
+    }
+
+    const RotatedSurfaceCode &code_;
+    int rounds_;
+    Basis basis_;
+    StabType type_;
+    int nS_;
+    Circuit circuit_;
+    FrameSimulator sim_;
+    std::vector<int> flips_;
+};
+
+/**
+ * Collects signatures, decomposing >2-detector mechanisms against the
+ * set of simple edges (Stim-style graph-like decomposition).
+ */
+class ModelAssembler
+{
+  public:
+    void
+    addSignature(const Signature &sig, ProbClass cls,
+                 DetectorModel &stats)
+    {
+        if (sig.dets.empty() && !sig.obs)
+            return;
+        if (sig.dets.size() <= 2) {
+            const int a = sig.dets.empty() ? kBoundary : sig.dets[0];
+            const int b = sig.dets.size() < 2 ? kBoundary : sig.dets[1];
+            acc_.add(a, b, sig.obs, cls);
+            return;
+        }
+        pending_.push_back({sig, cls});
+        ++stats.decomposedMechanisms;
+    }
+
+    void
+    resolvePending(DetectorModel &stats)
+    {
+        for (const auto &[sig, cls] : pending_) {
+            if (!tryDecompose(sig, cls))
+                greedyDecompose(sig, cls, stats);
+        }
+        pending_.clear();
+    }
+
+    std::vector<DemEdge> take() { return acc_.take(); }
+
+  private:
+    struct Block
+    {
+        int a;
+        int b;   // kBoundary for singletons
+        bool obs;
+    };
+
+    /** Check a candidate block against known simple edges and pick an
+     *  observable value for it; prefers obs=false. */
+    bool
+    blockExists(int a, int b, Block &out) const
+    {
+        for (bool obs : {false, true}) {
+            if (acc_.has(a, b, obs)) {
+                out = {a, b, obs};
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    tryDecompose(const Signature &sig, ProbClass cls)
+    {
+        const auto &d = sig.dets;
+        std::vector<std::vector<std::pair<int, int>>> partitions;
+        if (d.size() == 3) {
+            partitions = {
+                {{d[0], d[1]}, {d[2], kBoundary}},
+                {{d[0], d[2]}, {d[1], kBoundary}},
+                {{d[1], d[2]}, {d[0], kBoundary}},
+                {{d[0], kBoundary}, {d[1], kBoundary},
+                 {d[2], kBoundary}},
+            };
+        } else if (d.size() == 4) {
+            partitions = {
+                {{d[0], d[1]}, {d[2], d[3]}},
+                {{d[0], d[2]}, {d[1], d[3]}},
+                {{d[0], d[3]}, {d[1], d[2]}},
+                {{d[0], d[1]}, {d[2], kBoundary}, {d[3], kBoundary}},
+                {{d[0], d[2]}, {d[1], kBoundary}, {d[3], kBoundary}},
+                {{d[0], d[3]}, {d[1], kBoundary}, {d[2], kBoundary}},
+                {{d[1], d[2]}, {d[0], kBoundary}, {d[3], kBoundary}},
+                {{d[1], d[3]}, {d[0], kBoundary}, {d[2], kBoundary}},
+                {{d[2], d[3]}, {d[0], kBoundary}, {d[1], kBoundary}},
+            };
+        } else {
+            return false;
+        }
+
+        for (const auto &partition : partitions) {
+            std::vector<Block> blocks;
+            bool ok = true;
+            bool obs_total = false;
+            for (const auto &[a, b] : partition) {
+                Block block;
+                if (!blockExists(a, b, block)) {
+                    ok = false;
+                    break;
+                }
+                blocks.push_back(block);
+                obs_total ^= block.obs;
+            }
+            if (!ok)
+                continue;
+            // Fix up the observable parity on one block if possible.
+            if (obs_total != sig.obs) {
+                bool fixed = false;
+                for (auto &block : blocks) {
+                    if (acc_.has(block.a, block.b, !block.obs)) {
+                        block.obs = !block.obs;
+                        fixed = true;
+                        break;
+                    }
+                }
+                if (!fixed)
+                    continue;
+            }
+            for (const auto &block : blocks)
+                acc_.add(block.a, block.b, block.obs, cls);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    greedyDecompose(const Signature &sig, ProbClass cls,
+                    DetectorModel &stats)
+    {
+        ++stats.unmatchedDecompositions;
+        // Pair consecutive detectors (they are sorted, so time/space
+        // neighbours end up together); attach the observable to the
+        // first block.
+        bool obs = sig.obs;
+        for (size_t i = 0; i < sig.dets.size(); i += 2) {
+            const int a = sig.dets[i];
+            const int b = (i + 1 < sig.dets.size()) ? sig.dets[i + 1]
+                                                    : kBoundary;
+            acc_.add(a, b, obs, cls);
+            obs = false;
+        }
+    }
+
+    EdgeAccumulator acc_;
+    std::vector<std::pair<Signature, ProbClass>> pending_;
+};
+
+/** Shortest round count from which tiling is exact. */
+constexpr int kTileShortRounds = 8;
+
+} // namespace
+
+DetectorModel
+buildDetectorModelDirect(const RotatedSurfaceCode &code, int rounds,
+                         Basis basis)
+{
+    DetectorModel model;
+    model.rounds = rounds;
+    model.basis = basis;
+    model.stabsPerRound = code.numBasisStabilizers(basis);
+
+    Enumerator enumerator(code, rounds, basis);
+    ModelAssembler assembler;
+    enumerator.forEachMechanism(
+        [&](int, ProbClass cls, const Signature &sig) {
+            assembler.addSignature(sig, cls, model);
+        });
+    assembler.resolvePending(model);
+    model.edges = assembler.take();
+    return model;
+}
+
+DetectorModel
+buildDetectorModel(const RotatedSurfaceCode &code, int rounds,
+                   Basis basis)
+{
+    if (rounds <= kTileShortRounds)
+        return buildDetectorModelDirect(code, rounds, basis);
+
+    // Enumerate a short circuit and tile its bulk round through time.
+    // Head: mechanisms of round 0 (round-0 detectors are special).
+    // Bulk: mechanisms of round 2 stand in for source rounds 1..R-3.
+    // Tail: mechanisms of rounds R0-2, R0-1 and the final data block,
+    // shifted by R - R0.
+    const int r0 = kTileShortRounds;
+    const int n_s = code.numBasisStabilizers(basis);
+
+    DetectorModel model;
+    model.rounds = rounds;
+    model.basis = basis;
+    model.stabsPerRound = n_s;
+
+    // Collect per-group signature lists from the short circuit.
+    Enumerator enumerator(code, r0, basis);
+    ModelAssembler assembler;
+
+    auto shift_sig = [&](const Signature &sig, int dr) {
+        Signature shifted;
+        shifted.obs = sig.obs;
+        shifted.dets.reserve(sig.dets.size());
+        for (int det : sig.dets)
+            shifted.dets.push_back(det + dr * n_s);
+        return shifted;
+    };
+
+    enumerator.forEachMechanism(
+        [&](int src_round, ProbClass cls, const Signature &sig) {
+            if (src_round == 0) {
+                assembler.addSignature(sig, cls, model);
+            } else if (src_round == 2) {
+                for (int target = 1; target <= rounds - 3; ++target) {
+                    assembler.addSignature(
+                        shift_sig(sig, target - 2), cls, model);
+                }
+            } else if (src_round >= r0 - 2) {
+                // Tail rounds and the final data block.
+                assembler.addSignature(shift_sig(sig, rounds - r0),
+                                       cls, model);
+            }
+            // Source rounds 1 and 3..r0-3 are redundant with the bulk
+            // template and are skipped.
+        });
+    assembler.resolvePending(model);
+    model.edges = assembler.take();
+    return model;
+}
+
+} // namespace qec

@@ -1,0 +1,216 @@
+#include "decoder/mwpm_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "base/logging.h"
+#include "decoder/matching.h"
+
+namespace qec
+{
+
+namespace
+{
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+/** Weight clamp so scaled integer weights never overflow. */
+constexpr double kMaxWeight = 1.0e6;
+/** Fixed-point scale for blossom weights. */
+constexpr double kWeightScale = 1024.0;
+
+double
+edgeWeight(double q)
+{
+    q = std::min(std::max(q, 1.0e-12), 0.499999);
+    return std::log((1.0 - q) / q);
+}
+
+int64_t
+scaled(double w)
+{
+    w = std::min(w, kMaxWeight);
+    return (int64_t)std::llround(w * kWeightScale);
+}
+
+} // namespace
+
+MwpmDecoder::MwpmDecoder(const DetectorModel &dem, double p,
+                         DecoderOptions options)
+    : numDets_(dem.numDetectors()), options_(options),
+      adj_(dem.numDetectors()),
+      boundaryW_(dem.numDetectors(), kInf),
+      boundaryObs_(dem.numDetectors(), 0)
+{
+    for (const auto &edge : dem.edges) {
+        const double q = edge.probability(p);
+        if (q <= 0.0)
+            continue;
+        const float w = (float)edgeWeight(q);
+        if (edge.b == kBoundary) {
+            if (w < boundaryW_[edge.a]) {
+                boundaryW_[edge.a] = w;
+                boundaryObs_[edge.a] = edge.obsFlip ? 1 : 0;
+            }
+            continue;
+        }
+        adj_[edge.a].push_back({edge.b, w, edge.obsFlip});
+        adj_[edge.b].push_back({edge.a, w, edge.obsFlip});
+        ++numEdges_;
+    }
+}
+
+bool
+MwpmDecoder::decode(const std::vector<int> &defects) const
+{
+    const int n = (int)defects.size();
+    if (n == 0)
+        return false;
+
+    // Map detector id -> defect index.
+    std::vector<int> defect_of(numDets_, -1);
+    for (int i = 0; i < n; ++i)
+        defect_of[defects[i]] = i;
+
+    struct Candidate
+    {
+        double w;
+        uint8_t obs;
+        bool valid = false;
+    };
+    // Candidate defect-defect paths (upper triangle, i < j).
+    std::vector<std::vector<std::pair<int, Candidate>>> cand(n);
+    std::vector<double> bdist(n);
+    std::vector<uint8_t> bobs(n, 0);
+
+    std::vector<double> dist(numDets_);
+    std::vector<uint8_t> obspar(numDets_);
+    std::vector<int> stamp(numDets_, -1);
+    std::vector<uint8_t> settled(numDets_, 0);
+
+    using QItem = std::pair<double, int>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+
+    for (int i = 0; i < n; ++i) {
+        const int src = defects[i];
+        // Epoch i marks freshly touched nodes for this source.
+        while (!pq.empty())
+            pq.pop();
+        std::vector<int> touched;
+
+        dist[src] = 0.0;
+        obspar[src] = 0;
+        stamp[src] = i;
+        settled[src] = 0;
+        touched.push_back(src);
+        pq.push({0.0, src});
+
+        double best_boundary = kInf;
+        uint8_t best_boundary_obs = 0;
+        int found = 0;
+        int settled_count = 0;
+
+        while (!pq.empty()) {
+            auto [d, u] = pq.top();
+            pq.pop();
+            if (stamp[u] != i || settled[u] || d > dist[u])
+                continue;
+            settled[u] = 1;
+            ++settled_count;
+
+            if (d + 0.0 >= best_boundary && found >= options_.neighborLimit)
+                break;
+
+            if (boundaryW_[u] < kInf &&
+                d + boundaryW_[u] < best_boundary) {
+                best_boundary = d + boundaryW_[u];
+                best_boundary_obs = obspar[u] ^ boundaryObs_[u];
+            }
+            const int j = defect_of[u];
+            if (j >= 0 && j != i) {
+                ++found;
+                if (i < j) {
+                    cand[i].push_back(
+                        {j, {d, obspar[u], true}});
+                } else {
+                    cand[j].push_back(
+                        {i, {d, obspar[u], true}});
+                }
+                if (found >= options_.neighborLimit &&
+                    best_boundary < kInf)
+                    break;
+            }
+            if (settled_count >= options_.settleCap)
+                break;
+
+            for (const auto &nbr : adj_[u]) {
+                const double nd = d + nbr.w;
+                if (nd >= best_boundary + best_boundary &&
+                    found >= options_.neighborLimit)
+                    continue;
+                if (stamp[nbr.to] != i) {
+                    stamp[nbr.to] = i;
+                    settled[nbr.to] = 0;
+                    dist[nbr.to] = nd;
+                    obspar[nbr.to] = obspar[u] ^ nbr.obs;
+                    touched.push_back(nbr.to);
+                    pq.push({nd, nbr.to});
+                } else if (nd < dist[nbr.to] && !settled[nbr.to]) {
+                    dist[nbr.to] = nd;
+                    obspar[nbr.to] = obspar[u] ^ nbr.obs;
+                    pq.push({nd, nbr.to});
+                }
+            }
+        }
+        bdist[i] = std::min(best_boundary, kMaxWeight);
+        bobs[i] = best_boundary_obs;
+        (void)touched;
+    }
+
+    // Deduplicate candidates (keep minimum weight per pair).
+    std::vector<MatchEdge> edges;
+    std::vector<std::pair<std::pair<int, int>, uint8_t>> pair_obs;
+    for (int i = 0; i < n; ++i) {
+        std::sort(cand[i].begin(), cand[i].end(),
+                  [](const auto &x, const auto &y) {
+                      return x.first < y.first ||
+                             (x.first == y.first &&
+                              x.second.w < y.second.w);
+                  });
+        int last = -1;
+        for (const auto &[j, c] : cand[i]) {
+            if (j == last)
+                continue;
+            last = j;
+            // Real-real edge plus the mirrored virtual-virtual edge
+            // that frees both boundary twins at zero cost.
+            edges.push_back({i, j, scaled(c.w)});
+            edges.push_back({n + i, n + j, 0});
+            pair_obs.push_back({{i, j}, c.obs});
+        }
+        edges.push_back({i, n + i, scaled(bdist[i])});
+    }
+
+    auto partner = minWeightPerfectMatching(2 * n, edges);
+
+    // Predicted observable: parity over matched structure.
+    bool obs = false;
+    for (int i = 0; i < n; ++i) {
+        const int m = partner[i];
+        if (m == n + i) {
+            obs ^= (bobs[i] != 0);
+        } else if (m > i && m < n) {
+            // Find the candidate obs parity for the matched pair.
+            for (const auto &[key, po] : pair_obs) {
+                if (key.first == i && key.second == m) {
+                    obs ^= (po != 0);
+                    break;
+                }
+            }
+        }
+    }
+    return obs;
+}
+
+} // namespace qec

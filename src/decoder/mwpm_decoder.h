@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimum-weight perfect matching decoder over a DetectorModel.
+ *
+ * Decoding pipeline (the paper's "gold standard" MWPM, Section 2.2):
+ *  1. Dijkstra from every fired detector over the weighted decoding
+ *     graph (weight = log((1-q)/q) per edge), tracking the logical
+ *     observable parity along shortest paths, with early termination
+ *     once the nearest-K defects and a boundary route are known.
+ *  2. Reduce to minimum-weight perfect matching with one virtual
+ *     boundary twin per defect (the standard doubling construction).
+ *  3. Exact blossom matching; the predicted observable flip is the
+ *     parity of matched-path observable crossings.
+ */
+
+#ifndef QEC_DECODER_MWPM_DECODER_H
+#define QEC_DECODER_MWPM_DECODER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "decoder/decoder_base.h"
+#include "decoder/detector_model.h"
+
+namespace qec
+{
+
+/** Tuning knobs for the decoder. */
+struct DecoderOptions
+{
+    /** Defect-neighbour candidates kept per defect. */
+    int neighborLimit = 12;
+    /** Hard cap on settled nodes per Dijkstra (safety valve). */
+    int settleCap = 1 << 20;
+};
+
+/**
+ * MWPM decoder bound to one DetectorModel and physical error rate.
+ * Thread-safe: decode() uses only local workspace.
+ */
+class MwpmDecoder : public Decoder
+{
+  public:
+    MwpmDecoder(const DetectorModel &dem, double p,
+                DecoderOptions options = {});
+
+    /**
+     * Decode one shot.
+     * @param defects Fired detector ids.
+     * @return Predicted logical-observable flip.
+     */
+    bool decode(const std::vector<int> &defects) const override;
+
+    int numDetectors() const { return numDets_; }
+
+    /** Total decoding-graph edges (diagnostics/tests). */
+    size_t
+    numGraphEdges() const
+    {
+        return numEdges_;
+    }
+
+  private:
+    struct Nbr
+    {
+        int to;
+        float w;
+        uint8_t obs;
+    };
+
+    int numDets_ = 0;
+    size_t numEdges_ = 0;
+    DecoderOptions options_;
+    std::vector<std::vector<Nbr>> adj_;
+    /** Best direct boundary edge per detector (+inf if none). */
+    std::vector<float> boundaryW_;
+    std::vector<uint8_t> boundaryObs_;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODER_MWPM_DECODER_H

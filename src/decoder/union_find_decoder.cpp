@@ -1,0 +1,197 @@
+#include "decoder/union_find_decoder.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+UnionFindDecoder::UnionFindDecoder(const DetectorModel &dem, double p)
+    : numDets_(dem.numDetectors()), boundaryVertex_(dem.numDetectors())
+{
+    incident_.resize(numDets_ + 1);
+    for (const auto &edge : dem.edges) {
+        if (edge.probability(p) <= 0.0)
+            continue;
+        const int v =
+            edge.b == kBoundary ? boundaryVertex_ : edge.b;
+        const int index = (int)edges_.size();
+        edges_.push_back({edge.a, v, edge.obsFlip ? (uint8_t)1
+                                                  : (uint8_t)0});
+        incident_[edge.a].push_back(index);
+        incident_[v].push_back(index);
+    }
+}
+
+bool
+UnionFindDecoder::decode(const std::vector<int> &defects) const
+{
+    if (defects.empty())
+        return false;
+
+    const int n = numDets_ + 1;
+
+    // Union-find over vertices.
+    std::vector<int> parent(n);
+    for (int v = 0; v < n; ++v)
+        parent[v] = v;
+    std::vector<int> find_stack;
+    auto find = [&](int v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+
+    std::vector<uint8_t> is_defect(n, 0);
+    for (int det : defects)
+        is_defect[det] = 1;
+
+    // Per-root cluster state (indexed by representative).
+    std::vector<int> odd(n, 0);            // defect parity
+    std::vector<uint8_t> on_boundary(n, 0);
+    std::vector<std::vector<int>> frontier(n);
+    std::vector<uint8_t> in_cluster(n, 0);
+    std::vector<uint8_t> expanded(n, 0);
+    std::vector<uint8_t> grown(edges_.size(), 0);
+
+    std::vector<int> active;   // roots with odd parity, off boundary
+    for (int det : defects) {
+        odd[det] = 1;
+        in_cluster[det] = 1;
+        frontier[det].push_back(det);
+        active.push_back(det);
+    }
+    in_cluster[boundaryVertex_] = 1;
+    on_boundary[boundaryVertex_] = 1;
+
+    auto merge = [&](int a, int b) {
+        // Union by frontier size; returns the surviving root.
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return a;
+        if (frontier[a].size() < frontier[b].size())
+            std::swap(a, b);
+        parent[b] = a;
+        odd[a] ^= odd[b];
+        on_boundary[a] |= on_boundary[b];
+        frontier[a].insert(frontier[a].end(), frontier[b].begin(),
+                           frontier[b].end());
+        frontier[b].clear();
+        return a;
+    };
+
+    // Grow active clusters one edge layer at a time.
+    while (!active.empty()) {
+        std::vector<int> next_active;
+        bool grew_any = false;
+        for (int root : active) {
+            int r = find(root);
+            if (r != root || !odd[r] || on_boundary[r])
+                continue;   // stale entry or neutralized meanwhile
+
+            // Expand every not-yet-expanded vertex of the cluster.
+            std::vector<int> to_expand;
+            to_expand.swap(frontier[r]);
+            for (int u : to_expand) {
+                if (expanded[u])
+                    continue;
+                expanded[u] = 1;
+                grew_any = true;
+                for (int ei : incident_[u]) {
+                    if (grown[ei])
+                        continue;
+                    grown[ei] = 1;
+                    const auto &edge = edges_[ei];
+                    const int w = edge.u == u ? edge.v : edge.u;
+                    if (!in_cluster[w]) {
+                        in_cluster[w] = 1;
+                        const int rr = find(u);
+                        frontier[rr].push_back(w);
+                        parent[w] = rr;
+                    } else {
+                        merge(u, w);
+                    }
+                }
+            }
+            r = find(root);
+            // Expanded vertices may still have ungrown edges after a
+            // merge; they are done. Freshly absorbed vertices stay in
+            // the frontier for the next layer.
+            if (odd[r] && !on_boundary[r])
+                next_active.push_back(r);
+        }
+        // Deduplicate roots.
+        std::sort(next_active.begin(), next_active.end());
+        next_active.erase(
+            std::unique(next_active.begin(), next_active.end()),
+            next_active.end());
+        active.clear();
+        for (int r : next_active) {
+            if (find(r) == r && odd[r] && !on_boundary[r])
+                active.push_back(r);
+        }
+        panicIf(!active.empty() && !grew_any,
+                "odd cluster cannot reach the boundary: detector "
+                "graph is disconnected");
+    }
+
+    // Peel: spanning forest over grown edges, rooted at the boundary
+    // vertex where reachable; include the tree edge of every vertex
+    // whose subtree holds odd defect parity.
+    std::vector<int> tree_parent_edge(n, -1);
+    std::vector<uint8_t> visited(n, 0);
+    std::vector<int> order;
+    order.reserve(n);
+
+    auto bfs = [&](int root) {
+        visited[root] = 1;
+        std::vector<int> queue = {root};
+        size_t head = 0;
+        while (head < queue.size()) {
+            const int u = queue[head++];
+            order.push_back(u);
+            for (int ei : incident_[u]) {
+                if (!grown[ei])
+                    continue;
+                const auto &edge = edges_[ei];
+                const int w = edge.u == u ? edge.v : edge.u;
+                if (visited[w])
+                    continue;
+                visited[w] = 1;
+                tree_parent_edge[w] = ei;
+                queue.push_back(w);
+            }
+        }
+    };
+
+    bfs(boundaryVertex_);
+    for (int det : defects) {
+        if (!visited[det])
+            bfs(det);
+    }
+
+    bool obs = false;
+    std::vector<uint8_t> charge = is_defect;
+    for (size_t i = order.size(); i-- > 0;) {
+        const int v = order[i];
+        const int ei = tree_parent_edge[v];
+        if (ei < 0)
+            continue;   // a root
+        if (!charge[v])
+            continue;
+        const auto &edge = edges_[ei];
+        const int parent_v = edge.u == v ? edge.v : edge.u;
+        charge[v] = 0;
+        charge[parent_v] ^= 1;
+        obs ^= (edge.obs != 0);
+    }
+    // Remaining charge sits on roots: the boundary vertex absorbs it,
+    // and defect-rooted trees are internally even by construction.
+    return obs;
+}
+
+} // namespace qec

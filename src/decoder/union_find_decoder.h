@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Union-Find decoder (Delfosse-Nickerson, "almost-linear time
+ * decoding") over the same detector graph as the MWPM decoder.
+ *
+ * Clusters grow outward from fired detectors one edge-layer at a time
+ * until every cluster holds an even number of defects or touches the
+ * spatial boundary; a spanning-forest peeling pass then selects the
+ * correction edges. Faster but slightly less accurate than MWPM —
+ * included as the comparison point the paper alludes to ("any other
+ * decoder may be used as well", Section 5.3).
+ */
+
+#ifndef QEC_DECODER_UNION_FIND_DECODER_H
+#define QEC_DECODER_UNION_FIND_DECODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "decoder/decoder_base.h"
+#include "decoder/detector_model.h"
+
+namespace qec
+{
+
+class UnionFindDecoder : public Decoder
+{
+  public:
+    /**
+     * Build from a detector model. @param p Physical error rate used
+     * only to drop zero-probability edges (parity with MwpmDecoder).
+     */
+    UnionFindDecoder(const DetectorModel &dem, double p);
+
+    bool decode(const std::vector<int> &defects) const override;
+
+    int numDetectors() const { return numDets_; }
+
+  private:
+    struct Edge
+    {
+        int u;
+        int v;          ///< May be the virtual boundary vertex.
+        uint8_t obs;
+    };
+
+    int numDets_ = 0;
+    int boundaryVertex_ = 0;   ///< Single virtual boundary vertex id.
+    std::vector<Edge> edges_;
+    /** Adjacency: vertex -> incident edge indices. */
+    std::vector<std::vector<int>> incident_;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODER_UNION_FIND_DECODER_H

@@ -1,0 +1,118 @@
+#include "density/channels.h"
+
+#include <cmath>
+
+namespace qec
+{
+
+namespace
+{
+
+constexpr int kDim2 = kLevels * kLevels;
+
+bool
+isLeaked(int level)
+{
+    return level >= 2;
+}
+
+} // namespace
+
+Matrix
+cnotQuquart()
+{
+    Matrix u(kDim2 * kDim2, Cplx(0.0));
+    for (int a = 0; a < kLevels; ++a) {
+        for (int b = 0; b < kLevels; ++b) {
+            const int in = a * kLevels + b;
+            int out = in;
+            if (!isLeaked(a) && !isLeaked(b))
+                out = a * kLevels + (a == 1 ? (b ^ 1) : b);
+            u[(size_t)out * kDim2 + in] = 1.0;
+        }
+    }
+    return u;
+}
+
+Matrix
+leakTransportUnitary()
+{
+    Matrix u(kDim2 * kDim2, Cplx(0.0));
+    for (int a = 0; a < kLevels; ++a) {
+        for (int b = 0; b < kLevels; ++b) {
+            const int in = a * kLevels + b;
+            int out = in;
+            if (isLeaked(a) != isLeaked(b))
+                out = b * kLevels + a;
+            u[(size_t)out * kDim2 + in] = 1.0;
+        }
+    }
+    return u;
+}
+
+std::vector<Matrix>
+leakTransportChannel(double p)
+{
+    const double amp_keep = std::sqrt(1.0 - p);
+    const double amp_swap = std::sqrt(p);
+    Matrix keep = identityMatrix(kDim2);
+    for (auto &v : keep)
+        v *= amp_keep;
+    Matrix swap = leakTransportUnitary();
+    for (auto &v : swap)
+        v *= amp_swap;
+    return {keep, swap};
+}
+
+Matrix
+rxConditioned(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const Cplx ms(0.0, -std::sin(theta / 2.0));
+
+    Matrix u(kDim2 * kDim2, Cplx(0.0));
+    auto idx = [](int row, int col) {
+        return (size_t)row * kDim2 + col;
+    };
+    for (int a = 0; a < kLevels; ++a) {
+        for (int b = 0; b < kLevels; ++b) {
+            const int in = a * kLevels + b;
+            if (isLeaked(a) && !isLeaked(b)) {
+                // RX within b's computational subspace.
+                const int flip = a * kLevels + (b ^ 1);
+                u[idx(in, in)] += c;
+                u[idx(flip, in)] += ms;
+            } else if (!isLeaked(a) && isLeaked(b)) {
+                const int flip = (a ^ 1) * kLevels + b;
+                u[idx(in, in)] += c;
+                u[idx(flip, in)] += ms;
+            } else {
+                u[idx(in, in)] = 1.0;
+            }
+        }
+    }
+    return u;
+}
+
+std::vector<Matrix>
+leakInjectChannel(double p)
+{
+    // K0 damps |1>; K1 moves the lost amplitude to |2>.
+    Matrix k0 = identityMatrix(kLevels);
+    k0[1 * kLevels + 1] = std::sqrt(1.0 - p);
+    Matrix k1(kLevels * kLevels, Cplx(0.0));
+    k1[2 * kLevels + 1] = std::sqrt(p);
+    return {k0, k1};
+}
+
+std::vector<Matrix>
+seepChannel(double p)
+{
+    Matrix k0 = identityMatrix(kLevels);
+    k0[2 * kLevels + 2] = std::sqrt(1.0 - p);
+    Matrix k1(kLevels * kLevels, Cplx(0.0));
+    k1[1 * kLevels + 2] = std::sqrt(p);
+    return {k0, k1};
+}
+
+} // namespace qec

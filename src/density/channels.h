@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ququart gate unitaries and noise channels for the Section 3.3
+ * characterization study (Fig. 7(b)): CNOTs act only within the
+ * computational subspace; each CNOT is followed by a leakage-transport
+ * channel, a leakage-conditioned RX(0.65*pi) error, and a leakage
+ * injection channel.
+ */
+
+#ifndef QEC_DENSITY_CHANNELS_H
+#define QEC_DENSITY_CHANNELS_H
+
+#include <vector>
+
+#include "density/density_matrix.h"
+
+namespace qec
+{
+
+/** 16x16 CNOT embedded in two ququarts: acts as CNOT on |a,b> with
+ *  a, b in {0,1}, identity if either operand is leaked. */
+Matrix cnotQuquart();
+
+/** 16x16 permutation unitary exchanging leakage between the operands:
+ *  |a,b> <-> |b,a> when exactly one of a, b is leaked (the transport
+ *  "swap"); identity otherwise. */
+Matrix leakTransportUnitary();
+
+/** Kraus channel applying leakTransportUnitary with probability p. */
+std::vector<Matrix> leakTransportChannel(double p);
+
+/**
+ * 16x16 leakage-conditioned RX error: applies RX(theta) within the
+ * {|0>,|1>} subspace of the unleaked operand when the other operand is
+ * leaked (both directions; identity when neither/both are leaked).
+ */
+Matrix rxConditioned(double theta);
+
+/** 4x4 leakage injection channel: |1> heats to |2> with prob p. */
+std::vector<Matrix> leakInjectChannel(double p);
+
+/** 4x4 seepage channel: |2> decays to |1> with prob p. */
+std::vector<Matrix> seepChannel(double p);
+
+} // namespace qec
+
+#endif // QEC_DENSITY_CHANNELS_H

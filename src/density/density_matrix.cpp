@@ -1,0 +1,208 @@
+#include "density/density_matrix.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+Matrix
+identityMatrix(int n)
+{
+    Matrix m(n * n, Cplx(0.0));
+    for (int i = 0; i < n; ++i)
+        m[i * n + i] = 1.0;
+    return m;
+}
+
+bool
+isTracePreserving(const std::vector<Matrix> &ks, int n, double tol)
+{
+    // sum_k K^dagger K == I.
+    Matrix acc(n * n, Cplx(0.0));
+    for (const auto &k : ks) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                Cplx s(0.0);
+                for (int l = 0; l < n; ++l)
+                    s += std::conj(k[l * n + i]) * k[l * n + j];
+                acc[i * n + j] += s;
+            }
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const Cplx want = (i == j) ? 1.0 : 0.0;
+            if (std::abs(acc[i * n + j] - want) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+DensityMatrix::DensityMatrix(const std::vector<int> &levels)
+    : numQudits_((int)levels.size())
+{
+    dim_ = 1;
+    for (int q = 0; q < numQudits_; ++q)
+        dim_ *= kLevels;
+    rho_.assign((size_t)dim_ * dim_, Cplx(0.0));
+
+    int index = 0;
+    for (int q = 0; q < numQudits_; ++q) {
+        panicIf(levels[q] < 0 || levels[q] >= kLevels,
+                "initial level out of range");
+        index = index * kLevels + levels[q];
+    }
+    rho_[(size_t)index * dim_ + index] = 1.0;
+}
+
+void
+DensityMatrix::applyKrausGeneric(const std::vector<int> &targets,
+                                 const std::vector<Matrix> &ks)
+{
+    const int t_count = (int)targets.size();
+    const int m = t_count == 1 ? kLevels : kLevels * kLevels;
+
+    // Stride of each target qudit (big-endian digit order).
+    std::vector<int> strides(t_count);
+    for (int i = 0; i < t_count; ++i) {
+        int s = 1;
+        for (int q = targets[i] + 1; q < numQudits_; ++q)
+            s *= kLevels;
+        strides[i] = s;
+    }
+    // Offset of each local basis state.
+    std::vector<int> offset(m);
+    for (int t = 0; t < m; ++t) {
+        if (t_count == 1) {
+            offset[t] = t * strides[0];
+        } else {
+            offset[t] = (t / kLevels) * strides[0] +
+                        (t % kLevels) * strides[1];
+        }
+    }
+    // All global indices whose target digits are zero.
+    std::vector<int> rest;
+    for (int i = 0; i < dim_; ++i) {
+        bool zero = true;
+        for (int t = 0; t < t_count; ++t) {
+            if ((i / strides[t]) % kLevels != 0) {
+                zero = false;
+                break;
+            }
+        }
+        if (zero)
+            rest.push_back(i);
+    }
+
+    scratch_.assign((size_t)dim_ * dim_, Cplx(0.0));
+    std::vector<Cplx> block((size_t)m * m);
+    std::vector<Cplx> tmp((size_t)m * m);
+    std::vector<Cplx> out((size_t)m * m);
+
+    for (int rr : rest) {
+        for (int rc : rest) {
+            for (int tr = 0; tr < m; ++tr) {
+                const size_t row = (size_t)(rr + offset[tr]) * dim_;
+                for (int tc = 0; tc < m; ++tc)
+                    block[(size_t)tr * m + tc] =
+                        rho_[row + rc + offset[tc]];
+            }
+            std::fill(out.begin(), out.end(), Cplx(0.0));
+            for (const auto &k : ks) {
+                // tmp = K * block
+                for (int i = 0; i < m; ++i) {
+                    for (int j = 0; j < m; ++j) {
+                        Cplx s(0.0);
+                        for (int l = 0; l < m; ++l)
+                            s += k[(size_t)i * m + l] *
+                                 block[(size_t)l * m + j];
+                        tmp[(size_t)i * m + j] = s;
+                    }
+                }
+                // out += tmp * K^dagger
+                for (int i = 0; i < m; ++i) {
+                    for (int j = 0; j < m; ++j) {
+                        Cplx s(0.0);
+                        for (int l = 0; l < m; ++l)
+                            s += tmp[(size_t)i * m + l] *
+                                 std::conj(k[(size_t)j * m + l]);
+                        out[(size_t)i * m + j] += s;
+                    }
+                }
+            }
+            for (int tr = 0; tr < m; ++tr) {
+                const size_t row = (size_t)(rr + offset[tr]) * dim_;
+                for (int tc = 0; tc < m; ++tc)
+                    scratch_[row + rc + offset[tc]] =
+                        out[(size_t)tr * m + tc];
+            }
+        }
+    }
+    rho_.swap(scratch_);
+}
+
+void
+DensityMatrix::applyUnitary1(int q, const Matrix &u)
+{
+    applyKrausGeneric({q}, {u});
+}
+
+void
+DensityMatrix::applyUnitary2(int a, int b, const Matrix &u)
+{
+    applyKrausGeneric({a, b}, {u});
+}
+
+void
+DensityMatrix::applyKraus1(int q, const std::vector<Matrix> &ks)
+{
+    applyKrausGeneric({q}, ks);
+}
+
+void
+DensityMatrix::applyKraus2(int a, int b, const std::vector<Matrix> &ks)
+{
+    applyKrausGeneric({a, b}, ks);
+}
+
+double
+DensityMatrix::population(int q, int level) const
+{
+    int stride = 1;
+    for (int i = q + 1; i < numQudits_; ++i)
+        stride *= kLevels;
+    double total = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+        if ((i / stride) % kLevels == level)
+            total += rho_[(size_t)i * dim_ + i].real();
+    }
+    return total;
+}
+
+double
+DensityMatrix::trace() const
+{
+    double t = 0.0;
+    for (int i = 0; i < dim_; ++i)
+        t += rho_[(size_t)i * dim_ + i].real();
+    return t;
+}
+
+double
+DensityMatrix::hermiticityError() const
+{
+    double worst = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+        for (int j = i; j < dim_; ++j) {
+            const Cplx delta = rho_[(size_t)i * dim_ + j] -
+                               std::conj(rho_[(size_t)j * dim_ + i]);
+            worst = std::max(worst, std::abs(delta));
+        }
+    }
+    return worst;
+}
+
+} // namespace qec

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dense density-matrix simulator for small registers of ququarts
+ * (4-level systems), used to reproduce the paper's characterization of
+ * leakage spread across a Z stabilizer (Section 3.3, Figs. 7-8).
+ *
+ * States |0>, |1> are computational; |2>, |3> are the leaked manifold
+ * |L> (Google Sycamore's leakage interacts with |3>, hence ququarts).
+ */
+
+#ifndef QEC_DENSITY_DENSITY_MATRIX_H
+#define QEC_DENSITY_DENSITY_MATRIX_H
+
+#include <complex>
+#include <vector>
+
+namespace qec
+{
+
+/** Number of levels per qudit in this module. */
+constexpr int kLevels = 4;
+
+using Cplx = std::complex<double>;
+/** Dense matrix in row-major order. */
+using Matrix = std::vector<Cplx>;
+
+/**
+ * Density matrix over n ququarts (dimension 4^n). Provides one- and
+ * two-qudit unitary application, Kraus channels and population
+ * queries. Intended for n <= 5 (the stabilizer study).
+ */
+class DensityMatrix
+{
+  public:
+    /** Initialize to the product state |levels[0], levels[1], ...>. */
+    explicit DensityMatrix(const std::vector<int> &levels);
+
+    int numQudits() const { return numQudits_; }
+    int dim() const { return dim_; }
+
+    /** Apply a kLevels x kLevels unitary to qudit q. */
+    void applyUnitary1(int q, const Matrix &u);
+
+    /** Apply a 16x16 unitary to qudits (a, b); index convention:
+     *  basis |ia, ib> maps to row ia*kLevels+ib. */
+    void applyUnitary2(int a, int b, const Matrix &u);
+
+    /** Apply a Kraus channel on qudit q (each kLevels x kLevels). */
+    void applyKraus1(int q, const std::vector<Matrix> &ks);
+
+    /** Apply a Kraus channel on qudits (a, b) (each 16x16). */
+    void applyKraus2(int a, int b, const std::vector<Matrix> &ks);
+
+    /** Population of level `level` on qudit q. */
+    double population(int q, int level) const;
+
+    /** Probability qudit q is leaked (levels 2 or 3). */
+    double
+    leakProbability(int q) const
+    {
+        return population(q, 2) + population(q, 3);
+    }
+
+    /**
+     * Probability a two-level discriminator reports `0` for qudit q:
+     * the |0> population plus half of the leaked population (a leaked
+     * state reads out randomly).
+     */
+    double
+    probReportZero(int q) const
+    {
+        return population(q, 0) + 0.5 * leakProbability(q);
+    }
+
+    double trace() const;
+
+    /** Largest absolute deviation from Hermitian symmetry (tests). */
+    double hermiticityError() const;
+
+  private:
+    /** rho' = sum_k K rho K^dagger with K embedded on target qudits.
+     *  `targets` has one or two entries. */
+    void applyKrausGeneric(const std::vector<int> &targets,
+                           const std::vector<Matrix> &ks);
+
+    int numQudits_;
+    int dim_;
+    Matrix rho_;
+    Matrix scratch_;
+};
+
+/** Identity matrix of size n x n. */
+Matrix identityMatrix(int n);
+
+/** Verify sum_k K^dagger K = I within tolerance (test helper). */
+bool isTracePreserving(const std::vector<Matrix> &ks, int n,
+                       double tol = 1e-9);
+
+} // namespace qec
+
+#endif // QEC_DENSITY_DENSITY_MATRIX_H

@@ -1,0 +1,113 @@
+#include "density/stabilizer_study.h"
+
+#include "density/channels.h"
+
+namespace qec
+{
+
+namespace
+{
+
+/** Qudit indices: data q0..q3 are 0..3, parity P is 4. */
+constexpr int kParity = 4;
+
+class Study
+{
+  public:
+    explicit Study(const StabilizerStudyConfig &config)
+        : config_(config), rho_({2, 0, 0, 0, 0}),
+          cnot_(cnotQuquart()),
+          transport_(leakTransportChannel(config.pTransport)),
+          rx_(rxConditioned(config.theta)),
+          inject_(leakInjectChannel(config.pInject))
+    {
+        snapshot("initial", "");
+    }
+
+    /** A noisy CNOT per Fig. 7(b): gate, transport, conditioned RX,
+     *  injection on both operands. */
+    void
+    noisyCnot(int control, int target, const std::string &label,
+              const std::string &marker = "")
+    {
+        rho_.applyUnitary2(control, target, cnot_);
+        rho_.applyKraus2(control, target, transport_);
+        rho_.applyUnitary2(control, target, rx_);
+        rho_.applyKraus1(control, inject_);
+        rho_.applyKraus1(target, inject_);
+        snapshot(label, marker);
+    }
+
+    /** Project-and-reset a qudit to |0> (measure+reset of the LRC'd
+     *  data qubit; we do not record the outcome, only the state). */
+    void
+    reset(int q, const std::string &label)
+    {
+        std::vector<Matrix> ks;
+        for (int level = 0; level < kLevels; ++level) {
+            Matrix k(kLevels * kLevels, Cplx(0.0));
+            k[0 * kLevels + level] = 1.0;
+            ks.push_back(k);
+        }
+        rho_.applyKraus1(q, ks);
+        snapshot(label, "");
+    }
+
+    void
+    snapshot(const std::string &label, const std::string &marker)
+    {
+        StudyStep step;
+        step.label = label;
+        step.marker = marker;
+        step.leakParity = rho_.leakProbability(kParity);
+        for (int q = 0; q < 4; ++q)
+            step.leakData[q] = rho_.leakProbability(q);
+        step.reportZeroParity = rho_.probReportZero(kParity);
+        steps_.push_back(step);
+    }
+
+    std::vector<StudyStep> take() { return std::move(steps_); }
+
+  private:
+    StabilizerStudyConfig config_;
+    DensityMatrix rho_;
+    Matrix cnot_;
+    std::vector<Matrix> transport_;
+    Matrix rx_;
+    std::vector<Matrix> inject_;
+    std::vector<StudyStep> steps_;
+};
+
+} // namespace
+
+std::vector<StudyStep>
+runStabilizerLeakageStudy(const StabilizerStudyConfig &config)
+{
+    Study study(config);
+
+    // Round 1 (LRC round). q0 — the leaked qubit — interacts with P
+    // in CNOT #4 (point B: P is first disturbed), then the LRC SWAP
+    // moves states between q0 and P (point A: leakage has transported
+    // onto P).
+    study.noisyCnot(1, kParity, "R1 CNOT q1->P");
+    study.noisyCnot(2, kParity, "R1 CNOT q2->P");
+    study.noisyCnot(3, kParity, "R1 CNOT q3->P");
+    study.noisyCnot(0, kParity, "R1 CNOT q0->P", "B");
+    study.noisyCnot(0, kParity, "R1 SWAP cx1");
+    study.noisyCnot(kParity, 0, "R1 SWAP cx2");
+    study.noisyCnot(0, kParity, "R1 SWAP cx3", "A");
+    study.reset(0, "R1 MR q0");
+    study.noisyCnot(kParity, 0, "R1 MOV cx1");
+    study.noisyCnot(0, kParity, "R1 MOV cx2");
+
+    // Round 2 (no LRC): the leaked parity qubit spreads errors onto
+    // the data qubits; point C is the state P is measured in.
+    study.noisyCnot(1, kParity, "R2 CNOT q1->P");
+    study.noisyCnot(2, kParity, "R2 CNOT q2->P");
+    study.noisyCnot(3, kParity, "R2 CNOT q3->P");
+    study.noisyCnot(0, kParity, "R2 CNOT q0->P", "C");
+
+    return study.take();
+}
+
+} // namespace qec

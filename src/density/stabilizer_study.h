@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Section 3.3 density-matrix experiment (Figs. 7-8): a single Z
+ * stabilizer (four data ququarts q0..q3 and parity qudit P), with q0
+ * initialized leaked in |2>, evolved through an LRC round followed by
+ * a plain round. Records, after every step, each qubit's leakage
+ * probability and the probability that measuring P reports the
+ * correct (0) outcome.
+ */
+
+#ifndef QEC_DENSITY_STABILIZER_STUDY_H
+#define QEC_DENSITY_STABILIZER_STUDY_H
+
+#include <string>
+#include <vector>
+
+#include "density/density_matrix.h"
+
+namespace qec
+{
+
+/** Parameters of the study (defaults follow the paper). */
+struct StabilizerStudyConfig
+{
+    /** Leakage-conditioned rotation angle measured on Sycamore. */
+    double theta = 0.65 * 3.14159265358979323846;
+    /** Leakage transport probability per CNOT. */
+    double pTransport = 0.1;
+    /** Leakage injection probability per CNOT operand (0.1 * p). */
+    double pInject = 1e-4;
+};
+
+/** Snapshot after one circuit step. */
+struct StudyStep
+{
+    std::string label;        ///< e.g. "R1 CNOT q0->P" or "R1 SWAP 3".
+    double leakParity = 0.0;  ///< P's leakage probability.
+    double leakData[4] = {0.0, 0.0, 0.0, 0.0};
+    /** Probability a two-level readout of P reports 0 (the correct
+     *  outcome; 0.5 means the check is fully randomized). */
+    double reportZeroParity = 0.5;
+    /** Named point of interest from Fig. 8 ("A", "B", "C") if any. */
+    std::string marker;
+};
+
+/** Run the study; returns one snapshot per step (plus the initial
+ *  state as step 0). */
+std::vector<StudyStep> runStabilizerLeakageStudy(
+    const StabilizerStudyConfig &config = {});
+
+} // namespace qec
+
+#endif // QEC_DENSITY_STABILIZER_STUDY_H

@@ -1,0 +1,319 @@
+#include "exp/memory_experiment.h"
+
+#include <mutex>
+
+#include "base/logging.h"
+#include "base/parallel.h"
+#include "code/builder.h"
+#include "decoder/defects.h"
+#include "sim/frame_simulator.h"
+
+namespace qec
+{
+
+double
+ExperimentResult::ler() const
+{
+    return shots == 0 ? 0.0
+                      : (double)logicalErrors / (double)shots;
+}
+
+std::string
+ExperimentResult::lerString() const
+{
+    if (logicalErrors == 0)
+        return "<" + std::to_string(1.0 / (double)shots);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3e", ler());
+    return buf;
+}
+
+double
+ExperimentResult::speculationAccuracy() const
+{
+    const uint64_t total = tp + fp + tn + fn;
+    return total == 0 ? 0.0 : (double)(tp + tn) / (double)total;
+}
+
+double
+ExperimentResult::falsePositiveRate() const
+{
+    const uint64_t denom = fp + tn;
+    return denom == 0 ? 0.0 : (double)fp / (double)denom;
+}
+
+double
+ExperimentResult::falseNegativeRate() const
+{
+    const uint64_t denom = fn + tp;
+    return denom == 0 ? 0.0 : (double)fn / (double)denom;
+}
+
+double
+ExperimentResult::avgLrcsPerRound() const
+{
+    return roundsTotal == 0
+        ? 0.0 : (double)lrcsScheduled / (double)roundsTotal;
+}
+
+double
+ExperimentResult::lprData(int round) const
+{
+    if (shots == 0 || round >= (int)lprDataSum.size())
+        return 0.0;
+    return lprDataSum[round] / ((double)shots * numDataQubits);
+}
+
+double
+ExperimentResult::lprParity(int round) const
+{
+    if (shots == 0 || round >= (int)lprParitySum.size())
+        return 0.0;
+    return lprParitySum[round] / ((double)shots * numParityQubits);
+}
+
+double
+ExperimentResult::lprTotal(int round) const
+{
+    if (shots == 0 || round >= (int)lprDataSum.size())
+        return 0.0;
+    return (lprDataSum[round] + lprParitySum[round]) /
+           ((double)shots * (numDataQubits + numParityQubits));
+}
+
+/** Per-shot counters merged under a mutex after each shot. */
+struct MemoryExperiment::ShotStats
+{
+    uint64_t logicalErrors = 0;
+    uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+    uint64_t lrcsScheduled = 0;
+    std::vector<double> lprData;
+    std::vector<double> lprParity;
+};
+
+MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
+                                   ExperimentConfig config)
+    : code_(code), config_(config), lookup_(code)
+{
+    fatalIf(config_.rounds < 1, "experiment needs at least one round");
+    if (config_.decode) {
+        dem_ = std::make_unique<DetectorModel>(
+            buildDetectorModel(code_, config_.rounds, config_.basis));
+        if (config_.decoderKind == DecoderKind::Mwpm) {
+            decoder_ = std::make_unique<MwpmDecoder>(
+                *dem_, config_.em.p, config_.decoderOptions);
+        } else {
+            decoder_ = std::make_unique<UnionFindDecoder>(
+                *dem_, config_.em.p);
+        }
+    }
+}
+
+MemoryExperiment::~MemoryExperiment() = default;
+
+ExperimentResult
+MemoryExperiment::run(PolicyKind kind) const
+{
+    const bool every_round =
+        config_.protocol == RemovalProtocol::Dqlr;
+    return run(makePolicyFactory(kind, code_, lookup_, every_round),
+               policyKindName(kind, every_round));
+}
+
+ExperimentResult
+MemoryExperiment::run(const PolicyFactory &factory,
+                      const std::string &name) const
+{
+    ExperimentResult result;
+    result.policy = name;
+    result.shots = config_.shots;
+    result.numDataQubits = code_.numData();
+    result.numParityQubits = code_.numStabilizers();
+    result.roundsTotal = config_.shots * (uint64_t)config_.rounds;
+    if (config_.trackLpr) {
+        result.lprDataSum.assign(config_.rounds, 0.0);
+        result.lprParitySum.assign(config_.rounds, 0.0);
+    }
+
+    std::mutex merge_mutex;
+    parallelFor(
+        config_.shots,
+        [&](uint64_t shot) {
+            ShotStats stats;
+            if (config_.trackLpr) {
+                stats.lprData.assign(config_.rounds, 0.0);
+                stats.lprParity.assign(config_.rounds, 0.0);
+            }
+            runShot(shot, factory, stats);
+
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            result.logicalErrors += stats.logicalErrors;
+            result.tp += stats.tp;
+            result.fp += stats.fp;
+            result.tn += stats.tn;
+            result.fn += stats.fn;
+            result.lrcsScheduled += stats.lrcsScheduled;
+            for (int r = 0; r < (int)result.lprDataSum.size(); ++r) {
+                result.lprDataSum[r] += stats.lprData[r];
+                result.lprParitySum[r] += stats.lprParity[r];
+            }
+        },
+        config_.threads);
+    return result;
+}
+
+namespace
+{
+
+/**
+ * Execute one round, honoring ERASER+M's in-round rule: if an LRC'd
+ * data qubit reads out as |L>, squash the MOV-back and reset the
+ * parity qubit instead (Section 4.6.2).
+ */
+void
+executeRound(FrameSimulator &sim, const RoundSchedule &sched,
+             bool multi_level)
+{
+    const auto &ops = sched.ops;
+    if (!multi_level || sched.lrcs.empty()) {
+        sim.executeRange(ops.data(), ops.data() + ops.size());
+        return;
+    }
+
+    size_t await_measure = 0;
+    size_t await_mov = 0;
+    std::vector<uint8_t> leaked_label(sched.lrcs.size(), 0);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (await_mov < sched.lrcs.size() &&
+            i == sched.lrcs[await_mov].movBegin) {
+            const auto &span = sched.lrcs[await_mov];
+            if (leaked_label[await_mov]) {
+                Op reset;
+                reset.type = OpType::Reset;
+                reset.q0 = span.parity;
+                sim.execute(reset);
+                i = span.movEnd - 1;
+                ++await_mov;
+                continue;
+            }
+            ++await_mov;
+        }
+        sim.execute(ops[i]);
+        if (await_measure < sched.lrcs.size() &&
+            i == sched.lrcs[await_measure].measureIndex) {
+            leaked_label[await_measure] =
+                sim.record().back().leakedLabel ? 1 : 0;
+            ++await_measure;
+        }
+    }
+}
+
+} // namespace
+
+void
+MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
+                          ShotStats &stats) const
+{
+    const int n_stabs = code_.numStabilizers();
+    const int n_data = code_.numData();
+    const StabType primary = protectingStabType(config_.basis);
+
+    FrameSimulator sim(code_.numQubits(), config_.em,
+                       Rng::forShot(config_.seed, shot));
+    QecScheduleGenerator qsg(code_, config_.protocol);
+    auto policy = factory();
+
+    std::vector<LrcPair> lrcs = policy->firstRound();
+    std::vector<uint8_t> prev_flips(n_stabs, 0);
+    RoundObservation obs;
+    obs.events.resize(n_stabs);
+    obs.leakedLabels.resize(n_stabs);
+    obs.hadLrc.resize(n_data);
+    obs.trueLeakedData.resize(n_data);
+
+    std::vector<uint8_t> flips(n_stabs);
+
+    for (int r = 0; r < config_.rounds; ++r) {
+        // Account the scheduling decision against the ground truth at
+        // decision time (end of the previous round).
+        for (const auto &pair : lrcs)
+            obs.hadLrc[pair.data] = 2;   // temp tag: scheduled
+        for (int q = 0; q < n_data; ++q) {
+            const bool scheduled = obs.hadLrc[q] == 2;
+            const bool is_leaked = sim.leaked(q);
+            if (scheduled && is_leaked)
+                ++stats.tp;
+            else if (scheduled && !is_leaked)
+                ++stats.fp;
+            else if (!scheduled && is_leaked)
+                ++stats.fn;
+            else
+                ++stats.tn;
+        }
+        stats.lrcsScheduled += lrcs.size();
+
+        const size_t record_mark = sim.record().size();
+        RoundSchedule sched = qsg.generate(r, lrcs);
+        executeRound(sim, sched, policy->usesMultiLevelReadout());
+
+        // Gather this round's syndrome.
+        std::fill(flips.begin(), flips.end(), 0);
+        std::fill(obs.leakedLabels.begin(), obs.leakedLabels.end(), 0);
+        for (size_t i = record_mark; i < sim.record().size(); ++i) {
+            const auto &rec = sim.record()[i];
+            if (rec.stab < 0)
+                continue;
+            flips[rec.stab] = rec.flip ? 1 : 0;
+            // |L> labels on normal parity readout feed ERASER+M's LSB;
+            // LRC'd data readouts are consumed in-round instead.
+            if (!rec.lrcData)
+                obs.leakedLabels[rec.stab] =
+                    rec.leakedLabel ? 1 : 0;
+        }
+
+        if (config_.trackLpr) {
+            stats.lprData[r] += sim.countLeaked(0, n_data);
+            stats.lprParity[r] +=
+                sim.countLeaked(n_data, code_.numQubits());
+        }
+
+        // Detection events for the speculation logic.
+        for (int s = 0; s < n_stabs; ++s) {
+            if (r == 0) {
+                // Only the protected-basis checks are deterministic in
+                // the first round; the other basis starts random.
+                obs.events[s] =
+                    code_.stabilizer(s).type == primary ? flips[s]
+                                                        : 0;
+            } else {
+                obs.events[s] = flips[s] ^ prev_flips[s];
+            }
+        }
+        prev_flips = flips;
+
+        obs.round = r;
+        std::fill(obs.hadLrc.begin(), obs.hadLrc.end(), 0);
+        for (const auto &pair : lrcs)
+            obs.hadLrc[pair.data] = 1;
+        for (int q = 0; q < n_data; ++q)
+            obs.trueLeakedData[q] = sim.leaked(q) ? 1 : 0;
+
+        lrcs = policy->nextRound(obs);
+    }
+
+    if (!config_.decode)
+        return;
+
+    auto final_ops =
+        buildFinalMeasurement(code_, config_.rounds, config_.basis);
+    sim.executeRange(final_ops.data(),
+                     final_ops.data() + final_ops.size());
+
+    ShotOutcome outcome = extractDefects(code_, config_.basis,
+                                         config_.rounds, sim.record());
+    const bool predicted = decoder_->decode(outcome.defects);
+    if (predicted != outcome.observableFlip)
+        ++stats.logicalErrors;
+}
+
+} // namespace qec

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Memory (state-preservation) experiment harness.
+ *
+ * Drives the full closed loop of the paper: execute a syndrome
+ * extraction round, hand the syndrome to the scheduling policy, let it
+ * adapt the next round's schedule (Fig. 9), and finally decode the
+ * whole shot with the leakage-unaware MWPM decoder. Collects every
+ * metric used in the evaluation: logical error rate (Eq. 4), leakage
+ * population ratio (Eq. 5), speculation accuracy / FPR / FNR
+ * (Fig. 16) and LRCs per round (Table 4).
+ */
+
+#ifndef QEC_EXP_MEMORY_EXPERIMENT_H
+#define QEC_EXP_MEMORY_EXPERIMENT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "code/rotated_surface_code.h"
+#include "core/policies.h"
+#include "core/qsg.h"
+#include "core/swap_lookup.h"
+#include "decoder/mwpm_decoder.h"
+#include "decoder/union_find_decoder.h"
+#include "sim/error_model.h"
+
+namespace qec
+{
+
+/** Selectable decoder implementations. */
+enum class DecoderKind
+{
+    Mwpm,
+    UnionFind,
+};
+
+/** Everything needed to run one experiment configuration. */
+struct ExperimentConfig
+{
+    int rounds = 0;
+    Basis basis = Basis::Z;
+    ErrorModel em = ErrorModel::standard(1e-3);
+    RemovalProtocol protocol = RemovalProtocol::SwapLrc;
+    uint64_t shots = 1000;
+    uint64_t seed = 1;
+    /** Decode and count logical errors (slowest part; LPR-only
+     *  studies turn it off). */
+    bool decode = true;
+    /** Which decoder to use (the paper uses MWPM; Union-Find is the
+     *  faster comparison point). */
+    DecoderKind decoderKind = DecoderKind::Mwpm;
+    /** Collect the per-round leakage population series. */
+    bool trackLpr = false;
+    unsigned threads = 0;
+    DecoderOptions decoderOptions;
+};
+
+/** Aggregated outcome of an experiment. */
+struct ExperimentResult
+{
+    std::string policy;
+    uint64_t shots = 0;
+    uint64_t logicalErrors = 0;
+
+    /** Per-(data qubit, round) scheduling decision counters. */
+    uint64_t tp = 0;
+    uint64_t fp = 0;
+    uint64_t tn = 0;
+    uint64_t fn = 0;
+
+    uint64_t lrcsScheduled = 0;
+    uint64_t roundsTotal = 0;
+
+    /** Per-round leaked-qubit count sums (divide by shots). */
+    std::vector<double> lprDataSum;
+    std::vector<double> lprParitySum;
+
+    int numDataQubits = 0;
+    int numParityQubits = 0;
+
+    double ler() const;
+    /** "<1/shots" string when no error was observed. */
+    std::string lerString() const;
+    double speculationAccuracy() const;
+    double falsePositiveRate() const;
+    double falseNegativeRate() const;
+    double avgLrcsPerRound() const;
+    /** Leakage population ratio at round r (Eq. 5). */
+    double lprTotal(int round) const;
+    double lprData(int round) const;
+    double lprParity(int round) const;
+};
+
+/**
+ * One experiment configuration bound to a code; the detector model and
+ * decoder are built once and shared by all policies and shots.
+ */
+class MemoryExperiment
+{
+  public:
+    MemoryExperiment(const RotatedSurfaceCode &code,
+                     ExperimentConfig config);
+    ~MemoryExperiment();
+
+    /** Run all shots under a policy kind. */
+    ExperimentResult run(PolicyKind kind) const;
+
+    /** Run all shots with a custom policy factory. */
+    ExperimentResult run(const PolicyFactory &factory,
+                         const std::string &name) const;
+
+    const RotatedSurfaceCode & code() const { return code_; }
+    const ExperimentConfig & config() const { return config_; }
+    const SwapLookupTable & lookup() const { return lookup_; }
+    /** Decoder (null when config.decode is false). */
+    const Decoder * decoder() const { return decoder_.get(); }
+
+  private:
+    struct ShotStats;
+    void runShot(uint64_t shot, const PolicyFactory &factory,
+                 ShotStats &stats) const;
+
+    const RotatedSurfaceCode &code_;
+    ExperimentConfig config_;
+    SwapLookupTable lookup_;
+    std::unique_ptr<DetectorModel> dem_;
+    std::unique_ptr<Decoder> decoder_;
+};
+
+} // namespace qec
+
+#endif // QEC_EXP_MEMORY_EXPERIMENT_H

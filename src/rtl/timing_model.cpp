@@ -1,0 +1,95 @@
+#include "rtl/timing_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+namespace
+{
+
+double
+opDuration(const Op &op, const GateTimings &t)
+{
+    switch (op.type) {
+      case OpType::Cnot:
+      case OpType::LeakageIswap:
+        return t.cnotNs;
+      case OpType::H:
+        return t.hNs;
+      case OpType::Measure:
+      case OpType::MeasureX:
+        return t.measureNs;
+      case OpType::Reset:
+        return t.resetNs;
+      case OpType::RoundStart:
+      case OpType::DataNoise:
+        return 0.0;
+    }
+    panic("unknown op type");
+}
+
+} // namespace
+
+double
+scheduleMakespanNs(const std::vector<Op> &ops, int num_qubits,
+                   const GateTimings &timings)
+{
+    std::vector<double> ready(num_qubits, 0.0);
+    double makespan = 0.0;
+    for (const auto &op : ops) {
+        const double dur = opDuration(op, timings);
+        if (dur == 0.0)
+            continue;
+        double start = ready[op.q0];
+        if (op.q1 >= 0)
+            start = std::max(start, ready[op.q1]);
+        const double end = start + dur;
+        ready[op.q0] = end;
+        if (op.q1 >= 0)
+            ready[op.q1] = end;
+        makespan = std::max(makespan, end);
+    }
+    return makespan;
+}
+
+RoundTiming
+analyzeRoundTiming(const RotatedSurfaceCode &code,
+                   const GateTimings &timings)
+{
+    RoundTiming result;
+
+    RoundSchedule plain = buildRoundSchedule(code, 0, {});
+    result.roundNs = scheduleMakespanNs(plain.ops, code.numQubits(),
+                                        timings);
+
+    // Worst case: every parity qubit hosts an LRC (first-fit pairing).
+    std::vector<LrcPair> pairs;
+    std::vector<uint8_t> used(code.numData(), 0);
+    for (const auto &stab : code.stabilizers()) {
+        for (int q : stab.support) {
+            if (!used[q]) {
+                used[q] = 1;
+                pairs.push_back({q, stab.index});
+                break;
+            }
+        }
+    }
+    RoundSchedule full = buildRoundSchedule(code, 0, pairs);
+    result.lrcRoundNs = scheduleMakespanNs(full.ops, code.numQubits(),
+                                           timings);
+
+    // Fig. 12: the syndrome becomes available once the previous
+    // round's measurement finishes; by then the next round's CNOT
+    // layers are already running. The decision must land before the
+    // fourth CNOT completes. With the measurement (and reset) on the
+    // critical path of the previous round, the overlap leaves exactly
+    // the four CNOT layers of the upcoming round.
+    result.decisionWindowNs = 4.0 * timings.cnotNs;
+    return result;
+}
+
+} // namespace qec

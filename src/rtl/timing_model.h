@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Control-timing model for the real-time constraint of Section 4.3 /
+ * Fig. 12: after a syndrome bit reaches the control processor, ERASER
+ * must decide whether to insert an LRC before the fourth CNOT of the
+ * next round completes (the SWAP must start right after it). With
+ * Sycamore-class latencies that leaves ~120 ns; the FPGA block answers
+ * in ~5 ns.
+ *
+ * The model performs ASAP (as-soon-as-possible) scheduling of a round's
+ * op list under per-gate durations and derives the decision window and
+ * round duration — so the claim is checked against the actual emitted
+ * circuit rather than assumed.
+ */
+
+#ifndef QEC_RTL_TIMING_MODEL_H
+#define QEC_RTL_TIMING_MODEL_H
+
+#include "code/builder.h"
+#include "code/rotated_surface_code.h"
+
+namespace qec
+{
+
+/** Gate durations in nanoseconds (defaults follow Google Sycamore's
+ *  public datasheet numbers used by the paper). */
+struct GateTimings
+{
+    double cnotNs = 30.0;
+    double hNs = 15.0;
+    double measureNs = 500.0;
+    double resetNs = 160.0;
+};
+
+/** Timing analysis of one syndrome extraction round. */
+struct RoundTiming
+{
+    /** End-to-end duration of a plain round. */
+    double roundNs = 0.0;
+    /** Duration of a round whose every stabilizer carries an LRC
+     *  (the Always-LRCs worst case). */
+    double lrcRoundNs = 0.0;
+    /** Time from syndrome availability (end of ancilla measurement)
+     *  to the completion of the 4th CNOT layer of the next round —
+     *  the window in which the LRC decision must land (Fig. 12). */
+    double decisionWindowNs = 0.0;
+};
+
+/**
+ * ASAP-schedule the ops of a round and report its makespan.
+ * @param num_qubits Total qubits (per-qubit resource model).
+ */
+double scheduleMakespanNs(const std::vector<Op> &ops, int num_qubits,
+                          const GateTimings &timings = {});
+
+/** Analyze the timing of rounds for one code distance. */
+RoundTiming analyzeRoundTiming(const RotatedSurfaceCode &code,
+                               const GateTimings &timings = {});
+
+} // namespace qec
+
+#endif // QEC_RTL_TIMING_MODEL_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SystemVerilog generator for the ERASER controller block (the
+ * artifact's `eraser_rtl_gen`), plus an analytic FPGA resource model.
+ *
+ * The paper synthesized the generated RTL with Vivado on a Kintex
+ * UltraScale+ xcku3p (Table 3: <1% LUT/FF utilization, 5 ns worst-case
+ * speculation latency). Vivado is unavailable offline, so this module
+ * both emits the RTL a user would synthesize and estimates utilization
+ * by structural counting: the speculation comparators, LTT/PUTT
+ * next-state logic and the DLI allocation network map onto 6-input
+ * LUTs; every architectural state bit maps onto a flip-flop.
+ */
+
+#ifndef QEC_RTL_VERILOG_GEN_H
+#define QEC_RTL_VERILOG_GEN_H
+
+#include <string>
+
+#include "code/rotated_surface_code.h"
+
+namespace qec
+{
+
+/** Options for RTL generation. */
+struct RtlOptions
+{
+    /** Include the ERASER+M multi-level |L> label inputs. */
+    bool multiLevel = false;
+};
+
+/** Emit the complete SystemVerilog module for a code distance. */
+std::string generateEraserRtl(const RotatedSurfaceCode &code,
+                              const RtlOptions &options = {});
+
+/** Kintex UltraScale+ xcku3p budgets (paper's evaluation part). */
+struct FpgaPart
+{
+    const char *name = "xcku3p-ffvd900-3-e";
+    int luts = 162720;
+    int ffs = 325440;
+    /** Per-LUT-level delay plus net budget, ns (speed grade -3). */
+    double lutDelayNs = 0.35;
+    double routingOverheadNs = 1.5;
+};
+
+/** Structural resource estimate of the generated design. */
+struct ResourceEstimate
+{
+    int luts = 0;
+    int ffs = 0;
+    double lutPercent = 0.0;
+    double ffPercent = 0.0;
+    /** Combinational depth in LUT levels (prefix-tree allocation). */
+    int logicLevels = 0;
+    double critPathNs = 0.0;
+};
+
+/** Estimate the resources of generateEraserRtl's output. */
+ResourceEstimate estimateResources(const RotatedSurfaceCode &code,
+                                   const RtlOptions &options = {},
+                                   const FpgaPart &part = {});
+
+} // namespace qec
+
+#endif // QEC_RTL_VERILOG_GEN_H

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Lattice-level tests of the rotated surface code: qubit/stabilizer
+ * counts, boundary structure, hook-safe CNOT layering, and logical
+ * operator algebra — parameterized over code distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "code/rotated_surface_code.h"
+
+namespace qec
+{
+namespace
+{
+
+class CodeSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    RotatedSurfaceCode code_{GetParam()};
+};
+
+TEST_P(CodeSweep, QubitCounts)
+{
+    const int d = GetParam();
+    EXPECT_EQ(code_.numData(), d * d);
+    EXPECT_EQ(code_.numStabilizers(), d * d - 1);
+    EXPECT_EQ(code_.numQubits(), 2 * d * d - 1);
+    EXPECT_EQ((int)code_.stabilizers().size(), d * d - 1);
+}
+
+TEST_P(CodeSweep, BasisSplitIsEven)
+{
+    EXPECT_EQ(code_.numZStabilizers(), code_.numXStabilizers());
+    EXPECT_EQ(code_.numZStabilizers() + code_.numXStabilizers(),
+              code_.numStabilizers());
+}
+
+TEST_P(CodeSweep, StabilizerWeightsAreTwoOrFour)
+{
+    int weight2 = 0;
+    for (const auto &stab : code_.stabilizers()) {
+        EXPECT_TRUE(stab.support.size() == 2 ||
+                    stab.support.size() == 4);
+        weight2 += stab.support.size() == 2 ? 1 : 0;
+    }
+    // 2(d-1) boundary stabilizers.
+    EXPECT_EQ(weight2, 2 * (GetParam() - 1));
+}
+
+TEST_P(CodeSweep, DataNeighborCounts)
+{
+    // Every data qubit touches 2, 3 or 4 stabilizers; corners touch 2.
+    const int d = GetParam();
+    for (int q = 0; q < code_.numData(); ++q) {
+        const auto n = code_.stabilizersOfData(q).size();
+        EXPECT_GE(n, 2u);
+        EXPECT_LE(n, 4u);
+    }
+    EXPECT_EQ(code_.stabilizersOfData(code_.dataId(0, 0)).size(), 2u);
+    EXPECT_EQ(code_.stabilizersOfData(code_.dataId(d - 1, d - 1)).size(),
+              2u);
+    // Bulk data qubits touch 4.
+    EXPECT_EQ(code_.stabilizersOfData(code_.dataId(1, 1)).size(), 4u);
+}
+
+TEST_P(CodeSweep, EachDataNeighborsBothTypes)
+{
+    // Adjacency alternates X/Z: a data qubit has at least one
+    // neighbour of each type.
+    for (int q = 0; q < code_.numData(); ++q) {
+        int x = 0;
+        int z = 0;
+        for (int s : code_.stabilizersOfData(q)) {
+            (code_.stabilizer(s).type == StabType::X ? x : z) += 1;
+        }
+        EXPECT_GE(x, 1) << "data " << q;
+        EXPECT_GE(z, 1) << "data " << q;
+    }
+}
+
+TEST_P(CodeSweep, AncillaMappingRoundTrips)
+{
+    for (const auto &stab : code_.stabilizers()) {
+        EXPECT_FALSE(code_.isData(stab.ancilla));
+        EXPECT_EQ(code_.stabilizerOfAncilla(stab.ancilla), stab.index);
+    }
+}
+
+TEST_P(CodeSweep, BasisIndexConsistent)
+{
+    for (size_t i = 0; i < code_.zStabilizers().size(); ++i) {
+        const auto &stab = code_.stabilizer(code_.zStabilizers()[i]);
+        EXPECT_EQ(stab.type, StabType::Z);
+        EXPECT_EQ(stab.basisIndex, (int)i);
+    }
+    for (size_t i = 0; i < code_.xStabilizers().size(); ++i) {
+        const auto &stab = code_.stabilizer(code_.xStabilizers()[i]);
+        EXPECT_EQ(stab.type, StabType::X);
+        EXPECT_EQ(stab.basisIndex, (int)i);
+    }
+}
+
+TEST_P(CodeSweep, CnotLayersConflictFree)
+{
+    // Within each layer, every qubit participates in at most one CNOT.
+    for (int layer = 0; layer < 4; ++layer) {
+        std::set<int> busy;
+        for (const auto &stab : code_.stabilizers()) {
+            const int data = stab.dataInLayer[layer];
+            if (data < 0)
+                continue;
+            EXPECT_TRUE(busy.insert(data).second)
+                << "layer " << layer << " reuses data " << data;
+            EXPECT_TRUE(busy.insert(stab.ancilla).second);
+        }
+    }
+}
+
+TEST_P(CodeSweep, LayersCoverSupport)
+{
+    for (const auto &stab : code_.stabilizers()) {
+        std::set<int> from_layers;
+        for (int q : stab.dataInLayer) {
+            if (q >= 0)
+                from_layers.insert(q);
+        }
+        std::set<int> support(stab.support.begin(),
+                              stab.support.end());
+        EXPECT_EQ(from_layers, support);
+    }
+}
+
+TEST_P(CodeSweep, LogicalOperatorsHaveDistanceWeight)
+{
+    EXPECT_EQ((int)code_.logicalZSupport().size(), GetParam());
+    EXPECT_EQ((int)code_.logicalXSupport().size(), GetParam());
+}
+
+TEST_P(CodeSweep, LogicalZCommutesWithAllXStabilizers)
+{
+    const auto &logical = code_.logicalZSupport();
+    for (int s : code_.xStabilizers()) {
+        const auto &support = code_.stabilizer(s).support;
+        int overlap = 0;
+        for (int q : support) {
+            overlap += std::count(logical.begin(), logical.end(), q);
+        }
+        EXPECT_EQ(overlap % 2, 0) << "X stabilizer " << s;
+    }
+}
+
+TEST_P(CodeSweep, LogicalXCommutesWithAllZStabilizers)
+{
+    const auto &logical = code_.logicalXSupport();
+    for (int s : code_.zStabilizers()) {
+        const auto &support = code_.stabilizer(s).support;
+        int overlap = 0;
+        for (int q : support) {
+            overlap += std::count(logical.begin(), logical.end(), q);
+        }
+        EXPECT_EQ(overlap % 2, 0) << "Z stabilizer " << s;
+    }
+}
+
+TEST_P(CodeSweep, LogicalsAnticommute)
+{
+    const auto &lz = code_.logicalZSupport();
+    const auto &lx = code_.logicalXSupport();
+    int overlap = 0;
+    for (int q : lz)
+        overlap += std::count(lx.begin(), lx.end(), q);
+    EXPECT_EQ(overlap % 2, 1);
+}
+
+TEST_P(CodeSweep, BoundaryTypesFollowConvention)
+{
+    // Weight-2 stabilizers on the top/bottom rows are X type; on the
+    // left/right columns Z type.
+    for (const auto &stab : code_.stabilizers()) {
+        if (stab.support.size() != 2)
+            continue;
+        if (stab.row < 0 || stab.row > GetParam() - 1) {
+            EXPECT_EQ(stab.type, StabType::X);
+        } else {
+            EXPECT_EQ(stab.type, StabType::Z);
+        }
+    }
+}
+
+TEST_P(CodeSweep, ProtectingTypeHelpers)
+{
+    EXPECT_EQ(protectingStabType(Basis::Z), StabType::Z);
+    EXPECT_EQ(protectingStabType(Basis::X), StabType::X);
+    EXPECT_EQ(code_.numBasisStabilizers(Basis::Z),
+              code_.numZStabilizers());
+    EXPECT_EQ(&code_.basisStabilizers(Basis::X),
+              &code_.xStabilizers());
+    EXPECT_EQ(&code_.logicalSupport(Basis::Z),
+              &code_.logicalZSupport());
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, CodeSweep,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+TEST(Code, RejectsEvenDistance)
+{
+    EXPECT_DEATH({ RotatedSurfaceCode bad(4); }, "");
+}
+
+TEST(Code, RejectsTinyDistance)
+{
+    EXPECT_DEATH({ RotatedSurfaceCode bad(1); }, "");
+}
+
+TEST(Code, DataIdRoundTrip)
+{
+    RotatedSurfaceCode code(5);
+    for (int r = 0; r < 5; ++r) {
+        for (int c = 0; c < 5; ++c) {
+            const int q = code.dataId(r, c);
+            EXPECT_EQ(code.dataRow(q), r);
+            EXPECT_EQ(code.dataCol(q), c);
+            EXPECT_TRUE(code.isData(q));
+        }
+    }
+}
+
+} // namespace
+} // namespace qec

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * End-to-end decoder tests: every single fault must be corrected (the
+ * circuit-level distance is >= 3), sampled double faults must be
+ * corrected at d = 5, and the decoder must degrade gracefully.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "code/builder.h"
+#include "code/rotated_surface_code.h"
+#include "decoder/defects.h"
+#include "decoder/detector_model.h"
+#include "decoder/mwpm_decoder.h"
+#include "sim/frame_simulator.h"
+
+namespace qec
+{
+namespace
+{
+
+/** All Pauli-injection sites of a circuit: (op index, [(q, P)...]). */
+struct Fault
+{
+    size_t opIndex;
+    std::vector<std::pair<int, Pauli>> paulis;
+};
+
+std::vector<Fault>
+enumerateFaults(const Circuit &circuit, bool all_two_qubit)
+{
+    std::vector<Fault> faults;
+    for (size_t k = 0; k < circuit.ops.size(); ++k) {
+        const Op &op = circuit.ops[k];
+        switch (op.type) {
+          case OpType::DataNoise:
+          case OpType::H:
+            for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z})
+                faults.push_back({k, {{op.q0, p}}});
+            break;
+          case OpType::Reset:
+            faults.push_back({k, {{op.q0, Pauli::X}}});
+            break;
+          case OpType::Cnot:
+            if (all_two_qubit) {
+                for (int pp = 1; pp < 16; ++pp) {
+                    faults.push_back(
+                        {k,
+                         {{op.q0, (Pauli)(pp & 3)},
+                          {op.q1, (Pauli)((pp >> 2) & 3)}}});
+                }
+            } else {
+                for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+                    faults.push_back({k, {{op.q0, p}}});
+                    faults.push_back({k, {{op.q1, p}}});
+                }
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return faults;
+}
+
+/** Run the circuit noiselessly with the given faults injected. */
+ShotOutcome
+runWithFaults(const RotatedSurfaceCode &code, const Circuit &circuit,
+              const std::vector<Fault> &faults)
+{
+    FrameSimulator sim(code.numQubits(), ErrorModel::noiseless(),
+                       Rng(3));
+    sim.reset();
+    const Op *ops = circuit.ops.data();
+    size_t cursor = 0;
+    // Faults must be sorted by opIndex.
+    for (const auto &fault : faults) {
+        sim.executeRange(ops + cursor, ops + fault.opIndex + 1);
+        cursor = fault.opIndex + 1;
+        for (const auto &[q, p] : fault.paulis)
+            sim.injectPauli(q, p);
+    }
+    sim.executeRange(ops + cursor, ops + circuit.ops.size());
+    return extractDefects(code, circuit.basis, circuit.numRounds,
+                          sim.record());
+}
+
+class SingleFaultSweep
+    : public ::testing::TestWithParam<std::tuple<int, Basis>>
+{
+};
+
+TEST_P(SingleFaultSweep, EverySingleFaultCorrected)
+{
+    const auto [rounds, basis] = GetParam();
+    RotatedSurfaceCode code(3);
+    Circuit circuit = buildMemoryCircuit(code, rounds, basis);
+    DetectorModel dem = buildDetectorModel(code, rounds, basis);
+    MwpmDecoder decoder(dem, 1e-3);
+
+    auto faults = enumerateFaults(circuit, true);
+    int checked = 0;
+    for (const auto &fault : faults) {
+        ShotOutcome outcome = runWithFaults(code, circuit, {fault});
+        const bool predicted = decoder.decode(outcome.defects);
+        ASSERT_EQ(predicted, outcome.observableFlip)
+            << "fault at op " << fault.opIndex;
+        ++checked;
+    }
+    EXPECT_GT(checked, 400 * rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SingleFaultSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(Basis::Z, Basis::X)));
+
+TEST(Decoder, SampledDoubleFaultsCorrectedAtD5)
+{
+    // Distance 5 tolerates any two faults. Sample pairs.
+    RotatedSurfaceCode code(5);
+    const int rounds = 3;
+    Circuit circuit = buildMemoryCircuit(code, rounds, Basis::Z);
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+
+    auto faults = enumerateFaults(circuit, false);
+    Rng rng(17);
+    for (int trial = 0; trial < 400; ++trial) {
+        size_t i = rng.randint((uint32_t)faults.size());
+        size_t j = rng.randint((uint32_t)faults.size());
+        if (faults[i].opIndex > faults[j].opIndex)
+            std::swap(i, j);
+        ShotOutcome outcome =
+            runWithFaults(code, circuit, {faults[i], faults[j]});
+        const bool predicted = decoder.decode(outcome.defects);
+        ASSERT_EQ(predicted, outcome.observableFlip)
+            << "faults " << i << ", " << j;
+    }
+}
+
+TEST(Decoder, EmptyDefectsPredictNoFlip)
+{
+    RotatedSurfaceCode code(3);
+    DetectorModel dem = buildDetectorModel(code, 2, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+    EXPECT_FALSE(decoder.decode({}));
+}
+
+TEST(Decoder, GraphNonTrivial)
+{
+    RotatedSurfaceCode code(3);
+    DetectorModel dem = buildDetectorModel(code, 3, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+    EXPECT_EQ(decoder.numDetectors(), dem.numDetectors());
+    EXPECT_GT(decoder.numGraphEdges(), 20u);
+}
+
+TEST(Decoder, LogicalChainIsDecodedAsFlip)
+{
+    // Inject a full logical X chain (top-to-bottom column of X);
+    // defect-free but observable flipped: decoder cannot see it, so
+    // the prediction must be "no flip" and the comparison records a
+    // logical error. This guards the convention wiring.
+    RotatedSurfaceCode code(3);
+    const int rounds = 2;
+    Circuit circuit = buildMemoryCircuit(code, rounds, Basis::Z);
+
+    std::vector<Fault> faults;
+    // Inject X on a full column (crossing between the X boundaries)
+    // right after round 0's RoundStart marker.
+    const size_t site = circuit.roundBegin[1];
+    std::vector<std::pair<int, Pauli>> paulis;
+    for (int r = 0; r < 3; ++r)
+        paulis.push_back({code.dataId(r, 1), Pauli::X});
+    faults.push_back({site, paulis});
+
+    ShotOutcome outcome = runWithFaults(code, circuit, faults);
+    EXPECT_TRUE(outcome.defects.empty());
+    EXPECT_TRUE(outcome.observableFlip);
+
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+    EXPECT_FALSE(decoder.decode(outcome.defects));
+}
+
+TEST(Decoder, NeighborLimitStillCorrectsSingles)
+{
+    RotatedSurfaceCode code(3);
+    const int rounds = 2;
+    Circuit circuit = buildMemoryCircuit(code, rounds, Basis::Z);
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    DecoderOptions opts;
+    opts.neighborLimit = 2;   // aggressive truncation
+    MwpmDecoder decoder(dem, 1e-3, opts);
+
+    auto faults = enumerateFaults(circuit, false);
+    for (size_t i = 0; i < faults.size(); i += 7) {
+        ShotOutcome outcome = runWithFaults(code, circuit, {faults[i]});
+        ASSERT_EQ(decoder.decode(outcome.defects),
+                  outcome.observableFlip);
+    }
+}
+
+} // namespace
+} // namespace qec

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Detector-error-model tests: tiled construction must equal direct
+ * enumeration, signatures must be graph-like, and probabilities sane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "decoder/detector_model.h"
+
+namespace qec
+{
+namespace
+{
+
+using EdgeKey = std::tuple<int, int, bool>;
+using EdgeMap = std::map<EdgeKey, std::tuple<int, int, int>>;
+
+EdgeMap
+toMap(const DetectorModel &model)
+{
+    EdgeMap map;
+    for (const auto &e : model.edges) {
+        auto key = EdgeKey{e.a, e.b, e.obsFlip};
+        auto &counts = map[key];
+        std::get<0>(counts) += e.n1;
+        std::get<1>(counts) += e.n3;
+        std::get<2>(counts) += e.n15;
+    }
+    return map;
+}
+
+class DemTileSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, Basis>>
+{
+};
+
+TEST_P(DemTileSweep, TiledMatchesDirect)
+{
+    const auto [d, rounds, basis] = GetParam();
+    RotatedSurfaceCode code(d);
+    DetectorModel direct = buildDetectorModelDirect(code, rounds, basis);
+    DetectorModel tiled = buildDetectorModel(code, rounds, basis);
+    ASSERT_GT(rounds, 8) << "sweep must exercise the tiling path";
+
+    EXPECT_EQ(tiled.rounds, direct.rounds);
+    EXPECT_EQ(tiled.stabsPerRound, direct.stabsPerRound);
+
+    EdgeMap dm = toMap(direct);
+    EdgeMap tm = toMap(tiled);
+    ASSERT_EQ(dm.size(), tm.size());
+    for (const auto &[key, counts] : dm) {
+        auto it = tm.find(key);
+        ASSERT_NE(it, tm.end())
+            << "missing edge (" << std::get<0>(key) << ","
+            << std::get<1>(key) << ")";
+        EXPECT_EQ(it->second, counts)
+            << "counts differ on edge (" << std::get<0>(key) << ","
+            << std::get<1>(key) << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DemTileSweep,
+    ::testing::Combine(::testing::Values(3, 5),
+                       ::testing::Values(9, 10, 12),
+                       ::testing::Values(Basis::Z, Basis::X)));
+
+class DemStructure : public ::testing::TestWithParam<int>
+{
+  protected:
+    RotatedSurfaceCode code_{GetParam()};
+};
+
+TEST_P(DemStructure, EdgesWithinDetectorRange)
+{
+    const int rounds = 6;
+    DetectorModel model =
+        buildDetectorModelDirect(code_, rounds, Basis::Z);
+    EXPECT_EQ(model.numDetectors(),
+              (rounds + 1) * code_.numZStabilizers());
+    for (const auto &e : model.edges) {
+        ASSERT_GE(e.a, 0);
+        ASSERT_LT(e.a, model.numDetectors());
+        if (e.b != kBoundary) {
+            ASSERT_GE(e.b, 0);
+            ASSERT_LT(e.b, model.numDetectors());
+            ASSERT_NE(e.a, e.b);
+        }
+    }
+}
+
+TEST_P(DemStructure, EveryDetectorTouched)
+{
+    const int rounds = 5;
+    DetectorModel model =
+        buildDetectorModelDirect(code_, rounds, Basis::Z);
+    std::vector<int> degree(model.numDetectors(), 0);
+    for (const auto &e : model.edges) {
+        ++degree[e.a];
+        if (e.b != kBoundary)
+            ++degree[e.b];
+    }
+    for (int det = 0; det < model.numDetectors(); ++det)
+        EXPECT_GT(degree[det], 0) << "detector " << det;
+}
+
+TEST_P(DemStructure, BoundaryEdgesExist)
+{
+    DetectorModel model = buildDetectorModelDirect(code_, 4, Basis::Z);
+    int boundary = 0;
+    for (const auto &e : model.edges)
+        boundary += (e.b == kBoundary) ? 1 : 0;
+    EXPECT_GT(boundary, 0);
+}
+
+TEST_P(DemStructure, SomeEdgesFlipObservable)
+{
+    DetectorModel model = buildDetectorModelDirect(code_, 4, Basis::Z);
+    int obs_edges = 0;
+    for (const auto &e : model.edges)
+        obs_edges += e.obsFlip ? 1 : 0;
+    // Errors on the logical operator's row reach the boundary while
+    // crossing the observable.
+    EXPECT_GT(obs_edges, 0);
+}
+
+TEST_P(DemStructure, CircuitIsGraphLike)
+{
+    // Every mechanism flips at most two detectors of the decoded
+    // basis: detector cancellation makes the standard schedule purely
+    // graph-like, so nothing needs decomposition.
+    DetectorModel model = buildDetectorModelDirect(code_, 5, Basis::Z);
+    EXPECT_EQ(model.unmatchedDecompositions, 0);
+    EXPECT_EQ(model.decomposedMechanisms, 0);
+}
+
+TEST_P(DemStructure, ProbabilitiesReasonable)
+{
+    DetectorModel model = buildDetectorModelDirect(code_, 4, Basis::Z);
+    const double p = 1e-3;
+    for (const auto &e : model.edges) {
+        const double q = e.probability(p);
+        ASSERT_GT(q, 0.0);
+        ASSERT_LT(q, 0.1);
+        ASSERT_GT(e.n1 + e.n3 + e.n15, 0);
+    }
+}
+
+TEST_P(DemStructure, ProbabilityScalesWithP)
+{
+    DetectorModel model = buildDetectorModelDirect(code_, 3, Basis::Z);
+    for (const auto &e : model.edges) {
+        EXPECT_LT(e.probability(1e-4), e.probability(1e-3));
+        EXPECT_NEAR(e.probability(1e-4) / e.probability(1e-3), 0.1,
+                    0.02);
+    }
+}
+
+TEST_P(DemStructure, BasisSymmetry)
+{
+    // Both memory bases share detector counts and the measurement /
+    // two-qubit mechanism totals. (Single-qubit totals differ: the H
+    // gates sit on X ancillas only, so their errors are visible to
+    // exactly one basis.)
+    DetectorModel z = buildDetectorModelDirect(code_, 4, Basis::Z);
+    DetectorModel x = buildDetectorModelDirect(code_, 4, Basis::X);
+    EXPECT_EQ(z.numDetectors(), x.numDetectors());
+
+    auto total = [](const DetectorModel &m) {
+        int n1 = 0;
+        int n15 = 0;
+        for (const auto &e : m.edges) {
+            n1 += e.n1;
+            n15 += e.n15;
+        }
+        return std::tuple{n1, n15};
+    };
+    EXPECT_EQ(total(z), total(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, DemStructure,
+                         ::testing::Values(3, 5));
+
+TEST(Dem, EdgeProbabilityXorCombination)
+{
+    DemEdge edge;
+    edge.n1 = 2;
+    const double p = 0.01;
+    // Two mechanisms at prob p: odd-parity probability 2p(1-p).
+    EXPECT_NEAR(edge.probability(p), 2 * p * (1 - p), 1e-12);
+}
+
+TEST(Dem, SingleRoundModelWorks)
+{
+    RotatedSurfaceCode code(3);
+    DetectorModel model = buildDetectorModelDirect(code, 1, Basis::Z);
+    EXPECT_EQ(model.numDetectors(), 2 * code.numZStabilizers());
+    EXPECT_FALSE(model.edges.empty());
+}
+
+TEST(Dem, DetectorIdHelpers)
+{
+    RotatedSurfaceCode code(3);
+    DetectorModel model = buildDetectorModelDirect(code, 4, Basis::Z);
+    const int id = model.detectorId(2, 3);
+    EXPECT_EQ(model.detectorStab(id), 2);
+    EXPECT_EQ(model.detectorRound(id), 3);
+}
+
+} // namespace
+} // namespace qec

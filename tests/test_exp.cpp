@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Experiment-harness tests: metric identities, decision accounting,
+ * LPR tracking shapes, and smoke runs of every policy/protocol combo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/memory_experiment.h"
+
+namespace qec
+{
+namespace
+{
+
+ExperimentConfig
+smallConfig(int rounds, uint64_t shots)
+{
+    ExperimentConfig cfg;
+    cfg.rounds = rounds;
+    cfg.shots = shots;
+    cfg.seed = 1234;
+    cfg.em = ErrorModel::standard(1e-3);
+    cfg.trackLpr = true;
+    return cfg;
+}
+
+TEST(ExperimentResult, MetricFormulas)
+{
+    ExperimentResult r;
+    r.shots = 1000;
+    r.logicalErrors = 25;
+    EXPECT_NEAR(r.ler(), 0.025, 1e-12);
+
+    r.tp = 30;
+    r.fp = 10;
+    r.tn = 950;
+    r.fn = 10;
+    EXPECT_NEAR(r.speculationAccuracy(), 980.0 / 1000.0, 1e-12);
+    EXPECT_NEAR(r.falsePositiveRate(), 10.0 / 960.0, 1e-12);
+    EXPECT_NEAR(r.falseNegativeRate(), 10.0 / 40.0, 1e-12);
+
+    r.lrcsScheduled = 240;
+    r.roundsTotal = 120;
+    EXPECT_NEAR(r.avgLrcsPerRound(), 2.0, 1e-12);
+}
+
+TEST(ExperimentResult, LerStringForZeroErrors)
+{
+    ExperimentResult r;
+    r.shots = 500;
+    r.logicalErrors = 0;
+    EXPECT_EQ(r.lerString()[0], '<');
+    r.logicalErrors = 5;
+    EXPECT_EQ(r.lerString(), "1.000e-02");
+}
+
+TEST(Experiment, DecisionCountsPartitionAllQubitRounds)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(6, 50);
+    cfg.decode = false;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Eraser);
+    EXPECT_EQ(result.tp + result.fp + result.tn + result.fn,
+              cfg.shots * (uint64_t)cfg.rounds *
+                  (uint64_t)code.numData());
+    EXPECT_EQ(result.tp + result.fp, result.lrcsScheduled);
+}
+
+TEST(Experiment, AlwaysLrcRateMatchesTable4Formula)
+{
+    RotatedSurfaceCode code(5);
+    auto cfg = smallConfig(20, 30);
+    cfg.decode = false;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Always);
+    EXPECT_NEAR(result.avgLrcsPerRound(),
+                code.numStabilizers() / 2.0, 0.8);
+}
+
+TEST(Experiment, OptimalSpeculationIsPerfect)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(8, 200);
+    cfg.decode = false;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Optimal);
+    // The oracle schedules exactly the leaked qubits; conflicts are
+    // rare at d=3 rates, so accuracy is essentially 1.
+    EXPECT_GT(result.speculationAccuracy(), 0.999);
+    EXPECT_LT(result.falsePositiveRate(), 1e-4);
+}
+
+TEST(Experiment, LprTrackingHasRoundResolution)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(10, 100);
+    cfg.decode = false;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Never);
+    ASSERT_EQ((int)result.lprDataSum.size(), cfg.rounds);
+    // Without any LRCs, data leakage accumulates over rounds.
+    EXPECT_GT(result.lprData(cfg.rounds - 1), result.lprData(0));
+    for (int r = 0; r < cfg.rounds; ++r) {
+        EXPECT_GE(result.lprTotal(r), 0.0);
+        EXPECT_LE(result.lprTotal(r), 1.0);
+    }
+}
+
+TEST(Experiment, LeakageDisabledMeansZeroLpr)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(5, 50);
+    cfg.em = ErrorModel::withoutLeakage(1e-3);
+    cfg.decode = false;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Never);
+    for (int r = 0; r < cfg.rounds; ++r)
+        EXPECT_EQ(result.lprTotal(r), 0.0);
+}
+
+TEST(Experiment, EveryPolicyRunsWithDecoding)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(4, 40);
+    MemoryExperiment exp(code, cfg);
+    for (PolicyKind kind :
+         {PolicyKind::Never, PolicyKind::Always, PolicyKind::Eraser,
+          PolicyKind::EraserM, PolicyKind::Optimal}) {
+        auto result = exp.run(kind);
+        EXPECT_EQ(result.shots, cfg.shots);
+        EXPECT_LE(result.logicalErrors, result.shots);
+    }
+}
+
+TEST(Experiment, DqlrProtocolRuns)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(4, 40);
+    cfg.protocol = RemovalProtocol::Dqlr;
+    cfg.em.transport = TransportModel::Exchange;
+    MemoryExperiment exp(code, cfg);
+    for (PolicyKind kind : {PolicyKind::Always, PolicyKind::Eraser,
+                            PolicyKind::EraserM, PolicyKind::Optimal}) {
+        auto result = exp.run(kind);
+        EXPECT_EQ(result.shots, cfg.shots);
+    }
+}
+
+TEST(Experiment, DqlrBaselineSchedulesEveryQubitEveryRound)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(6, 20);
+    cfg.protocol = RemovalProtocol::Dqlr;
+    cfg.decode = false;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Always);
+    EXPECT_NEAR(result.avgLrcsPerRound(), code.numStabilizers(), 1e-9);
+}
+
+TEST(Experiment, DeterministicAcrossThreadCounts)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(5, 60);
+    cfg.threads = 1;
+    MemoryExperiment exp(code, cfg);
+    auto serial = exp.run(PolicyKind::Eraser);
+
+    cfg.threads = 8;
+    MemoryExperiment exp_mt(code, cfg);
+    auto parallel = exp_mt.run(PolicyKind::Eraser);
+
+    EXPECT_EQ(serial.logicalErrors, parallel.logicalErrors);
+    EXPECT_EQ(serial.lrcsScheduled, parallel.lrcsScheduled);
+    EXPECT_EQ(serial.tp, parallel.tp);
+    EXPECT_EQ(serial.fn, parallel.fn);
+}
+
+TEST(Experiment, SeedChangesOutcomes)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(8, 200);
+    cfg.decode = false;
+    MemoryExperiment a(code, cfg);
+    cfg.seed = 999;
+    MemoryExperiment b(code, cfg);
+
+    // Compare the whole leakage-population trace: different seeds draw
+    // different leakage patterns.
+    auto ra = a.run(PolicyKind::Never);
+    auto rb = b.run(PolicyKind::Never);
+    double delta = 0.0;
+    for (int r = 0; r < cfg.rounds; ++r)
+        delta += std::abs(ra.lprDataSum[r] - rb.lprDataSum[r]);
+    EXPECT_GT(delta, 0.0);
+}
+
+TEST(Experiment, MemoryXBasisWorks)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(4, 40);
+    cfg.basis = Basis::X;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Eraser);
+    EXPECT_EQ(result.shots, cfg.shots);
+}
+
+TEST(Experiment, CustomPolicyFactory)
+{
+    RotatedSurfaceCode code(3);
+    auto cfg = smallConfig(3, 20);
+    cfg.decode = false;
+    MemoryExperiment exp(code, cfg);
+    auto factory = []() {
+        return std::make_unique<NeverLrcPolicy>();
+    };
+    auto result = exp.run(factory, "custom");
+    EXPECT_EQ(result.policy, "custom");
+    EXPECT_EQ(result.lrcsScheduled, 0u);
+}
+
+} // namespace
+} // namespace qec

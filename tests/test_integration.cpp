@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Full-stack statistical tests reproducing the paper's qualitative
+ * claims on small configurations: leakage degrades the logical error
+ * rate, LRC policies order as Never >> Always > ERASER >= Optimal on
+ * leakage population, and the code suppresses errors with distance.
+ * Margins are generous and seeds fixed to keep the suite stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/memory_experiment.h"
+
+namespace qec
+{
+namespace
+{
+
+double
+meanLateLpr(const ExperimentResult &r, int rounds)
+{
+    double total = 0.0;
+    int n = 0;
+    for (int round = rounds / 2; round < rounds; ++round) {
+        total += r.lprTotal(round);
+        ++n;
+    }
+    return total / n;
+}
+
+TEST(Integration, LerDecreasesWithDistanceWithoutLeakage)
+{
+    // Below threshold, larger codes suppress errors (Section 1).
+    ExperimentConfig cfg;
+    cfg.em = ErrorModel::withoutLeakage(3e-3);
+    cfg.shots = 4000;
+    cfg.seed = 77;
+
+    cfg.rounds = 3;
+    RotatedSurfaceCode d3(3);
+    auto r3 = MemoryExperiment(d3, cfg).run(PolicyKind::Never);
+
+    cfg.rounds = 5;
+    RotatedSurfaceCode d5(5);
+    auto r5 = MemoryExperiment(d5, cfg).run(PolicyKind::Never);
+
+    EXPECT_GT(r3.logicalErrors, 10u) << "test lacks statistics";
+    EXPECT_LT(r5.ler(), r3.ler());
+}
+
+TEST(Integration, LeakageDegradesLer)
+{
+    // Fig. 2(c): leakage sharply increases the logical error rate.
+    ExperimentConfig cfg;
+    cfg.rounds = 10;
+    cfg.shots = 2500;
+    cfg.seed = 78;
+    RotatedSurfaceCode code(5);
+
+    cfg.em = ErrorModel::withoutLeakage(1e-3);
+    auto clean = MemoryExperiment(code, cfg).run(PolicyKind::Never);
+    cfg.em = ErrorModel::standard(1e-3);
+    auto leaky = MemoryExperiment(code, cfg).run(PolicyKind::Never);
+
+    EXPECT_GT(leaky.ler(), 2.0 * clean.ler() + 0.001);
+}
+
+TEST(Integration, AlwaysLrcsBoundLeakagePopulation)
+{
+    // Fig. 5/6: without LRCs the LPR grows without bound; Always-LRCs
+    // caps it.
+    ExperimentConfig cfg;
+    cfg.rounds = 30;
+    cfg.shots = 600;
+    cfg.seed = 79;
+    cfg.decode = false;
+    cfg.trackLpr = true;
+    RotatedSurfaceCode code(5);
+    MemoryExperiment exp(code, cfg);
+
+    auto never = exp.run(PolicyKind::Never);
+    auto always = exp.run(PolicyKind::Always);
+    EXPECT_GT(meanLateLpr(never, cfg.rounds),
+              2.0 * meanLateLpr(always, cfg.rounds));
+}
+
+TEST(Integration, EraserKeepsLprBelowAlways)
+{
+    // Fig. 15: ERASER maintains a lower leakage population than
+    // Always-LRCs (fewer transport-carrying operations).
+    ExperimentConfig cfg;
+    cfg.rounds = 30;
+    cfg.shots = 800;
+    cfg.seed = 80;
+    cfg.decode = false;
+    cfg.trackLpr = true;
+    RotatedSurfaceCode code(5);
+    MemoryExperiment exp(code, cfg);
+
+    auto always = exp.run(PolicyKind::Always);
+    auto eraser = exp.run(PolicyKind::Eraser);
+    auto optimal = exp.run(PolicyKind::Optimal);
+
+    EXPECT_LT(meanLateLpr(eraser, cfg.rounds),
+              meanLateLpr(always, cfg.rounds));
+    EXPECT_LE(meanLateLpr(optimal, cfg.rounds),
+              meanLateLpr(eraser, cfg.rounds) * 1.1);
+}
+
+TEST(Integration, SpeculationAccuracyOrdering)
+{
+    // Fig. 16: ERASER ~97%, Always ~50%, Optimal ~100%.
+    ExperimentConfig cfg;
+    cfg.rounds = 20;
+    cfg.shots = 400;
+    cfg.seed = 81;
+    cfg.decode = false;
+    RotatedSurfaceCode code(5);
+    MemoryExperiment exp(code, cfg);
+
+    auto always = exp.run(PolicyKind::Always);
+    auto eraser = exp.run(PolicyKind::Eraser);
+    auto optimal = exp.run(PolicyKind::Optimal);
+
+    EXPECT_NEAR(always.speculationAccuracy(), 0.5, 0.05);
+    EXPECT_GT(eraser.speculationAccuracy(), 0.9);
+    EXPECT_GT(optimal.speculationAccuracy(), eraser.speculationAccuracy());
+    EXPECT_LT(eraser.falsePositiveRate(),
+              always.falsePositiveRate() / 5.0);
+}
+
+TEST(Integration, EraserSchedulesFarFewerLrcsThanAlways)
+{
+    // Table 4: an order of magnitude fewer LRCs.
+    ExperimentConfig cfg;
+    cfg.rounds = 20;
+    cfg.shots = 400;
+    cfg.seed = 82;
+    cfg.decode = false;
+    RotatedSurfaceCode code(5);
+    MemoryExperiment exp(code, cfg);
+
+    auto always = exp.run(PolicyKind::Always);
+    auto eraser = exp.run(PolicyKind::Eraser);
+    auto optimal = exp.run(PolicyKind::Optimal);
+
+    EXPECT_LT(eraser.avgLrcsPerRound(), always.avgLrcsPerRound() / 4.0);
+    EXPECT_LT(optimal.avgLrcsPerRound(), eraser.avgLrcsPerRound());
+    EXPECT_GT(eraser.avgLrcsPerRound(), optimal.avgLrcsPerRound());
+}
+
+TEST(Integration, EraserMImprovesFalseNegatives)
+{
+    // Section 6.4.2: multi-level readout lowers the FNR.
+    ExperimentConfig cfg;
+    cfg.rounds = 20;
+    cfg.shots = 700;
+    cfg.seed = 83;
+    cfg.decode = false;
+    RotatedSurfaceCode code(5);
+    MemoryExperiment exp(code, cfg);
+
+    auto eraser = exp.run(PolicyKind::Eraser);
+    auto eraser_m = exp.run(PolicyKind::EraserM);
+    EXPECT_LT(eraser_m.falseNegativeRate(),
+              eraser.falseNegativeRate());
+}
+
+TEST(Integration, LerPolicyOrdering)
+{
+    // Fig. 14's qualitative ordering once leakage has time to
+    // accumulate: No-LRC is the worst, ERASER does not lose to
+    // Always-LRCs, Optimal is the best. (At very small distances and
+    // few rounds the LRC overhead can outweigh the leakage it removes
+    // — the crossover the paper's motivation hinges on.)
+    ExperimentConfig cfg;
+    cfg.rounds = 50;
+    cfg.shots = 1500;
+    cfg.seed = 84;
+    RotatedSurfaceCode code(5);
+    MemoryExperiment exp(code, cfg);
+
+    auto never = exp.run(PolicyKind::Never);
+    auto always = exp.run(PolicyKind::Always);
+    auto eraser = exp.run(PolicyKind::Eraser);
+    auto optimal = exp.run(PolicyKind::Optimal);
+
+    EXPECT_GT(never.ler(), always.ler());
+    EXPECT_LT(eraser.ler(), always.ler() * 1.25);
+    EXPECT_LE(optimal.ler(), eraser.ler() * 1.25);
+    EXPECT_LT(optimal.ler(), never.ler());
+}
+
+TEST(Integration, AlternativeTransportImprovesEveryPolicy)
+{
+    // Appendix A.1: the exchange model leaks less overall.
+    ExperimentConfig cfg;
+    cfg.rounds = 20;
+    cfg.shots = 500;
+    cfg.seed = 85;
+    cfg.decode = false;
+    cfg.trackLpr = true;
+    RotatedSurfaceCode code(5);
+
+    auto conservative =
+        MemoryExperiment(code, cfg).run(PolicyKind::Always);
+    cfg.em.transport = TransportModel::Exchange;
+    auto exchange =
+        MemoryExperiment(code, cfg).run(PolicyKind::Always);
+    EXPECT_LT(meanLateLpr(exchange, cfg.rounds),
+              meanLateLpr(conservative, cfg.rounds));
+}
+
+TEST(Integration, DqlrStabilizesLpr)
+{
+    // Fig. 21: DQLR keeps the LPR flat and low.
+    ExperimentConfig cfg;
+    cfg.rounds = 24;
+    cfg.shots = 500;
+    cfg.seed = 86;
+    cfg.decode = false;
+    cfg.trackLpr = true;
+    cfg.protocol = RemovalProtocol::Dqlr;
+    cfg.em.transport = TransportModel::Exchange;
+    RotatedSurfaceCode code(5);
+    MemoryExperiment exp(code, cfg);
+
+    auto dqlr = exp.run(PolicyKind::Always);
+    const double early = dqlr.lprTotal(4);
+    const double late = meanLateLpr(dqlr, cfg.rounds);
+    EXPECT_LT(late, 3.0 * (early + 1e-4));
+    EXPECT_LT(late, 0.01);
+}
+
+} // namespace
+} // namespace qec

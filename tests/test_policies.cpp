@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Scheduling-policy behaviour: the Always-LRCs alternating pattern and
+ * Table-4 LRC rate, the Optimal oracle, and ERASER's reaction to
+ * crafted syndromes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "code/rotated_surface_code.h"
+#include "core/policies.h"
+
+namespace qec
+{
+namespace
+{
+
+RoundObservation
+quietObservation(const RotatedSurfaceCode &code, int round)
+{
+    RoundObservation obs;
+    obs.round = round;
+    obs.events.assign(code.numStabilizers(), 0);
+    obs.leakedLabels.assign(code.numStabilizers(), 0);
+    obs.hadLrc.assign(code.numData(), 0);
+    obs.trueLeakedData.assign(code.numData(), 0);
+    return obs;
+}
+
+class PolicySweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    PolicySweep() : code_(GetParam()), lookup_(code_) {}
+
+    RotatedSurfaceCode code_;
+    SwapLookupTable lookup_;
+};
+
+TEST_P(PolicySweep, NeverSchedulesNothing)
+{
+    NeverLrcPolicy policy;
+    EXPECT_TRUE(policy.firstRound().empty());
+    EXPECT_TRUE(policy.nextRound(quietObservation(code_, 0)).empty());
+}
+
+TEST_P(PolicySweep, AlwaysAlternatesRounds)
+{
+    AlwaysLrcPolicy policy(code_, false);
+    EXPECT_TRUE(policy.firstRound().empty());   // round 0: plain
+    auto r1 = policy.nextRound(quietObservation(code_, 0));
+    EXPECT_EQ((int)r1.size(), code_.numStabilizers());
+    auto r2 = policy.nextRound(quietObservation(code_, 1));
+    EXPECT_TRUE(r2.empty());
+    auto r3 = policy.nextRound(quietObservation(code_, 2));
+    EXPECT_EQ((int)r3.size(), code_.numStabilizers());
+}
+
+TEST_P(PolicySweep, AlwaysRotatesLeftoverQubit)
+{
+    AlwaysLrcPolicy policy(code_, false);
+    auto r1 = policy.nextRound(quietObservation(code_, 0));
+    auto r3 = policy.nextRound(quietObservation(code_, 2));
+    auto r5 = policy.nextRound(quietObservation(code_, 4));
+
+    auto missing = [&](const std::vector<LrcPair> &pairs) {
+        std::set<int> have;
+        for (const auto &p : pairs)
+            have.insert(p.data);
+        for (int q = 0; q < code_.numData(); ++q) {
+            if (!have.count(q))
+                return q;
+        }
+        return -1;
+    };
+    const int m1 = missing(r1);
+    const int m3 = missing(r3);
+    ASSERT_NE(m1, -1);
+    ASSERT_NE(m3, -1);
+    EXPECT_NE(m1, m3);               // leftover rotates
+    EXPECT_EQ(m1, missing(r5));      // with period two
+}
+
+TEST_P(PolicySweep, AlwaysMatchesTable4Rate)
+{
+    // Table 4: Always-LRCs averages (d^2-1)/2 LRCs per round.
+    AlwaysLrcPolicy policy(code_, false);
+    uint64_t total = policy.firstRound().size();
+    const int rounds = 40;
+    for (int r = 0; r < rounds - 1; ++r)
+        total += policy.nextRound(quietObservation(code_, r)).size();
+    const double avg = (double)total / rounds;
+    EXPECT_NEAR(avg, code_.numStabilizers() / 2.0, 0.6);
+}
+
+TEST_P(PolicySweep, AlwaysPairsAreValid)
+{
+    AlwaysLrcPolicy policy(code_, false);
+    auto pairs = policy.nextRound(quietObservation(code_, 0));
+    std::set<int> stabs;
+    for (const auto &pair : pairs) {
+        EXPECT_TRUE(stabs.insert(pair.stab).second);
+        const auto &support = code_.stabilizer(pair.stab).support;
+        EXPECT_NE(std::find(support.begin(), support.end(), pair.data),
+                  support.end());
+    }
+}
+
+TEST_P(PolicySweep, DqlrBaselineFiresEveryRound)
+{
+    AlwaysLrcPolicy policy(code_, true);
+    EXPECT_EQ((int)policy.firstRound().size(), code_.numStabilizers());
+    EXPECT_EQ(
+        (int)policy.nextRound(quietObservation(code_, 0)).size(),
+        code_.numStabilizers());
+    EXPECT_EQ(policy.name(), "DQLR");
+}
+
+TEST_P(PolicySweep, OptimalSchedulesExactlyLeaked)
+{
+    OptimalLrcPolicy policy(code_, lookup_);
+    auto obs = quietObservation(code_, 0);
+    EXPECT_TRUE(policy.nextRound(obs).empty());
+
+    obs.trueLeakedData[3] = 1;
+    obs.trueLeakedData[5] = 1;
+    auto lrcs = policy.nextRound(obs);
+    std::set<int> scheduled;
+    for (const auto &pair : lrcs)
+        scheduled.insert(pair.data);
+    EXPECT_EQ(scheduled, (std::set<int>{3, 5}));
+}
+
+TEST_P(PolicySweep, EraserQuietSyndromeIsIdle)
+{
+    EraserPolicy policy(code_, lookup_, false);
+    for (int r = 0; r < 5; ++r)
+        EXPECT_TRUE(policy.nextRound(quietObservation(code_, r)).empty());
+}
+
+TEST_P(PolicySweep, EraserReactsToDoubleFlip)
+{
+    EraserPolicy policy(code_, lookup_, false);
+    const int q = code_.dataId(1, 1);
+    auto obs = quietObservation(code_, 0);
+    const auto &stabs = code_.stabilizersOfData(q);
+    obs.events[stabs[0]] = 1;
+    obs.events[stabs[1]] = 1;
+    auto lrcs = policy.nextRound(obs);
+
+    // The suspect qubit is scheduled; any other scheduled qubit must
+    // also have crossed the >=2-flip threshold (the two events may
+    // legitimately implicate a shared neighbour).
+    bool found = false;
+    for (const auto &pair : lrcs) {
+        found |= (pair.data == q);
+        int flips = 0;
+        for (int s : code_.stabilizersOfData(pair.data))
+            flips += obs.events[s];
+        EXPECT_GE(flips, 2) << "data " << pair.data;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_P(PolicySweep, EraserPuttBlocksImmediateReuse)
+{
+    EraserPolicy policy(code_, lookup_, false);
+    const int q = code_.dataId(1, 1);
+    auto obs = quietObservation(code_, 0);
+    const auto &stabs = code_.stabilizersOfData(q);
+    obs.events[stabs[0]] = 1;
+    obs.events[stabs[1]] = 1;
+    auto first = policy.nextRound(obs);
+    ASSERT_GE(first.size(), 1u);
+    int used_stab = -1;
+    for (const auto &pair : first) {
+        if (pair.data == q)
+            used_stab = pair.stab;
+    }
+    ASSERT_NE(used_stab, -1);
+
+    // Next round: a neighbour of the used parity qubit fires.
+    auto obs2 = quietObservation(code_, 1);
+    obs2.hadLrc[q] = 1;
+    int other = -1;
+    for (int cand : code_.stabilizer(used_stab).support) {
+        if (cand != q)
+            other = cand;
+    }
+    ASSERT_NE(other, -1);
+    const auto &other_stabs = code_.stabilizersOfData(other);
+    obs2.events[other_stabs[0]] = 1;
+    obs2.events[other_stabs[1]] = 1;
+    obs2.events[other_stabs[other_stabs.size() - 1]] = 1;
+    auto second = policy.nextRound(obs2);
+    for (const auto &pair : second)
+        EXPECT_NE(pair.stab, used_stab) << "PUTT cooldown violated";
+}
+
+TEST_P(PolicySweep, EraserMConsumesLeakLabels)
+{
+    EraserPolicy policy(code_, lookup_, true);
+    EXPECT_TRUE(policy.usesMultiLevelReadout());
+    auto obs = quietObservation(code_, 0);
+    obs.leakedLabels[0] = 1;
+    auto lrcs = policy.nextRound(obs);
+    // All data neighbours of stabilizer 0 get scheduled (conflicts
+    // permitting, so at least one).
+    EXPECT_GE(lrcs.size(), 1u);
+    for (const auto &pair : lrcs) {
+        const auto &support = code_.stabilizer(0).support;
+        EXPECT_NE(std::find(support.begin(), support.end(), pair.data),
+                  support.end());
+    }
+}
+
+TEST_P(PolicySweep, FactoriesProduceNamedPolicies)
+{
+    EXPECT_EQ(makePolicyFactory(PolicyKind::Never, code_, lookup_)()
+                  ->name(),
+              "No-LRC");
+    EXPECT_EQ(makePolicyFactory(PolicyKind::Always, code_, lookup_)()
+                  ->name(),
+              "Always-LRCs");
+    EXPECT_EQ(makePolicyFactory(PolicyKind::Eraser, code_, lookup_)()
+                  ->name(),
+              "ERASER");
+    EXPECT_EQ(makePolicyFactory(PolicyKind::EraserM, code_, lookup_)()
+                  ->name(),
+              "ERASER+M");
+    EXPECT_EQ(makePolicyFactory(PolicyKind::Optimal, code_, lookup_)()
+                  ->name(),
+              "Optimal");
+    EXPECT_EQ(policyKindName(PolicyKind::EraserM), "ERASER+M");
+    EXPECT_EQ(policyKindName(PolicyKind::Always, true), "DQLR");
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, PolicySweep,
+                         ::testing::Values(3, 5, 7));
+
+} // namespace
+} // namespace qec

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * RTL generator and resource-model tests: structural well-formedness
+ * of the emitted SystemVerilog and Table-3-shaped utilization scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "code/rotated_surface_code.h"
+#include "rtl/timing_model.h"
+#include "rtl/verilog_gen.h"
+
+namespace qec
+{
+namespace
+{
+
+int
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    int n = 0;
+    size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+class RtlSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    RtlSweep() : code_(GetParam()), rtl_(generateEraserRtl(code_)) {}
+
+    RotatedSurfaceCode code_;
+    std::string rtl_;
+};
+
+TEST_P(RtlSweep, ModuleIsBalanced)
+{
+    EXPECT_EQ(countOccurrences(rtl_, "module eraser_d"), 1);
+    EXPECT_EQ(countOccurrences(rtl_, "endmodule"), 1);
+    EXPECT_EQ(countOccurrences(rtl_, "always_ff"), 3);
+}
+
+TEST_P(RtlSweep, PortWidthsMatchCode)
+{
+    const int ns = code_.numStabilizers();
+    const int nd = code_.numData();
+    EXPECT_NE(rtl_.find("[" + std::to_string(ns - 1) +
+                        ":0] syndrome_event"),
+              std::string::npos);
+    EXPECT_NE(rtl_.find("[" + std::to_string(nd - 1) +
+                        ":0] lrc_grant"),
+              std::string::npos);
+    EXPECT_NE(rtl_.find("[" + std::to_string(ns - 1) +
+                        ":0] parity_select"),
+              std::string::npos);
+}
+
+TEST_P(RtlSweep, OneDetectorPerDataQubit)
+{
+    EXPECT_EQ(countOccurrences(rtl_, "assign detect["),
+              code_.numData());
+    EXPECT_EQ(countOccurrences(rtl_, "assign flip_count["),
+              code_.numData());
+    // Declaration, assign, grant-OR and claim-vector use.
+    EXPECT_EQ(countOccurrences(rtl_, "use_pri_"), 4 * code_.numData());
+}
+
+TEST_P(RtlSweep, BaseVariantHasNoMultiLevelPort)
+{
+    EXPECT_EQ(rtl_.find("parity_leak_label"), std::string::npos);
+    RtlOptions opts;
+    opts.multiLevel = true;
+    const std::string rtl_m = generateEraserRtl(code_, opts);
+    EXPECT_NE(rtl_m.find("parity_leak_label"), std::string::npos);
+    EXPECT_GT(rtl_m.size(), rtl_.size());
+}
+
+TEST_P(RtlSweep, ResourceEstimateShapedLikeTable3)
+{
+    const ResourceEstimate est = estimateResources(code_);
+    EXPECT_GT(est.luts, 0);
+    EXPECT_GT(est.ffs, 0);
+    // Table 3: even d=11 stays below ~1% on the xcku3p.
+    EXPECT_LT(est.lutPercent, 1.5);
+    EXPECT_LT(est.ffPercent, 1.0);
+    // The paper reports 5 ns worst-case latency.
+    EXPECT_LT(est.critPathNs, 7.0);
+    EXPECT_GT(est.critPathNs, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RtlSweep,
+                         ::testing::Values(3, 5, 7, 9, 11));
+
+TEST(Rtl, UtilizationGrowsQuadratically)
+{
+    RotatedSurfaceCode d3(3);
+    RotatedSurfaceCode d7(7);
+    RotatedSurfaceCode d11(11);
+    const auto e3 = estimateResources(d3);
+    const auto e7 = estimateResources(d7);
+    const auto e11 = estimateResources(d11);
+    EXPECT_LT(e3.luts, e7.luts);
+    EXPECT_LT(e7.luts, e11.luts);
+    // LUTs scale roughly with d^2 (Table 3's trend).
+    const double r73 = (double)e7.luts / e3.luts;
+    EXPECT_NEAR(r73, 49.0 / 9.0, 1.5);
+    EXPECT_LT(e3.critPathNs, e11.critPathNs + 1e-9);
+}
+
+TEST(Rtl, MultiLevelVariantCostsMore)
+{
+    RotatedSurfaceCode code(7);
+    RtlOptions opts;
+    opts.multiLevel = true;
+    EXPECT_GT(estimateResources(code, opts).luts,
+              estimateResources(code).luts);
+}
+
+TEST(Timing, DecisionWindowMatchesFig12)
+{
+    // Four 30 ns CNOT layers leave the paper's ~120 ns window.
+    RotatedSurfaceCode code(7);
+    const RoundTiming t = analyzeRoundTiming(code);
+    EXPECT_NEAR(t.decisionWindowNs, 120.0, 1e-9);
+    // The 5 ns speculation estimate fits with a wide margin.
+    EXPECT_LT(estimateResources(code).critPathNs,
+              t.decisionWindowNs / 10.0);
+}
+
+TEST(Timing, LrcRoundIsLongerThanPlainRound)
+{
+    RotatedSurfaceCode code(5);
+    const RoundTiming t = analyzeRoundTiming(code);
+    EXPECT_GT(t.roundNs, 0.0);
+    // Five extra serial CNOTs plus the mid-round data measurement.
+    EXPECT_GT(t.lrcRoundNs, t.roundNs + 4 * 30.0);
+}
+
+TEST(Timing, RoundDurationIndependentOfDistance)
+{
+    // Syndrome extraction is constant depth: the round time must not
+    // grow with d (all stabilizers operate in parallel).
+    RotatedSurfaceCode d3(3);
+    RotatedSurfaceCode d11(11);
+    EXPECT_NEAR(analyzeRoundTiming(d3).roundNs,
+                analyzeRoundTiming(d11).roundNs, 1e-9);
+}
+
+TEST(Timing, MakespanRespectsQubitSerialization)
+{
+    // Two CNOTs sharing a qubit serialize; disjoint ones do not.
+    std::vector<Op> serial(2);
+    serial[0].type = OpType::Cnot;
+    serial[0].q0 = 0;
+    serial[0].q1 = 1;
+    serial[1].type = OpType::Cnot;
+    serial[1].q0 = 1;
+    serial[1].q1 = 2;
+    EXPECT_NEAR(scheduleMakespanNs(serial, 4), 60.0, 1e-9);
+
+    std::vector<Op> parallel = serial;
+    parallel[1].q0 = 2;
+    parallel[1].q1 = 3;
+    EXPECT_NEAR(scheduleMakespanNs(parallel, 4), 30.0, 1e-9);
+}
+
+TEST(Rtl, GeneratedHeaderNamesDistance)
+{
+    RotatedSurfaceCode code(9);
+    const std::string rtl = generateEraserRtl(code);
+    EXPECT_NE(rtl.find("module eraser_d9"), std::string::npos);
+    EXPECT_NE(rtl.find("distance 9"), std::string::npos);
+}
+
+} // namespace
+} // namespace qec
