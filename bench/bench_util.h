@@ -8,6 +8,7 @@
 #ifndef QEC_BENCH_BENCH_UTIL_H
 #define QEC_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -60,6 +61,29 @@ lerCell(const ExperimentResult &r)
     }
     return buf;
 }
+
+/** Wall-clock shots/sec reporting for the heavy reproduction benches,
+ *  so the batched engine's throughput is visible in bench_output. */
+class ShotRateTimer
+{
+  public:
+    ShotRateTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    void
+    report(uint64_t shots, const std::string &what) const
+    {
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                start_)
+                                .count();
+        std::printf("[rate] %s: %llu shots in %.2fs (%.0f shots/s)\n",
+                    what.c_str(), (unsigned long long)shots, secs,
+                    (double)shots / (secs > 0.0 ? secs : 1.0));
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Ratio cell; "-" when the denominator is unresolved. */
 inline std::string

@@ -26,8 +26,11 @@ main()
     cfg.seed = 5;
     cfg.decode = false;
     cfg.trackLpr = true;
+    cfg.batchWidth = 64;   // bit-packed batch engine
     MemoryExperiment exp(code, cfg);
+    ShotRateTimer timer;
     auto result = exp.run(PolicyKind::Always);
+    timer.report(cfg.shots, "fig05 (batched engine)");
 
     std::printf("%6s %12s %12s %12s\n", "round", "total(1e-4)",
                 "data(1e-4)", "parity(1e-4)");

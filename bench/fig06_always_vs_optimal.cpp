@@ -31,9 +31,12 @@ main()
         cfg.seed = 6;
         cfg.decode = false;
         cfg.trackLpr = true;
+        cfg.batchWidth = 64;   // bit-packed batch engine
         MemoryExperiment exp(code, cfg);
+        ShotRateTimer timer;
         auto always = exp.run(PolicyKind::Always);
         auto optimal = exp.run(PolicyKind::Optimal);
+        timer.report(2 * cfg.shots, "fig06 LPR panel (batched engine)");
 
         std::printf("%6s %16s %16s\n", "round", "Always(1e-4)",
                     "Optimal(1e-4)");
@@ -56,6 +59,7 @@ main()
         cfg.rounds = c * d;
         cfg.shots = scaledShots(1500);
         cfg.seed = 60 + c;
+        cfg.batchWidth = 64;   // bit-packed batch engine
         MemoryExperiment exp(code, cfg);
         auto always = exp.run(PolicyKind::Always);
         auto optimal = exp.run(PolicyKind::Optimal);

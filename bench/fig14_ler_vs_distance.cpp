@@ -31,6 +31,8 @@ sweep(double p)
     std::printf("%4s %8s %12s %12s %12s %12s %18s\n", "d", "shots",
                 "Always", "ERASER", "ERASER+M", "Optimal",
                 "ERASER/Always gain");
+    ShotRateTimer timer;
+    uint64_t shots_run = 0;
     for (int d : {3, 5, 7, 9, 11}) {
         RotatedSurfaceCode code(d);
         ExperimentConfig cfg;
@@ -38,6 +40,7 @@ sweep(double p)
         cfg.em = ErrorModel::standard(p);
         cfg.shots = scaledShots(90000 / (uint64_t)(d * d));
         cfg.seed = 14000 + d + (p < 5e-4 ? 100 : 0);
+        cfg.batchWidth = 64;   // bit-packed batch engine
         MemoryExperiment exp(code, cfg);
 
         auto always = exp.run(PolicyKind::Always);
@@ -51,7 +54,9 @@ sweep(double p)
                     lerCell(eraser_m).c_str(),
                     lerCell(optimal).c_str(),
                     ratioCell(always, eraser).c_str());
+        shots_run += 4 * cfg.shots;
     }
+    timer.report(shots_run, "fig14 sweep (batched engine)");
     std::printf("\n");
 }
 

@@ -26,12 +26,15 @@ main()
     cfg.seed = 15;
     cfg.decode = false;
     cfg.trackLpr = true;
+    cfg.batchWidth = 64;   // bit-packed batch engine
     MemoryExperiment exp(code, cfg);
 
+    ShotRateTimer timer;
     auto always = exp.run(PolicyKind::Always);
     auto eraser = exp.run(PolicyKind::Eraser);
     auto eraser_m = exp.run(PolicyKind::EraserM);
     auto optimal = exp.run(PolicyKind::Optimal);
+    timer.report(4 * cfg.shots, "fig15 (batched engine)");
 
     std::printf("%6s %14s %12s %12s %12s   (LPR in 1e-4)\n", "round",
                 "Always-LRCs", "ERASER", "ERASER+M", "Optimal");

@@ -17,6 +17,8 @@
 #include "decoder/detector_model.h"
 #include "decoder/matching.h"
 #include "decoder/mwpm_decoder.h"
+#include "exp/memory_experiment.h"
+#include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
 
 namespace
@@ -64,8 +66,65 @@ BM_FrameSimRound(benchmark::State &state)
         if (sim.record().size() > 1000000)
             sim.reset();
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FrameSimRound)->Arg(3)->Arg(7)->Arg(11);
+
+void
+BM_BatchFrameSimRound(benchmark::State &state)
+{
+    // Same round as BM_FrameSimRound, but 64 shots per word: the
+    // items/sec ratio between the two is the engine-level speedup.
+    const int d = (int)state.range(0);
+    RotatedSurfaceCode code(d);
+    BatchFrameSimulator sim(code.numQubits(),
+                            ErrorModel::standard(1e-3), 64, 2, 0);
+    RoundSchedule round = buildRoundSchedule(code, 0, {});
+    for (auto _ : state) {
+        sim.executeRange(round.ops.data(),
+                         round.ops.data() + round.ops.size());
+        benchmark::DoNotOptimize(sim.record().size());
+        if (sim.record().size() > 1000000)
+            sim.reset();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchFrameSimRound)->Arg(3)->Arg(7)->Arg(11);
+
+/**
+ * Whole-experiment throughput of the two engines on the paper's
+ * headline configuration: a d=11 memory experiment driven by the
+ * ERASER policy (decode off, so the comparison isolates the
+ * simulation + scheduling hot path that the batch engine replaces).
+ * Compare the shots/s counters of the scalar and batched variants.
+ */
+void
+BM_MemoryExperimentEraser(benchmark::State &state)
+{
+    const int d = 11;
+    const unsigned batch_width = (unsigned)state.range(0);
+    RotatedSurfaceCode code(d);
+    ExperimentConfig cfg;
+    cfg.rounds = d;
+    cfg.shots = 256;
+    cfg.seed = 11;
+    cfg.em = ErrorModel::standard(1e-3);
+    cfg.decode = false;
+    cfg.batchWidth = batch_width;
+    MemoryExperiment exp(code, cfg);
+
+    uint64_t shots = 0;
+    for (auto _ : state) {
+        auto result = exp.run(PolicyKind::Eraser);
+        benchmark::DoNotOptimize(result.lrcsScheduled);
+        shots += result.shots;
+    }
+    state.counters["shots/s"] = benchmark::Counter(
+        (double)shots, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MemoryExperimentEraser)
+    ->ArgName("width")->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_DecodeShot(benchmark::State &state)

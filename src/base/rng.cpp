@@ -41,6 +41,14 @@ Rng::forShot(uint64_t seed, uint64_t shot)
     return Rng(splitmix64(sm));
 }
 
+Rng
+Rng::forStream(uint64_t seed, uint64_t stream, uint64_t salt)
+{
+    uint64_t sm = salt;
+    const uint64_t salted = seed ^ splitmix64(sm);
+    return forShot(salted, stream);
+}
+
 uint64_t
 Rng::next()
 {

@@ -29,6 +29,14 @@ class Rng
     /** Derive an independent stream, e.g. per shot of an experiment. */
     static Rng forShot(uint64_t seed, uint64_t shot);
 
+    /**
+     * Derive an independent salted stream, unrelated to any forShot
+     * stream of the same seed. The batch simulator uses this for its
+     * word-group noise-mask stream, keeping per-lane forShot streams
+     * free for lane-divergent draws.
+     */
+    static Rng forStream(uint64_t seed, uint64_t stream, uint64_t salt);
+
     /** Next raw 64-bit draw. */
     uint64_t next();
 

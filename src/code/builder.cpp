@@ -7,11 +7,8 @@
 namespace qec
 {
 
-namespace
-{
-
 Op
-makeOp(OpType type, int q0, int q1 = -1)
+makeOp(OpType type, int q0, int q1)
 {
     Op op;
     op.type = type;
@@ -19,6 +16,9 @@ makeOp(OpType type, int q0, int q1 = -1)
     op.q1 = q1;
     return op;
 }
+
+namespace
+{
 
 /** Append the plain measure+reset tail for one stabilizer. */
 void

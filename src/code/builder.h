@@ -23,6 +23,10 @@
 namespace qec
 {
 
+/** Construct a bare Op of `type` acting on q0 (and q1 if two-qubit);
+ *  measurement metadata is filled in by the caller. */
+Op makeOp(OpType type, int q0, int q1 = -1);
+
 /** An LRC assignment: data qubit `data` swaps with the parity qubit of
  *  stabilizer `stab` (which must be adjacent to `data`). */
 struct LrcPair

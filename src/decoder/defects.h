@@ -13,6 +13,7 @@
 
 #include "code/rotated_surface_code.h"
 #include "code/types.h"
+#include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
 
 namespace qec
@@ -41,6 +42,20 @@ struct ShotOutcome
 ShotOutcome extractDefects(const RotatedSurfaceCode &code, Basis basis,
                            int rounds,
                            const std::vector<MeasureRecord> &record);
+
+/**
+ * Extract every lane's defects from a batched measurement record in
+ * one pass: flips are accumulated as words (64 lanes per XOR) and only
+ * the final defect lists are materialized per lane.
+ *
+ * @param num_lanes Live lanes in the record's word-group; one
+ *                  ShotOutcome is returned per lane, in lane order.
+ */
+std::vector<ShotOutcome>
+extractDefectsBatched(const RotatedSurfaceCode &code, Basis basis,
+                      int rounds,
+                      const std::vector<BatchMeasureRecord> &record,
+                      int num_lanes);
 
 } // namespace qec
 

@@ -1,11 +1,13 @@
 #include "exp/memory_experiment.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "base/logging.h"
 #include "base/parallel.h"
 #include "code/builder.h"
 #include "decoder/defects.h"
+#include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
 
 namespace qec
@@ -121,8 +123,7 @@ MemoryExperiment::run(PolicyKind kind) const
 }
 
 ExperimentResult
-MemoryExperiment::run(const PolicyFactory &factory,
-                      const std::string &name) const
+MemoryExperiment::resultHeader(const std::string &name) const
 {
     ExperimentResult result;
     result.policy = name;
@@ -134,7 +135,33 @@ MemoryExperiment::run(const PolicyFactory &factory,
         result.lprDataSum.assign(config_.rounds, 0.0);
         result.lprParitySum.assign(config_.rounds, 0.0);
     }
+    return result;
+}
 
+void
+MemoryExperiment::mergeStats(ExperimentResult &result,
+                             const ShotStats &stats) const
+{
+    result.logicalErrors += stats.logicalErrors;
+    result.tp += stats.tp;
+    result.fp += stats.fp;
+    result.tn += stats.tn;
+    result.fn += stats.fn;
+    result.lrcsScheduled += stats.lrcsScheduled;
+    for (int r = 0; r < (int)result.lprDataSum.size(); ++r) {
+        result.lprDataSum[r] += stats.lprData[r];
+        result.lprParitySum[r] += stats.lprParity[r];
+    }
+}
+
+ExperimentResult
+MemoryExperiment::run(const PolicyFactory &factory,
+                      const std::string &name) const
+{
+    if (config_.batchWidth > 1)
+        return runBatched(factory, name);
+
+    ExperimentResult result = resultHeader(name);
     std::mutex merge_mutex;
     parallelFor(
         config_.shots,
@@ -147,16 +174,35 @@ MemoryExperiment::run(const PolicyFactory &factory,
             runShot(shot, factory, stats);
 
             std::lock_guard<std::mutex> lock(merge_mutex);
-            result.logicalErrors += stats.logicalErrors;
-            result.tp += stats.tp;
-            result.fp += stats.fp;
-            result.tn += stats.tn;
-            result.fn += stats.fn;
-            result.lrcsScheduled += stats.lrcsScheduled;
-            for (int r = 0; r < (int)result.lprDataSum.size(); ++r) {
-                result.lprDataSum[r] += stats.lprData[r];
-                result.lprParitySum[r] += stats.lprParity[r];
+            mergeStats(result, stats);
+        },
+        config_.threads);
+    return result;
+}
+
+ExperimentResult
+MemoryExperiment::runBatched(const PolicyFactory &factory,
+                             const std::string &name) const
+{
+    const uint64_t width = std::min<uint64_t>(
+        std::max<unsigned>(config_.batchWidth, 1),
+        (unsigned)BatchFrameSimulator::kMaxLanes);
+    const uint64_t groups = (config_.shots + width - 1) / width;
+
+    ExperimentResult result = resultHeader(name);
+    std::mutex merge_mutex;
+    parallelFor(
+        groups,
+        [&](uint64_t group) {
+            ShotStats stats;
+            if (config_.trackLpr) {
+                stats.lprData.assign(config_.rounds, 0.0);
+                stats.lprParity.assign(config_.rounds, 0.0);
             }
+            runGroup(group, width, factory, stats);
+
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            mergeStats(result, stats);
         },
         config_.threads);
     return result;
@@ -164,6 +210,22 @@ MemoryExperiment::run(const PolicyFactory &factory,
 
 namespace
 {
+
+inline int
+popcount64(uint64_t word)
+{
+    return __builtin_popcountll(word);
+}
+
+/** Lane-divergent LRC assignment: the lanes that scheduled (stab,
+ *  data) this round, in first-insertion order so that width-1 runs
+ *  replay the scalar path's tail order exactly. */
+struct ActiveLrc
+{
+    int stab;
+    int data;
+    uint64_t mask;
+};
 
 /**
  * Execute one round, honoring ERASER+M's in-round rule: if an LRC'd
@@ -220,6 +282,9 @@ MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
 
     FrameSimulator sim(code_.numQubits(), config_.em,
                        Rng::forShot(config_.seed, shot));
+    // Every round yields one check bit per stabilizer (plain or LRC'd)
+    // and the shot ends with the transversal data measurement.
+    sim.reserveRecord((size_t)config_.rounds * n_stabs + n_data);
     QecScheduleGenerator qsg(code_, config_.protocol);
     auto policy = factory();
 
@@ -314,6 +379,233 @@ MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
     const bool predicted = decoder_->decode(outcome.defects);
     if (predicted != outcome.observableFlip)
         ++stats.logicalErrors;
+}
+
+void
+MemoryExperiment::runGroup(uint64_t group, uint64_t width,
+                           const PolicyFactory &factory,
+                           ShotStats &stats) const
+{
+    const uint64_t first = group * width;
+    const int W = (int)std::min<uint64_t>(width, config_.shots - first);
+    const int n_stabs = code_.numStabilizers();
+    const int n_data = code_.numData();
+    const StabType primary = protectingStabType(config_.basis);
+    const bool swap_lrc = config_.protocol == RemovalProtocol::SwapLrc;
+
+    BatchFrameSimulator sim(code_.numQubits(), config_.em, W,
+                            config_.seed, first);
+    const uint64_t live = sim.liveMask();
+    // Each round emits one record per stabilizer plus one per distinct
+    // lane-divergent LRC tail (bounded by the stabilizer count again).
+    sim.reserveRecord((size_t)config_.rounds * 2 * n_stabs + n_data);
+
+    std::vector<std::unique_ptr<LrcPolicy>> policies;
+    std::vector<std::vector<LrcPair>> lrcs(W);
+    policies.reserve(W);
+    for (int l = 0; l < W; ++l) {
+        policies.push_back(factory());
+        lrcs[l] = policies[l]->firstRound();
+    }
+    const bool multi_level = policies[0]->usesMultiLevelReadout();
+
+    // The pre-readout segment (round start, data noise, basis changes,
+    // CNOT layers) is schedule-independent: build it once and replay it
+    // on all lanes every round.
+    const RoundSchedule plain = buildRoundSchedule(code_, 0, {});
+    size_t prefix_end = 0;
+    while (prefix_end < plain.ops.size() &&
+           plain.ops[prefix_end].type != OpType::Measure)
+        ++prefix_end;
+
+    RoundObservation obs;
+    obs.events.resize(n_stabs);
+    obs.leakedLabels.resize(n_stabs);
+    obs.hadLrc.resize(n_data);
+    obs.trueLeakedData.resize(n_data);
+
+    std::vector<uint64_t> flips(n_stabs), labels(n_stabs);
+    std::vector<uint64_t> prev_flips(n_stabs, 0);
+    std::vector<uint64_t> sched_mask(n_data);
+    std::vector<uint64_t> lrc_on_stab(n_stabs);
+    std::vector<ActiveLrc> active;
+    std::vector<int> stab_epoch(n_stabs, -1), data_epoch(n_data, -1);
+    int epoch = 0;
+
+    for (int r = 0; r < config_.rounds; ++r) {
+        // Collect this round's lane-divergent LRC assignments,
+        // mirroring buildRoundSchedule's per-lane validation.
+        std::fill(sched_mask.begin(), sched_mask.end(), 0);
+        std::fill(lrc_on_stab.begin(), lrc_on_stab.end(), 0);
+        active.clear();
+        for (int l = 0; l < W; ++l) {
+            ++epoch;
+            for (const auto &pair : lrcs[l]) {
+                fatalIf(pair.stab < 0 || pair.stab >= n_stabs,
+                        "LRC references an invalid stabilizer");
+                fatalIf(stab_epoch[pair.stab] == epoch,
+                        "two LRCs share one parity qubit in the same "
+                        "round");
+                fatalIf(data_epoch[pair.data] == epoch,
+                        "one data qubit has two LRCs in the same round");
+                stab_epoch[pair.stab] = epoch;
+                data_epoch[pair.data] = epoch;
+                const auto &support =
+                    code_.stabilizer(pair.stab).support;
+                fatalIf(std::find(support.begin(), support.end(),
+                                  pair.data) == support.end(),
+                        "LRC data qubit is not adjacent to its parity "
+                        "qubit");
+                const uint64_t bit = uint64_t{1} << l;
+                sched_mask[pair.data] |= bit;
+                lrc_on_stab[pair.stab] |= bit;
+                auto it = std::find_if(
+                    active.begin(), active.end(),
+                    [&](const ActiveLrc &a) {
+                        return a.stab == pair.stab &&
+                               a.data == pair.data;
+                    });
+                if (it == active.end())
+                    active.push_back({pair.stab, pair.data, bit});
+                else
+                    it->mask |= bit;
+            }
+            stats.lrcsScheduled += lrcs[l].size();
+        }
+
+        // Account the scheduling decisions against the ground truth at
+        // decision time (end of the previous round), word-wise.
+        for (int q = 0; q < n_data; ++q) {
+            const uint64_t scheduled = sched_mask[q];
+            const uint64_t is_leaked = sim.leakedWord(q) & live;
+            stats.tp += popcount64(scheduled & is_leaked);
+            stats.fp += popcount64(scheduled & ~is_leaked & live);
+            stats.fn += popcount64(~scheduled & is_leaked);
+            stats.tn += popcount64(~scheduled & ~is_leaked & live);
+        }
+
+        const size_t record_mark = sim.record().size();
+
+        // Static segment: fully vectorized across lanes.
+        sim.executeRange(plain.ops.data(),
+                         plain.ops.data() + prefix_end, live);
+
+        // Readout: plain stabilizers first (masked off the lanes whose
+        // policies LRC'd them under SwapLrc), then the divergent tails
+        // as masked ops.
+        for (const auto &stab : code_.stabilizers()) {
+            uint64_t m = live;
+            if (swap_lrc)
+                m &= ~lrc_on_stab[stab.index];
+            if (!m)
+                continue;
+            Op meas = makeOp(OpType::Measure, stab.ancilla);
+            meas.stab = stab.index;
+            meas.round = r;
+            sim.execute(meas, m);
+            sim.execute(makeOp(OpType::Reset, stab.ancilla), m);
+        }
+        for (const auto &a : active) {
+            const int parity = code_.stabilizer(a.stab).ancilla;
+            if (swap_lrc) {
+                // SWAP D <-> P, measure + reset D, MOV back -- with the
+                // ERASER+M in-round rule: lanes whose data readout is
+                // labelled |L> squash the MOV and reset P instead.
+                sim.execute(makeOp(OpType::Cnot, a.data, parity),
+                            a.mask);
+                sim.execute(makeOp(OpType::Cnot, parity, a.data),
+                            a.mask);
+                sim.execute(makeOp(OpType::Cnot, a.data, parity),
+                            a.mask);
+                Op meas = makeOp(OpType::Measure, a.data);
+                meas.stab = a.stab;
+                meas.round = r;
+                meas.lrcData = true;
+                sim.execute(meas, a.mask);
+                uint64_t squash = 0;
+                if (multi_level)
+                    squash = sim.record().back().leakedLabels & a.mask;
+                sim.execute(makeOp(OpType::Reset, a.data), a.mask);
+                if (a.mask & ~squash) {
+                    sim.execute(makeOp(OpType::Cnot, parity, a.data),
+                                a.mask & ~squash);
+                    sim.execute(makeOp(OpType::Cnot, a.data, parity),
+                                a.mask & ~squash);
+                }
+                if (squash)
+                    sim.execute(makeOp(OpType::Reset, parity),
+                                squash);
+            } else {
+                sim.execute(
+                    makeOp(OpType::LeakageIswap, a.data, parity),
+                    a.mask);
+                sim.execute(makeOp(OpType::Reset, parity), a.mask);
+            }
+        }
+
+        // Gather this round's syndrome words.
+        std::fill(flips.begin(), flips.end(), 0);
+        std::fill(labels.begin(), labels.end(), 0);
+        for (size_t i = record_mark; i < sim.record().size(); ++i) {
+            const auto &rec = sim.record()[i];
+            if (rec.stab < 0)
+                continue;
+            flips[rec.stab] =
+                (flips[rec.stab] & ~rec.mask) | rec.flips;
+            if (!rec.lrcData)
+                labels[rec.stab] =
+                    (labels[rec.stab] & ~rec.mask) | rec.leakedLabels;
+        }
+
+        if (config_.trackLpr) {
+            stats.lprData[r] += (double)sim.countLeaked(0, n_data);
+            stats.lprParity[r] +=
+                (double)sim.countLeaked(n_data, code_.numQubits());
+        }
+
+        // Materialize each lane's observation and let its policy adapt
+        // the next round -- the adaptive, scalar-side step.
+        for (int l = 0; l < W; ++l) {
+            for (int s = 0; s < n_stabs; ++s) {
+                const uint8_t f = (uint8_t)((flips[s] >> l) & 1);
+                if (r == 0) {
+                    // Only the protected-basis checks are deterministic
+                    // in the first round; the other basis starts random.
+                    obs.events[s] =
+                        code_.stabilizer(s).type == primary ? f : 0;
+                } else {
+                    obs.events[s] =
+                        f ^ (uint8_t)((prev_flips[s] >> l) & 1);
+                }
+                obs.leakedLabels[s] =
+                    (uint8_t)((labels[s] >> l) & 1);
+            }
+            obs.round = r;
+            std::fill(obs.hadLrc.begin(), obs.hadLrc.end(), 0);
+            for (const auto &pair : lrcs[l])
+                obs.hadLrc[pair.data] = 1;
+            for (int q = 0; q < n_data; ++q)
+                obs.trueLeakedData[q] = sim.leaked(q, l) ? 1 : 0;
+            lrcs[l] = policies[l]->nextRound(obs);
+        }
+        std::copy(flips.begin(), flips.end(), prev_flips.begin());
+    }
+
+    if (!config_.decode)
+        return;
+
+    auto final_ops =
+        buildFinalMeasurement(code_, config_.rounds, config_.basis);
+    sim.executeRange(final_ops.data(),
+                     final_ops.data() + final_ops.size(), live);
+
+    auto outcomes = extractDefectsBatched(
+        code_, config_.basis, config_.rounds, sim.record(), W);
+    for (int l = 0; l < W; ++l) {
+        const bool predicted = decoder_->decode(outcomes[l].defects);
+        if (predicted != outcomes[l].observableFlip)
+            ++stats.logicalErrors;
+    }
 }
 
 } // namespace qec

@@ -54,6 +54,13 @@ struct ExperimentConfig
     /** Collect the per-round leakage population series. */
     bool trackLpr = false;
     unsigned threads = 0;
+    /**
+     * Shots packed per simulator word (1..64). 1 selects the scalar
+     * per-shot path; >1 selects the bit-packed batch engine, which
+     * chunks shots into word-groups and is statistically equivalent
+     * (but not draw-for-draw identical) to the scalar path.
+     */
+    unsigned batchWidth = 1;
     DecoderOptions decoderOptions;
 };
 
@@ -107,9 +114,21 @@ class MemoryExperiment
     /** Run all shots under a policy kind. */
     ExperimentResult run(PolicyKind kind) const;
 
-    /** Run all shots with a custom policy factory. */
+    /**
+     * Run all shots with a custom policy factory. Dispatches to the
+     * batched engine when config().batchWidth > 1.
+     */
     ExperimentResult run(const PolicyFactory &factory,
                          const std::string &name) const;
+
+    /**
+     * Run all shots on the bit-packed batch engine regardless of
+     * config().batchWidth (word-group width = max(batchWidth, 1)).
+     * With width 1 this reproduces the scalar path draw-for-draw,
+     * which the differential tests rely on.
+     */
+    ExperimentResult runBatched(const PolicyFactory &factory,
+                                const std::string &name) const;
 
     const RotatedSurfaceCode & code() const { return code_; }
     const ExperimentConfig & config() const { return config_; }
@@ -121,6 +140,11 @@ class MemoryExperiment
     struct ShotStats;
     void runShot(uint64_t shot, const PolicyFactory &factory,
                  ShotStats &stats) const;
+    void runGroup(uint64_t group, uint64_t width,
+                  const PolicyFactory &factory, ShotStats &stats) const;
+    ExperimentResult resultHeader(const std::string &name) const;
+    void mergeStats(ExperimentResult &result,
+                    const ShotStats &stats) const;
 
     const RotatedSurfaceCode &code_;
     ExperimentConfig config_;

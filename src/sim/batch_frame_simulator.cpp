@@ -1,0 +1,415 @@
+#include "sim/batch_frame_simulator.h"
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+namespace
+{
+
+/** Salt separating the word-group mask stream from per-lane streams. */
+constexpr uint64_t kBatchStreamSalt = 0x9ec0ffeeb47c5a11ULL;
+
+inline uint64_t
+laneBit(int lane)
+{
+    return uint64_t{1} << lane;
+}
+
+inline int
+popcount(uint64_t word)
+{
+    return __builtin_popcountll(word);
+}
+
+} // namespace
+
+BatchFrameSimulator::BatchFrameSimulator(int num_qubits,
+                                         const ErrorModel &em,
+                                         int num_lanes, uint64_t seed,
+                                         uint64_t first_shot)
+    : numQubits_(num_qubits), numLanes_(num_lanes),
+      live_(laneMask(num_lanes)), em_(em),
+      batchRng_(Rng::forStream(seed, first_shot, kBatchStreamSalt)),
+      sampler_(&batchRng_)
+{
+    fatalIf(num_lanes < 1 || num_lanes > kMaxLanes,
+            "batch simulator needs 1..64 lanes");
+    if (numLanes_ == 1) {
+        // W=1 reference mode: the scalar simulator, seeded exactly as
+        // the scalar experiment path seeds this shot.
+        scalar_ = std::make_unique<FrameSimulator>(
+            num_qubits, em, Rng::forShot(seed, first_shot));
+        return;
+    }
+    laneRng_.reserve(numLanes_);
+    for (int l = 0; l < numLanes_; ++l)
+        laneRng_.push_back(Rng::forShot(seed, first_shot + l));
+    x_.assign(num_qubits, 0);
+    z_.assign(num_qubits, 0);
+    leaked_.assign(num_qubits, 0);
+}
+
+void
+BatchFrameSimulator::reset()
+{
+    record_.clear();
+    if (scalar_) {
+        scalar_->reset();
+        scalarSynced_ = 0;
+        return;
+    }
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+    std::fill(leaked_.begin(), leaked_.end(), 0);
+}
+
+uint64_t
+BatchFrameSimulator::xWord(int q) const
+{
+    return scalar_ ? (scalar_->xFrame(q) ? 1 : 0) : x_[q];
+}
+
+uint64_t
+BatchFrameSimulator::zWord(int q) const
+{
+    return scalar_ ? (scalar_->zFrame(q) ? 1 : 0) : z_[q];
+}
+
+uint64_t
+BatchFrameSimulator::leakedWord(int q) const
+{
+    return scalar_ ? (scalar_->leaked(q) ? 1 : 0) : leaked_[q];
+}
+
+bool
+BatchFrameSimulator::leaked(int q, int lane) const
+{
+    return (leakedWord(q) >> lane) & 1;
+}
+
+uint64_t
+BatchFrameSimulator::countLeaked(int first, int last) const
+{
+    if (scalar_)
+        return (uint64_t)scalar_->countLeaked(first, last);
+    uint64_t n = 0;
+    for (int q = first; q < last; ++q)
+        n += popcount(leaked_[q]);
+    return n;
+}
+
+void
+BatchFrameSimulator::injectPauli(int q, Pauli p, uint64_t mask)
+{
+    if (scalar_) {
+        if (mask & 1)
+            scalar_->injectPauli(q, p);
+        return;
+    }
+    if (p == Pauli::X || p == Pauli::Y)
+        x_[q] ^= mask & live_;
+    if (p == Pauli::Z || p == Pauli::Y)
+        z_[q] ^= mask & live_;
+}
+
+void
+BatchFrameSimulator::setLeaked(int q, bool leaked, uint64_t mask)
+{
+    if (scalar_) {
+        if (mask & 1)
+            scalar_->setLeaked(q, leaked);
+        return;
+    }
+    if (leaked)
+        leaked_[q] |= mask & live_;
+    else
+        leaked_[q] &= ~mask;
+}
+
+void
+BatchFrameSimulator::syncScalarRecord()
+{
+    const auto &scalar_record = scalar_->record();
+    for (; scalarSynced_ < scalar_record.size(); ++scalarSynced_) {
+        const MeasureRecord &rec = scalar_record[scalarSynced_];
+        BatchMeasureRecord batch;
+        batch.qubit = rec.qubit;
+        batch.stab = rec.stab;
+        batch.round = rec.round;
+        batch.finalData = rec.finalData;
+        batch.lrcData = rec.lrcData;
+        batch.mask = 1;
+        batch.flips = rec.flip ? 1 : 0;
+        batch.leakedLabels = rec.leakedLabel ? 1 : 0;
+        record_.push_back(batch);
+    }
+}
+
+void
+BatchFrameSimulator::depolarizePerLane(int q, uint64_t mask)
+{
+    while (mask) {
+        const int l = __builtin_ctzll(mask);
+        mask &= mask - 1;
+        const uint64_t b = laneBit(l);
+        // Uniform over {X, Y, Z}, matching the scalar draw order.
+        switch (laneRng_[l].randint(3)) {
+          case 0: x_[q] ^= b; break;
+          case 1: x_[q] ^= b; z_[q] ^= b; break;
+          default: z_[q] ^= b; break;
+        }
+    }
+}
+
+void
+BatchFrameSimulator::randomComputational(int q, uint64_t mask)
+{
+    leaked_[q] &= ~mask;
+    uint64_t m = mask;
+    while (m) {
+        const int l = __builtin_ctzll(m);
+        m &= m - 1;
+        const uint64_t b = laneBit(l);
+        x_[q] = (x_[q] & ~b) | (laneRng_[l].bit() ? b : 0);
+        z_[q] = (z_[q] & ~b) | (laneRng_[l].bit() ? b : 0);
+    }
+}
+
+void
+BatchFrameSimulator::maybeLeak(int q, uint64_t mask)
+{
+    if (!em_.leakageEnabled)
+        return;
+    const uint64_t m =
+        sampler_.draw(em_.leakInjectProb(), numLanes_) & mask &
+        ~leaked_[q];
+    leaked_[q] |= m;
+}
+
+void
+BatchFrameSimulator::maybeSeep(int q, uint64_t mask)
+{
+    const uint64_t leaked = leaked_[q] & mask;
+    if (!leaked)
+        return;
+    const uint64_t m =
+        sampler_.draw(em_.seepageProb(), numLanes_) & leaked;
+    if (m) {
+        // Seeped lanes return in a random computational state.
+        randomComputational(q, m);
+    }
+}
+
+void
+BatchFrameSimulator::opDataNoise(int q, uint64_t mask)
+{
+    const uint64_t depol =
+        sampler_.draw(em_.p, numLanes_) & mask & ~leaked_[q];
+    depolarizePerLane(q, depol);
+    maybeLeak(q, mask);
+    maybeSeep(q, mask);
+}
+
+void
+BatchFrameSimulator::opReset(int q, uint64_t mask)
+{
+    x_[q] &= ~mask;
+    z_[q] &= ~mask;
+    leaked_[q] &= ~mask;
+    // Initialization error: the qubit comes up in |1> with prob p.
+    x_[q] |= sampler_.draw(em_.p, numLanes_) & mask;
+}
+
+void
+BatchFrameSimulator::opH(int q, uint64_t mask)
+{
+    const uint64_t act = mask & ~leaked_[q];
+    const uint64_t xw = x_[q];
+    const uint64_t zw = z_[q];
+    x_[q] = (xw & ~act) | (zw & act);
+    z_[q] = (zw & ~act) | (xw & act);
+    depolarizePerLane(q, sampler_.draw(em_.p, numLanes_) & act);
+}
+
+void
+BatchFrameSimulator::twoQubitNoise(int a, int b, uint64_t mask)
+{
+    uint64_t m = sampler_.draw(em_.p, numLanes_) & mask;
+    while (m) {
+        const int l = __builtin_ctzll(m);
+        m &= m - 1;
+        const uint64_t bit = laneBit(l);
+        // One of the 15 non-identity two-qubit Paulis, uniformly.
+        const uint32_t pp = 1 + laneRng_[l].randint(15);
+        const uint32_t pa = pp & 3;
+        const uint32_t pb = (pp >> 2) & 3;
+        if (!(leaked_[a] & bit)) {
+            if (pa == 1 || pa == 2)
+                x_[a] ^= bit;
+            if (pa == 2 || pa == 3)
+                z_[a] ^= bit;
+        }
+        if (!(leaked_[b] & bit)) {
+            if (pb == 1 || pb == 2)
+                x_[b] ^= bit;
+            if (pb == 2 || pb == 3)
+                z_[b] ^= bit;
+        }
+    }
+    if (em_.leakageEnabled) {
+        maybeLeak(a, mask);
+        maybeLeak(b, mask);
+        maybeSeep(a, mask);
+        maybeSeep(b, mask);
+    }
+}
+
+void
+BatchFrameSimulator::opCnot(int c, int t, uint64_t mask)
+{
+    const uint64_t lc = leaked_[c];
+    const uint64_t lt = leaked_[t];
+    const uint64_t both_clean = mask & ~lc & ~lt;
+    x_[t] ^= x_[c] & both_clean;
+    z_[c] ^= z_[t] & both_clean;
+
+    // Exactly one operand leaked: the gate is uncalibrated for |L>, so
+    // the unleaked operand receives a uniformly random Pauli, and
+    // leakage may transport.
+    const uint64_t c_only = mask & lc & ~lt;
+    const uint64_t t_only = mask & lt & ~lc;
+    if (c_only) {
+        x_[t] ^= batchRng_.next() & c_only;
+        z_[t] ^= batchRng_.next() & c_only;
+    }
+    if (t_only) {
+        x_[c] ^= batchRng_.next() & t_only;
+        z_[c] ^= batchRng_.next() & t_only;
+    }
+    const uint64_t mixed = c_only | t_only;
+    if (mixed && em_.pTransport > 0.0) {
+        const uint64_t tr =
+            sampler_.draw(em_.pTransport, numLanes_) & mixed;
+        leaked_[t] |= tr & c_only;
+        leaked_[c] |= tr & t_only;
+        if (em_.transport == TransportModel::Exchange) {
+            const uint64_t src_c = tr & c_only;
+            if (src_c)
+                randomComputational(c, src_c);
+            const uint64_t src_t = tr & t_only;
+            if (src_t)
+                randomComputational(t, src_t);
+        }
+    }
+    // Lanes with both operands leaked see no frame action at all.
+    twoQubitNoise(c, t, mask);
+}
+
+void
+BatchFrameSimulator::opLeakageIswap(int d, int p, uint64_t mask)
+{
+    const uint64_t ld = leaked_[d];
+    const uint64_t lp = leaked_[p];
+
+    // DQLR moves the data qubit's leakage onto the (just reset) parity
+    // qubit; the data qubit returns to a random computational state.
+    const uint64_t move = mask & ld & ~lp;
+    if (move) {
+        leaked_[p] |= move;
+        randomComputational(d, move);
+    }
+
+    // Reset failure left the parity qubit in |1>: the iSWAP acts in the
+    // |11>/|20> subspace and can excite the data qubit to |L>.
+    const uint64_t excitable = mask & ~ld & ~lp & x_[p];
+    if (excitable && em_.leakageEnabled && em_.dqlrExciteProb > 0.0) {
+        leaked_[d] |=
+            sampler_.draw(em_.dqlrExciteProb, numLanes_) & excitable;
+    }
+    // The op has CNOT-class fidelity (Section A.2.2).
+    twoQubitNoise(d, p, mask);
+}
+
+void
+BatchFrameSimulator::opMeasure(const Op &op, bool x_basis,
+                               uint64_t mask)
+{
+    const int q = op.q0;
+    const uint64_t frame = x_basis ? z_[q] : x_[q];
+    const uint64_t lk = leaked_[q] & mask;
+
+    // Unleaked lanes report the frame; a two-level discriminator
+    // classifies |L> randomly, and the multi-level discriminator flags
+    // |L> unless it errs.
+    uint64_t flips = frame & ~leaked_[q] & mask;
+    uint64_t labels = 0;
+    if (lk) {
+        flips |= batchRng_.next() & lk;
+        labels =
+            lk & ~sampler_.draw(em_.multiLevelMissProb(), numLanes_);
+    }
+    flips ^= sampler_.draw(em_.p, numLanes_) & mask;
+
+    BatchMeasureRecord rec;
+    rec.qubit = q;
+    rec.stab = op.stab;
+    rec.round = op.round;
+    rec.finalData = op.finalData;
+    rec.lrcData = op.lrcData;
+    rec.mask = mask;
+    rec.flips = flips;
+    rec.leakedLabels = labels;
+    record_.push_back(rec);
+}
+
+void
+BatchFrameSimulator::execute(const Op &op, uint64_t mask)
+{
+    mask &= live_;
+    if (scalar_) {
+        if (mask & 1) {
+            scalar_->execute(op);
+            syncScalarRecord();
+        }
+        return;
+    }
+    if (!mask)
+        return;
+    switch (op.type) {
+      case OpType::RoundStart:
+        break;
+      case OpType::DataNoise:
+        opDataNoise(op.q0, mask);
+        break;
+      case OpType::Reset:
+        opReset(op.q0, mask);
+        break;
+      case OpType::H:
+        opH(op.q0, mask);
+        break;
+      case OpType::Cnot:
+        opCnot(op.q0, op.q1, mask);
+        break;
+      case OpType::LeakageIswap:
+        opLeakageIswap(op.q0, op.q1, mask);
+        break;
+      case OpType::Measure:
+        opMeasure(op, false, mask);
+        break;
+      case OpType::MeasureX:
+        opMeasure(op, true, mask);
+        break;
+    }
+}
+
+void
+BatchFrameSimulator::executeRange(const Op *begin, const Op *end,
+                                  uint64_t mask)
+{
+    for (const Op *op = begin; op != end; ++op)
+        execute(*op, mask);
+}
+
+} // namespace qec

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Bit-packed batched Pauli-frame simulator: W shots per machine word.
+ *
+ * Where FrameSimulator stores one byte per qubit per flag and runs one
+ * shot at a time, this engine packs up to 64 shots ("lanes") into one
+ * uint64_t per qubit per bit-plane (X frame, Z frame, leaked), the bulk
+ * Pauli-frame layout popularized by Stim. Static circuit structure —
+ * CNOT frame propagation, Hadamard plane swaps, resets — executes as a
+ * handful of word ops for all lanes at once; noise is sampled as
+ * Bernoulli *masks* via BernoulliMaskSampler, so at p = 1e-3 the cost
+ * of a noisy location is amortized across the whole word.
+ *
+ * Leakage breaks pure lockstep: ERASER adapts each shot's LRC schedule
+ * from that shot's own syndrome, and leaked qubits respond to gates
+ * differently per lane. Divergence is handled two ways:
+ *
+ *  - Within an op, leakage-dependent behaviour becomes masked word
+ *    arithmetic (e.g. a CNOT propagates frames on the both-clean lane
+ *    set and randomizes the clean operand on the exactly-one-leaked
+ *    set). Rare per-lane events (depolarizing hits, seepage returns)
+ *    fall back to per-lane draws from lane-split RNG streams.
+ *  - Across ops, every execute() takes a lane-activation mask, so the
+ *    experiment layer can run policy-divergent LRC/DQLR insertions
+ *    only on the lanes whose policies scheduled them.
+ *
+ * With num_lanes == 1 the engine delegates to the scalar FrameSimulator
+ * seeded exactly as MemoryExperiment seeds shot `first_shot`; the
+ * scalar simulator is thereby the W=1 reference implementation, which
+ * differential tests exploit to check the batched experiment
+ * orchestration bit-for-bit against the scalar path.
+ */
+
+#ifndef QEC_SIM_BATCH_FRAME_SIMULATOR_H
+#define QEC_SIM_BATCH_FRAME_SIMULATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "code/circuit.h"
+#include "code/types.h"
+#include "sim/bit_mask_sampler.h"
+#include "sim/error_model.h"
+#include "sim/frame_simulator.h"
+
+namespace qec
+{
+
+/** One measurement across all lanes: per-lane outcome bits packed into
+ *  words, plus the lane set for which the measurement happened. */
+struct BatchMeasureRecord
+{
+    int qubit = -1;
+    int stab = -1;            ///< Stabilizer reported (-1 for finals).
+    int round = -1;
+    bool finalData = false;
+    bool lrcData = false;     ///< Data qubit measured for an LRC.
+    uint64_t mask = 0;        ///< Lanes that executed this measurement.
+    uint64_t flips = 0;       ///< Flip bits; zero outside `mask`.
+    uint64_t leakedLabels = 0; ///< |L> labels; zero outside `mask`.
+};
+
+/**
+ * Executes circuits over W parallel shots. Lane l simulates global
+ * shot `first_shot + l` of the experiment identified by `seed`.
+ * One instance per word-group; not thread-safe across word-groups.
+ */
+class BatchFrameSimulator
+{
+  public:
+    /** Maximum lanes per word (bits in the plane word type). */
+    static constexpr int kMaxLanes = 64;
+
+    BatchFrameSimulator(int num_qubits, const ErrorModel &em,
+                        int num_lanes, uint64_t seed,
+                        uint64_t first_shot);
+
+    // The sampler holds a pointer into this object's RNG; copies would
+    // keep drawing from (and later dangle on) the source's stream.
+    BatchFrameSimulator(const BatchFrameSimulator &) = delete;
+    BatchFrameSimulator & operator=(const BatchFrameSimulator &)
+        = delete;
+
+    /** Clear frames, leakage and the measurement record. */
+    void reset();
+
+    /** Execute one operation on a subset of lanes. */
+    void execute(const Op &op, uint64_t mask);
+    /** Execute one operation on all live lanes. */
+    void execute(const Op &op) { execute(op, live_); }
+
+    /** Execute a span of operations on a subset of lanes. */
+    void executeRange(const Op *begin, const Op *end, uint64_t mask);
+    void
+    executeRange(const Op *begin, const Op *end)
+    {
+        executeRange(begin, end, live_);
+    }
+
+    const std::vector<BatchMeasureRecord> &
+    record() const
+    {
+        return record_;
+    }
+
+    /** Pre-size the record so the round loop never reallocates it. */
+    void
+    reserveRecord(size_t measurements)
+    {
+        record_.reserve(record_.size() + measurements);
+    }
+
+    int numQubits() const { return numQubits_; }
+    int numLanes() const { return numLanes_; }
+    /** Mask with one bit set per live lane. */
+    uint64_t liveMask() const { return live_; }
+
+    /** Per-qubit plane words (bits above numLanes() are zero). */
+    uint64_t xWord(int q) const;
+    uint64_t zWord(int q) const;
+    uint64_t leakedWord(int q) const;
+    bool leaked(int q, int lane) const;
+
+    /** Total leaked (qubit, lane) pairs in a qubit range. */
+    uint64_t countLeaked(int first, int last) const;
+
+    /** Test/DEM hook: XOR a Pauli into the frame on masked lanes. */
+    void injectPauli(int q, Pauli p, uint64_t mask);
+    /** Test hook: force leakage state on masked lanes. */
+    void setLeaked(int q, bool leaked, uint64_t mask);
+
+    const ErrorModel & errorModel() const { return em_; }
+
+  private:
+    void opDataNoise(int q, uint64_t mask);
+    void opReset(int q, uint64_t mask);
+    void opH(int q, uint64_t mask);
+    void opCnot(int c, int t, uint64_t mask);
+    void opLeakageIswap(int d, int p, uint64_t mask);
+    void opMeasure(const Op &op, bool x_basis, uint64_t mask);
+
+    void twoQubitNoise(int a, int b, uint64_t mask);
+    void maybeLeak(int q, uint64_t mask);
+    void maybeSeep(int q, uint64_t mask);
+    /** Per-lane uniform {I,X,Y,Z} depolarizing on masked lanes. */
+    void depolarizePerLane(int q, uint64_t mask);
+    /** Random computational state relative to the reference. */
+    void randomComputational(int q, uint64_t mask);
+
+    /** Mirror any new scalar-mode records into batch records. */
+    void syncScalarRecord();
+
+    int numQubits_;
+    int numLanes_;
+    uint64_t live_;
+    ErrorModel em_;
+    Rng batchRng_;
+    BernoulliMaskSampler sampler_;
+    std::vector<Rng> laneRng_;
+    std::vector<uint64_t> x_;
+    std::vector<uint64_t> z_;
+    std::vector<uint64_t> leaked_;
+    std::vector<BatchMeasureRecord> record_;
+
+    /** W=1 reference mode: delegate to the scalar simulator. */
+    std::unique_ptr<FrameSimulator> scalar_;
+    size_t scalarSynced_ = 0;
+};
+
+} // namespace qec
+
+#endif // QEC_SIM_BATCH_FRAME_SIMULATOR_H

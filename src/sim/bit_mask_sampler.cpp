@@ -1,0 +1,98 @@
+#include "sim/bit_mask_sampler.h"
+
+#include <cmath>
+
+namespace qec
+{
+
+BernoulliMaskSampler::Stream &
+BernoulliMaskSampler::streamFor(double p)
+{
+    for (auto &stream : streams_) {
+        if (stream.p == p)
+            return stream;
+    }
+    Stream stream;
+    stream.p = p;
+    stream.log1mp = std::log1p(-p);
+    streams_.push_back(stream);
+    auto &created = streams_.back();
+    created.skip = sampleGap(created);
+    return created;
+}
+
+uint64_t
+BernoulliMaskSampler::sampleGap(const Stream &stream)
+{
+    // Number of failures before the next success of a Bernoulli(p)
+    // stream: floor(log(U) / log(1-p)) with U uniform on (0, 1].
+    double u = (double)(rng_->next() >> 11) * 0x1.0p-53;
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    const double gap = std::log(u) / stream.log1mp;
+    // Clamp: a gap beyond any realistic trial horizon means "never".
+    if (gap >= 0x1.0p62)
+        return uint64_t{1} << 62;
+    return (uint64_t)gap;
+}
+
+uint64_t
+BernoulliMaskSampler::drawRare(Stream &stream, int nlanes)
+{
+    const uint64_t n = (uint64_t)nlanes;
+    if (stream.skip >= n) {
+        stream.skip -= n;
+        return 0;
+    }
+    uint64_t mask = 0;
+    uint64_t pos = stream.skip;
+    while (pos < n) {
+        mask |= uint64_t{1} << pos;
+        pos += 1 + sampleGap(stream);
+    }
+    stream.skip = pos - n;
+    return mask;
+}
+
+uint64_t
+BernoulliMaskSampler::drawDense(double p, int nlanes)
+{
+    // Lane-parallel evaluation of U < p by comparing binary digits of
+    // each lane's uniform U against the digits of p, most significant
+    // first. `eq` holds lanes whose digits so far equal p's prefix.
+    uint64_t lt = 0;
+    uint64_t eq = laneMask(nlanes);
+    double frac = p;
+    for (int i = 0; i < 64 && eq != 0; ++i) {
+        frac *= 2.0;
+        const bool digit = frac >= 1.0;
+        if (digit)
+            frac -= 1.0;
+        const uint64_t w = rng_->next();
+        if (digit) {
+            lt |= eq & ~w;
+            eq &= w;
+        } else {
+            eq &= ~w;
+        }
+        if (frac <= 0.0)
+            break;
+    }
+    // Exhausted digits with lanes still equal: U == p exactly, not
+    // less-than; those lanes stay clear.
+    return lt;
+}
+
+uint64_t
+BernoulliMaskSampler::draw(double p, int nlanes)
+{
+    if (p <= 0.0 || nlanes <= 0)
+        return 0;
+    if (p >= 1.0)
+        return laneMask(nlanes);
+    if (p < kRareThreshold)
+        return drawRare(streamFor(p), nlanes);
+    return drawDense(p, nlanes);
+}
+
+} // namespace qec

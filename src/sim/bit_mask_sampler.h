@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Vectorized Bernoulli sampling over 64 lanes at once.
+ *
+ * The batch frame simulator asks, for every noisy circuit location,
+ * "which of my W packed shots suffer this error?" — a 64-bit mask whose
+ * bit l is 1 with probability p, independently per lane. Drawing 64
+ * scalar Bernoulli trials would erase the advantage of bit-packing, so
+ * two word-level strategies are used, picked by probability:
+ *
+ *  - Rare events (p below ~2%): geometric gap skipping over a
+ *    persistent virtual trial stream, the technique Stim's bulk
+ *    samplers use. The amortized cost is proportional to the number of
+ *    *hits*, so at p = 1e-3 a mask over 64 lanes costs a fraction of
+ *    one RNG draw.
+ *  - Dense events: a bitwise comparison U < p evaluated lane-parallel
+ *    by streaming the binary expansion of p against uniform words. The
+ *    still-equal lane set halves each step, so ~8 words resolve all 64
+ *    lanes exactly (to double precision).
+ */
+
+#ifndef QEC_SIM_BIT_MASK_SAMPLER_H
+#define QEC_SIM_BIT_MASK_SAMPLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace qec
+{
+
+class BernoulliMaskSampler
+{
+  public:
+    /** @param rng Source of raw words; not owned, must outlive this. */
+    explicit BernoulliMaskSampler(Rng *rng) : rng_(rng) {}
+
+    /**
+     * A word whose low `nlanes` bits are independent Bernoulli(p)
+     * draws (higher bits are zero). Streams are kept per distinct
+     * probability so rare-event skips carry across calls.
+     */
+    uint64_t draw(double p, int nlanes);
+
+    /** Probability below which the geometric skip path is used. */
+    static constexpr double kRareThreshold = 0.02;
+
+  private:
+    struct Stream
+    {
+        double p = 0.0;
+        double log1mp = 0.0;   ///< log(1 - p), cached.
+        uint64_t skip = 0;     ///< Trials remaining before the next hit.
+    };
+
+    Stream & streamFor(double p);
+    uint64_t sampleGap(const Stream &stream);
+    uint64_t drawRare(Stream &stream, int nlanes);
+    uint64_t drawDense(double p, int nlanes);
+
+    Rng *rng_;
+    std::vector<Stream> streams_;
+};
+
+/** Mask with the low `nlanes` bits set (nlanes in [0, 64]). */
+inline uint64_t
+laneMask(int nlanes)
+{
+    return nlanes >= 64 ? ~uint64_t{0} : ((uint64_t{1} << nlanes) - 1);
+}
+
+} // namespace qec
+
+#endif // QEC_SIM_BIT_MASK_SAMPLER_H

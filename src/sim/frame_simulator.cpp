@@ -268,6 +268,7 @@ FrameSimulator::run(const Circuit &circuit)
     panicIf(circuit.numQubits > numQubits(),
             "circuit uses more qubits than the simulator holds");
     reset();
+    record_.reserve(circuit.countMeasurements());
     if (!circuit.ops.empty())
         executeRange(circuit.ops.data(),
                      circuit.ops.data() + circuit.ops.size());

@@ -70,6 +70,12 @@ class FrameSimulator
     /** Measurement record accumulated so far. */
     const std::vector<MeasureRecord> & record() const { return record_; }
 
+    /** Pre-size the record so the shot loop never reallocates it. */
+    void reserveRecord(size_t measurements)
+    {
+        record_.reserve(record_.size() + measurements);
+    }
+
     int numQubits() const { return (int)leaked_.size(); }
     bool leaked(int q) const { return leaked_[q] != 0; }
     bool xFrame(int q) const { return x_[q] != 0; }

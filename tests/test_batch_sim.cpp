@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Batch engine tests, in three tiers:
+ *
+ *  1. BernoulliMaskSampler: both sampling strategies hit their target
+ *     rates and respect lane bounds.
+ *  2. BatchFrameSimulator word semantics: masked propagation truth
+ *     tables and per-lane leakage statistics at W=64.
+ *  3. Differential: the batched experiment path at width 1 reproduces
+ *     the scalar path draw-for-draw (the scalar FrameSimulator is the
+ *     W=1 reference implementation), and at W=64 it agrees with the
+ *     scalar path statistically on LER and LPR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decoder/defects.h"
+#include "exp/memory_experiment.h"
+#include "sim/batch_frame_simulator.h"
+#include "sim/bit_mask_sampler.h"
+
+namespace qec
+{
+namespace
+{
+
+Op
+op(OpType type, int q0, int q1 = -1)
+{
+    Op o;
+    o.type = type;
+    o.q0 = q0;
+    o.q1 = q1;
+    return o;
+}
+
+int
+pop(uint64_t w)
+{
+    return __builtin_popcountll(w);
+}
+
+// ------------------------------------------------------------- sampler
+
+TEST(MaskSampler, RareRateMatches)
+{
+    Rng rng(7);
+    BernoulliMaskSampler sampler(&rng);
+    const double p = 0.005;   // rare path (geometric skipping)
+    ASSERT_LT(p, BernoulliMaskSampler::kRareThreshold);
+    int64_t hits = 0;
+    const int64_t draws = 20000;
+    for (int64_t i = 0; i < draws; ++i)
+        hits += pop(sampler.draw(p, 64));
+    const double mean = (double)draws * 64 * p;
+    EXPECT_NEAR((double)hits, mean, 5 * std::sqrt(mean));
+}
+
+TEST(MaskSampler, DenseRateMatches)
+{
+    Rng rng(8);
+    BernoulliMaskSampler sampler(&rng);
+    const double p = 0.3;     // dense path (digit comparison)
+    int64_t hits = 0;
+    const int64_t draws = 4000;
+    for (int64_t i = 0; i < draws; ++i)
+        hits += pop(sampler.draw(p, 64));
+    const double mean = (double)draws * 64 * p;
+    EXPECT_NEAR((double)hits, mean, 5 * std::sqrt(mean * (1 - p)));
+}
+
+TEST(MaskSampler, RespectsLaneBounds)
+{
+    Rng rng(9);
+    BernoulliMaskSampler sampler(&rng);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(sampler.draw(0.004, 10) & ~laneMask(10), 0u);
+        EXPECT_EQ(sampler.draw(0.6, 10) & ~laneMask(10), 0u);
+    }
+    EXPECT_EQ(sampler.draw(0.0, 64), 0u);
+    EXPECT_EQ(sampler.draw(1.0, 64), ~uint64_t{0});
+    EXPECT_EQ(sampler.draw(1.0, 7), laneMask(7));
+}
+
+// ------------------------------------------------- word-level semantics
+
+TEST(BatchSim, MaskedCnotPropagatesPerLane)
+{
+    BatchFrameSimulator sim(2, ErrorModel::noiseless(), 64, 1, 0);
+    const uint64_t injected = 0x00000000FFFFFFFFull;
+    const uint64_t gate = 0x0000FFFFFFFF0000ull;
+    sim.injectPauli(0, Pauli::X, injected);
+    sim.execute(op(OpType::Cnot, 0, 1), gate);
+    EXPECT_EQ(sim.xWord(0), injected);
+    EXPECT_EQ(sim.xWord(1), injected & gate);
+}
+
+TEST(BatchSim, MaskedCnotPropagatesZBackwardPerLane)
+{
+    BatchFrameSimulator sim(2, ErrorModel::noiseless(), 64, 1, 0);
+    const uint64_t injected = 0xF0F0F0F0F0F0F0F0ull;
+    const uint64_t gate = 0xFF00FF00FF00FF00ull;
+    sim.injectPauli(1, Pauli::Z, injected);
+    sim.execute(op(OpType::Cnot, 0, 1), gate);
+    EXPECT_EQ(sim.zWord(1), injected);
+    EXPECT_EQ(sim.zWord(0), injected & gate);
+}
+
+TEST(BatchSim, HadamardSwapsPlanesOnMaskedLanes)
+{
+    BatchFrameSimulator sim(1, ErrorModel::noiseless(), 64, 1, 0);
+    const uint64_t injected = ~uint64_t{0};
+    const uint64_t gate = 0x123456789ABCDEF0ull;
+    sim.injectPauli(0, Pauli::X, injected);
+    sim.execute(op(OpType::H, 0), gate);
+    EXPECT_EQ(sim.xWord(0), ~gate);
+    EXPECT_EQ(sim.zWord(0), gate);
+}
+
+TEST(BatchSim, MaskedResetClearsOnlyMaskedLanes)
+{
+    BatchFrameSimulator sim(1, ErrorModel::noiseless(), 64, 1, 0);
+    sim.injectPauli(0, Pauli::Y, ~uint64_t{0});
+    sim.setLeaked(0, true, ~uint64_t{0});
+    const uint64_t gate = 0x00FF00FF00FF00FFull;
+    sim.execute(op(OpType::Reset, 0), gate);
+    EXPECT_EQ(sim.xWord(0), ~gate);
+    EXPECT_EQ(sim.zWord(0), ~gate);
+    EXPECT_EQ(sim.leakedWord(0), ~gate);
+}
+
+TEST(BatchSim, LeakedLanesBlockPropagation)
+{
+    ErrorModel em = ErrorModel::noiseless();
+    em.leakageEnabled = true;
+    em.pTransport = 0.0;
+    BatchFrameSimulator sim(2, em, 64, 1, 0);
+    const uint64_t both_leaked = 0xFFFF000000000000ull;
+    sim.setLeaked(0, true, both_leaked);
+    sim.setLeaked(1, true, both_leaked);
+    sim.injectPauli(0, Pauli::X, ~uint64_t{0});
+    sim.execute(op(OpType::Cnot, 0, 1), ~uint64_t{0});
+    // Lanes with both operands leaked see no frame action at all.
+    EXPECT_EQ(sim.xWord(1) & both_leaked, 0u);
+    EXPECT_EQ(sim.xWord(1) & ~both_leaked, ~both_leaked);
+}
+
+TEST(BatchSim, ConservativeTransportGrowsLeakageAcrossLanes)
+{
+    ErrorModel em = ErrorModel::noiseless();
+    em.leakageEnabled = true;
+    em.pTransport = 0.1;
+    int64_t transported = 0;
+    const int iterations = 400;
+    for (int i = 0; i < iterations; ++i) {
+        BatchFrameSimulator sim(2, em, 64, 1000 + i, 0);
+        sim.setLeaked(0, true, ~uint64_t{0});
+        sim.execute(op(OpType::Cnot, 0, 1), ~uint64_t{0});
+        EXPECT_EQ(sim.leakedWord(0), ~uint64_t{0});
+        transported += pop(sim.leakedWord(1));
+    }
+    const double n = 64.0 * iterations;
+    EXPECT_NEAR((double)transported, n * 0.1,
+                5 * std::sqrt(n * 0.1 * 0.9));
+}
+
+TEST(BatchSim, ExchangeTransportPreservesLeakageCount)
+{
+    ErrorModel em = ErrorModel::noiseless();
+    em.leakageEnabled = true;
+    em.pTransport = 0.1;
+    em.transport = TransportModel::Exchange;
+    for (int i = 0; i < 200; ++i) {
+        BatchFrameSimulator sim(2, em, 64, 2000 + i, 0);
+        sim.setLeaked(0, true, ~uint64_t{0});
+        sim.execute(op(OpType::Cnot, 0, 1), ~uint64_t{0});
+        // Exchange never duplicates leakage: exactly one of the two
+        // operands is leaked in every lane.
+        EXPECT_EQ(sim.leakedWord(0) ^ sim.leakedWord(1), ~uint64_t{0});
+    }
+}
+
+TEST(BatchSim, LeakedMeasurementIsRandomPerLane)
+{
+    BatchFrameSimulator sim(1, ErrorModel::noiseless(), 64, 5, 0);
+    sim.setLeaked(0, true, ~uint64_t{0});
+    int64_t flips = 0;
+    const int iterations = 400;
+    for (int i = 0; i < iterations; ++i) {
+        sim.execute(op(OpType::Measure, 0), ~uint64_t{0});
+        flips += pop(sim.record().back().flips);
+    }
+    const double n = 64.0 * iterations;
+    EXPECT_NEAR((double)flips, n / 2, 5 * std::sqrt(n / 4));
+}
+
+TEST(BatchSim, MultiLevelLabelsFlagLeakedLanes)
+{
+    ErrorModel em = ErrorModel::standard(1e-3);
+    BatchFrameSimulator sim(1, em, 64, 5, 0);
+    const uint64_t leaked = 0xFFFFFFFF00000000ull;
+    int64_t labels = 0, clean_labels = 0;
+    const int iterations = 600;
+    for (int i = 0; i < iterations; ++i) {
+        sim.setLeaked(0, true, leaked);
+        sim.setLeaked(0, false, ~leaked);
+        sim.execute(op(OpType::Measure, 0), ~uint64_t{0});
+        labels += pop(sim.record().back().leakedLabels & leaked);
+        clean_labels += pop(sim.record().back().leakedLabels & ~leaked);
+    }
+    EXPECT_EQ(clean_labels, 0);
+    const double n = 32.0 * iterations;
+    const double miss = em.multiLevelMissProb();
+    EXPECT_NEAR((double)labels, n * (1 - miss),
+                5 * std::sqrt(n * miss * (1 - miss)) + 5);
+}
+
+TEST(BatchSim, NoiselessMemoryCircuitIsDeterministicAtW64)
+{
+    RotatedSurfaceCode code(3);
+    Circuit circuit = buildMemoryCircuit(code, 4, Basis::Z);
+    BatchFrameSimulator sim(code.numQubits(),
+                            ErrorModel::noiseless(), 64, 99, 0);
+    sim.executeRange(circuit.ops.data(),
+                     circuit.ops.data() + circuit.ops.size());
+    for (const auto &rec : sim.record())
+        ASSERT_EQ(rec.flips, 0u);
+    auto outcomes =
+        extractDefectsBatched(code, Basis::Z, 4, sim.record(), 64);
+    ASSERT_EQ(outcomes.size(), 64u);
+    for (const auto &outcome : outcomes) {
+        EXPECT_TRUE(outcome.defects.empty());
+        EXPECT_FALSE(outcome.observableFlip);
+    }
+}
+
+// ---------------------------------------------------- differential W=1
+
+ExperimentConfig
+diffConfig(RemovalProtocol protocol)
+{
+    ExperimentConfig cfg;
+    cfg.rounds = 5;
+    cfg.shots = 24;
+    cfg.seed = 4242;
+    cfg.em = ErrorModel::standard(2e-3);
+    cfg.protocol = protocol;
+    cfg.trackLpr = true;
+    cfg.batchWidth = 1;
+    return cfg;
+}
+
+void
+expectExactMatch(const ExperimentConfig &cfg, PolicyKind kind)
+{
+    RotatedSurfaceCode code(3);
+    MemoryExperiment exp(code, cfg);
+    const bool every_round = cfg.protocol == RemovalProtocol::Dqlr;
+    auto factory =
+        makePolicyFactory(kind, code, exp.lookup(), every_round);
+
+    auto scalar = exp.run(factory, "scalar");
+    auto batched = exp.runBatched(factory, "batched");
+
+    EXPECT_EQ(scalar.logicalErrors, batched.logicalErrors);
+    EXPECT_EQ(scalar.tp, batched.tp);
+    EXPECT_EQ(scalar.fp, batched.fp);
+    EXPECT_EQ(scalar.tn, batched.tn);
+    EXPECT_EQ(scalar.fn, batched.fn);
+    EXPECT_EQ(scalar.lrcsScheduled, batched.lrcsScheduled);
+    ASSERT_EQ(scalar.lprDataSum.size(), batched.lprDataSum.size());
+    for (size_t r = 0; r < scalar.lprDataSum.size(); ++r) {
+        EXPECT_DOUBLE_EQ(scalar.lprDataSum[r], batched.lprDataSum[r]);
+        EXPECT_DOUBLE_EQ(scalar.lprParitySum[r],
+                         batched.lprParitySum[r]);
+    }
+}
+
+TEST(BatchDifferential, Width1MatchesScalarSwapLrc)
+{
+    for (PolicyKind kind :
+         {PolicyKind::Never, PolicyKind::Always, PolicyKind::Eraser,
+          PolicyKind::EraserM, PolicyKind::Optimal}) {
+        expectExactMatch(diffConfig(RemovalProtocol::SwapLrc), kind);
+    }
+}
+
+TEST(BatchDifferential, Width1MatchesScalarDqlr)
+{
+    auto cfg = diffConfig(RemovalProtocol::Dqlr);
+    cfg.em.transport = TransportModel::Exchange;
+    for (PolicyKind kind : {PolicyKind::Always, PolicyKind::Eraser,
+                            PolicyKind::EraserM, PolicyKind::Optimal}) {
+        expectExactMatch(cfg, kind);
+    }
+}
+
+TEST(BatchDifferential, Width1MatchesScalarMemoryX)
+{
+    auto cfg = diffConfig(RemovalProtocol::SwapLrc);
+    cfg.basis = Basis::X;
+    expectExactMatch(cfg, PolicyKind::Eraser);
+}
+
+// --------------------------------------------- statistical W=64 checks
+
+TEST(BatchDifferential, W64LerAgreesWithScalar)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 5;
+    cfg.shots = 4000;
+    cfg.seed = 777;
+    cfg.em = ErrorModel::standard(5e-3);
+    MemoryExperiment exp(code, cfg);
+
+    auto scalar = exp.run(PolicyKind::Eraser);
+
+    cfg.batchWidth = 64;
+    MemoryExperiment batched_exp(code, cfg);
+    auto batched = batched_exp.run(PolicyKind::Eraser);
+
+    ASSERT_GT(scalar.logicalErrors, 0u);
+    ASSERT_GT(batched.logicalErrors, 0u);
+    const double p_pool =
+        (scalar.ler() + batched.ler()) / 2.0;
+    const double sigma = std::sqrt(2.0 * p_pool * (1 - p_pool) /
+                                   (double)cfg.shots);
+    EXPECT_NEAR(scalar.ler(), batched.ler(), 5 * sigma);
+}
+
+TEST(BatchDifferential, W64LprAgreesWithScalar)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 8;
+    cfg.shots = 10000;
+    cfg.seed = 778;
+    cfg.em = ErrorModel::standard(1e-2);
+    cfg.decode = false;
+    cfg.trackLpr = true;
+    MemoryExperiment exp(code, cfg);
+
+    auto scalar = exp.run(PolicyKind::Never);
+
+    cfg.batchWidth = 64;
+    MemoryExperiment batched_exp(code, cfg);
+    auto batched = batched_exp.run(PolicyKind::Never);
+
+    // Leakage accumulates without LRCs; the two engines must agree on
+    // the whole population trace within sampling error.
+    for (int r = 1; r < cfg.rounds; ++r) {
+        const double a = scalar.lprData(r);
+        const double b = batched.lprData(r);
+        ASSERT_GT(a, 0.0);
+        ASSERT_GT(b, 0.0);
+        const double trials =
+            (double)cfg.shots * code.numData();
+        const double p_pool = (a + b) / 2.0;
+        const double sigma =
+            std::sqrt(2.0 * p_pool * (1 - p_pool) / trials);
+        EXPECT_NEAR(a, b, 6 * sigma + 1e-9)
+            << "round " << r;
+    }
+}
+
+TEST(BatchDifferential, PartialWordGroupsCoverAllShots)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 4;
+    cfg.shots = 53;   // 17-lane groups: 17 + 17 + 17 + 2
+    cfg.seed = 31;
+    cfg.em = ErrorModel::standard(2e-3);
+    cfg.batchWidth = 17;
+    MemoryExperiment exp(code, cfg);
+    auto result = exp.run(PolicyKind::Eraser);
+    EXPECT_EQ(result.shots, cfg.shots);
+    EXPECT_EQ(result.tp + result.fp + result.tn + result.fn,
+              cfg.shots * (uint64_t)cfg.rounds *
+                  (uint64_t)code.numData());
+    EXPECT_EQ(result.tp + result.fp, result.lrcsScheduled);
+}
+
+TEST(BatchDifferential, BatchedRunIsDeterministic)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 4;
+    cfg.shots = 200;
+    cfg.seed = 99;
+    cfg.em = ErrorModel::standard(3e-3);
+    cfg.batchWidth = 64;
+    MemoryExperiment exp(code, cfg);
+    auto a = exp.run(PolicyKind::EraserM);
+    auto b = exp.run(PolicyKind::EraserM);
+    EXPECT_EQ(a.logicalErrors, b.logicalErrors);
+    EXPECT_EQ(a.lrcsScheduled, b.lrcsScheduled);
+    EXPECT_EQ(a.tp, b.tp);
+    EXPECT_EQ(a.fn, b.fn);
+}
+
+} // namespace
+} // namespace qec
