@@ -67,7 +67,10 @@ main()
     ps_cfg.rounds = 50;
     ps_cfg.shots = scaledShots(3000);
     ps_cfg.seed = 100;
+    ps_cfg.batchWidth = 64;   // batched sim + decode pipeline
+    ShotRateTimer ps_timer;
     auto ps = runPostSelectedExperiment(small, ps_cfg);
+    ps_timer.report(ps_cfg.shots, "post-selection (batched pipeline)");
 
     MemoryExperiment small_exp(small, ps_cfg);
     auto small_eraser = small_exp.run(PolicyKind::Eraser);

@@ -25,6 +25,8 @@ main()
     ExperimentResult d11_always;
     ExperimentResult d11_eraser;
     ExperimentResult d11_eraser_m;
+    ShotRateTimer timer;
+    uint64_t shots_run = 0;
     for (int d : {3, 5, 7, 9, 11}) {
         RotatedSurfaceCode code(d);
         ExperimentConfig cfg;
@@ -32,7 +34,9 @@ main()
         cfg.shots = scaledShots(4000 / (uint64_t)d);
         cfg.seed = 16000 + d;
         cfg.decode = false;
+        cfg.batchWidth = 64;   // bit-packed batch engine
         MemoryExperiment exp(code, cfg);
+        shots_run += 4 * cfg.shots;
 
         auto always = exp.run(PolicyKind::Always);
         auto eraser = exp.run(PolicyKind::Eraser);
@@ -49,6 +53,8 @@ main()
             d11_eraser_m = eraser_m;
         }
     }
+
+    timer.report(shots_run, "fig16 sweep (batched engine)");
 
     std::printf("\nFPR / FNR at d = 11 over 10 QEC cycles:\n");
     std::printf("%14s %10s %10s\n", "policy", "FPR", "FNR");

@@ -23,6 +23,8 @@ main()
     std::printf("%4s %8s %12s %12s %12s %12s %18s\n", "d", "shots",
                 "Always", "ERASER", "ERASER+M", "Optimal",
                 "ERASER/Always gain");
+    ShotRateTimer fig17_timer;
+    uint64_t fig17_shots = 0;
     for (int d : {3, 5, 7, 9, 11}) {
         RotatedSurfaceCode code(d);
         ExperimentConfig cfg;
@@ -31,7 +33,9 @@ main()
         cfg.em.transport = TransportModel::Exchange;
         cfg.shots = scaledShots(90000 / (uint64_t)(d * d));
         cfg.seed = 17000 + d;
+        cfg.batchWidth = 64;   // bit-packed batch engine + decode
         MemoryExperiment exp(code, cfg);
+        fig17_shots += 4 * cfg.shots;
 
         auto always = exp.run(PolicyKind::Always);
         auto eraser = exp.run(PolicyKind::Eraser);
@@ -45,6 +49,8 @@ main()
                     ratioCell(always, eraser).c_str());
     }
 
+    fig17_timer.report(fig17_shots, "fig17 sweep (batched sim+decode)");
+
     // Fig. 18: LPR over 110 rounds, d=11.
     RotatedSurfaceCode code(11);
     ExperimentConfig cfg;
@@ -54,6 +60,7 @@ main()
     cfg.decode = false;
     cfg.trackLpr = true;
     cfg.em.transport = TransportModel::Exchange;
+    cfg.batchWidth = 64;
     MemoryExperiment exp(code, cfg);
     auto always = exp.run(PolicyKind::Always);
     auto eraser = exp.run(PolicyKind::Eraser);

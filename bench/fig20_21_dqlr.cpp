@@ -24,6 +24,8 @@ main()
     std::printf("%4s %8s %12s %12s %12s %12s %16s\n", "d", "shots",
                 "DQLR", "ERASER", "ERASER+M", "Optimal",
                 "DQLR/ERASER gain");
+    ShotRateTimer fig20_timer;
+    uint64_t fig20_shots = 0;
     for (int d : {3, 5, 7, 9, 11}) {
         RotatedSurfaceCode code(d);
         ExperimentConfig cfg;
@@ -33,7 +35,9 @@ main()
         cfg.em.transport = TransportModel::Exchange;
         cfg.shots = scaledShots(90000 / (uint64_t)(d * d));
         cfg.seed = 20000 + d;
+        cfg.batchWidth = 64;   // bit-packed batch engine + decode
         MemoryExperiment exp(code, cfg);
+        fig20_shots += 4 * cfg.shots;
 
         auto dqlr = exp.run(PolicyKind::Always);     // every round
         auto eraser = exp.run(PolicyKind::Eraser);
@@ -47,6 +51,8 @@ main()
                     ratioCell(dqlr, eraser).c_str());
     }
 
+    fig20_timer.report(fig20_shots, "fig20 sweep (batched sim+decode)");
+
     // Fig. 21: LPR over 110 rounds at d=11.
     RotatedSurfaceCode code(11);
     ExperimentConfig cfg;
@@ -57,6 +63,7 @@ main()
     cfg.trackLpr = true;
     cfg.protocol = RemovalProtocol::Dqlr;
     cfg.em.transport = TransportModel::Exchange;
+    cfg.batchWidth = 64;
     MemoryExperiment exp(code, cfg);
     auto dqlr = exp.run(PolicyKind::Always);
     auto eraser = exp.run(PolicyKind::Eraser);

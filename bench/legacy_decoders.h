@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Frozen PR 1 decoder implementations, kept verbatim as the perf
+ * baseline for the batch-aware decode pipeline.
+ *
+ * These are the decoders as they existed before the zero-allocation
+ * rewrite: per-decode heap allocation of every scratch array, a
+ * vector-of-vectors adjacency (Union-Find), and a per-shot boundary
+ * search instead of the persistent boundary-distance cache (MWPM).
+ * perf_components injects them through MemoryExperiment's decoder
+ * factory so BENCH_decode.json always measures the real PR 1 decode
+ * cost on the current machine, not a number remembered from an old
+ * run. Not used by any product path.
+ */
+
+#ifndef QEC_BENCH_LEGACY_DECODERS_H
+#define QEC_BENCH_LEGACY_DECODERS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "base/logging.h"
+#include "decoder/decoder_base.h"
+#include "decoder/detector_model.h"
+#include "decoder/matching.h"
+
+namespace qec
+{
+
+/** PR 1 Union-Find decoder: allocates all cluster state per decode. */
+class LegacyUnionFindDecoder : public Decoder
+{
+  public:
+    LegacyUnionFindDecoder(const DetectorModel &dem, double p)
+        : numDets_(dem.numDetectors()),
+          boundaryVertex_(dem.numDetectors())
+    {
+        incident_.resize(numDets_ + 1);
+        for (const auto &edge : dem.edges) {
+            if (edge.probability(p) <= 0.0)
+                continue;
+            const int v =
+                edge.b == kBoundary ? boundaryVertex_ : edge.b;
+            const int index = (int)edges_.size();
+            edges_.push_back({edge.a, v,
+                              edge.obsFlip ? (uint8_t)1 : (uint8_t)0});
+            incident_[edge.a].push_back(index);
+            incident_[v].push_back(index);
+        }
+    }
+
+    bool
+    decodeSparse(const int *defect_ids, size_t count,
+                 DecodeWorkspace &) const override
+    {
+        const std::vector<int> defects(defect_ids,
+                                       defect_ids + count);
+        if (defects.empty())
+            return false;
+
+        const int n = numDets_ + 1;
+
+        std::vector<int> parent(n);
+        for (int v = 0; v < n; ++v)
+            parent[v] = v;
+        auto find = [&](int v) {
+            while (parent[v] != v) {
+                parent[v] = parent[parent[v]];
+                v = parent[v];
+            }
+            return v;
+        };
+
+        std::vector<uint8_t> is_defect(n, 0);
+        for (int det : defects)
+            is_defect[det] = 1;
+
+        std::vector<int> odd(n, 0);
+        std::vector<uint8_t> on_boundary(n, 0);
+        std::vector<std::vector<int>> frontier(n);
+        std::vector<uint8_t> in_cluster(n, 0);
+        std::vector<uint8_t> expanded(n, 0);
+        std::vector<uint8_t> grown(edges_.size(), 0);
+
+        std::vector<int> active;
+        for (int det : defects) {
+            odd[det] = 1;
+            in_cluster[det] = 1;
+            frontier[det].push_back(det);
+            active.push_back(det);
+        }
+        in_cluster[boundaryVertex_] = 1;
+        on_boundary[boundaryVertex_] = 1;
+
+        auto merge = [&](int a, int b) {
+            a = find(a);
+            b = find(b);
+            if (a == b)
+                return a;
+            if (frontier[a].size() < frontier[b].size())
+                std::swap(a, b);
+            parent[b] = a;
+            odd[a] ^= odd[b];
+            on_boundary[a] |= on_boundary[b];
+            frontier[a].insert(frontier[a].end(),
+                               frontier[b].begin(),
+                               frontier[b].end());
+            frontier[b].clear();
+            return a;
+        };
+
+        while (!active.empty()) {
+            std::vector<int> next_active;
+            bool grew_any = false;
+            for (int root : active) {
+                int r = find(root);
+                if (r != root || !odd[r] || on_boundary[r])
+                    continue;
+                std::vector<int> to_expand;
+                to_expand.swap(frontier[r]);
+                for (int u : to_expand) {
+                    if (expanded[u])
+                        continue;
+                    expanded[u] = 1;
+                    grew_any = true;
+                    for (int ei : incident_[u]) {
+                        if (grown[ei])
+                            continue;
+                        grown[ei] = 1;
+                        const auto &edge = edges_[ei];
+                        const int w = edge.u == u ? edge.v : edge.u;
+                        if (!in_cluster[w]) {
+                            in_cluster[w] = 1;
+                            const int rr = find(u);
+                            frontier[rr].push_back(w);
+                            parent[w] = rr;
+                        } else {
+                            merge(u, w);
+                        }
+                    }
+                }
+                r = find(root);
+                if (odd[r] && !on_boundary[r])
+                    next_active.push_back(r);
+            }
+            std::sort(next_active.begin(), next_active.end());
+            next_active.erase(std::unique(next_active.begin(),
+                                          next_active.end()),
+                              next_active.end());
+            active.clear();
+            for (int r : next_active) {
+                if (find(r) == r && odd[r] && !on_boundary[r])
+                    active.push_back(r);
+            }
+            panicIf(!active.empty() && !grew_any,
+                    "odd cluster cannot reach the boundary");
+        }
+
+        std::vector<int> tree_parent_edge(n, -1);
+        std::vector<uint8_t> visited(n, 0);
+        std::vector<int> order;
+        order.reserve(n);
+
+        auto bfs = [&](int root) {
+            visited[root] = 1;
+            std::vector<int> queue = {root};
+            size_t head = 0;
+            while (head < queue.size()) {
+                const int u = queue[head++];
+                order.push_back(u);
+                for (int ei : incident_[u]) {
+                    if (!grown[ei])
+                        continue;
+                    const auto &edge = edges_[ei];
+                    const int w = edge.u == u ? edge.v : edge.u;
+                    if (visited[w])
+                        continue;
+                    visited[w] = 1;
+                    tree_parent_edge[w] = ei;
+                    queue.push_back(w);
+                }
+            }
+        };
+
+        bfs(boundaryVertex_);
+        for (int det : defects) {
+            if (!visited[det])
+                bfs(det);
+        }
+
+        bool obs = false;
+        std::vector<uint8_t> charge = is_defect;
+        for (size_t i = order.size(); i-- > 0;) {
+            const int v = order[i];
+            const int ei = tree_parent_edge[v];
+            if (ei < 0)
+                continue;
+            if (!charge[v])
+                continue;
+            const auto &edge = edges_[ei];
+            const int parent_v = edge.u == v ? edge.v : edge.u;
+            charge[v] = 0;
+            charge[parent_v] ^= 1;
+            obs ^= (edge.obs != 0);
+        }
+        return obs;
+    }
+
+  private:
+    struct Edge
+    {
+        int u;
+        int v;
+        uint8_t obs;
+    };
+
+    int numDets_ = 0;
+    int boundaryVertex_ = 0;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> incident_;
+};
+
+/** PR 1 MWPM decoder: per-shot boundary search, per-decode scratch. */
+class LegacyMwpmDecoder : public Decoder
+{
+  public:
+    LegacyMwpmDecoder(const DetectorModel &dem, double p,
+                      int neighbor_limit = 12,
+                      int settle_cap = 1 << 20)
+        : numDets_(dem.numDetectors()),
+          neighborLimit_(neighbor_limit), settleCap_(settle_cap),
+          adj_(dem.numDetectors()), boundaryW_(dem.numDetectors(), kInf),
+          boundaryObs_(dem.numDetectors(), 0)
+    {
+        for (const auto &edge : dem.edges) {
+            const double q = edge.probability(p);
+            if (q <= 0.0)
+                continue;
+            const float w = (float)edgeWeight(q);
+            if (edge.b == kBoundary) {
+                if (w < boundaryW_[edge.a]) {
+                    boundaryW_[edge.a] = w;
+                    boundaryObs_[edge.a] = edge.obsFlip ? 1 : 0;
+                }
+                continue;
+            }
+            adj_[edge.a].push_back({edge.b, w, edge.obsFlip});
+            adj_[edge.b].push_back({edge.a, w, edge.obsFlip});
+        }
+    }
+
+    bool
+    decodeSparse(const int *defect_ids, size_t count,
+                 DecodeWorkspace &) const override
+    {
+        const std::vector<int> defects(defect_ids,
+                                       defect_ids + count);
+        const int n = (int)defects.size();
+        if (n == 0)
+            return false;
+
+        std::vector<int> defect_of(numDets_, -1);
+        for (int i = 0; i < n; ++i)
+            defect_of[defects[i]] = i;
+
+        struct Candidate
+        {
+            double w;
+            uint8_t obs;
+            bool valid = false;
+        };
+        std::vector<std::vector<std::pair<int, Candidate>>> cand(n);
+        std::vector<double> bdist(n);
+        std::vector<uint8_t> bobs(n, 0);
+
+        std::vector<double> dist(numDets_);
+        std::vector<uint8_t> obspar(numDets_);
+        std::vector<int> stamp(numDets_, -1);
+        std::vector<uint8_t> settled(numDets_, 0);
+
+        using QItem = std::pair<double, int>;
+        std::priority_queue<QItem, std::vector<QItem>,
+                            std::greater<>> pq;
+
+        for (int i = 0; i < n; ++i) {
+            const int src = defects[i];
+            while (!pq.empty())
+                pq.pop();
+
+            dist[src] = 0.0;
+            obspar[src] = 0;
+            stamp[src] = i;
+            settled[src] = 0;
+            pq.push({0.0, src});
+
+            double best_boundary = kInf;
+            uint8_t best_boundary_obs = 0;
+            int found = 0;
+            int settled_count = 0;
+
+            while (!pq.empty()) {
+                auto [d, u] = pq.top();
+                pq.pop();
+                if (stamp[u] != i || settled[u] || d > dist[u])
+                    continue;
+                settled[u] = 1;
+                ++settled_count;
+
+                if (d >= best_boundary && found >= neighborLimit_)
+                    break;
+
+                if (boundaryW_[u] < kInf &&
+                    d + boundaryW_[u] < best_boundary) {
+                    best_boundary = d + boundaryW_[u];
+                    best_boundary_obs = obspar[u] ^ boundaryObs_[u];
+                }
+                const int j = defect_of[u];
+                if (j >= 0 && j != i) {
+                    ++found;
+                    if (i < j)
+                        cand[i].push_back({j, {d, obspar[u], true}});
+                    else
+                        cand[j].push_back({i, {d, obspar[u], true}});
+                    if (found >= neighborLimit_ &&
+                        best_boundary < kInf)
+                        break;
+                }
+                if (settled_count >= settleCap_)
+                    break;
+
+                for (const auto &nbr : adj_[u]) {
+                    const double nd = d + nbr.w;
+                    if (nd >= best_boundary + best_boundary &&
+                        found >= neighborLimit_)
+                        continue;
+                    if (stamp[nbr.to] != i) {
+                        stamp[nbr.to] = i;
+                        settled[nbr.to] = 0;
+                        dist[nbr.to] = nd;
+                        obspar[nbr.to] = obspar[u] ^ nbr.obs;
+                        pq.push({nd, nbr.to});
+                    } else if (nd < dist[nbr.to] && !settled[nbr.to]) {
+                        dist[nbr.to] = nd;
+                        obspar[nbr.to] = obspar[u] ^ nbr.obs;
+                        pq.push({nd, nbr.to});
+                    }
+                }
+            }
+            bdist[i] = std::min(best_boundary, kMaxWeight);
+            bobs[i] = best_boundary_obs;
+        }
+
+        std::vector<MatchEdge> edges;
+        std::vector<std::pair<std::pair<int, int>, uint8_t>> pair_obs;
+        for (int i = 0; i < n; ++i) {
+            std::sort(cand[i].begin(), cand[i].end(),
+                      [](const auto &x, const auto &y) {
+                          return x.first < y.first ||
+                                 (x.first == y.first &&
+                                  x.second.w < y.second.w);
+                      });
+            int last = -1;
+            for (const auto &[j, c] : cand[i]) {
+                if (j == last)
+                    continue;
+                last = j;
+                edges.push_back({i, j, scaled(c.w)});
+                edges.push_back({n + i, n + j, 0});
+                pair_obs.push_back({{i, j}, c.obs});
+            }
+            edges.push_back({i, n + i, scaled(bdist[i])});
+        }
+
+        auto partner = minWeightPerfectMatching(2 * n, edges);
+
+        bool obs = false;
+        for (int i = 0; i < n; ++i) {
+            const int m = partner[i];
+            if (m == n + i) {
+                obs ^= (bobs[i] != 0);
+            } else if (m > i && m < n) {
+                for (const auto &[key, po] : pair_obs) {
+                    if (key.first == i && key.second == m) {
+                        obs ^= (po != 0);
+                        break;
+                    }
+                }
+            }
+        }
+        return obs;
+    }
+
+  private:
+    static constexpr float kInf =
+        std::numeric_limits<float>::infinity();
+    static constexpr double kMaxWeight = 1.0e6;
+
+    static double
+    edgeWeight(double q)
+    {
+        q = std::min(std::max(q, 1.0e-12), 0.499999);
+        return std::log((1.0 - q) / q);
+    }
+    static int64_t
+    scaled(double w)
+    {
+        w = std::min(w, kMaxWeight);
+        return (int64_t)std::llround(w * 1024.0);
+    }
+
+    struct Nbr
+    {
+        int to;
+        float w;
+        uint8_t obs;
+    };
+
+    int numDets_ = 0;
+    int neighborLimit_;
+    int settleCap_;
+    std::vector<std::vector<Nbr>> adj_;
+    std::vector<float> boundaryW_;
+    std::vector<uint8_t> boundaryObs_;
+};
+
+} // namespace qec
+
+#endif // QEC_BENCH_LEGACY_DECODERS_H

@@ -3,21 +3,39 @@
  * google-benchmark microbenchmarks of the latency-critical components:
  * the speculation + insertion path (the paper's 5 ns FPGA budget and
  * ~120 ns control window, Section 4.3), one syndrome extraction round
- * of the frame simulator, a full-shot MWPM decode, and the blossom
- * matcher on decoder-shaped instances.
+ * of the frame simulator, full-shot MWPM / Union-Find decodes (one-off
+ * vs reusable-workspace), the blossom matcher on decoder-shaped
+ * instances, and end-to-end decoded memory sweeps comparing the
+ * scalar decode-per-shot loop against the batch-aware decode pipeline
+ * (sparse syndromes + zero-defect fast path + dedup cache +
+ * allocation-free workspaces).
+ *
+ * After the benchmarks run, main() emits BENCH_decode.json (override
+ * the path with ERASER_BENCH_JSON, skip with ERASER_SKIP_DECODE_JSON)
+ * with machine-readable scalar-vs-batched decode throughput and cache
+ * hit rates, so the perf trajectory is tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "base/rng.h"
 #include "code/builder.h"
 #include "code/rotated_surface_code.h"
 #include "core/policies.h"
+#include "decoder/batch_decoder.h"
 #include "decoder/defects.h"
 #include "decoder/detector_model.h"
 #include "decoder/matching.h"
 #include "decoder/mwpm_decoder.h"
+#include "decoder/union_find_decoder.h"
 #include "exp/memory_experiment.h"
+#include "legacy_decoders.h"
 #include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
 
@@ -126,26 +144,34 @@ BENCHMARK(BM_MemoryExperimentEraser)
     ->ArgName("width")->Arg(1)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
-void
-BM_DecodeShot(benchmark::State &state)
+/** Pre-sampled realistic defect sets at p=1e-3. */
+std::vector<std::vector<int>>
+sampleShots(const RotatedSurfaceCode &code, int rounds, int count)
 {
-    // Decode realistic defect sets: pre-sample shots at p=1e-3.
-    const int d = (int)state.range(0);
-    const int rounds = 3 * d;
-    RotatedSurfaceCode code(d);
     Circuit circuit = buildMemoryCircuit(code, rounds, Basis::Z);
-    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
-    MwpmDecoder decoder(dem, 1e-3);
-
     std::vector<std::vector<int>> shots;
     FrameSimulator sim(code.numQubits(), ErrorModel::standard(1e-3),
                        Rng(3));
-    for (int i = 0; i < 32; ++i) {
+    for (int i = 0; i < count; ++i) {
         sim.run(circuit);
         shots.push_back(
             extractDefects(code, Basis::Z, rounds, sim.record())
                 .defects);
     }
+    return shots;
+}
+
+void
+BM_DecodeShot(benchmark::State &state)
+{
+    // One-off MWPM decode: throwaway workspace per call (the scalar
+    // path's cost model).
+    const int d = (int)state.range(0);
+    const int rounds = 3 * d;
+    RotatedSurfaceCode code(d);
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+    auto shots = sampleShots(code, rounds, 32);
 
     size_t i = 0;
     for (auto _ : state) {
@@ -155,6 +181,118 @@ BM_DecodeShot(benchmark::State &state)
 }
 BENCHMARK(BM_DecodeShot)->Arg(3)->Arg(7)->Arg(11)
     ->Unit(benchmark::kMicrosecond);
+
+void
+BM_DecodeShotWorkspace(benchmark::State &state)
+{
+    // Same shots through decodeSparse with a persistent workspace:
+    // the batch pipeline's per-shot cost model (no dedup cache).
+    const int d = (int)state.range(0);
+    const int rounds = 3 * d;
+    RotatedSurfaceCode code(d);
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+    auto shots = sampleShots(code, rounds, 32);
+
+    DecodeWorkspace ws;
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &defects = shots[i & 31];
+        benchmark::DoNotOptimize(
+            decoder.decodeSparse(defects.data(), defects.size(), ws));
+        ++i;
+    }
+}
+BENCHMARK(BM_DecodeShotWorkspace)->Arg(3)->Arg(7)->Arg(11)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_UnionFindDecodeShot(benchmark::State &state)
+{
+    // Union-Find one-off vs workspace decode; arg1 selects the mode.
+    const int d = (int)state.range(0);
+    const bool workspace = state.range(1) != 0;
+    const int rounds = 3 * d;
+    RotatedSurfaceCode code(d);
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    UnionFindDecoder decoder(dem, 1e-3);
+    auto shots = sampleShots(code, rounds, 32);
+
+    DecodeWorkspace ws;
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &defects = shots[i & 31];
+        if (workspace)
+            benchmark::DoNotOptimize(decoder.decodeSparse(
+                defects.data(), defects.size(), ws));
+        else
+            benchmark::DoNotOptimize(decoder.decode(defects));
+        ++i;
+    }
+}
+BENCHMARK(BM_UnionFindDecodeShot)
+    ->ArgNames({"d", "ws"})
+    ->Args({7, 0})->Args({7, 1})->Args({11, 0})->Args({11, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * End-to-end decoded throughput of the paper's headline d=11 ERASER
+ * memory experiment. mode 0: all-scalar (PR 0 baseline); mode 1:
+ * batched sim + scalar decode-per-shot loop (PR 1 baseline); mode 2:
+ * batched sim + batch-aware decode pipeline. The mode1 -> mode2
+ * shots/s ratio is the decode-pipeline speedup.
+ */
+void
+BM_MemoryExperimentEraserDecoded(benchmark::State &state)
+{
+    const int d = 11;
+    const int mode = (int)state.range(0);
+    const bool union_find = state.range(1) != 0;
+    RotatedSurfaceCode code(d);
+    ExperimentConfig cfg;
+    cfg.rounds = d;
+    cfg.shots = 128;
+    cfg.seed = 11;
+    cfg.em = ErrorModel::standard(1e-3);
+    cfg.decode = true;
+    cfg.decoderKind = union_find ? DecoderKind::UnionFind
+                                 : DecoderKind::Mwpm;
+    cfg.batchWidth = mode == 0 ? 1 : 64;
+    cfg.batchDecode = mode == 2;
+    // Modes 0/1 decode with the frozen PR 1 decoders so the mode
+    // ratios track real cross-PR speedups.
+    const DecoderFactory legacy_factory =
+        [union_find](const DetectorModel &dem,
+                     double p) -> std::unique_ptr<Decoder> {
+        if (union_find)
+            return std::make_unique<LegacyUnionFindDecoder>(dem, p);
+        return std::make_unique<LegacyMwpmDecoder>(dem, p);
+    };
+    MemoryExperiment exp =
+        mode == 2 ? MemoryExperiment(code, cfg)
+                  : MemoryExperiment(code, cfg, legacy_factory);
+
+    uint64_t shots = 0;
+    ExperimentResult last;
+    for (auto _ : state) {
+        last = exp.run(PolicyKind::Eraser);
+        benchmark::DoNotOptimize(last.logicalErrors);
+        shots += last.shots;
+    }
+    state.counters["shots/s"] = benchmark::Counter(
+        (double)shots, benchmark::Counter::kIsRate);
+    state.counters["cache_hit_rate"] =
+        benchmark::Counter(last.syndromeCacheHitRate());
+    state.counters["zero_defect_frac"] = benchmark::Counter(
+        last.shots == 0 ? 0.0
+                        : (double)last.zeroDefectShots /
+                              (double)last.shots);
+}
+BENCHMARK(BM_MemoryExperimentEraserDecoded)
+    ->ArgNames({"mode", "uf"})
+    ->Args({0, 0})->Args({1, 0})->Args({2, 0})
+    ->Args({0, 1})->Args({1, 1})->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_BlossomDecoderShaped(benchmark::State &state)
@@ -190,6 +328,118 @@ BM_DemBuildTiled(benchmark::State &state)
 BENCHMARK(BM_DemBuildTiled)->Arg(3)->Arg(5)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Machine-readable decode-throughput tracking: run the decoded ERASER
+ * memory sweep at d = 7/9/11 for both decoders, once with the frozen
+ * PR 1 decoders in the scalar decode-per-shot loop (the PR 1
+ * baseline, re-measured on the current machine) and once with the
+ * batch-aware pipeline, and write shots/s, speedup, cache hit rate
+ * and zero-defect fraction as JSON.
+ */
+void
+emitDecodeJson()
+{
+    if (std::getenv("ERASER_SKIP_DECODE_JSON"))
+        return;
+    const char *path_env = std::getenv("ERASER_BENCH_JSON");
+    const std::string path =
+        path_env ? path_env : "BENCH_decode.json";
+    FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+
+    auto shots_per_sec = [](const RotatedSurfaceCode &code,
+                            const ExperimentConfig &cfg,
+                            const DecoderFactory *legacy,
+                            ExperimentResult *result_out) {
+        MemoryExperiment exp =
+            legacy ? MemoryExperiment(code, cfg, *legacy)
+                   : MemoryExperiment(code, cfg);
+        const auto start = std::chrono::steady_clock::now();
+        auto result = exp.run(PolicyKind::Eraser);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                start)
+                                .count();
+        if (result_out)
+            *result_out = result;
+        return (double)result.shots / (secs > 0.0 ? secs : 1e-9);
+    };
+
+    std::fprintf(out,
+                 "{\n  \"bench\": \"decoded d-sweep, ERASER policy, "
+                 "rounds=3d, batchWidth=64; scalar = frozen PR1 "
+                 "decoders + decode-per-shot loop\",\n"
+                 "  \"entries\": [\n");
+    bool first = true;
+    for (bool union_find : {false, true}) {
+        const DecoderFactory legacy_factory =
+            [union_find](const DetectorModel &dem,
+                         double p) -> std::unique_ptr<Decoder> {
+            if (union_find)
+                return std::make_unique<LegacyUnionFindDecoder>(dem,
+                                                                p);
+            return std::make_unique<LegacyMwpmDecoder>(dem, p);
+        };
+        for (double p : {1e-3, 1e-4}) {
+            for (int d : {7, 9, 11}) {
+                RotatedSurfaceCode code(d);
+                ExperimentConfig cfg;
+                cfg.rounds = 3 * d;
+                cfg.shots = d >= 11 ? 192 : (d >= 9 ? 320 : 512);
+                cfg.seed = 4000 + d;
+                cfg.em = ErrorModel::standard(p);
+                cfg.decode = true;
+                cfg.decoderKind = union_find
+                    ? DecoderKind::UnionFind : DecoderKind::Mwpm;
+                cfg.batchWidth = 64;
+
+                cfg.batchDecode = false;
+                const double scalar_rate = shots_per_sec(
+                    code, cfg, &legacy_factory, nullptr);
+                cfg.batchDecode = true;
+                ExperimentResult batched;
+                const double batched_rate =
+                    shots_per_sec(code, cfg, nullptr, &batched);
+
+                std::fprintf(
+                    out,
+                    "%s    {\"decoder\": \"%s\", \"p\": %.0e, "
+                    "\"d\": %d, \"rounds\": %d, \"shots\": %llu, "
+                    "\"scalar_shots_per_s\": %.1f, "
+                    "\"batched_shots_per_s\": %.1f, "
+                    "\"speedup\": %.2f, "
+                    "\"cache_hit_rate\": %.4f, "
+                    "\"zero_defect_frac\": %.4f}",
+                    first ? "" : ",\n",
+                    union_find ? "union_find" : "mwpm", p, d,
+                    cfg.rounds, (unsigned long long)cfg.shots,
+                    scalar_rate, batched_rate,
+                    batched_rate / scalar_rate,
+                    batched.syndromeCacheHitRate(),
+                    (double)batched.zeroDefectShots /
+                        (double)batched.shots);
+                first = false;
+            }
+        }
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitDecodeJson();
+    return 0;
+}

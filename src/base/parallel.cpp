@@ -12,17 +12,34 @@ defaultThreadCount()
     return hw == 0 ? 1 : hw;
 }
 
+unsigned
+resolveThreadCount(uint64_t count, unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultThreadCount();
+    num_threads = (unsigned)std::min<uint64_t>(num_threads, count);
+    return num_threads == 0 ? 1 : num_threads;
+}
+
 void
 parallelFor(uint64_t count, const std::function<void(uint64_t)> &body,
             unsigned num_threads)
 {
-    if (num_threads == 0)
-        num_threads = defaultThreadCount();
-    num_threads = std::min<uint64_t>(num_threads, count);
+    parallelForWorkers(
+        count, [&](unsigned, uint64_t i) { body(i); }, num_threads);
+}
+
+void
+parallelForWorkers(
+    uint64_t count,
+    const std::function<void(unsigned worker, uint64_t index)> &body,
+    unsigned num_threads)
+{
+    num_threads = resolveThreadCount(count, num_threads);
 
     if (num_threads <= 1) {
         for (uint64_t i = 0; i < count; ++i)
-            body(i);
+            body(0, i);
         return;
     }
 
@@ -30,12 +47,12 @@ parallelFor(uint64_t count, const std::function<void(uint64_t)> &body,
     std::vector<std::thread> workers;
     workers.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t) {
-        workers.emplace_back([&]() {
+        workers.emplace_back([&, t]() {
             while (true) {
                 uint64_t i = cursor.fetch_add(1);
                 if (i >= count)
                     return;
-                body(i);
+                body(t, i);
             }
         });
     }

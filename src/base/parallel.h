@@ -32,6 +32,24 @@ void parallelFor(uint64_t count,
                  const std::function<void(uint64_t)> &body,
                  unsigned num_threads = 0);
 
+/**
+ * Worker count parallelFor/parallelForWorkers will actually use for
+ * `count` items (never more workers than items, at least 1). Callers
+ * size per-worker state with this before launching.
+ */
+unsigned resolveThreadCount(uint64_t count, unsigned num_threads);
+
+/**
+ * Like parallelFor, but the body also receives the worker index in
+ * [0, resolveThreadCount(count, num_threads)), so callers can give
+ * each worker its own reusable context (decoder workspaces, caches)
+ * without locking. Work item i still always receives index i.
+ */
+void parallelForWorkers(
+    uint64_t count,
+    const std::function<void(unsigned worker, uint64_t index)> &body,
+    unsigned num_threads = 0);
+
 } // namespace qec
 
 #endif // QEC_BASE_PARALLEL_H

@@ -1,0 +1,55 @@
+#include "decoder/batch_decoder.h"
+
+namespace qec
+{
+
+BatchDecoder::BatchDecoder(const Decoder &decoder,
+                           SyndromeCacheOptions cache_options)
+    : decoder_(decoder), cache_(cache_options)
+{
+}
+
+bool
+BatchDecoder::decodeCached(uint64_t hash, const int *defects,
+                           size_t count)
+{
+    bool verdict = false;
+    if (cache_.lookup(hash, defects, count, verdict)) {
+        ++stats_.cacheHits;
+        return verdict;
+    }
+    verdict = decoder_.decodeSparse(defects, count, workspace_);
+    ++stats_.decoded;
+    cache_.insert(hash, defects, count, verdict);
+    return verdict;
+}
+
+uint64_t
+BatchDecoder::decodeBatch(const BatchSyndrome &batch)
+{
+    uint64_t predictions = 0;
+    for (int l = 0; l < batch.numLanes; ++l) {
+        ++stats_.shots;
+        const size_t count = batch.laneSize(l);
+        if (count == 0) {
+            ++stats_.zeroDefect;   // fast path: predict "no flip"
+            continue;
+        }
+        if (decodeCached(batch.laneHash[l], batch.laneBegin(l), count))
+            predictions |= uint64_t{1} << l;
+    }
+    return predictions;
+}
+
+bool
+BatchDecoder::decodeOne(const int *defects, size_t count)
+{
+    ++stats_.shots;
+    if (count == 0) {
+        ++stats_.zeroDefect;
+        return false;
+    }
+    return decodeCached(syndromeHash(defects, count), defects, count);
+}
+
+} // namespace qec

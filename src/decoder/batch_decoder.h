@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Batch-aware decode orchestration: the layer between the bit-packed
+ * simulation engine and the per-shot decoders.
+ *
+ * For every lane of a BatchSyndrome the pipeline applies, in order:
+ *
+ *  1. Zero-defect fast path — no fired detectors means the decoder
+ *     would predict "no flip" without looking at the graph, so the
+ *     decode is skipped outright (the dominant case at low p).
+ *  2. Syndrome dedup cache — identical sparse syndromes replay the
+ *     first decode's observable-flip verdict (see SyndromeCache).
+ *  3. Workspace decode — decodeSparse() on the wrapped decoder with
+ *     this pipeline's persistent DecodeWorkspace, so steady-state
+ *     decoding is allocation-free.
+ *
+ * One BatchDecoder per thread: the workspace and cache are mutable
+ * state. Verdicts are bit-exact with per-shot Decoder::decode calls —
+ * decoding is a pure function of the defect list, which the
+ * differential tests pin.
+ */
+
+#ifndef QEC_DECODER_BATCH_DECODER_H
+#define QEC_DECODER_BATCH_DECODER_H
+
+#include <cstdint>
+
+#include "decoder/decoder_base.h"
+#include "decoder/sparse_syndrome.h"
+#include "decoder/syndrome_cache.h"
+
+namespace qec
+{
+
+/** Counters for one pipeline instance (mergeable across threads). */
+struct BatchDecodeStats
+{
+    uint64_t shots = 0;          ///< Lanes fed into the pipeline.
+    uint64_t zeroDefect = 0;     ///< Lanes skipped by the fast path.
+    uint64_t cacheHits = 0;      ///< Lanes answered by the dedup cache.
+    uint64_t decoded = 0;        ///< Lanes that ran a real decode.
+
+    void
+    merge(const BatchDecodeStats &other)
+    {
+        shots += other.shots;
+        zeroDefect += other.zeroDefect;
+        cacheHits += other.cacheHits;
+        decoded += other.decoded;
+    }
+
+    /** Cache hits over cache-eligible (nonzero-defect) lanes. */
+    double
+    cacheHitRate() const
+    {
+        const uint64_t eligible = cacheHits + decoded;
+        return eligible == 0 ? 0.0
+                             : (double)cacheHits / (double)eligible;
+    }
+};
+
+class BatchDecoder
+{
+  public:
+    /** Wrap a decoder; the decoder must outlive the pipeline. */
+    explicit BatchDecoder(const Decoder &decoder,
+                          SyndromeCacheOptions cache_options = {});
+
+    /** Decode every lane; returns per-lane predicted-flip bits. */
+    uint64_t decodeBatch(const BatchSyndrome &batch);
+
+    /** Decode one sparse syndrome through the same pipeline. */
+    bool decodeOne(const int *defects, size_t count);
+
+    DecodeWorkspace & workspace() { return workspace_; }
+    const BatchDecodeStats & stats() const { return stats_; }
+    const SyndromeCacheStats & cacheStats() const
+    {
+        return cache_.stats();
+    }
+    void resetStats()
+    {
+        stats_ = {};
+        cache_.resetStats();
+    }
+
+  private:
+    bool decodeCached(uint64_t hash, const int *defects, size_t count);
+
+    const Decoder &decoder_;
+    DecodeWorkspace workspace_;
+    SyndromeCache cache_;
+    BatchDecodeStats stats_;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODER_BATCH_DECODER_H

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Reusable per-thread decoder scratch state.
+ *
+ * Every vector a decoder needs during decode() lives here instead of on
+ * the decode stack, so a caller that keeps one DecodeWorkspace per
+ * thread pays for allocation and zero-initialization once and then
+ * decodes allocation-free in steady state. Validity of per-vertex /
+ * per-edge entries is tracked with epoch stamps: bumping the epoch
+ * invalidates the whole workspace in O(1), so nothing is cleared
+ * between shots and per-shot cost stays proportional to the defect
+ * count, not the lattice size (the tesseract / sparse-shot decoding
+ * idiom).
+ *
+ * One workspace serves both decoder implementations; the union-find
+ * fields and the MWPM fields are disjoint, and the epoch counters are
+ * shared monotone counters so interleaved use is safe.
+ */
+
+#ifndef QEC_DECODER_DECODE_WORKSPACE_H
+#define QEC_DECODER_DECODE_WORKSPACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "decoder/matching.h"
+
+namespace qec
+{
+
+/**
+ * Scratch state reused across decode calls. Not thread-safe: use one
+ * instance per thread. Sized lazily by the decoders on first use.
+ */
+struct DecodeWorkspace
+{
+    /** Bumped once per decode call; stamps == epoch are valid. */
+    uint64_t epoch = 0;
+
+    // Lightweight perf diagnostics, accumulated across decode calls.
+    uint64_t statSettledNodes = 0;   ///< MWPM Dijkstra settles.
+    uint64_t statMatchedVerts = 0;   ///< Blossom vertices solved.
+    uint64_t statComponents = 0;     ///< Matching components seen.
+
+    // ------------------------------------------------ union-find state
+    // Per-vertex entries are valid only when ufStamp[v] == epoch; a
+    // vertex is lazily initialized the first time a decode touches it.
+    std::vector<uint64_t> ufStamp;
+    std::vector<int> ufParent;
+    std::vector<uint8_t> ufOdd;
+    std::vector<uint8_t> ufOnBoundary;
+    std::vector<uint8_t> ufInCluster;
+    std::vector<uint8_t> ufExpanded;
+    std::vector<uint8_t> ufIsDefect;
+    // Cluster frontiers as intrusive singly-linked lists: O(1) concat
+    // on merge, no per-cluster vectors.
+    std::vector<int> ufFHead;
+    std::vector<int> ufFTail;
+    std::vector<int> ufFSize;
+    std::vector<int> ufFNext;
+    /** Edge e is "grown" this call iff ufEdgeStamp[e] == epoch. */
+    std::vector<uint64_t> ufEdgeStamp;
+    std::vector<int> ufActive;
+    std::vector<int> ufNextActive;
+    /** Grown edges incident to the virtual boundary vertex, so the
+     *  peeling pass never scans the boundary's full adjacency row. */
+    std::vector<int> ufBoundaryGrown;
+    // Peeling pass scratch (visited iff peelStamp[v] == epoch).
+    std::vector<uint64_t> peelStamp;
+    std::vector<int> peelParentEdge;
+    std::vector<uint8_t> peelCharge;
+    std::vector<int> peelOrder;
+    std::vector<int> peelQueue;
+
+    // ------------------------------------------------------ MWPM state
+    // Per-detector multi-source Dijkstra state, valid iff
+    // mwStamp[d] == epoch.
+    std::vector<uint64_t> mwStamp;
+    std::vector<double> mwDist;
+    std::vector<uint8_t> mwObs;
+    std::vector<uint8_t> mwSettled;
+    /** Owning defect index (nearest defect) per touched detector. */
+    std::vector<int> mwOwner;
+    /** Binary heap storage for the Dijkstra priority queue. */
+    std::vector<std::pair<double, int>> mwHeap;
+
+    /** Candidate defect-defect path (i < j after normalization). */
+    struct Cand
+    {
+        int i;
+        int j;
+        double w;
+        uint8_t obs;
+    };
+    std::vector<Cand> mwCands;
+    std::vector<MatchEdge> mwEdges;
+    /** Per-defect boundary route (distance, observable parity). */
+    std::vector<double> mwBDist;
+    std::vector<uint8_t> mwBObs;
+    /** Matching output, reused across calls. */
+    std::vector<int> mwPartner;
+    /** Connected-component split of the matching instance. */
+    std::vector<int> mwCompParent;
+    std::vector<std::pair<int, int>> mwCompKeys;  ///< (root, defect).
+    /** Candidates bucketed by component: (root, candidate index). */
+    std::vector<std::pair<int, int>> mwCandByComp;
+    std::vector<int> mwLocalIndex;
+
+    /** Size the union-find arrays for a graph with `num_vertices`
+     *  vertices (detectors + boundary) and `num_edges` edges. */
+    void
+    ensureUf(size_t num_vertices, size_t num_edges)
+    {
+        if (ufStamp.size() >= num_vertices &&
+            ufEdgeStamp.size() >= num_edges)
+            return;
+        ufStamp.resize(num_vertices, 0);
+        ufParent.resize(num_vertices);
+        ufOdd.resize(num_vertices);
+        ufOnBoundary.resize(num_vertices);
+        ufInCluster.resize(num_vertices);
+        ufExpanded.resize(num_vertices);
+        ufIsDefect.resize(num_vertices);
+        ufFHead.resize(num_vertices);
+        ufFTail.resize(num_vertices);
+        ufFSize.resize(num_vertices);
+        ufFNext.resize(num_vertices);
+        ufEdgeStamp.resize(num_edges, 0);
+        ufActive.reserve(num_vertices);
+        ufNextActive.reserve(num_vertices);
+        ufBoundaryGrown.reserve(num_edges);
+        peelStamp.resize(num_vertices, 0);
+        peelParentEdge.resize(num_vertices);
+        peelCharge.resize(num_vertices);
+        peelOrder.reserve(num_vertices);
+        peelQueue.reserve(num_vertices);
+    }
+
+    /** Size the MWPM arrays for `num_detectors` detectors. */
+    void
+    ensureMwpm(size_t num_detectors)
+    {
+        if (mwStamp.size() >= num_detectors)
+            return;
+        mwStamp.resize(num_detectors, 0);
+        mwDist.resize(num_detectors);
+        mwObs.resize(num_detectors);
+        mwSettled.resize(num_detectors);
+        mwOwner.resize(num_detectors);
+        mwHeap.reserve(num_detectors);
+    }
+
+    /** Total bytes owned by the workspace (tests pin that this stops
+     *  growing once decode reaches steady state). */
+    size_t
+    footprintBytes() const
+    {
+        auto bytes = [](const auto &v) {
+            return v.capacity() *
+                   sizeof(typename std::remove_reference_t<
+                          decltype(v)>::value_type);
+        };
+        return bytes(ufStamp) + bytes(ufParent) + bytes(ufOdd) +
+               bytes(ufOnBoundary) + bytes(ufInCluster) +
+               bytes(ufExpanded) + bytes(ufIsDefect) + bytes(ufFHead) +
+               bytes(ufFTail) + bytes(ufFSize) + bytes(ufFNext) +
+               bytes(ufEdgeStamp) + bytes(ufActive) +
+               bytes(ufNextActive) + bytes(ufBoundaryGrown) +
+               bytes(peelStamp) + bytes(peelParentEdge) +
+               bytes(peelCharge) + bytes(peelOrder) +
+               bytes(peelQueue) + bytes(mwStamp) + bytes(mwDist) +
+               bytes(mwObs) + bytes(mwSettled) + bytes(mwOwner) +
+               bytes(mwHeap) + bytes(mwCands) +
+               bytes(mwEdges) + bytes(mwBDist) + bytes(mwBObs) +
+               bytes(mwPartner) + bytes(mwCompParent) +
+               bytes(mwCompKeys) + bytes(mwCandByComp) +
+               bytes(mwLocalIndex);
+    }
+};
+
+} // namespace qec
+
+#endif // QEC_DECODER_DECODE_WORKSPACE_H

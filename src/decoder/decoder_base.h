@@ -4,12 +4,26 @@
  * standard") but notes any decoder works; the harness accepts any
  * implementation of this interface so decoders can be compared under
  * identical leakage conditions.
+ *
+ * Decoders expose two entry points:
+ *
+ *  - decodeSparse(defects, count, workspace): the hot path. Consumes a
+ *    sparse fired-detector list and a caller-owned DecodeWorkspace;
+ *    implementations reuse the workspace's arrays so steady-state
+ *    decoding performs no heap allocation and per-shot cost scales
+ *    with the defect count.
+ *  - decode(defects): convenience wrapper for one-off calls. Builds a
+ *    throwaway workspace, so it stays thread-safe (no shared mutable
+ *    state) at the price of per-call allocation.
  */
 
 #ifndef QEC_DECODER_DECODER_BASE_H
 #define QEC_DECODER_DECODER_BASE_H
 
+#include <cstddef>
 #include <vector>
+
+#include "decoder/decode_workspace.h"
 
 namespace qec
 {
@@ -20,11 +34,26 @@ class Decoder
     virtual ~Decoder() = default;
 
     /**
-     * Decode one shot.
-     * @param defects Fired detector ids.
+     * Decode one shot, reusing caller-owned scratch state.
+     * @param defects   Fired detector ids (no duplicates).
+     * @param count     Number of fired detectors.
+     * @param workspace Per-thread scratch, reused across calls.
      * @return Predicted logical-observable flip.
      */
-    virtual bool decode(const std::vector<int> &defects) const = 0;
+    virtual bool decodeSparse(const int *defects, size_t count,
+                              DecodeWorkspace &workspace) const = 0;
+
+    /**
+     * Decode one shot with a throwaway workspace. Thread-safe;
+     * allocates, so hot loops should hold a workspace and call
+     * decodeSparse instead.
+     */
+    bool
+    decode(const std::vector<int> &defects) const
+    {
+        DecodeWorkspace workspace;
+        return decodeSparse(defects.data(), defects.size(), workspace);
+    }
 };
 
 } // namespace qec

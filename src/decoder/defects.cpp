@@ -1,6 +1,7 @@
 #include "decoder/defects.h"
 
 #include "base/logging.h"
+#include "decoder/sparse_syndrome.h"
 
 namespace qec
 {
@@ -61,62 +62,20 @@ extractDefectsBatched(const RotatedSurfaceCode &code, Basis basis,
                       const std::vector<BatchMeasureRecord> &record,
                       int num_lanes)
 {
-    const StabType type = protectingStabType(basis);
-    const int n_s = code.numBasisStabilizers(basis);
-    const uint64_t live = laneMask(num_lanes);
-
-    // Word-wise analogue of extractDefects: one XOR folds a
-    // measurement into all lanes at once. Record flips are zero
-    // outside their lane mask, so plain XOR is safe.
-    std::vector<uint64_t> mflip((size_t)n_s * rounds, 0);
-    std::vector<uint64_t> data_flip(code.numData(), 0);
-
-    for (const auto &rec : record) {
-        if (rec.finalData) {
-            data_flip[rec.qubit] ^= rec.flips;
-            continue;
-        }
-        if (rec.stab < 0)
-            continue;
-        const auto &stab = code.stabilizer(rec.stab);
-        if (stab.type != type)
-            continue;
-        panicIf(rec.round < 0 || rec.round >= rounds,
-                "measurement round out of range");
-        mflip[(size_t)rec.round * n_s + stab.basisIndex] ^= rec.flips;
-    }
+    // Materialized per-lane view of the flat sparse extraction; hot
+    // paths consume the BatchSyndrome directly instead.
+    SparseSyndromeExtractor extractor;
+    BatchSyndrome syndrome;
+    extractor.extract(code, basis, rounds, record, num_lanes,
+                      syndrome);
 
     std::vector<ShotOutcome> out(num_lanes);
-    for (int s = 0; s < n_s; ++s) {
-        uint64_t prev = 0;
-        for (int r = 0; r < rounds; ++r) {
-            const uint64_t cur = mflip[(size_t)r * n_s + s];
-            uint64_t events = (cur ^ prev) & live;
-            while (events) {
-                const int l = __builtin_ctzll(events);
-                events &= events - 1;
-                out[l].defects.push_back(r * n_s + s);
-            }
-            prev = cur;
-        }
-        // Final row: reconstruct the stabilizer from data measurements.
-        const int stab_index = code.basisStabilizers(basis)[s];
-        uint64_t recon = 0;
-        for (int q : code.stabilizer(stab_index).support)
-            recon ^= data_flip[q];
-        uint64_t events = (recon ^ prev) & live;
-        while (events) {
-            const int l = __builtin_ctzll(events);
-            events &= events - 1;
-            out[l].defects.push_back(rounds * n_s + s);
-        }
+    for (int l = 0; l < num_lanes; ++l) {
+        out[l].defects.assign(syndrome.laneBegin(l),
+                              syndrome.laneBegin(l) +
+                                  syndrome.laneSize(l));
+        out[l].observableFlip = syndrome.laneObservable(l);
     }
-
-    uint64_t observable = 0;
-    for (int q : code.logicalSupport(basis))
-        observable ^= data_flip[q];
-    for (int l = 0; l < num_lanes; ++l)
-        out[l].observableFlip = (observable >> l) & 1;
     return out;
 }
 

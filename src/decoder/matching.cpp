@@ -40,7 +40,6 @@ class Matcher
         return (p & 1) ? edges_[p >> 1].v : edges_[p >> 1].u;
     }
 
-    void blossomLeaves(int b, std::vector<int> &out) const;
     void assignLabel(int w, int t, int p);
     int scanBlossom(int v, int w);
     void addBlossom(int base, int k);
@@ -67,22 +66,36 @@ class Matcher
     std::vector<int64_t> dualvar_;
     std::vector<uint8_t> allowedge_;
     std::vector<int> queue_;
-};
 
-void
-Matcher::blossomLeaves(int b, std::vector<int> &out) const
-{
-    if (b < n_) {
-        out.push_back(b);
-        return;
+    // Reusable scratch for the hot helpers (one allocation per solve
+    // instead of one per blossom operation).
+    std::vector<int> leafStack_;
+    std::vector<int> pathBuf_;
+    std::vector<int> endpsBuf_;
+    std::vector<int> bestEdgeToBuf_;
+
+    /** Apply f to every leaf vertex of (sub-)blossom b, in the same
+     *  order as the recursive formulation. Not reentrant: callers
+     *  must finish one traversal before starting another. */
+    template <typename F>
+    void
+    forEachLeaf(int b, F &&f)
+    {
+        leafStack_.clear();
+        leafStack_.push_back(b);
+        while (!leafStack_.empty()) {
+            const int t = leafStack_.back();
+            leafStack_.pop_back();
+            if (t < n_) {
+                f(t);
+                continue;
+            }
+            const auto &childs = blossomchilds_[t];
+            for (auto it = childs.rbegin(); it != childs.rend(); ++it)
+                leafStack_.push_back(*it);
+        }
     }
-    for (int t : blossomchilds_[b]) {
-        if (t < n_)
-            out.push_back(t);
-        else
-            blossomLeaves(t, out);
-    }
-}
+};
 
 void
 Matcher::assignLabel(int w, int t, int p)
@@ -92,9 +105,7 @@ Matcher::assignLabel(int w, int t, int p)
     labelend_[w] = labelend_[b] = p;
     bestedge_[w] = bestedge_[b] = -1;
     if (t == 1) {
-        std::vector<int> leaves;
-        blossomLeaves(b, leaves);
-        queue_.insert(queue_.end(), leaves.begin(), leaves.end());
+        forEachLeaf(b, [&](int leaf) { queue_.push_back(leaf); });
     } else if (t == 2) {
         const int base = blossombase_[b];
         assignLabel(endpoint(mate_[base]), 1, mate_[base] ^ 1);
@@ -104,7 +115,8 @@ Matcher::assignLabel(int w, int t, int p)
 int
 Matcher::scanBlossom(int v, int w)
 {
-    std::vector<int> path;
+    std::vector<int> &path = pathBuf_;
+    path.clear();
     int base = -1;
     while (v != -1 || w != -1) {
         int b = inblossom_[v];
@@ -147,8 +159,10 @@ Matcher::addBlossom(int base, int k)
     blossomparent_[b] = -1;
     blossomparent_[bb] = b;
 
-    std::vector<int> path;
-    std::vector<int> endps;
+    std::vector<int> &path = pathBuf_;
+    std::vector<int> &endps = endpsBuf_;
+    path.clear();
+    endps.clear();
     while (bv != bb) {
         blossomparent_[bv] = b;
         path.push_back(bv);
@@ -167,48 +181,42 @@ Matcher::addBlossom(int base, int k)
         w = endpoint(labelend_[bw]);
         bw = inblossom_[w];
     }
-    blossomchilds_[b] = std::move(path);
-    blossomendps_[b] = std::move(endps);
+    blossomchilds_[b] = path;   // copy into the slot's kept capacity
+    blossomendps_[b] = endps;
 
     label_[b] = 1;
     labelend_[b] = labelend_[bb];
     dualvar_[b] = 0;
 
-    std::vector<int> leaves;
-    blossomLeaves(b, leaves);
-    for (int leaf : leaves) {
+    forEachLeaf(b, [&](int leaf) {
         if (label_[inblossom_[leaf]] == 2)
             queue_.push_back(leaf);
         inblossom_[leaf] = b;
-    }
+    });
 
     // Recompute best edges into neighbouring S-blossoms.
-    std::vector<int> bestedgeto(2 * n_, -1);
-    for (int child : blossomchilds_[b]) {
-        std::vector<std::vector<int>> nblists;
-        if (blossombestedges_[child].empty()) {
-            std::vector<int> child_leaves;
-            blossomLeaves(child, child_leaves);
-            for (int leaf : child_leaves) {
-                nblists.emplace_back();
-                for (int p : neighbend_[leaf])
-                    nblists.back().push_back(p >> 1);
-            }
-        } else {
-            nblists.push_back(blossombestedges_[child]);
+    bestEdgeToBuf_.assign(2 * n_, -1);
+    std::vector<int> &bestedgeto = bestEdgeToBuf_;
+    auto consider = [&](int edge_k) {
+        int j = edges_[edge_k].v;
+        if (inblossom_[j] == b)
+            j = edges_[edge_k].u;
+        const int bj = inblossom_[j];
+        if (bj != b && label_[bj] == 1 &&
+            (bestedgeto[bj] == -1 ||
+             slack(edge_k) < slack(bestedgeto[bj]))) {
+            bestedgeto[bj] = edge_k;
         }
-        for (const auto &nblist : nblists) {
-            for (int edge_k : nblist) {
-                int j = edges_[edge_k].v;
-                if (inblossom_[j] == b)
-                    j = edges_[edge_k].u;
-                const int bj = inblossom_[j];
-                if (bj != b && label_[bj] == 1 &&
-                    (bestedgeto[bj] == -1 ||
-                     slack(edge_k) < slack(bestedgeto[bj]))) {
-                    bestedgeto[bj] = edge_k;
-                }
-            }
+    };
+    for (int child : blossomchilds_[b]) {
+        if (blossombestedges_[child].empty()) {
+            forEachLeaf(child, [&](int leaf) {
+                for (int p : neighbend_[leaf])
+                    consider(p >> 1);
+            });
+        } else {
+            for (int edge_k : blossombestedges_[child])
+                consider(edge_k);
         }
         blossombestedges_[child].clear();
         bestedge_[child] = -1;
@@ -237,10 +245,7 @@ Matcher::expandBlossom(int b, bool endstage)
         } else if (endstage && dualvar_[s] == 0) {
             expandBlossom(s, endstage);
         } else {
-            std::vector<int> leaves;
-            blossomLeaves(s, leaves);
-            for (int leaf : leaves)
-                inblossom_[leaf] = s;
+            forEachLeaf(s, [&](int leaf) { inblossom_[leaf] = s; });
         }
     }
 
@@ -299,15 +304,11 @@ Matcher::expandBlossom(int b, bool endstage)
                 j += jstep;
                 continue;
             }
-            std::vector<int> leaves;
-            blossomLeaves(bv, leaves);
             int labeled_leaf = -1;
-            for (int leaf : leaves) {
-                if (label_[leaf] != 0) {
+            forEachLeaf(bv, [&](int leaf) {
+                if (labeled_leaf == -1 && label_[leaf] != 0)
                     labeled_leaf = leaf;
-                    break;
-                }
-            }
+            });
             if (labeled_leaf != -1) {
                 label_[labeled_leaf] = 0;
                 label_[endpoint(mate_[blossombase_[bv]])] = 0;
@@ -634,6 +635,17 @@ std::vector<int>
 minWeightPerfectMatching(int num_vertices,
                          const std::vector<MatchEdge> &edges)
 {
+    std::vector<MatchEdge> scratch(edges);
+    std::vector<int> partner;
+    minWeightPerfectMatchingInPlace(num_vertices, scratch, partner);
+    return partner;
+}
+
+void
+minWeightPerfectMatchingInPlace(int num_vertices,
+                                std::vector<MatchEdge> &edges,
+                                std::vector<int> &partner)
+{
     int64_t wmax = 0;
     for (const auto &e : edges)
         wmax = std::max(wmax, e.weight);
@@ -641,16 +653,14 @@ minWeightPerfectMatching(int num_vertices,
     // Transform: maximizing (wmax + 1 - w) over maximum-cardinality
     // matchings minimizes total w over perfect matchings. Doubling
     // keeps every dual quantity integral.
-    std::vector<MatchEdge> inverted(edges);
-    for (auto &e : inverted)
+    for (auto &e : edges)
         e.weight = 2 * (wmax + 1 - e.weight);
 
-    auto partner = maxWeightMatching(num_vertices, inverted, true);
+    partner = maxWeightMatching(num_vertices, edges, true);
     for (int v = 0; v < num_vertices; ++v) {
         panicIf(partner[v] == -1,
                 "no perfect matching exists for this instance");
     }
-    return partner;
 }
 
 } // namespace qec

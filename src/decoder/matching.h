@@ -48,6 +48,17 @@ std::vector<int> maxWeightMatching(int num_vertices,
 std::vector<int> minWeightPerfectMatching(
     int num_vertices, const std::vector<MatchEdge> &edges);
 
+/**
+ * Workspace-friendly variant for hot decode loops: transforms `edges`
+ * weights in place (callers rebuild the edge list per shot anyway) and
+ * moves the result into `partner`, reusing its storage. The blossom
+ * solver itself still allocates internally; this trims the reduction's
+ * copies around it.
+ */
+void minWeightPerfectMatchingInPlace(int num_vertices,
+                                     std::vector<MatchEdge> &edges,
+                                     std::vector<int> &partner);
+
 } // namespace qec
 
 #endif // QEC_DECODER_MATCHING_H

@@ -39,176 +39,379 @@ scaled(double w)
 MwpmDecoder::MwpmDecoder(const DetectorModel &dem, double p,
                          DecoderOptions options)
     : numDets_(dem.numDetectors()), options_(options),
-      adj_(dem.numDetectors()),
       boundaryW_(dem.numDetectors(), kInf),
       boundaryObs_(dem.numDetectors(), 0)
 {
+    // Pass 1: boundary edges + per-detector degrees.
+    std::vector<int> degree(numDets_, 0);
     for (const auto &edge : dem.edges) {
         const double q = edge.probability(p);
         if (q <= 0.0)
             continue;
-        const float w = (float)edgeWeight(q);
         if (edge.b == kBoundary) {
+            const float w = (float)edgeWeight(q);
             if (w < boundaryW_[edge.a]) {
                 boundaryW_[edge.a] = w;
                 boundaryObs_[edge.a] = edge.obsFlip ? 1 : 0;
             }
             continue;
         }
-        adj_[edge.a].push_back({edge.b, w, edge.obsFlip});
-        adj_[edge.b].push_back({edge.a, w, edge.obsFlip});
+        ++degree[edge.a];
+        ++degree[edge.b];
         ++numEdges_;
+    }
+
+    // Pass 2: flat CSR adjacency (counting sort keeps edge order).
+    nbrOffsets_.assign((size_t)numDets_ + 1, 0);
+    for (int d = 0; d < numDets_; ++d)
+        nbrOffsets_[(size_t)d + 1] = nbrOffsets_[d] + degree[d];
+    nbrs_.resize(2 * numEdges_);
+    std::vector<int> cursor(nbrOffsets_.begin(), nbrOffsets_.end() - 1);
+    for (const auto &edge : dem.edges) {
+        const double q = edge.probability(p);
+        if (q <= 0.0 || edge.b == kBoundary)
+            continue;
+        const float w = (float)edgeWeight(q);
+        const uint8_t obs = edge.obsFlip ? 1 : 0;
+        nbrs_[(size_t)cursor[edge.a]++] = {edge.b, w, obs};
+        nbrs_[(size_t)cursor[edge.b]++] = {edge.a, w, obs};
+    }
+
+    // Persistent defect-to-boundary distance cache: one multi-source
+    // Dijkstra seeded from every detector's direct boundary edge gives
+    // the exact shortest boundary route (and its observable parity)
+    // for every detector id. Per-shot decodes then never search for a
+    // boundary route again.
+    boundaryDist_.assign(numDets_, (double)kInf);
+    boundaryPathObs_.assign(numDets_, 0);
+    using QItem = std::pair<double, int>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    for (int d = 0; d < numDets_; ++d) {
+        if (boundaryW_[d] < kInf) {
+            boundaryDist_[d] = boundaryW_[d];
+            boundaryPathObs_[d] = boundaryObs_[d];
+            pq.push({boundaryDist_[d], d});
+        }
+    }
+    while (!pq.empty()) {
+        auto [dist, u] = pq.top();
+        pq.pop();
+        if (dist > boundaryDist_[u])
+            continue;
+        const int row_end = nbrOffsets_[(size_t)u + 1];
+        for (int k = nbrOffsets_[u]; k < row_end; ++k) {
+            const Nbr &nbr = nbrs_[k];
+            const double nd = dist + nbr.w;
+            if (nd < boundaryDist_[nbr.to]) {
+                boundaryDist_[nbr.to] = nd;
+                boundaryPathObs_[nbr.to] =
+                    boundaryPathObs_[u] ^ nbr.obs;
+                pq.push({nd, nbr.to});
+            }
+        }
     }
 }
 
 bool
-MwpmDecoder::decode(const std::vector<int> &defects) const
+MwpmDecoder::decodeSparse(const int *defects, size_t count,
+                          DecodeWorkspace &ws) const
 {
-    const int n = (int)defects.size();
+    const int n = (int)count;
     if (n == 0)
         return false;
 
-    // Map detector id -> defect index.
-    std::vector<int> defect_of(numDets_, -1);
-    for (int i = 0; i < n; ++i)
-        defect_of[defects[i]] = i;
+    ws.ensureMwpm((size_t)numDets_);
+    const uint64_t call = ++ws.epoch;
 
-    struct Candidate
-    {
-        double w;
-        uint8_t obs;
-        bool valid = false;
-    };
-    // Candidate defect-defect paths (upper triangle, i < j).
-    std::vector<std::vector<std::pair<int, Candidate>>> cand(n);
-    std::vector<double> bdist(n);
-    std::vector<uint8_t> bobs(n, 0);
+    if ((int)ws.mwBDist.size() < n) {
+        ws.mwBDist.resize(n);
+        ws.mwBObs.resize(n);
+        ws.mwLocalIndex.resize(n);
+        ws.mwCompParent.resize(n);
+    }
+    ws.mwCands.clear();
 
-    std::vector<double> dist(numDets_);
-    std::vector<uint8_t> obspar(numDets_);
-    std::vector<int> stamp(numDets_, -1);
-    std::vector<uint8_t> settled(numDets_, 0);
+    // Largest boundary distance among this shot's defects: a defect
+    // pair whose connecting path is longer than both boundary routes
+    // combined is never matched (pairing each with the boundary is at
+    // most as expensive), so no Dijkstra needs to search beyond its
+    // own boundary distance plus this maximum.
+    double bmax_shot = 0.0;
+    for (int i = 0; i < n; ++i) {
+        bmax_shot = std::max(
+            bmax_shot, std::min(boundaryDist_[defects[i]],
+                                kMaxWeight));
+    }
 
-    using QItem = std::pair<double, int>;
-    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    for (int i = 0; i < n; ++i) {
+        ws.mwBDist[i] =
+            std::min(boundaryDist_[defects[i]], kMaxWeight);
+        ws.mwBObs[i] = boundaryPathObs_[defects[i]];
+    }
 
+    // Stage 1: one multi-source Dijkstra grows a shortest-path region
+    // around every defect simultaneously; where two regions meet, the
+    // meeting edge yields a candidate pair. When the shortest i-j
+    // path stays inside the two regions (the overwhelmingly common
+    // case) the candidate weight is the exact shortest distance; a
+    // pair whose shortest path crosses a third defect's region is
+    // instead represented through that defect's candidates (the
+    // local-matching approximation production decoders use). Every
+    // touched node settles at most once per shot (instead of once per
+    // nearby defect), and only adjacent-region pairs become
+    // candidates, which keeps the matching components small. Growth
+    // past a region's boundary distance plus the shot's largest
+    // boundary distance is pruned: any pair found there is
+    // boundary-dominated.
+    ws.mwHeap.clear();
     for (int i = 0; i < n; ++i) {
         const int src = defects[i];
-        // Epoch i marks freshly touched nodes for this source.
-        while (!pq.empty())
-            pq.pop();
-        std::vector<int> touched;
+        ws.mwStamp[src] = call;
+        ws.mwDist[src] = 0.0;
+        ws.mwObs[src] = 0;
+        ws.mwSettled[src] = 0;
+        ws.mwOwner[src] = i;
+        ws.mwHeap.push_back({0.0, src});
+    }
+    std::make_heap(ws.mwHeap.begin(), ws.mwHeap.end(), std::greater<>{});
 
-        dist[src] = 0.0;
-        obspar[src] = 0;
-        stamp[src] = i;
-        settled[src] = 0;
-        touched.push_back(src);
-        pq.push({0.0, src});
+    int settled_count = 0;
+    while (!ws.mwHeap.empty()) {
+        const auto [d, u] = ws.mwHeap.front();
+        std::pop_heap(ws.mwHeap.begin(), ws.mwHeap.end(),
+                      std::greater<>{});
+        ws.mwHeap.pop_back();
+        if (ws.mwSettled[u] || d > ws.mwDist[u])
+            continue;
+        ws.mwSettled[u] = 1;
+        ++settled_count;
+        ++ws.statSettledNodes;
+        const int oi = ws.mwOwner[u];
+        const double bdist_i = ws.mwBDist[oi];
 
-        double best_boundary = kInf;
-        uint8_t best_boundary_obs = 0;
-        int found = 0;
-        int settled_count = 0;
-
-        while (!pq.empty()) {
-            auto [d, u] = pq.top();
-            pq.pop();
-            if (stamp[u] != i || settled[u] || d > dist[u])
-                continue;
-            settled[u] = 1;
-            ++settled_count;
-
-            if (d + 0.0 >= best_boundary && found >= options_.neighborLimit)
-                break;
-
-            if (boundaryW_[u] < kInf &&
-                d + boundaryW_[u] < best_boundary) {
-                best_boundary = d + boundaryW_[u];
-                best_boundary_obs = obspar[u] ^ boundaryObs_[u];
-            }
-            const int j = defect_of[u];
-            if (j >= 0 && j != i) {
-                ++found;
-                if (i < j) {
-                    cand[i].push_back(
-                        {j, {d, obspar[u], true}});
-                } else {
-                    cand[j].push_back(
-                        {i, {d, obspar[u], true}});
-                }
-                if (found >= options_.neighborLimit &&
-                    best_boundary < kInf)
-                    break;
-            }
-            if (settled_count >= options_.settleCap)
-                break;
-
-            for (const auto &nbr : adj_[u]) {
-                const double nd = d + nbr.w;
-                if (nd >= best_boundary + best_boundary &&
-                    found >= options_.neighborLimit)
+        const int row_end = nbrOffsets_[(size_t)u + 1];
+        for (int k = nbrOffsets_[u]; k < row_end; ++k) {
+            const Nbr &nbr = nbrs_[k];
+            if (ws.mwStamp[nbr.to] == call &&
+                ws.mwSettled[nbr.to]) {
+                const int oj = ws.mwOwner[nbr.to];
+                if (oj == oi)
                     continue;
-                if (stamp[nbr.to] != i) {
-                    stamp[nbr.to] = i;
-                    settled[nbr.to] = 0;
-                    dist[nbr.to] = nd;
-                    obspar[nbr.to] = obspar[u] ^ nbr.obs;
-                    touched.push_back(nbr.to);
-                    pq.push({nd, nbr.to});
-                } else if (nd < dist[nbr.to] && !settled[nbr.to]) {
-                    dist[nbr.to] = nd;
-                    obspar[nbr.to] = obspar[u] ^ nbr.obs;
-                    pq.push({nd, nbr.to});
-                }
-            }
-        }
-        bdist[i] = std::min(best_boundary, kMaxWeight);
-        bobs[i] = best_boundary_obs;
-        (void)touched;
-    }
-
-    // Deduplicate candidates (keep minimum weight per pair).
-    std::vector<MatchEdge> edges;
-    std::vector<std::pair<std::pair<int, int>, uint8_t>> pair_obs;
-    for (int i = 0; i < n; ++i) {
-        std::sort(cand[i].begin(), cand[i].end(),
-                  [](const auto &x, const auto &y) {
-                      return x.first < y.first ||
-                             (x.first == y.first &&
-                              x.second.w < y.second.w);
-                  });
-        int last = -1;
-        for (const auto &[j, c] : cand[i]) {
-            if (j == last)
+                // Region crossing: candidate at the exact shortest
+                // distance between the two owners (for this meeting
+                // edge; the dedup pass keeps the global minimum).
+                // Dropped when matching both owners to the boundary
+                // is strictly cheaper.
+                const double w = d + nbr.w + ws.mwDist[nbr.to];
+                if (w > bdist_i + ws.mwBDist[oj])
+                    continue;
+                const uint8_t obs = ws.mwObs[u] ^ nbr.obs ^
+                                    ws.mwObs[nbr.to];
+                if (oi < oj)
+                    ws.mwCands.push_back({oi, oj, w, obs});
+                else
+                    ws.mwCands.push_back({oj, oi, w, obs});
                 continue;
-            last = j;
-            // Real-real edge plus the mirrored virtual-virtual edge
-            // that frees both boundary twins at zero cost.
-            edges.push_back({i, j, scaled(c.w)});
-            edges.push_back({n + i, n + j, 0});
-            pair_obs.push_back({{i, j}, c.obs});
-        }
-        edges.push_back({i, n + i, scaled(bdist[i])});
-    }
-
-    auto partner = minWeightPerfectMatching(2 * n, edges);
-
-    // Predicted observable: parity over matched structure.
-    bool obs = false;
-    for (int i = 0; i < n; ++i) {
-        const int m = partner[i];
-        if (m == n + i) {
-            obs ^= (bobs[i] != 0);
-        } else if (m > i && m < n) {
-            // Find the candidate obs parity for the matched pair.
-            for (const auto &[key, po] : pair_obs) {
-                if (key.first == i && key.second == m) {
-                    obs ^= (po != 0);
-                    break;
-                }
+            }
+            const double nd = d + nbr.w;
+            if (nd > bdist_i + bmax_shot)
+                continue;   // boundary-dominated beyond this radius
+            if (ws.mwStamp[nbr.to] != call) {
+                ws.mwStamp[nbr.to] = call;
+                ws.mwSettled[nbr.to] = 0;
+                ws.mwDist[nbr.to] = nd;
+                ws.mwObs[nbr.to] = ws.mwObs[u] ^ nbr.obs;
+                ws.mwOwner[nbr.to] = oi;
+                ws.mwHeap.push_back({nd, nbr.to});
+                std::push_heap(ws.mwHeap.begin(), ws.mwHeap.end(),
+                               std::greater<>{});
+            } else if (nd < ws.mwDist[nbr.to] &&
+                       !ws.mwSettled[nbr.to]) {
+                ws.mwDist[nbr.to] = nd;
+                ws.mwObs[nbr.to] = ws.mwObs[u] ^ nbr.obs;
+                ws.mwOwner[nbr.to] = oi;
+                ws.mwHeap.push_back({nd, nbr.to});
+                std::push_heap(ws.mwHeap.begin(), ws.mwHeap.end(),
+                               std::greater<>{});
             }
         }
+        if (settled_count >= options_.settleCap)
+            break;
+    }
+
+    // Deduplicate candidates: sort by (i, j, w, obs) and keep the
+    // minimum-weight path per pair. The surviving sorted list doubles
+    // as the pair -> observable-parity lookup after matching.
+    std::sort(ws.mwCands.begin(), ws.mwCands.end(),
+              [](const DecodeWorkspace::Cand &x,
+                 const DecodeWorkspace::Cand &y) {
+                  if (x.i != y.i)
+                      return x.i < y.i;
+                  if (x.j != y.j)
+                      return x.j < y.j;
+                  if (x.w != y.w)
+                      return x.w < y.w;
+                  return x.obs < y.obs;
+              });
+    size_t unique_count = 0;
+    for (size_t k = 0; k < ws.mwCands.size(); ++k) {
+        if (k > 0 && ws.mwCands[k].i == ws.mwCands[k - 1].i &&
+            ws.mwCands[k].j == ws.mwCands[k - 1].j)
+            continue;
+        ws.mwCands[unique_count++] = ws.mwCands[k];
+    }
+    ws.mwCands.resize(unique_count);
+
+    // Enforce the per-defect candidate budget: when a defect exceeds
+    // neighborLimit adjacencies (rare — region adjacency yields only a
+    // handful), keep its lightest ones. Dropping edges never breaks
+    // feasibility (every defect retains its boundary edge).
+    ws.mwLocalIndex.assign(n, 0);   // reused as degree counts here
+    bool over_budget = false;
+    for (const auto &cand : ws.mwCands) {
+        if (++ws.mwLocalIndex[cand.i] > options_.neighborLimit ||
+            ++ws.mwLocalIndex[cand.j] > options_.neighborLimit)
+            over_budget = true;
+    }
+    if (over_budget) {
+        std::sort(ws.mwCands.begin(), ws.mwCands.end(),
+                  [](const DecodeWorkspace::Cand &x,
+                     const DecodeWorkspace::Cand &y) {
+                      if (x.w != y.w)
+                          return x.w < y.w;
+                      if (x.i != y.i)
+                          return x.i < y.i;
+                      return x.j < y.j;
+                  });
+        ws.mwLocalIndex.assign(n, 0);
+        size_t kept = 0;
+        for (size_t k = 0; k < ws.mwCands.size(); ++k) {
+            const auto &cand = ws.mwCands[k];
+            if (ws.mwLocalIndex[cand.i] >= options_.neighborLimit ||
+                ws.mwLocalIndex[cand.j] >= options_.neighborLimit)
+                continue;
+            ++ws.mwLocalIndex[cand.i];
+            ++ws.mwLocalIndex[cand.j];
+            ws.mwCands[kept++] = cand;
+        }
+        ws.mwCands.resize(kept);
+        // Restore (i, j) order for the post-matching parity lookup.
+        std::sort(ws.mwCands.begin(), ws.mwCands.end(),
+                  [](const DecodeWorkspace::Cand &x,
+                     const DecodeWorkspace::Cand &y) {
+                      if (x.i != y.i)
+                          return x.i < y.i;
+                      return x.j < y.j;
+                  });
+    }
+
+    // Split the doubled matching instance into connected components
+    // of the candidate graph: every cross-component pairing is
+    // boundary-dominated, so blossom runs on many small instances
+    // instead of one O(n^3) one (the sparse-blossom trick).
+    for (int i = 0; i < n; ++i)
+        ws.mwCompParent[i] = i;
+    auto findComp = [&](int v) {
+        while (ws.mwCompParent[v] != v) {
+            ws.mwCompParent[v] =
+                ws.mwCompParent[ws.mwCompParent[v]];
+            v = ws.mwCompParent[v];
+        }
+        return v;
+    };
+    for (const auto &cand : ws.mwCands) {
+        const int a = findComp(cand.i);
+        const int b = findComp(cand.j);
+        if (a != b)
+            ws.mwCompParent[b] = a;
+    }
+    ws.mwCompKeys.clear();
+    for (int i = 0; i < n; ++i)
+        ws.mwCompKeys.push_back({findComp(i), i});
+    std::sort(ws.mwCompKeys.begin(), ws.mwCompKeys.end());
+    // Bucket candidates by component root once (index order preserved
+    // within a root), so each candidate is visited exactly once below.
+    ws.mwCandByComp.clear();
+    for (size_t k = 0; k < ws.mwCands.size(); ++k)
+        ws.mwCandByComp.push_back(
+            {findComp(ws.mwCands[k].i), (int)k});
+    std::sort(ws.mwCandByComp.begin(), ws.mwCandByComp.end());
+
+    bool obs = false;
+    size_t group = 0;
+    size_t cand_cursor = 0;
+    while (group < ws.mwCompKeys.size()) {
+        const int root = ws.mwCompKeys[group].first;
+        size_t group_end = group;
+        while (group_end < ws.mwCompKeys.size() &&
+               ws.mwCompKeys[group_end].first == root)
+            ++group_end;
+        const int k = (int)(group_end - group);
+
+        // Trivial component: one defect, matched to its boundary twin.
+        if (k == 1) {
+            obs ^= (ws.mwBObs[ws.mwCompKeys[group].second] != 0);
+            group = group_end;
+            continue;
+        }
+
+        for (size_t t = group; t < group_end; ++t)
+            ws.mwLocalIndex[ws.mwCompKeys[t].second] =
+                (int)(t - group);
+
+        // Local doubled instance: real-real candidate edges plus
+        // mirrored virtual-virtual edges that free both boundary
+        // twins at zero cost, and one real-virtual edge per defect.
+        ws.mwEdges.clear();
+        while (cand_cursor < ws.mwCandByComp.size() &&
+               ws.mwCandByComp[cand_cursor].first < root)
+            ++cand_cursor;   // candidates of skipped 1-defect groups
+        for (; cand_cursor < ws.mwCandByComp.size() &&
+               ws.mwCandByComp[cand_cursor].first == root;
+             ++cand_cursor) {
+            const auto &cand =
+                ws.mwCands[ws.mwCandByComp[cand_cursor].second];
+            const int li = ws.mwLocalIndex[cand.i];
+            const int lj = ws.mwLocalIndex[cand.j];
+            ws.mwEdges.push_back({li, lj, scaled(cand.w)});
+            ws.mwEdges.push_back({k + li, k + lj, 0});
+        }
+        for (size_t t = group; t < group_end; ++t) {
+            const int li = (int)(t - group);
+            ws.mwEdges.push_back(
+                {li, k + li,
+                 scaled(ws.mwBDist[ws.mwCompKeys[t].second])});
+        }
+
+        ws.statMatchedVerts += 2 * (uint64_t)k;
+        ++ws.statComponents;
+        minWeightPerfectMatchingInPlace(2 * k, ws.mwEdges,
+                                        ws.mwPartner);
+
+        // Predicted observable: parity over matched structure.
+        for (int li = 0; li < k; ++li) {
+            const int m = ws.mwPartner[li];
+            const int gi = ws.mwCompKeys[group + li].second;
+            if (m == k + li) {
+                obs ^= (ws.mwBObs[gi] != 0);
+            } else if (m > li && m < k) {
+                const int gj = ws.mwCompKeys[group + m].second;
+                // Binary search the deduped candidate list.
+                auto it = std::lower_bound(
+                    ws.mwCands.begin(), ws.mwCands.end(),
+                    std::make_pair(gi, gj),
+                    [](const DecodeWorkspace::Cand &c,
+                       const std::pair<int, int> &key) {
+                        if (c.i != key.first)
+                            return c.i < key.first;
+                        return c.j < key.second;
+                    });
+                if (it != ws.mwCands.end() && it->i == gi &&
+                    it->j == gj)
+                    obs ^= (it->obs != 0);
+            }
+        }
+        group = group_end;
     }
     return obs;
 }

@@ -3,14 +3,37 @@
  * Minimum-weight perfect matching decoder over a DetectorModel.
  *
  * Decoding pipeline (the paper's "gold standard" MWPM, Section 2.2):
- *  1. Dijkstra from every fired detector over the weighted decoding
+ *  1. One multi-source Dijkstra grows shortest-path regions around
+ *     all fired detectors simultaneously over the weighted decoding
  *     graph (weight = log((1-q)/q) per edge), tracking the logical
- *     observable parity along shortest paths, with early termination
- *     once the nearest-K defects and a boundary route are known.
+ *     observable parity along shortest paths. Where two regions meet,
+ *     the meeting edge yields a defect-pair candidate — at the exact
+ *     shortest inter-defect distance whenever the shortest path stays
+ *     inside the two regions; pairs separated by a third defect's
+ *     region are represented through that defect's candidates instead
+ *     (the local-matching approximation). Every touched node settles
+ *     at most once per shot. The defect-to-boundary route is NOT
+ *     searched per shot: the exact shortest boundary distance (and
+ *     its observable parity) is precomputed for every detector id at
+ *     construction with one multi-source Dijkstra from the boundary,
+ *     and region growth is pruned beyond the radius where every pair
+ *     is boundary-dominated.
  *  2. Reduce to minimum-weight perfect matching with one virtual
  *     boundary twin per defect (the standard doubling construction).
- *  3. Exact blossom matching; the predicted observable flip is the
- *     parity of matched-path observable crossings.
+ *     Candidates that cannot beat pairing both endpoints with the
+ *     boundary are pruned, and each Dijkstra stops at its boundary
+ *     distance plus the shot's largest boundary distance — beyond
+ *     that every pair is boundary-dominated.
+ *  3. Exact blossom matching per connected component of the candidate
+ *     graph (cross-component pairings are boundary-dominated, so the
+ *     O(n^3) solver runs on many small instances — the sparse-blossom
+ *     trick); the predicted observable flip is the parity of
+ *     matched-path observable crossings.
+ *
+ * Adjacency is a flat CSR layout and all per-shot scratch lives in the
+ * caller's DecodeWorkspace (epoch-stamped, nothing cleared between
+ * shots); steady-state allocations are confined to the blossom
+ * solver's internals.
  */
 
 #ifndef QEC_DECODER_MWPM_DECODER_H
@@ -37,7 +60,8 @@ struct DecoderOptions
 
 /**
  * MWPM decoder bound to one DetectorModel and physical error rate.
- * Thread-safe: decode() uses only local workspace.
+ * decode() is thread-safe (throwaway workspace); hot loops should use
+ * decodeSparse with one DecodeWorkspace per thread.
  */
 class MwpmDecoder : public Decoder
 {
@@ -45,12 +69,8 @@ class MwpmDecoder : public Decoder
     MwpmDecoder(const DetectorModel &dem, double p,
                 DecoderOptions options = {});
 
-    /**
-     * Decode one shot.
-     * @param defects Fired detector ids.
-     * @return Predicted logical-observable flip.
-     */
-    bool decode(const std::vector<int> &defects) const override;
+    bool decodeSparse(const int *defects, size_t count,
+                      DecodeWorkspace &workspace) const override;
 
     int numDetectors() const { return numDets_; }
 
@@ -59,6 +79,14 @@ class MwpmDecoder : public Decoder
     numGraphEdges() const
     {
         return numEdges_;
+    }
+
+    /** Cached exact shortest distance from a detector to the boundary
+     *  (+inf when the boundary is unreachable). */
+    double
+    boundaryDistance(int det) const
+    {
+        return boundaryDist_[det];
     }
 
   private:
@@ -72,10 +100,17 @@ class MwpmDecoder : public Decoder
     int numDets_ = 0;
     size_t numEdges_ = 0;
     DecoderOptions options_;
-    std::vector<std::vector<Nbr>> adj_;
+    /** CSR adjacency: neighbours of detector d live at
+     *  nbrs_[nbrOffsets_[d] .. nbrOffsets_[d + 1]). */
+    std::vector<int> nbrOffsets_;
+    std::vector<Nbr> nbrs_;
     /** Best direct boundary edge per detector (+inf if none). */
     std::vector<float> boundaryW_;
     std::vector<uint8_t> boundaryObs_;
+    /** Persistent defect-to-boundary cache keyed by detector id:
+     *  exact shortest boundary distance and its observable parity. */
+    std::vector<double> boundaryDist_;
+    std::vector<uint8_t> boundaryPathObs_;
 };
 
 } // namespace qec

@@ -1,0 +1,131 @@
+#include "decoder/sparse_syndrome.h"
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t
+hashStep(uint64_t h, int det)
+{
+    return (h ^ (uint64_t)(uint32_t)det) * kFnvPrime;
+}
+
+} // namespace
+
+uint64_t
+syndromeHash(const int *defects, size_t count)
+{
+    uint64_t h = kFnvOffset;
+    for (size_t k = 0; k < count; ++k)
+        h = hashStep(h, defects[k]);
+    return h;
+}
+
+void
+SparseSyndromeExtractor::extract(
+    const RotatedSurfaceCode &code, Basis basis, int rounds,
+    const std::vector<BatchMeasureRecord> &record, int num_lanes,
+    BatchSyndrome &out)
+{
+    const StabType type = protectingStabType(basis);
+    const int n_s = code.numBasisStabilizers(basis);
+    const uint64_t live = laneMask(num_lanes);
+
+    // Fold the record into detector bit-planes: one XOR merges a
+    // measurement into all lanes at once. Record flips are zero
+    // outside their lane mask, so plain XOR is safe.
+    mflip_.assign((size_t)n_s * rounds, 0);
+    dataFlip_.assign(code.numData(), 0);
+    for (const auto &rec : record) {
+        if (rec.finalData) {
+            dataFlip_[rec.qubit] ^= rec.flips;
+            continue;
+        }
+        if (rec.stab < 0)
+            continue;
+        const auto &stab = code.stabilizer(rec.stab);
+        if (stab.type != type)
+            continue;
+        if (rec.round < 0 || rec.round >= rounds)
+            panic("measurement round out of range");
+        mflip_[(size_t)rec.round * n_s + stab.basisIndex] ^= rec.flips;
+    }
+
+    // Pass 1: detection-event words (stabilizer-major so per-lane
+    // defect lists come out in the scalar extractDefects order), with
+    // per-lane counts for the flat arena layout.
+    events_.resize((size_t)n_s * (rounds + 1));
+    uint32_t counts[64] = {0};
+    for (int s = 0; s < n_s; ++s) {
+        uint64_t prev = 0;
+        uint64_t *row = events_.data() + (size_t)s * (rounds + 1);
+        for (int r = 0; r < rounds; ++r) {
+            const uint64_t cur = mflip_[(size_t)r * n_s + s];
+            uint64_t ev = (cur ^ prev) & live;
+            row[r] = ev;
+            prev = cur;
+            while (ev) {
+                ++counts[__builtin_ctzll(ev)];
+                ev &= ev - 1;
+            }
+        }
+        // Final row: reconstruct the stabilizer from data measurements.
+        const int stab_index = code.basisStabilizers(basis)[s];
+        uint64_t recon = 0;
+        for (int q : code.stabilizer(stab_index).support)
+            recon ^= dataFlip_[q];
+        uint64_t ev = (recon ^ prev) & live;
+        row[rounds] = ev;
+        while (ev) {
+            ++counts[__builtin_ctzll(ev)];
+            ev &= ev - 1;
+        }
+    }
+
+    // Pass 2: lay the defect ids out lane-major in one flat arena.
+    out.numLanes = num_lanes;
+    out.offsets.resize((size_t)num_lanes + 1);
+    out.laneHash.resize(num_lanes);
+    out.nonzeroMask = 0;
+    uint32_t total = 0;
+    uint32_t cursor[64];
+    for (int l = 0; l < num_lanes; ++l) {
+        out.offsets[l] = total;
+        cursor[l] = total;
+        total += counts[l];
+        out.laneHash[l] = kFnvOffset;
+        if (counts[l])
+            out.nonzeroMask |= uint64_t{1} << l;
+    }
+    out.offsets[num_lanes] = total;
+    out.defects.resize(total);
+    for (int s = 0; s < n_s; ++s) {
+        const uint64_t *row = events_.data() + (size_t)s * (rounds + 1);
+        for (int r = 0; r <= rounds; ++r) {
+            uint64_t ev = row[r];
+            if (!ev)
+                continue;
+            const int det = r * n_s + s;
+            do {
+                const int l = __builtin_ctzll(ev);
+                ev &= ev - 1;
+                out.defects[cursor[l]++] = det;
+                out.laneHash[l] = hashStep(out.laneHash[l], det);
+            } while (ev);
+        }
+    }
+
+    uint64_t observable = 0;
+    for (int q : code.logicalSupport(basis))
+        observable ^= dataFlip_[q];
+    out.observableWord = observable & live;
+}
+
+} // namespace qec

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sparse syndrome extraction from batched measurement records.
+ *
+ * The batch engine leaves each measurement as one 64-lane word; this
+ * layer folds those words into detector bit-planes and word-scans them
+ * with ctz to emit per-lane fired-detector lists, stored lane-major in
+ * one flat arena (no per-lane vectors). At the error rates ERASER
+ * targets most detector words are zero, so extraction cost tracks the
+ * number of fired detectors, not the lattice volume — the same
+ * sparse-shot representation Stim and PyMatching stream between
+ * sampler and decoder.
+ *
+ * Each lane also gets an order-sensitive FNV-style hash of its defect
+ * list, which the syndrome dedup cache keys on, plus a nonzero-lane
+ * mask that lets the decode stage skip zero-defect shots entirely.
+ */
+
+#ifndef QEC_DECODER_SPARSE_SYNDROME_H
+#define QEC_DECODER_SPARSE_SYNDROME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "code/rotated_surface_code.h"
+#include "code/types.h"
+#include "sim/batch_frame_simulator.h"
+
+namespace qec
+{
+
+/** All lanes' sparse syndromes for one word-group, flat lane-major. */
+struct BatchSyndrome
+{
+    int numLanes = 0;
+    /** Per-lane true logical-observable flip bits. */
+    uint64_t observableWord = 0;
+    /** Lanes with at least one fired detector. */
+    uint64_t nonzeroMask = 0;
+    /** Lane l's defects live at defects[offsets[l] .. offsets[l+1]),
+     *  in the same (stabilizer-major, round-ascending) order the
+     *  scalar extractDefects emits. */
+    std::vector<uint32_t> offsets;
+    std::vector<int> defects;
+    /** Per-lane syndromeHash() of the defect list. */
+    std::vector<uint64_t> laneHash;
+
+    const int *
+    laneBegin(int lane) const
+    {
+        return defects.data() + offsets[lane];
+    }
+    size_t
+    laneSize(int lane) const
+    {
+        return offsets[(size_t)lane + 1] - offsets[lane];
+    }
+    bool
+    laneObservable(int lane) const
+    {
+        return (observableWord >> lane) & 1;
+    }
+};
+
+/** Order-sensitive hash of a defect list (dedup cache key). */
+uint64_t syndromeHash(const int *defects, size_t count);
+
+/**
+ * Reusable extractor: owns the bit-plane scratch so repeated word-group
+ * extractions allocate nothing in steady state. One instance per
+ * thread.
+ */
+class SparseSyndromeExtractor
+{
+  public:
+    /**
+     * Extract every lane's sparse syndrome from a batched measurement
+     * record (including the final transversal data measurement).
+     * Reuses `out`'s buffers.
+     */
+    void extract(const RotatedSurfaceCode &code, Basis basis,
+                 int rounds,
+                 const std::vector<BatchMeasureRecord> &record,
+                 int num_lanes, BatchSyndrome &out);
+
+  private:
+    std::vector<uint64_t> mflip_;     ///< [round][basis stab] words.
+    std::vector<uint64_t> dataFlip_;  ///< Final data flips per qubit.
+    std::vector<uint64_t> events_;    ///< [stab][round] event words.
+};
+
+} // namespace qec
+
+#endif // QEC_DECODER_SPARSE_SYNDROME_H

@@ -10,62 +10,96 @@ namespace qec
 UnionFindDecoder::UnionFindDecoder(const DetectorModel &dem, double p)
     : numDets_(dem.numDetectors()), boundaryVertex_(dem.numDetectors())
 {
-    incident_.resize(numDets_ + 1);
     for (const auto &edge : dem.edges) {
         if (edge.probability(p) <= 0.0)
             continue;
         const int v =
             edge.b == kBoundary ? boundaryVertex_ : edge.b;
-        const int index = (int)edges_.size();
         edges_.push_back({edge.a, v, edge.obsFlip ? (uint8_t)1
                                                   : (uint8_t)0});
-        incident_[edge.a].push_back(index);
-        incident_[v].push_back(index);
+    }
+
+    // Flat CSR adjacency: counting sort of the edge endpoints, which
+    // keeps each vertex's incident edges in edge-id order.
+    const int n = numDets_ + 1;
+    csrOffsets_.assign((size_t)n + 1, 0);
+    for (const auto &edge : edges_) {
+        ++csrOffsets_[(size_t)edge.u + 1];
+        ++csrOffsets_[(size_t)edge.v + 1];
+    }
+    for (int v = 0; v < n; ++v)
+        csrOffsets_[(size_t)v + 1] += csrOffsets_[v];
+    csrEdges_.resize(2 * edges_.size());
+    std::vector<int> cursor(csrOffsets_.begin(), csrOffsets_.end() - 1);
+    for (size_t e = 0; e < edges_.size(); ++e) {
+        csrEdges_[(size_t)cursor[edges_[e].u]++] = (int)e;
+        csrEdges_[(size_t)cursor[edges_[e].v]++] = (int)e;
     }
 }
 
 bool
-UnionFindDecoder::decode(const std::vector<int> &defects) const
+UnionFindDecoder::decodeSparse(const int *defects, size_t count,
+                               DecodeWorkspace &ws) const
 {
-    if (defects.empty())
+    if (count == 0)
         return false;
 
-    const int n = numDets_ + 1;
+    const size_t n = (size_t)numDets_ + 1;
+    ws.ensureUf(n, edges_.size());
+    const uint64_t epoch = ++ws.epoch;
 
-    // Union-find over vertices.
-    std::vector<int> parent(n);
-    for (int v = 0; v < n; ++v)
-        parent[v] = v;
-    std::vector<int> find_stack;
+    // Lazily initialize a vertex the first time this call touches it:
+    // untouched vertices cost nothing, so the pass scales with the
+    // cluster sizes, not the lattice.
+    auto touch = [&](int v) {
+        if (ws.ufStamp[v] != epoch) {
+            ws.ufStamp[v] = epoch;
+            ws.ufParent[v] = v;
+            ws.ufOdd[v] = 0;
+            ws.ufOnBoundary[v] = 0;
+            ws.ufInCluster[v] = 0;
+            ws.ufExpanded[v] = 0;
+            ws.ufIsDefect[v] = 0;
+            ws.ufFHead[v] = -1;
+            ws.ufFTail[v] = -1;
+            ws.ufFSize[v] = 0;
+            ws.ufFNext[v] = -1;
+        }
+    };
     auto find = [&](int v) {
-        while (parent[v] != v) {
-            parent[v] = parent[parent[v]];
-            v = parent[v];
+        while (ws.ufParent[v] != v) {
+            ws.ufParent[v] = ws.ufParent[ws.ufParent[v]];
+            v = ws.ufParent[v];
         }
         return v;
     };
+    auto pushFrontier = [&](int root, int v) {
+        ws.ufFNext[v] = -1;
+        if (ws.ufFTail[root] < 0)
+            ws.ufFHead[root] = v;
+        else
+            ws.ufFNext[ws.ufFTail[root]] = v;
+        ws.ufFTail[root] = v;
+        ++ws.ufFSize[root];
+    };
 
-    std::vector<uint8_t> is_defect(n, 0);
-    for (int det : defects)
-        is_defect[det] = 1;
-
-    // Per-root cluster state (indexed by representative).
-    std::vector<int> odd(n, 0);            // defect parity
-    std::vector<uint8_t> on_boundary(n, 0);
-    std::vector<std::vector<int>> frontier(n);
-    std::vector<uint8_t> in_cluster(n, 0);
-    std::vector<uint8_t> expanded(n, 0);
-    std::vector<uint8_t> grown(edges_.size(), 0);
-
-    std::vector<int> active;   // roots with odd parity, off boundary
-    for (int det : defects) {
-        odd[det] = 1;
-        in_cluster[det] = 1;
-        frontier[det].push_back(det);
-        active.push_back(det);
+    ws.ufActive.clear();
+    ws.ufBoundaryGrown.clear();
+    for (size_t k = 0; k < count; ++k) {
+        const int det = defects[k];
+        touch(det);
+        if (ws.ufIsDefect[det])
+            continue;   // duplicate id: re-linking the frontier node
+                        // onto itself would cycle the intrusive list
+        ws.ufIsDefect[det] = 1;
+        ws.ufOdd[det] = 1;
+        ws.ufInCluster[det] = 1;
+        pushFrontier(det, det);
+        ws.ufActive.push_back(det);
     }
-    in_cluster[boundaryVertex_] = 1;
-    on_boundary[boundaryVertex_] = 1;
+    touch(boundaryVertex_);
+    ws.ufInCluster[boundaryVertex_] = 1;
+    ws.ufOnBoundary[boundaryVertex_] = 1;
 
     auto merge = [&](int a, int b) {
         // Union by frontier size; returns the surviving root.
@@ -73,120 +107,153 @@ UnionFindDecoder::decode(const std::vector<int> &defects) const
         b = find(b);
         if (a == b)
             return a;
-        if (frontier[a].size() < frontier[b].size())
+        if (ws.ufFSize[a] < ws.ufFSize[b])
             std::swap(a, b);
-        parent[b] = a;
-        odd[a] ^= odd[b];
-        on_boundary[a] |= on_boundary[b];
-        frontier[a].insert(frontier[a].end(), frontier[b].begin(),
-                           frontier[b].end());
-        frontier[b].clear();
+        ws.ufParent[b] = a;
+        ws.ufOdd[a] ^= ws.ufOdd[b];
+        ws.ufOnBoundary[a] |= ws.ufOnBoundary[b];
+        if (ws.ufFHead[b] >= 0) {   // concat b's frontier onto a's
+            if (ws.ufFTail[a] < 0)
+                ws.ufFHead[a] = ws.ufFHead[b];
+            else
+                ws.ufFNext[ws.ufFTail[a]] = ws.ufFHead[b];
+            ws.ufFTail[a] = ws.ufFTail[b];
+            ws.ufFSize[a] += ws.ufFSize[b];
+            ws.ufFHead[b] = -1;
+            ws.ufFTail[b] = -1;
+            ws.ufFSize[b] = 0;
+        }
         return a;
     };
 
     // Grow active clusters one edge layer at a time.
-    while (!active.empty()) {
-        std::vector<int> next_active;
+    while (!ws.ufActive.empty()) {
+        ws.ufNextActive.clear();
         bool grew_any = false;
-        for (int root : active) {
+        for (int root : ws.ufActive) {
             int r = find(root);
-            if (r != root || !odd[r] || on_boundary[r])
+            if (r != root || !ws.ufOdd[r] || ws.ufOnBoundary[r])
                 continue;   // stale entry or neutralized meanwhile
 
-            // Expand every not-yet-expanded vertex of the cluster.
-            std::vector<int> to_expand;
-            to_expand.swap(frontier[r]);
-            for (int u : to_expand) {
-                if (expanded[u])
+            // Detach the frontier and expand every not-yet-expanded
+            // vertex; freshly absorbed vertices land on the root's new
+            // (empty) frontier for the next layer. Detached nodes can
+            // never be re-linked mid-walk: only vertices outside every
+            // cluster are pushed onto a frontier.
+            int u = ws.ufFHead[r];
+            ws.ufFHead[r] = -1;
+            ws.ufFTail[r] = -1;
+            ws.ufFSize[r] = 0;
+            while (u >= 0) {
+                const int next_u = ws.ufFNext[u];
+                if (ws.ufExpanded[u]) {
+                    u = next_u;
                     continue;
-                expanded[u] = 1;
+                }
+                ws.ufExpanded[u] = 1;
                 grew_any = true;
-                for (int ei : incident_[u]) {
-                    if (grown[ei])
+                const int row_end = csrOffsets_[(size_t)u + 1];
+                for (int ci = csrOffsets_[u]; ci < row_end; ++ci) {
+                    const int ei = csrEdges_[ci];
+                    if (ws.ufEdgeStamp[ei] == epoch)
                         continue;
-                    grown[ei] = 1;
-                    const auto &edge = edges_[ei];
+                    ws.ufEdgeStamp[ei] = epoch;
+                    const Edge &edge = edges_[ei];
                     const int w = edge.u == u ? edge.v : edge.u;
-                    if (!in_cluster[w]) {
-                        in_cluster[w] = 1;
+                    if (w == boundaryVertex_ ||
+                        u == boundaryVertex_)
+                        ws.ufBoundaryGrown.push_back(ei);
+                    touch(w);
+                    if (!ws.ufInCluster[w]) {
+                        ws.ufInCluster[w] = 1;
                         const int rr = find(u);
-                        frontier[rr].push_back(w);
-                        parent[w] = rr;
+                        pushFrontier(rr, w);
+                        ws.ufParent[w] = rr;
                     } else {
                         merge(u, w);
                     }
                 }
+                u = next_u;
             }
             r = find(root);
-            // Expanded vertices may still have ungrown edges after a
-            // merge; they are done. Freshly absorbed vertices stay in
-            // the frontier for the next layer.
-            if (odd[r] && !on_boundary[r])
-                next_active.push_back(r);
+            if (ws.ufOdd[r] && !ws.ufOnBoundary[r])
+                ws.ufNextActive.push_back(r);
         }
         // Deduplicate roots.
-        std::sort(next_active.begin(), next_active.end());
-        next_active.erase(
-            std::unique(next_active.begin(), next_active.end()),
-            next_active.end());
-        active.clear();
-        for (int r : next_active) {
-            if (find(r) == r && odd[r] && !on_boundary[r])
-                active.push_back(r);
+        std::sort(ws.ufNextActive.begin(), ws.ufNextActive.end());
+        ws.ufNextActive.erase(std::unique(ws.ufNextActive.begin(),
+                                          ws.ufNextActive.end()),
+                              ws.ufNextActive.end());
+        ws.ufActive.clear();
+        for (int r : ws.ufNextActive) {
+            if (find(r) == r && ws.ufOdd[r] && !ws.ufOnBoundary[r])
+                ws.ufActive.push_back(r);
         }
-        panicIf(!active.empty() && !grew_any,
-                "odd cluster cannot reach the boundary: detector "
-                "graph is disconnected");
+        if (!ws.ufActive.empty() && !grew_any)
+            panic("odd cluster cannot reach the boundary: detector "
+                  "graph is disconnected");
     }
 
     // Peel: spanning forest over grown edges, rooted at the boundary
     // vertex where reachable; include the tree edge of every vertex
-    // whose subtree holds odd defect parity.
-    std::vector<int> tree_parent_edge(n, -1);
-    std::vector<uint8_t> visited(n, 0);
-    std::vector<int> order;
-    order.reserve(n);
+    // whose subtree holds odd defect parity. The boundary vertex's
+    // adjacency row spans the whole lattice, so its grown edges come
+    // from the list collected during growth instead of a CSR scan.
+    ws.peelOrder.clear();
 
     auto bfs = [&](int root) {
-        visited[root] = 1;
-        std::vector<int> queue = {root};
+        ws.peelStamp[root] = epoch;
+        ws.peelParentEdge[root] = -1;
+        ws.peelCharge[root] = ws.ufIsDefect[root];
+        ws.peelQueue.clear();
+        ws.peelQueue.push_back(root);
         size_t head = 0;
-        while (head < queue.size()) {
-            const int u = queue[head++];
-            order.push_back(u);
-            for (int ei : incident_[u]) {
-                if (!grown[ei])
-                    continue;
-                const auto &edge = edges_[ei];
+        while (head < ws.peelQueue.size()) {
+            const int u = ws.peelQueue[head++];
+            ws.peelOrder.push_back(u);
+            const int *edge_ids;
+            int degree;
+            if (u == boundaryVertex_) {
+                edge_ids = ws.ufBoundaryGrown.data();
+                degree = (int)ws.ufBoundaryGrown.size();
+            } else {
+                edge_ids = csrEdges_.data() + csrOffsets_[u];
+                degree = csrOffsets_[(size_t)u + 1] - csrOffsets_[u];
+            }
+            for (int k = 0; k < degree; ++k) {
+                const int ei = edge_ids[k];
+                if (ws.ufEdgeStamp[ei] != epoch)
+                    continue;   // not grown this call
+                const Edge &edge = edges_[ei];
                 const int w = edge.u == u ? edge.v : edge.u;
-                if (visited[w])
+                if (ws.peelStamp[w] == epoch)
                     continue;
-                visited[w] = 1;
-                tree_parent_edge[w] = ei;
-                queue.push_back(w);
+                ws.peelStamp[w] = epoch;
+                ws.peelParentEdge[w] = ei;
+                ws.peelCharge[w] = ws.ufIsDefect[w];
+                ws.peelQueue.push_back(w);
             }
         }
     };
 
     bfs(boundaryVertex_);
-    for (int det : defects) {
-        if (!visited[det])
-            bfs(det);
+    for (size_t k = 0; k < count; ++k) {
+        if (ws.peelStamp[defects[k]] != epoch)
+            bfs(defects[k]);
     }
 
     bool obs = false;
-    std::vector<uint8_t> charge = is_defect;
-    for (size_t i = order.size(); i-- > 0;) {
-        const int v = order[i];
-        const int ei = tree_parent_edge[v];
+    for (size_t i = ws.peelOrder.size(); i-- > 0;) {
+        const int v = ws.peelOrder[i];
+        const int ei = ws.peelParentEdge[v];
         if (ei < 0)
             continue;   // a root
-        if (!charge[v])
+        if (!ws.peelCharge[v])
             continue;
-        const auto &edge = edges_[ei];
+        const Edge &edge = edges_[ei];
         const int parent_v = edge.u == v ? edge.v : edge.u;
-        charge[v] = 0;
-        charge[parent_v] ^= 1;
+        ws.peelCharge[v] = 0;
+        ws.peelCharge[parent_v] ^= 1;
         obs ^= (edge.obs != 0);
     }
     // Remaining charge sits on roots: the boundary vertex absorbs it,

@@ -9,6 +9,14 @@
  * correction edges. Faster but slightly less accurate than MWPM —
  * included as the comparison point the paper alludes to ("any other
  * decoder may be used as well", Section 5.3).
+ *
+ * The decoding graph is stored as a flat CSR adjacency (one offsets
+ * array plus one incident-edge-id array, built once at construction),
+ * and all mutable per-shot state lives in an epoch-versioned
+ * DecodeWorkspace: decodeSparse() performs zero heap allocations in
+ * steady state and touches only the vertices reachable from the fired
+ * detectors, so per-shot cost is proportional to the defect count
+ * rather than the lattice size.
  */
 
 #ifndef QEC_DECODER_UNION_FIND_DECODER_H
@@ -32,9 +40,12 @@ class UnionFindDecoder : public Decoder
      */
     UnionFindDecoder(const DetectorModel &dem, double p);
 
-    bool decode(const std::vector<int> &defects) const override;
+    bool decodeSparse(const int *defects, size_t count,
+                      DecodeWorkspace &workspace) const override;
 
     int numDetectors() const { return numDets_; }
+    /** Total decoding-graph edges (diagnostics/tests). */
+    size_t numGraphEdges() const { return edges_.size(); }
 
   private:
     struct Edge
@@ -47,8 +58,10 @@ class UnionFindDecoder : public Decoder
     int numDets_ = 0;
     int boundaryVertex_ = 0;   ///< Single virtual boundary vertex id.
     std::vector<Edge> edges_;
-    /** Adjacency: vertex -> incident edge indices. */
-    std::vector<std::vector<int>> incident_;
+    /** CSR adjacency: incident edge ids of vertex v live at
+     *  csrEdges_[csrOffsets_[v] .. csrOffsets_[v + 1]). */
+    std::vector<int> csrOffsets_;
+    std::vector<int> csrEdges_;
 };
 
 } // namespace qec

@@ -6,7 +6,9 @@
 #include "base/logging.h"
 #include "base/parallel.h"
 #include "code/builder.h"
+#include "decoder/batch_decoder.h"
 #include "decoder/defects.h"
+#include "decoder/sparse_syndrome.h"
 #include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
 
@@ -59,6 +61,15 @@ ExperimentResult::avgLrcsPerRound() const
 }
 
 double
+ExperimentResult::syndromeCacheHitRate() const
+{
+    BatchDecodeStats stats;
+    stats.cacheHits = syndromeCacheHits;
+    stats.decoded = decodedShots;
+    return stats.cacheHitRate();
+}
+
+double
 ExperimentResult::lprData(int round) const
 {
     if (shots == 0 || round >= (int)lprDataSum.size())
@@ -93,21 +104,44 @@ struct MemoryExperiment::ShotStats
     std::vector<double> lprParity;
 };
 
+/**
+ * One worker thread's decode pipeline: the extractor's bit-plane
+ * scratch, the flat sparse-syndrome buffers, and the BatchDecoder
+ * (workspace + dedup cache) all persist across that worker's
+ * word-groups, so steady-state decoding allocates nothing.
+ */
+struct MemoryExperiment::DecodeContext
+{
+    SparseSyndromeExtractor extractor;
+    BatchSyndrome syndrome;
+    std::unique_ptr<BatchDecoder> pipeline;
+};
+
 MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
                                    ExperimentConfig config)
+    : MemoryExperiment(
+          code, config,
+          [&config](const DetectorModel &dem,
+                    double p) -> std::unique_ptr<Decoder> {
+              if (config.decoderKind == DecoderKind::Mwpm)
+                  return std::make_unique<MwpmDecoder>(
+                      dem, p, config.decoderOptions);
+              return std::make_unique<UnionFindDecoder>(dem, p);
+          })
+{
+}
+
+MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
+                                   ExperimentConfig config,
+                                   const DecoderFactory &decoder_factory)
     : code_(code), config_(config), lookup_(code)
 {
     fatalIf(config_.rounds < 1, "experiment needs at least one round");
     if (config_.decode) {
         dem_ = std::make_unique<DetectorModel>(
             buildDetectorModel(code_, config_.rounds, config_.basis));
-        if (config_.decoderKind == DecoderKind::Mwpm) {
-            decoder_ = std::make_unique<MwpmDecoder>(
-                *dem_, config_.em.p, config_.decoderOptions);
-        } else {
-            decoder_ = std::make_unique<UnionFindDecoder>(
-                *dem_, config_.em.p);
-        }
+        decoder_ = decoder_factory(*dem_, config_.em.p);
+        fatalIf(!decoder_, "decoder factory returned null");
     }
 }
 
@@ -190,21 +224,44 @@ MemoryExperiment::runBatched(const PolicyFactory &factory,
     const uint64_t groups = (config_.shots + width - 1) / width;
 
     ExperimentResult result = resultHeader(name);
+
+    // One decode pipeline per worker: workspaces and caches are
+    // mutable, but verdicts are pure functions of the defect list, so
+    // results stay identical across any thread count.
+    const unsigned workers =
+        resolveThreadCount(groups, config_.threads);
+    std::vector<DecodeContext> contexts(workers);
+    if (config_.decode) {
+        for (auto &ctx : contexts)
+            ctx.pipeline = std::make_unique<BatchDecoder>(
+                *decoder_, config_.syndromeCache);
+    }
+
     std::mutex merge_mutex;
-    parallelFor(
+    parallelForWorkers(
         groups,
-        [&](uint64_t group) {
+        [&](unsigned worker, uint64_t group) {
             ShotStats stats;
             if (config_.trackLpr) {
                 stats.lprData.assign(config_.rounds, 0.0);
                 stats.lprParity.assign(config_.rounds, 0.0);
             }
-            runGroup(group, width, factory, stats);
+            runGroup(group, width, factory, stats,
+                     &contexts[worker]);
 
             std::lock_guard<std::mutex> lock(merge_mutex);
             mergeStats(result, stats);
         },
         config_.threads);
+
+    for (const auto &ctx : contexts) {
+        if (!ctx.pipeline)
+            continue;
+        const BatchDecodeStats &ds = ctx.pipeline->stats();
+        result.decodedShots += ds.decoded;
+        result.zeroDefectShots += ds.zeroDefect;
+        result.syndromeCacheHits += ds.cacheHits;
+    }
     return result;
 }
 
@@ -384,7 +441,7 @@ MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
 void
 MemoryExperiment::runGroup(uint64_t group, uint64_t width,
                            const PolicyFactory &factory,
-                           ShotStats &stats) const
+                           ShotStats &stats, DecodeContext *ctx) const
 {
     const uint64_t first = group * width;
     const int W = (int)std::min<uint64_t>(width, config_.shots - first);
@@ -599,12 +656,24 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
     sim.executeRange(final_ops.data(),
                      final_ops.data() + final_ops.size(), live);
 
-    auto outcomes = extractDefectsBatched(
-        code_, config_.basis, config_.rounds, sim.record(), W);
-    for (int l = 0; l < W; ++l) {
-        const bool predicted = decoder_->decode(outcomes[l].defects);
-        if (predicted != outcomes[l].observableFlip)
-            ++stats.logicalErrors;
+    ctx->extractor.extract(code_, config_.basis, config_.rounds,
+                           sim.record(), W, ctx->syndrome);
+    const BatchSyndrome &syndrome = ctx->syndrome;
+    if (config_.batchDecode) {
+        const uint64_t predictions =
+            ctx->pipeline->decodeBatch(syndrome);
+        stats.logicalErrors += popcount64(
+            (predictions ^ syndrome.observableWord) & live);
+    } else {
+        // Scalar decode-per-shot baseline (perf comparisons only).
+        for (int l = 0; l < W; ++l) {
+            const std::vector<int> defects(
+                syndrome.laneBegin(l),
+                syndrome.laneBegin(l) + syndrome.laneSize(l));
+            const bool predicted = decoder_->decode(defects);
+            if (predicted != syndrome.laneObservable(l))
+                ++stats.logicalErrors;
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 #ifndef QEC_EXP_MEMORY_EXPERIMENT_H
 #define QEC_EXP_MEMORY_EXPERIMENT_H
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "core/qsg.h"
 #include "core/swap_lookup.h"
 #include "decoder/mwpm_decoder.h"
+#include "decoder/syndrome_cache.h"
 #include "decoder/union_find_decoder.h"
 #include "sim/error_model.h"
 
@@ -62,6 +64,16 @@ struct ExperimentConfig
      */
     unsigned batchWidth = 1;
     DecoderOptions decoderOptions;
+    /**
+     * Drive the batched engine's decode step through the BatchDecoder
+     * pipeline (sparse syndromes, zero-defect fast path, dedup cache,
+     * reusable workspaces). Verdict-identical to the per-shot decode
+     * loop it replaces; turn off only to benchmark against the scalar
+     * decode baseline.
+     */
+    bool batchDecode = true;
+    /** Dedup-cache sizing for the batched decode pipeline. */
+    SyndromeCacheOptions syndromeCache;
 };
 
 /** Aggregated outcome of an experiment. */
@@ -87,6 +99,11 @@ struct ExperimentResult
     int numDataQubits = 0;
     int numParityQubits = 0;
 
+    /** Batched decode pipeline counters (zero on the scalar path). */
+    uint64_t decodedShots = 0;        ///< Shots that ran a real decode.
+    uint64_t zeroDefectShots = 0;     ///< Shots skipped (no defects).
+    uint64_t syndromeCacheHits = 0;   ///< Shots replayed from cache.
+
     double ler() const;
     /** "<1/shots" string when no error was observed. */
     std::string lerString() const;
@@ -94,11 +111,21 @@ struct ExperimentResult
     double falsePositiveRate() const;
     double falseNegativeRate() const;
     double avgLrcsPerRound() const;
+    /** Dedup-cache hit rate over cache-eligible (nonzero) shots. */
+    double syndromeCacheHitRate() const;
     /** Leakage population ratio at round r (Eq. 5). */
     double lprTotal(int round) const;
     double lprData(int round) const;
     double lprParity(int round) const;
 };
+
+/**
+ * Builds a decoder for a detector model at physical error rate p;
+ * lets callers swap in any Decoder implementation (the paper: "any
+ * other decoder may be used as well").
+ */
+using DecoderFactory = std::function<std::unique_ptr<Decoder>(
+    const DetectorModel &, double p)>;
 
 /**
  * One experiment configuration bound to a code; the detector model and
@@ -109,6 +136,11 @@ class MemoryExperiment
   public:
     MemoryExperiment(const RotatedSurfaceCode &code,
                      ExperimentConfig config);
+    /** As above, but decode with a caller-supplied decoder (built by
+     *  `decoder_factory` when config.decode is set). */
+    MemoryExperiment(const RotatedSurfaceCode &code,
+                     ExperimentConfig config,
+                     const DecoderFactory &decoder_factory);
     ~MemoryExperiment();
 
     /** Run all shots under a policy kind. */
@@ -138,10 +170,13 @@ class MemoryExperiment
 
   private:
     struct ShotStats;
+    /** Per-worker decode pipeline state (defined in the .cpp). */
+    struct DecodeContext;
     void runShot(uint64_t shot, const PolicyFactory &factory,
                  ShotStats &stats) const;
     void runGroup(uint64_t group, uint64_t width,
-                  const PolicyFactory &factory, ShotStats &stats) const;
+                  const PolicyFactory &factory, ShotStats &stats,
+                  DecodeContext *ctx) const;
     ExperimentResult resultHeader(const std::string &name) const;
     void mergeStats(ExperimentResult &result,
                     const ShotStats &stats) const;

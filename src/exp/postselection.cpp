@@ -1,11 +1,15 @@
 #include "exp/postselection.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "base/parallel.h"
 #include "code/builder.h"
+#include "decoder/batch_decoder.h"
 #include "decoder/defects.h"
 #include "decoder/mwpm_decoder.h"
+#include "decoder/sparse_syndrome.h"
+#include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
 
 namespace qec
@@ -57,13 +61,147 @@ shotIsSuspect(const RotatedSurfaceCode &code, int rounds,
     return false;
 }
 
+/** Per-worker scratch for the batched suspicion scan. */
+struct SuspectScratch
+{
+    std::vector<uint64_t> flips;    ///< [round][stab] words.
+    std::vector<uint64_t> evRing;   ///< Last `window` event words.
+};
+
+/**
+ * Word-parallel shotIsSuspect: one bit per lane. Event words are
+ * mostly zero at the rates of interest, so the per-lane window
+ * counters are only touched on set bits.
+ */
+uint64_t
+suspectMaskBatched(const RotatedSurfaceCode &code, int rounds,
+                   const std::vector<BatchMeasureRecord> &record,
+                   int num_lanes, const PostSelectOptions &options,
+                   SuspectScratch &scratch)
+{
+    const int n_stabs = code.numStabilizers();
+    const uint64_t live = laneMask(num_lanes);
+    scratch.flips.assign((size_t)n_stabs * rounds, 0);
+    for (const auto &rec : record) {
+        if (rec.stab >= 0 && !rec.finalData) {
+            uint64_t &word =
+                scratch.flips[(size_t)rec.round * n_stabs + rec.stab];
+            word = (word & ~rec.mask) | rec.flips;
+        }
+    }
+
+    const int window = std::max(options.window, 1);
+    scratch.evRing.assign((size_t)window, 0);
+    uint64_t suspect = 0;
+    for (int s = 0; s < n_stabs; ++s) {
+        uint8_t counts[64] = {0};
+        std::fill(scratch.evRing.begin(), scratch.evRing.end(), 0);
+        uint64_t prev = 0;
+        for (int r = 0; r < rounds; ++r) {
+            const uint64_t cur =
+                scratch.flips[(size_t)r * n_stabs + s];
+            const uint64_t ev = (cur ^ prev) & live;
+            prev = cur;
+            uint64_t leaving = scratch.evRing[r % window];
+            scratch.evRing[r % window] = ev;
+            while (leaving) {
+                --counts[__builtin_ctzll(leaving)];
+                leaving &= leaving - 1;
+            }
+            uint64_t arriving = ev;
+            while (arriving) {
+                const int l = __builtin_ctzll(arriving);
+                arriving &= arriving - 1;
+                if (++counts[l] >= options.eventThreshold)
+                    suspect |= uint64_t{1} << l;
+            }
+        }
+    }
+    return suspect;
+}
+
 } // namespace
+
+PostSelectResult
+runPostSelectedExperimentBatched(const RotatedSurfaceCode &code,
+                                 const ExperimentConfig &config,
+                                 const PostSelectOptions &options)
+{
+    DetectorModel dem =
+        buildDetectorModel(code, config.rounds, config.basis);
+    MwpmDecoder decoder(dem, config.em.p, config.decoderOptions);
+    Circuit circuit =
+        buildMemoryCircuit(code, config.rounds, config.basis);
+
+    const uint64_t width = std::min<uint64_t>(
+        std::max<unsigned>(config.batchWidth, 1),
+        (unsigned)BatchFrameSimulator::kMaxLanes);
+    const uint64_t groups = (config.shots + width - 1) / width;
+
+    struct Context
+    {
+        SparseSyndromeExtractor extractor;
+        BatchSyndrome syndrome;
+        SuspectScratch suspect;
+        std::unique_ptr<BatchDecoder> pipeline;
+    };
+    const unsigned workers =
+        resolveThreadCount(groups, config.threads);
+    std::vector<Context> contexts(workers);
+    for (auto &ctx : contexts)
+        ctx.pipeline = std::make_unique<BatchDecoder>(
+            decoder, config.syndromeCache);
+
+    PostSelectResult result;
+    result.shots = config.shots;
+
+    std::mutex merge;
+    parallelForWorkers(
+        groups,
+        [&](unsigned worker, uint64_t group) {
+            Context &ctx = contexts[worker];
+            const uint64_t first = group * width;
+            const int W =
+                (int)std::min<uint64_t>(width, config.shots - first);
+            const uint64_t live = laneMask(W);
+
+            BatchFrameSimulator sim(code.numQubits(), config.em, W,
+                                    config.seed, first);
+            sim.reserveRecord(circuit.ops.size());
+            sim.executeRange(circuit.ops.data(),
+                             circuit.ops.data() + circuit.ops.size(),
+                             live);
+
+            const uint64_t suspect = suspectMaskBatched(
+                code, config.rounds, sim.record(), W, options,
+                ctx.suspect);
+            ctx.extractor.extract(code, config.basis, config.rounds,
+                                  sim.record(), W, ctx.syndrome);
+            const uint64_t predictions =
+                ctx.pipeline->decodeBatch(ctx.syndrome);
+            const uint64_t errors =
+                (predictions ^ ctx.syndrome.observableWord) & live;
+
+            std::lock_guard<std::mutex> lock(merge);
+            result.logicalErrorsAll +=
+                (uint64_t)__builtin_popcountll(errors);
+            result.kept +=
+                (uint64_t)__builtin_popcountll(~suspect & live);
+            result.logicalErrorsKept +=
+                (uint64_t)__builtin_popcountll(errors & ~suspect);
+        },
+        config.threads);
+    return result;
+}
 
 PostSelectResult
 runPostSelectedExperiment(const RotatedSurfaceCode &code,
                           const ExperimentConfig &config,
                           const PostSelectOptions &options)
 {
+    if (config.batchWidth > 1)
+        return runPostSelectedExperimentBatched(code, config, options);
+
     DetectorModel dem =
         buildDetectorModel(code, config.rounds, config.basis);
     MwpmDecoder decoder(dem, config.em.p, config.decoderOptions);

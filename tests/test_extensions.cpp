@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/evidence_policy.h"
 #include "exp/postselection.h"
 
@@ -178,6 +180,50 @@ TEST(PostSelection, DiscardsLeakyShotsAndImprovesLer)
     EXPECT_LT(result.kept, result.shots);   // something was rejected
     EXPECT_GT(result.keptFraction(), 0.1);  // but not everything
     EXPECT_LT(result.lerKept(), result.lerAll());
+}
+
+TEST(PostSelection, BatchedWidth1MatchesScalarExactly)
+{
+    // The W=1 batch engine delegates to the scalar simulator shot for
+    // shot, so the batched suspicion scan + decode pipeline must
+    // reproduce the scalar path's kept counts and logical errors
+    // exactly, draw for draw.
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 12;
+    cfg.shots = 120;
+    cfg.seed = 95;
+    cfg.em = ErrorModel::standard(2e-3);
+
+    auto scalar = runPostSelectedExperiment(code, cfg);
+    cfg.batchWidth = 1;
+    auto batched = runPostSelectedExperimentBatched(code, cfg);
+    EXPECT_EQ(batched.shots, scalar.shots);
+    EXPECT_EQ(batched.kept, scalar.kept);
+    EXPECT_EQ(batched.logicalErrorsAll, scalar.logicalErrorsAll);
+    EXPECT_EQ(batched.logicalErrorsKept, scalar.logicalErrorsKept);
+}
+
+TEST(PostSelection, BatchedW64AgreesStatistically)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 15;
+    cfg.shots = 1500;
+    cfg.seed = 96;
+    cfg.em = ErrorModel::standard(2e-3);
+
+    auto scalar = runPostSelectedExperiment(code, cfg);
+    cfg.batchWidth = 64;
+    auto batched = runPostSelectedExperiment(code, cfg);
+
+    EXPECT_EQ(batched.shots, scalar.shots);
+    EXPECT_NEAR(batched.keptFraction(), scalar.keptFraction(), 0.06);
+    EXPECT_NEAR(batched.lerAll(), scalar.lerAll(),
+                5.0 * std::sqrt(scalar.lerAll() *
+                                (1.0 - scalar.lerAll()) /
+                                (double)cfg.shots) +
+                    1e-3);
 }
 
 TEST(PostSelection, ThresholdControlsRejectionRate)
