@@ -13,7 +13,10 @@
  * After the benchmarks run, main() emits BENCH_decode.json (override
  * the path with ERASER_BENCH_JSON, skip with ERASER_SKIP_DECODE_JSON)
  * with machine-readable scalar-vs-batched decode throughput and cache
- * hit rates, so the perf trajectory is tracked across PRs.
+ * hit rates (exact and round-truncated prefix keys), and
+ * BENCH_simd.json (ERASER_SIMD_JSON / ERASER_SKIP_SIMD_JSON) with the
+ * word-group width sweep of the decoded d=11 UF ERASER experiment, so
+ * the perf trajectory is tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/simd_word.h"
 #include "code/builder.h"
 #include "code/rotated_surface_code.h"
 #include "core/policies.h"
@@ -88,15 +92,14 @@ BM_FrameSimRound(benchmark::State &state)
 }
 BENCHMARK(BM_FrameSimRound)->Arg(3)->Arg(7)->Arg(11);
 
+template <int NW>
 void
-BM_BatchFrameSimRound(benchmark::State &state)
+runBatchFrameSimRound(benchmark::State &state, int d, int lanes)
 {
-    // Same round as BM_FrameSimRound, but 64 shots per word: the
-    // items/sec ratio between the two is the engine-level speedup.
-    const int d = (int)state.range(0);
     RotatedSurfaceCode code(d);
-    BatchFrameSimulator sim(code.numQubits(),
-                            ErrorModel::standard(1e-3), 64, 2, 0);
+    BatchFrameSimulatorT<NW> sim(code.numQubits(),
+                                 ErrorModel::standard(1e-3), lanes, 2,
+                                 0);
     RoundSchedule round = buildRoundSchedule(code, 0, {});
     for (auto _ : state) {
         sim.executeRange(round.ops.data(),
@@ -105,9 +108,31 @@ BM_BatchFrameSimRound(benchmark::State &state)
         if (sim.record().size() > 1000000)
             sim.reset();
     }
-    state.SetItemsProcessed(state.iterations() * 64);
+    // Items = live lanes actually simulated (sim.numLanes()), never
+    // the word-group capacity: a ragged group must not inflate the
+    // reported throughput.
+    state.SetItemsProcessed(state.iterations() * sim.numLanes());
 }
-BENCHMARK(BM_BatchFrameSimRound)->Arg(3)->Arg(7)->Arg(11);
+
+void
+BM_BatchFrameSimRound(benchmark::State &state)
+{
+    // Same round as BM_FrameSimRound, but width shots per word-group:
+    // the items/sec ratio against BM_FrameSimRound is the engine-level
+    // speedup, and the ratio across widths is the SIMD plane scaling.
+    const int d = (int)state.range(0);
+    const int width = (int)state.range(1);
+    if (width <= 64)
+        runBatchFrameSimRound<1>(state, d, width);
+    else if (width <= 256)
+        runBatchFrameSimRound<4>(state, d, width);
+    else
+        runBatchFrameSimRound<8>(state, d, width);
+}
+BENCHMARK(BM_BatchFrameSimRound)
+    ->ArgNames({"d", "width"})
+    ->Args({3, 64})->Args({7, 64})->Args({11, 64})
+    ->Args({11, 256})->Args({11, 512});
 
 /**
  * Whole-experiment throughput of the two engines on the paper's
@@ -135,13 +160,16 @@ BM_MemoryExperimentEraser(benchmark::State &state)
     for (auto _ : state) {
         auto result = exp.run(PolicyKind::Eraser);
         benchmark::DoNotOptimize(result.lrcsScheduled);
+        // Count executed shots, not groups * batchWidth: at width 512
+        // this config runs one ragged 256-lane group per repetition
+        // and must not report phantom throughput.
         shots += result.shots;
     }
     state.counters["shots/s"] = benchmark::Counter(
         (double)shots, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MemoryExperimentEraser)
-    ->ArgName("width")->Arg(1)->Arg(64)
+    ->ArgName("width")->Arg(1)->Arg(64)->Arg(256)->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 /** Pre-sampled realistic defect sets at p=1e-3. */
@@ -403,6 +431,14 @@ emitDecodeJson()
                 ExperimentResult batched;
                 const double batched_rate =
                     shots_per_sec(code, cfg, nullptr, &batched);
+                // Approximate round-truncated prefix keying: the knob
+                // that makes dedup fire at p = 1e-3 (exact keys
+                // almost never repeat there). Reported side by side
+                // with the exact hit rate.
+                cfg.syndromeCache.truncateRounds = 2;
+                ExperimentResult truncated;
+                shots_per_sec(code, cfg, nullptr, &truncated);
+                cfg.syndromeCache.truncateRounds = 0;
 
                 std::fprintf(
                     out,
@@ -412,6 +448,7 @@ emitDecodeJson()
                     "\"batched_shots_per_s\": %.1f, "
                     "\"speedup\": %.2f, "
                     "\"cache_hit_rate\": %.4f, "
+                    "\"cache_hit_rate_trunc2\": %.4f, "
                     "\"zero_defect_frac\": %.4f}",
                     first ? "" : ",\n",
                     union_find ? "union_find" : "mwpm", p, d,
@@ -419,10 +456,83 @@ emitDecodeJson()
                     scalar_rate, batched_rate,
                     batched_rate / scalar_rate,
                     batched.syndromeCacheHitRate(),
+                    truncated.syndromeCacheHitRate(),
                     (double)batched.zeroDefectShots /
                         (double)batched.shots);
                 first = false;
             }
+        }
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * SIMD width-scaling tracking: run the decoded d=11 UF ERASER sweep
+ * (rounds = 3d) at word-group widths 64/256/512 and write shots/s and
+ * the speedup over the width-64 anchor as JSON, together with the
+ * engine's compiled backend and the host's recommended width. Rates
+ * divide by executed shots (per-group live lanes), never by
+ * groups * batchWidth, so ragged tail groups cannot inflate them.
+ */
+void
+emitSimdJson()
+{
+    if (std::getenv("ERASER_SKIP_SIMD_JSON"))
+        return;
+    const char *path_env = std::getenv("ERASER_SIMD_JSON");
+    const std::string path = path_env ? path_env : "BENCH_simd.json";
+    FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+
+    std::fprintf(
+        out,
+        "{\n  \"bench\": \"decoded d=11 UF ERASER sweep, rounds=3d, "
+        "word-group width sweep; width 64 is the bit-identical "
+        "pre-SIMD anchor\",\n"
+        "  \"engine_backend\": \"%s\",\n"
+        "  \"recommended_width\": %d,\n"
+        "  \"entries\": [\n",
+        simdBackendName(), recommendedBatchWidth());
+
+    const int d = 11;
+    RotatedSurfaceCode code(d);
+    bool first = true;
+    for (double p : {1e-3, 1e-4}) {
+        double base_rate = 0.0;
+        for (unsigned width : {64u, 256u, 512u}) {
+            ExperimentConfig cfg;
+            cfg.rounds = 3 * d;
+            cfg.shots = p < 5e-4 ? 3072 : 1536;
+            cfg.seed = 5000 + (int)width;
+            cfg.em = ErrorModel::standard(p);
+            cfg.decode = true;
+            cfg.decoderKind = DecoderKind::UnionFind;
+            cfg.batchWidth = width;
+            MemoryExperiment exp(code, cfg);
+            const auto start = std::chrono::steady_clock::now();
+            auto result = exp.run(PolicyKind::Eraser);
+            const double secs = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    start)
+                                    .count();
+            const double rate = (double)result.shots /
+                                (secs > 0.0 ? secs : 1e-9);
+            if (width == 64)
+                base_rate = rate;
+            std::fprintf(out,
+                         "%s    {\"p\": %.0e, \"width\": %u, "
+                         "\"shots\": %llu, "
+                         "\"shots_per_s\": %.1f, "
+                         "\"speedup_vs_64\": %.3f}",
+                         first ? "" : ",\n", p, width,
+                         (unsigned long long)result.shots, rate,
+                         base_rate > 0.0 ? rate / base_rate : 1.0);
+            first = false;
         }
     }
     std::fprintf(out, "\n  ]\n}\n");
@@ -441,5 +551,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emitDecodeJson();
+    emitSimdJson();
     return 0;
 }

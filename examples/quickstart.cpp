@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "base/simd_word.h"
 #include "exp/memory_experiment.h"
 
 using namespace qec;
@@ -27,6 +28,12 @@ main()
     cfg.shots = 2000;
     cfg.seed = 7;
     cfg.trackLpr = true;
+    // Shots per simulator word-group: 1 = scalar reference path,
+    // 2..64 = one 64-bit word per bit-plane, 256/512 = the 4-/8-word
+    // SIMD engine. Results are bit-identical across 64/256/512 (each
+    // 64-lane block keeps its own noise streams);
+    // recommendedBatchWidth() picks the host's throughput sweet spot.
+    cfg.batchWidth = (unsigned)recommendedBatchWidth();
 
     MemoryExperiment experiment(code, cfg);
 

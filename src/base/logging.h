@@ -21,10 +21,16 @@ namespace qec
  * @param msg Description of the violated invariant.
  */
 [[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
+    panic(msg.c_str());
 }
 
 /**
@@ -32,10 +38,16 @@ panic(const std::string &msg)
  * @param msg Description of the configuration problem.
  */
 [[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+[[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    std::exit(1);
+    fatal(msg.c_str());
 }
 
 /** Print a status message that requires no user action. */
@@ -45,7 +57,17 @@ inform(const std::string &msg)
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
-/** panic() unless the stated library invariant holds. */
+/** panic() unless the stated library invariant holds.
+ *  The const char* overloads keep literal-message checks free of the
+ *  hidden per-call std::string construction (a heap allocation on
+ *  every check), which matters on the decode/simulate hot paths. */
+inline void
+panicIf(bool condition, const char *msg)
+{
+    if (condition)
+        panic(msg);
+}
+
 inline void
 panicIf(bool condition, const std::string &msg)
 {
@@ -54,6 +76,13 @@ panicIf(bool condition, const std::string &msg)
 }
 
 /** fatal() unless the stated user-facing precondition holds. */
+inline void
+fatalIf(bool condition, const char *msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
 inline void
 fatalIf(bool condition, const std::string &msg)
 {

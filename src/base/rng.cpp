@@ -17,12 +17,6 @@ splitmix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(uint64_t seed)
@@ -49,38 +43,8 @@ Rng::forStream(uint64_t seed, uint64_t stream, uint64_t salt)
     return forShot(salted, stream);
 }
 
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const uint64_t t = state_[1] << 17;
 
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
 
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53-bit mantissa construction; uniform on [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
-}
 
 uint32_t
 Rng::randint(uint32_t n)
@@ -97,10 +61,5 @@ Rng::randint(uint32_t n)
     }
 }
 
-bool
-Rng::bit()
-{
-    return (next() >> 63) != 0;
-}
 
 } // namespace qec

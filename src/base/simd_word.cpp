@@ -1,0 +1,57 @@
+#include "base/simd_word.h"
+
+namespace qec
+{
+
+const char *
+simdBackendName()
+{
+    switch (compiledSimdBackend()) {
+      case SimdBackend::Avx512: return "avx512";
+      case SimdBackend::Avx2: return "avx2";
+      case SimdBackend::Neon: return "neon";
+      case SimdBackend::Portable: break;
+    }
+    return "portable";
+}
+
+bool
+runtimeSimdSupported(SimdBackend backend)
+{
+    switch (backend) {
+      case SimdBackend::Portable:
+        return true;
+      case SimdBackend::Neon:
+#if defined(__ARM_NEON)
+        return true;   // baseline on every AArch64 target we build for
+#else
+        return false;
+#endif
+      case SimdBackend::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx2");
+#else
+        return false;
+#endif
+      case SimdBackend::Avx512:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx512f");
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+int
+recommendedBatchWidth()
+{
+    if (runtimeSimdSupported(SimdBackend::Avx512))
+        return 512;
+    if (runtimeSimdSupported(SimdBackend::Avx2) ||
+        runtimeSimdSupported(SimdBackend::Neon))
+        return 256;
+    return 64;
+}
+
+} // namespace qec

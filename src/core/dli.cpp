@@ -28,6 +28,8 @@ DynamicLrcInsertion::allocateLookup(LeakageTrackingTable &ltt,
                                     std::vector<int> &used_stabs) const
 {
     std::vector<LrcPair> lrcs;
+    if (ltt.markedCount() == 0)
+        return lrcs;   // quiescent round: nothing to place, no work
     std::vector<uint8_t> taken(code_.numStabilizers(), 0);
 
     for (int q = 0; q < ltt.size(); ++q) {
@@ -60,6 +62,8 @@ DynamicLrcInsertion::allocateMatching(LeakageTrackingTable &ltt,
                                       const ParityUsageTable &putt,
                                       std::vector<int> &used_stabs) const
 {
+    if (ltt.markedCount() == 0)
+        return {};
     const auto marked = ltt.markedList();
     std::vector<std::vector<int>> adjacency(marked.size());
     for (size_t i = 0; i < marked.size(); ++i) {

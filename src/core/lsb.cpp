@@ -1,5 +1,7 @@
 #include "core/lsb.h"
 
+#include <cstring>
+
 #include "base/logging.h"
 
 namespace qec
@@ -35,16 +37,48 @@ LeakageSpeculationBlock::speculate(
     panicIf((int)events.size() != code_.numStabilizers(),
             "need one detection event per stabilizer");
 
-    for (int q = 0; q < code_.numData(); ++q) {
+    // Event-sparse scan: walk the fired stabilizers and bump their
+    // support's flip counters, then threshold only the touched data
+    // qubits. Equivalent to summing each data qubit's adjacent events
+    // (the adjacency lists are mutual inverses), but at the error
+    // rates of interest most rounds fire nothing, so the cost tracks
+    // the event count instead of the lattice size.
+    if ((int)flipCount_.size() < code_.numData())
+        flipCount_.assign(code_.numData(), 0);
+    touched_.clear();
+    const uint8_t *ev = events.data();
+    const size_t n_stabs = events.size();
+    auto bump = [&](int s) {
+        for (int q : code_.stabilizer(s).support) {
+            if (flipCount_[q]++ == 0)
+                touched_.push_back(q);
+        }
+    };
+    // Scan eight event bytes per load; all-zero words (the common
+    // case) cost one compare.
+    size_t s = 0;
+    for (; s + 8 <= n_stabs; s += 8) {
+        uint64_t word;
+        std::memcpy(&word, ev + s, 8);
+        while (word) {
+            const int byte = __builtin_ctzll(word) >> 3;
+            bump((int)s + byte);
+            word &= ~(uint64_t{0xFF} << (byte * 8));
+        }
+    }
+    for (; s < n_stabs; ++s) {
+        if (ev[s])
+            bump((int)s);
+    }
+    for (int q : touched_) {
+        const int flips = flipCount_[q];
+        flipCount_[q] = 0;   // restore the all-zero invariant
         // An LRC in the round producing this syndrome already removed
         // any leakage on this qubit (Section 4.2.1).
         if (had_lrc[q])
             continue;
-        const auto &stabs = code_.stabilizersOfData(q);
-        int flips = 0;
-        for (int s : stabs)
-            flips += events[s] ? 1 : 0;
-        if (flips >= thresholdFor((int)stabs.size()))
+        const int neighbors = (int)code_.stabilizersOfData(q).size();
+        if (flips >= thresholdFor(neighbors))
             ltt.mark(q);
     }
 

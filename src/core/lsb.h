@@ -72,6 +72,11 @@ class LeakageSpeculationBlock
   private:
     const RotatedSurfaceCode &code_;
     LsbOptions options_;
+    // Event-sparse scan scratch: per-data-qubit flip counters plus the
+    // list of qubits touched this call (so cost tracks fired events,
+    // not the lattice; one LSB per lane-policy, never shared).
+    mutable std::vector<uint8_t> flipCount_;
+    mutable std::vector<int> touched_;
 };
 
 } // namespace qec

@@ -123,17 +123,17 @@ std::vector<LrcPair>
 EraserPolicy::nextRound(const RoundObservation &obs)
 {
     lsb_.speculate(obs.events, obs.leakedLabels, obs.hadLrc, ltt_);
-    std::vector<int> used_stabs;
-    auto lrcs = dli_.allocate(ltt_, putt_, used_stabs);
+    usedStabsScratch_.clear();
+    auto lrcs = dli_.allocate(ltt_, putt_, usedStabsScratch_);
     if (puttCooldown_)
-        putt_.advanceRound(used_stabs);
+        putt_.advanceRound(usedStabsScratch_);
     return lrcs;
 }
 
 OptimalLrcPolicy::OptimalLrcPolicy(const RotatedSurfaceCode &code,
                                    const SwapLookupTable &lookup)
     : code_(code), dli_(code, lookup, DliAllocator::ExactMatching),
-      emptyPutt_(code.numStabilizers())
+      emptyPutt_(code.numStabilizers()), ltt_(code.numData())
 {
 }
 
@@ -142,13 +142,13 @@ OptimalLrcPolicy::nextRound(const RoundObservation &obs)
 {
     panicIf(obs.trueLeakedData.empty(),
             "Optimal policy needs oracle leakage state");
-    LeakageTrackingTable ltt(code_.numData());
+    ltt_.reset();
     for (int q = 0; q < code_.numData(); ++q) {
         if (obs.trueLeakedData[q])
-            ltt.mark(q);
+            ltt_.mark(q);
     }
-    std::vector<int> used_stabs;
-    return dli_.allocate(ltt, emptyPutt_, used_stabs);
+    usedStabsScratch_.clear();
+    return dli_.allocate(ltt_, emptyPutt_, usedStabsScratch_);
 }
 
 PolicyFactory

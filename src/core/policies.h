@@ -148,6 +148,7 @@ class EraserPolicy : public LrcPolicy
     DynamicLrcInsertion dli_;
     LeakageTrackingTable ltt_;
     ParityUsageTable putt_;
+    std::vector<int> usedStabsScratch_;
 };
 
 /**
@@ -169,6 +170,9 @@ class OptimalLrcPolicy : public LrcPolicy
     const RotatedSurfaceCode &code_;
     DynamicLrcInsertion dli_;
     ParityUsageTable emptyPutt_;
+    /** Reused oracle-mark table and scratch (no per-round allocs). */
+    LeakageTrackingTable ltt_;
+    std::vector<int> usedStabsScratch_;
 };
 
 /** Named policy kinds for factories and benches. */

@@ -30,15 +30,29 @@ class LeakageTrackingTable
     {
     }
 
-    void mark(int data) { marks_[data] = 1; }
-    void clear(int data) { marks_[data] = 0; }
+    void
+    mark(int data)
+    {
+        markedCount_ += marks_[data] == 0;
+        marks_[data] = 1;
+    }
+    void
+    clear(int data)
+    {
+        markedCount_ -= marks_[data] != 0;
+        marks_[data] = 0;
+    }
     bool marked(int data) const { return marks_[data] != 0; }
     int size() const { return (int)marks_.size(); }
+    /** Number of currently marked qubits: lets the DLI skip its scan
+     *  outright in the (dominant, low-p) quiescent rounds. */
+    int markedCount() const { return markedCount_; }
 
     void
     reset()
     {
         std::fill(marks_.begin(), marks_.end(), 0);
+        markedCount_ = 0;
     }
 
     /** Marked data qubits in ascending id order. */
@@ -55,6 +69,7 @@ class LeakageTrackingTable
 
   private:
     std::vector<uint8_t> marks_;
+    int markedCount_ = 0;
 };
 
 /** Parity qubit Usage Tracking Table: cooldown bit per stabilizer. */
@@ -73,23 +88,30 @@ class ParityUsageTable
     reset()
     {
         std::fill(used_.begin(), used_.end(), 0);
+        lastUsed_.clear();
     }
 
     /**
      * Advance one round: parity qubits that took part in an LRC this
      * round are blocked for the next round (they are measured and
-     * reset next round, clearing any accumulated leakage).
+     * reset next round, clearing any accumulated leakage). Only the
+     * previously set bits are cleared, so quiescent rounds cost O(1)
+     * instead of a full-table wipe per lane per round.
      */
     void
     advanceRound(const std::vector<int> &stabs_used_this_round)
     {
-        std::fill(used_.begin(), used_.end(), 0);
-        for (int s : stabs_used_this_round)
+        for (int s : lastUsed_)
+            used_[s] = 0;
+        lastUsed_.assign(stabs_used_this_round.begin(),
+                         stabs_used_this_round.end());
+        for (int s : lastUsed_)
             used_[s] = 1;
     }
 
   private:
     std::vector<uint8_t> used_;
+    std::vector<int> lastUsed_;
 };
 
 } // namespace qec

@@ -1,5 +1,7 @@
 #include "decoder/batch_decoder.h"
 
+#include "base/logging.h"
+
 namespace qec
 {
 
@@ -24,21 +26,43 @@ BatchDecoder::decodeCached(uint64_t hash, const int *defects,
     return verdict;
 }
 
+void
+BatchDecoder::decodeBatch(const BatchSyndrome &batch,
+                          uint64_t *predictions)
+{
+    for (int b = 0; b < batch.numWords; ++b)
+        predictions[b] = 0;
+    stats_.shots += (uint64_t)batch.numLanes;
+    // Zero-defect lanes predict "no flip" without touching the
+    // decoder; scan only the nonzero lanes.
+    for (int b = 0; b < batch.numWords; ++b) {
+        uint64_t nonzero =
+            batch.nonzeroWords[b] & laneMask64(batch.numLanes - 64 * b);
+        const int base = 64 * b;
+        while (nonzero) {
+            const int l = base + __builtin_ctzll(nonzero);
+            nonzero &= nonzero - 1;
+            if (decodeCached(batch.laneHash[l], batch.laneBegin(l),
+                             batch.laneSize(l)))
+                predictions[b] |= uint64_t{1} << (l - base);
+        }
+    }
+    uint64_t nonzero_total = 0;
+    for (int b = 0; b < batch.numWords; ++b)
+        nonzero_total += (uint64_t)__builtin_popcountll(
+            batch.nonzeroWords[b]);
+    stats_.zeroDefect += (uint64_t)batch.numLanes - nonzero_total;
+}
+
 uint64_t
 BatchDecoder::decodeBatch(const BatchSyndrome &batch)
 {
-    uint64_t predictions = 0;
-    for (int l = 0; l < batch.numLanes; ++l) {
-        ++stats_.shots;
-        const size_t count = batch.laneSize(l);
-        if (count == 0) {
-            ++stats_.zeroDefect;   // fast path: predict "no flip"
-            continue;
-        }
-        if (decodeCached(batch.laneHash[l], batch.laneBegin(l), count))
-            predictions |= uint64_t{1} << l;
-    }
-    return predictions;
+    panicIf(batch.numLanes > 64,
+            "single-word decodeBatch needs the word-array overload "
+            "for groups wider than 64 lanes");
+    uint64_t predictions[kMaxBatchWords] = {0};
+    decodeBatch(batch, predictions);
+    return predictions[0];
 }
 
 bool

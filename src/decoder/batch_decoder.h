@@ -66,7 +66,17 @@ class BatchDecoder
     explicit BatchDecoder(const Decoder &decoder,
                           SyndromeCacheOptions cache_options = {});
 
-    /** Decode every lane; returns per-lane predicted-flip bits. */
+    /**
+     * Decode every lane of a (possibly >64-lane) word-group, writing
+     * per-lane predicted-flip bits into `predictions` (at least
+     * batch.numWords words; cleared first).
+     */
+    void decodeBatch(const BatchSyndrome &batch,
+                     uint64_t *predictions);
+
+    /** Convenience for groups of at most 64 lanes: returns the
+     *  predicted-flip bits as one word (panics on wider batches
+     *  rather than silently dropping lanes). */
     uint64_t decodeBatch(const BatchSyndrome &batch);
 
     /** Decode one sparse syndrome through the same pipeline. */

@@ -107,6 +107,9 @@ struct DecodeWorkspace
     /** Candidates bucketed by component: (root, candidate index). */
     std::vector<std::pair<int, int>> mwCandByComp;
     std::vector<int> mwLocalIndex;
+    /** Persistent blossom-solver scratch: MWPM matching reuses it
+     *  across calls, so steady-state decode allocates nothing. */
+    MatcherScratch matcher;
 
     /** Size the union-find arrays for a graph with `num_vertices`
      *  vertices (detectors + boundary) and `num_edges` edges. */
@@ -176,7 +179,7 @@ struct DecodeWorkspace
                bytes(mwEdges) + bytes(mwBDist) + bytes(mwBObs) +
                bytes(mwPartner) + bytes(mwCompParent) +
                bytes(mwCompKeys) + bytes(mwCandByComp) +
-               bytes(mwLocalIndex);
+               bytes(mwLocalIndex) + matcher.footprintBytes();
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <type_traits>
 
 #include "base/logging.h"
 
@@ -11,21 +12,47 @@ namespace qec
 namespace
 {
 
+/** Grow a nested vector's outer size (never shrinking, so inner
+ *  capacity persists) and clear the first `n` inner vectors. */
+void
+resetNested(std::vector<std::vector<int>> &v, size_t n)
+{
+    if (v.size() < n)
+        v.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i].clear();
+}
+
 /**
  * State of one maximum-weight-matching computation. A direct port of
  * Van Rantwijk's formulation of Galil's algorithm: vertices are
  * 0..n-1, blossoms n..2n-1, and "endpoints" are directed half-edges
- * (edge k has endpoints 2k and 2k+1).
+ * (edge k has endpoints 2k and 2k+1). All arrays live in the caller's
+ * MatcherScratch, so repeated solves on same-shaped instances are
+ * allocation-free.
  */
 class Matcher
 {
   public:
-    Matcher(int n, const std::vector<MatchEdge> &edges, bool maxcard)
-        : n_(n), edges_(edges), maxCardinality_(maxcard)
+    Matcher(int n, const std::vector<MatchEdge> &edges, bool maxcard,
+            MatcherScratch &s)
+        : n_(n), edges_(edges), maxCardinality_(maxcard),
+          neighbend_(s.neighbend), mate_(s.mate), label_(s.label),
+          labelend_(s.labelend), inblossom_(s.inblossom),
+          blossomparent_(s.blossomparent),
+          blossomchilds_(s.blossomchilds),
+          blossombase_(s.blossombase), blossomendps_(s.blossomendps),
+          bestedge_(s.bestedge),
+          blossombestedges_(s.blossombestedges),
+          unusedblossoms_(s.unusedblossoms), dualvar_(s.dualvar),
+          allowedge_(s.allowedge), queue_(s.queue),
+          leafStack_(s.leafStack), pathBuf_(s.pathBuf),
+          endpsBuf_(s.endpsBuf), bestEdgeToBuf_(s.bestEdgeToBuf),
+          expandPool_(s.expandPool)
     {
     }
 
-    std::vector<int> solve();
+    void solve(std::vector<int> &partner);
 
   private:
     int64_t
@@ -51,28 +78,32 @@ class Matcher
     const std::vector<MatchEdge> &edges_;
     bool maxCardinality_;
 
-    std::vector<std::vector<int>> neighbend_;
-    std::vector<int> mate_;
-    std::vector<int> label_;
-    std::vector<int> labelend_;
-    std::vector<int> inblossom_;
-    std::vector<int> blossomparent_;
-    std::vector<std::vector<int>> blossomchilds_;
-    std::vector<int> blossombase_;
-    std::vector<std::vector<int>> blossomendps_;
-    std::vector<int> bestedge_;
-    std::vector<std::vector<int>> blossombestedges_;
-    std::vector<int> unusedblossoms_;
-    std::vector<int64_t> dualvar_;
-    std::vector<uint8_t> allowedge_;
-    std::vector<int> queue_;
+    // All state lives in the caller's MatcherScratch (see matching.h);
+    // these references keep the algorithm text unchanged.
+    std::vector<std::vector<int>> &neighbend_;
+    std::vector<int> &mate_;
+    std::vector<int> &label_;
+    std::vector<int> &labelend_;
+    std::vector<int> &inblossom_;
+    std::vector<int> &blossomparent_;
+    std::vector<std::vector<int>> &blossomchilds_;
+    std::vector<int> &blossombase_;
+    std::vector<std::vector<int>> &blossomendps_;
+    std::vector<int> &bestedge_;
+    std::vector<std::vector<int>> &blossombestedges_;
+    std::vector<int> &unusedblossoms_;
+    std::vector<int64_t> &dualvar_;
+    std::vector<uint8_t> &allowedge_;
+    std::vector<int> &queue_;
 
-    // Reusable scratch for the hot helpers (one allocation per solve
-    // instead of one per blossom operation).
-    std::vector<int> leafStack_;
-    std::vector<int> pathBuf_;
-    std::vector<int> endpsBuf_;
-    std::vector<int> bestEdgeToBuf_;
+    // Reusable scratch for the hot helpers (no allocation per blossom
+    // operation once warmed up).
+    std::vector<int> &leafStack_;
+    std::vector<int> &pathBuf_;
+    std::vector<int> &endpsBuf_;
+    std::vector<int> &bestEdgeToBuf_;
+    std::vector<std::vector<int>> &expandPool_;
+    int expandDepth_ = 0;
 
     /** Apply f to every leaf vertex of (sub-)blossom b, in the same
      *  order as the recursive formulation. Not reentrant: callers
@@ -236,8 +267,15 @@ Matcher::addBlossom(int base, int k)
 void
 Matcher::expandBlossom(int b, bool endstage)
 {
-    // Copy: children are modified while iterating in recursive calls.
-    const std::vector<int> childs = blossomchilds_[b];
+    // Copy (into this recursion level's pooled buffer): children are
+    // modified while iterating in recursive calls. solve() pre-sizes
+    // the pool to the maximum nesting depth, so the reference below
+    // is never invalidated by a resize in a nested call.
+    const int depth = expandDepth_++;
+    panicIf(depth >= (int)expandPool_.size(),
+            "blossom expansion exceeded the pre-sized depth pool");
+    std::vector<int> &childs = expandPool_[depth];
+    childs = blossomchilds_[b];
     for (int s : childs) {
         blossomparent_[s] = -1;
         if (s < n_) {
@@ -326,6 +364,7 @@ Matcher::expandBlossom(int b, bool endstage)
     blossombestedges_[b].clear();
     bestedge_[b] = -1;
     unusedblossoms_.push_back(b);
+    --expandDepth_;
 }
 
 void
@@ -413,19 +452,19 @@ Matcher::augmentMatching(int k)
     }
 }
 
-std::vector<int>
-Matcher::solve()
+void
+Matcher::solve(std::vector<int> &partner)
 {
-    std::vector<int> partner(n_, -1);
+    partner.assign(n_, -1);
     if (edges_.empty() || n_ == 0)
-        return partner;
+        return;
 
     const int nedge = (int)edges_.size();
     int64_t maxweight = 0;
     for (const auto &e : edges_)
         maxweight = std::max(maxweight, e.weight);
 
-    neighbend_.assign(n_, {});
+    resetNested(neighbend_, n_);
     for (int k = 0; k < nedge; ++k) {
         neighbend_[edges_[k].u].push_back(2 * k + 1);
         neighbend_[edges_[k].v].push_back(2 * k);
@@ -438,15 +477,20 @@ Matcher::solve()
     for (int v = 0; v < n_; ++v)
         inblossom_[v] = v;
     blossomparent_.assign(2 * n_, -1);
-    blossomchilds_.assign(2 * n_, {});
+    resetNested(blossomchilds_, 2 * (size_t)n_);
     blossombase_.resize(2 * n_);
     for (int v = 0; v < n_; ++v)
         blossombase_[v] = v;
     for (int b = n_; b < 2 * n_; ++b)
         blossombase_[b] = -1;
-    blossomendps_.assign(2 * n_, {});
+    resetNested(blossomendps_, 2 * (size_t)n_);
     bestedge_.assign(2 * n_, -1);
-    blossombestedges_.assign(2 * n_, {});
+    resetNested(blossombestedges_, 2 * (size_t)n_);
+    // Blossom nesting depth is bounded by the blossom count, so
+    // expandBlossom's per-depth buffers can never resize (and thus
+    // never invalidate an outer recursion frame's reference).
+    if (expandPool_.size() < (size_t)n_)
+        expandPool_.resize(n_);
     unusedblossoms_.clear();
     for (int b = n_; b < 2 * n_; ++b)
         unusedblossoms_.push_back(b);
@@ -618,17 +662,43 @@ Matcher::solve()
         panicIf(partner[v] != -1 && partner[partner[v]] != v,
                 "matching is not symmetric");
     }
-    return partner;
 }
 
 } // namespace
+
+size_t
+MatcherScratch::footprintBytes() const
+{
+    auto flat = [](const auto &v) {
+        return v.capacity() *
+               sizeof(typename std::remove_reference_t<
+                      decltype(v)>::value_type);
+    };
+    auto nested = [](const std::vector<std::vector<int>> &v) {
+        size_t bytes = v.capacity() * sizeof(std::vector<int>);
+        for (const auto &inner : v)
+            bytes += inner.capacity() * sizeof(int);
+        return bytes;
+    };
+    return nested(neighbend) + nested(blossomchilds) +
+           nested(blossomendps) + nested(blossombestedges) +
+           nested(expandPool) +
+           flat(mate) + flat(label) + flat(labelend) +
+           flat(inblossom) + flat(blossomparent) + flat(blossombase) +
+           flat(bestedge) + flat(unusedblossoms) + flat(dualvar) +
+           flat(allowedge) + flat(queue) + flat(leafStack) +
+           flat(pathBuf) + flat(endpsBuf) + flat(bestEdgeToBuf);
+}
 
 std::vector<int>
 maxWeightMatching(int num_vertices, const std::vector<MatchEdge> &edges,
                   bool max_cardinality)
 {
-    Matcher matcher(num_vertices, edges, max_cardinality);
-    return matcher.solve();
+    MatcherScratch scratch;
+    Matcher matcher(num_vertices, edges, max_cardinality, scratch);
+    std::vector<int> partner;
+    matcher.solve(partner);
+    return partner;
 }
 
 std::vector<int>
@@ -646,6 +716,17 @@ minWeightPerfectMatchingInPlace(int num_vertices,
                                 std::vector<MatchEdge> &edges,
                                 std::vector<int> &partner)
 {
+    MatcherScratch scratch;
+    minWeightPerfectMatchingInPlace(num_vertices, edges, partner,
+                                    scratch);
+}
+
+void
+minWeightPerfectMatchingInPlace(int num_vertices,
+                                std::vector<MatchEdge> &edges,
+                                std::vector<int> &partner,
+                                MatcherScratch &scratch)
+{
     int64_t wmax = 0;
     for (const auto &e : edges)
         wmax = std::max(wmax, e.weight);
@@ -656,7 +737,8 @@ minWeightPerfectMatchingInPlace(int num_vertices,
     for (auto &e : edges)
         e.weight = 2 * (wmax + 1 - e.weight);
 
-    partner = maxWeightMatching(num_vertices, edges, true);
+    Matcher matcher(num_vertices, edges, true, scratch);
+    matcher.solve(partner);
     for (int v = 0; v < num_vertices; ++v) {
         panicIf(partner[v] == -1,
                 "no perfect matching exists for this instance");

@@ -12,6 +12,7 @@
 #ifndef QEC_DECODER_MATCHING_H
 #define QEC_DECODER_MATCHING_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -24,6 +25,44 @@ struct MatchEdge
     int u = 0;
     int v = 0;
     int64_t weight = 0;
+};
+
+/**
+ * Persistent blossom-solver scratch: every vector the matcher needs,
+ * reusable across solves so steady-state matching performs no heap
+ * allocation (sized lazily to the largest instance seen). One
+ * instance per thread; DecodeWorkspace embeds one so the MWPM decode
+ * hot path no longer rebuilds the solver per call.
+ */
+struct MatcherScratch
+{
+    std::vector<std::vector<int>> neighbend;
+    std::vector<std::vector<int>> blossomchilds;
+    std::vector<std::vector<int>> blossomendps;
+    std::vector<std::vector<int>> blossombestedges;
+    std::vector<int> mate;
+    std::vector<int> label;
+    std::vector<int> labelend;
+    std::vector<int> inblossom;
+    std::vector<int> blossomparent;
+    std::vector<int> blossombase;
+    std::vector<int> bestedge;
+    std::vector<int> unusedblossoms;
+    std::vector<int64_t> dualvar;
+    std::vector<uint8_t> allowedge;
+    std::vector<int> queue;
+    std::vector<int> leafStack;
+    std::vector<int> pathBuf;
+    std::vector<int> endpsBuf;
+    std::vector<int> bestEdgeToBuf;
+    /** Per-recursion-depth child-list buffers for expandBlossom (it
+     *  mutates the child list while iterating, so each level needs a
+     *  stable copy; pooling the copies keeps them allocation-free). */
+    std::vector<std::vector<int>> expandPool;
+
+    /** Total bytes owned (tests pin that this stops growing once
+     *  decoding reaches steady state). */
+    size_t footprintBytes() const;
 };
 
 /**
@@ -50,14 +89,24 @@ std::vector<int> minWeightPerfectMatching(
 
 /**
  * Workspace-friendly variant for hot decode loops: transforms `edges`
- * weights in place (callers rebuild the edge list per shot anyway) and
- * moves the result into `partner`, reusing its storage. The blossom
- * solver itself still allocates internally; this trims the reduction's
- * copies around it.
+ * weights in place (callers rebuild the edge list per shot anyway)
+ * and writes the result into `partner`, reusing its storage. Builds a
+ * throwaway MatcherScratch, so it still allocates; hot loops should
+ * pass a persistent scratch via the overload below.
  */
 void minWeightPerfectMatchingInPlace(int num_vertices,
                                      std::vector<MatchEdge> &edges,
                                      std::vector<int> &partner);
+
+/**
+ * Zero-allocation variant: solves in the caller's persistent scratch.
+ * After warmup on same-shaped instances the solve performs no heap
+ * allocation at all (the last piece of the zero-alloc decode story).
+ */
+void minWeightPerfectMatchingInPlace(int num_vertices,
+                                     std::vector<MatchEdge> &edges,
+                                     std::vector<int> &partner,
+                                     MatcherScratch &scratch);
 
 } // namespace qec
 

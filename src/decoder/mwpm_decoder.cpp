@@ -386,7 +386,7 @@ MwpmDecoder::decodeSparse(const int *defects, size_t count,
         ws.statMatchedVerts += 2 * (uint64_t)k;
         ++ws.statComponents;
         minWeightPerfectMatchingInPlace(2 * k, ws.mwEdges,
-                                        ws.mwPartner);
+                                        ws.mwPartner, ws.matcher);
 
         // Predicted observable: parity over matched structure.
         for (int li = 0; li < k; ++li) {

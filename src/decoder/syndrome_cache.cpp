@@ -6,6 +6,39 @@
 namespace qec
 {
 
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t
+prefixHash(const int *defects, size_t count)
+{
+    uint64_t h = kFnvOffset;
+    for (size_t k = 0; k < count; ++k)
+        h = (h ^ (uint64_t)(uint32_t)defects[k]) * kFnvPrime;
+    return h;
+}
+
+} // namespace
+
+SyndromeCacheOptions
+resolveSyndromeCacheOptions(SyndromeCacheOptions options, int rounds,
+                            int basis_stabilizers)
+{
+    if (options.truncateRounds > 0 && options.keyDetectorLimit == 0) {
+        // Clamp to at least one key row: an over-large truncateRounds
+        // means "truncate as much as possible", and a cutoff of 0
+        // would silently mean the opposite (exact keying).
+        const int key_rows =
+            std::max(1, (rounds + 1) - (int)options.truncateRounds);
+        options.keyDetectorLimit =
+            (uint32_t)(key_rows * basis_stabilizers);
+    }
+    return options;
+}
+
 SyndromeCache::SyndromeCache(SyndromeCacheOptions options)
     : options_(options)
 {
@@ -15,6 +48,19 @@ SyndromeCache::SyndromeCache(SyndromeCacheOptions options)
     slots_.resize(size_t{1} << options_.tableLog2);
     mask_ = slots_.size() - 1;
     arena_.reserve(options_.arenaCapacity);
+    if (options_.keyDetectorLimit)
+        keyScratch_.reserve(1024);
+}
+
+uint64_t
+SyndromeCache::truncateKey(const int *defects, size_t count)
+{
+    keyScratch_.clear();
+    for (size_t k = 0; k < count; ++k) {
+        if ((uint32_t)defects[k] < options_.keyDetectorLimit)
+            keyScratch_.push_back(defects[k]);
+    }
+    return prefixHash(keyScratch_.data(), keyScratch_.size());
 }
 
 bool
@@ -24,6 +70,15 @@ SyndromeCache::lookup(uint64_t hash, const int *defects, size_t count,
     if (!options_.enabled) {
         ++stats_.misses;
         return false;
+    }
+    if (options_.keyDetectorLimit) {
+        lastKeyHash_ = truncateKey(defects, count);
+        lastKeySrc_ = defects;
+        lastKeyCount_ = count;
+        lastKeyValid_ = true;
+        hash = lastKeyHash_;
+        defects = keyScratch_.data();
+        count = keyScratch_.size();
     }
     size_t slot = hash & mask_;
     while (slots_[slot].used) {
@@ -45,7 +100,21 @@ void
 SyndromeCache::insert(uint64_t hash, const int *defects, size_t count,
                       bool verdict)
 {
-    if (!options_.enabled || count > options_.arenaCapacity)
+    if (!options_.enabled)
+        return;
+    if (options_.keyDetectorLimit) {
+        // Reuse the immediately preceding lookup's truncation when it
+        // covered this exact list; anything else recomputes.
+        if (lastKeyValid_ && lastKeySrc_ == defects &&
+            lastKeyCount_ == count)
+            hash = lastKeyHash_;
+        else
+            hash = truncateKey(defects, count);
+        lastKeyValid_ = false;
+        defects = keyScratch_.data();
+        count = keyScratch_.size();
+    }
+    if (count > options_.arenaCapacity)
         return;
     // Flush wholesale once either array is near capacity: the table
     // needs headroom for probing, the arena for the incoming list.

@@ -34,7 +34,37 @@ struct SyndromeCacheOptions
     uint32_t tableLog2 = 13;
     /** Capacity of the stored-defect arena (ints). */
     uint32_t arenaCapacity = 1u << 17;
+    /**
+     * Round-truncated prefix keying (0 = off = exact). When set to k,
+     * cache keys are computed from the syndrome *prefix* only — the
+     * defects in all but the last k detector rows — so shots that
+     * agree on the early rounds share one entry even when their tails
+     * differ. This raises hit rates dramatically at p = 1e-3, where
+     * exact dedup almost never fires, at the price of being an
+     * APPROXIMATION: the replayed verdict is the first matching
+     * shot's, so tail-only defect differences are ignored. Use it for
+     * LER-statistics sweeps where a per-mille verdict perturbation is
+     * far below sampling noise, never for verdict-exact differential
+     * work. The experiment layer derives `keyDetectorLimit` from this
+     * and the round/stabilizer counts.
+     */
+    uint32_t truncateRounds = 0;
+    /** Derived detector-id cutoff for the truncated key: defects with
+     *  id >= this are excluded from keys (0 = exact full-list keys).
+     *  Filled in by the experiment layer; set directly only in tests. */
+    uint32_t keyDetectorLimit = 0;
 };
+
+/**
+ * Derive `keyDetectorLimit` from `truncateRounds` for an experiment
+ * with `rounds` syndrome rounds and `basis_stabilizers` decoded
+ * checks per round (the syndrome has rounds+1 detector rows including
+ * the final data-derived row). No-op when truncation is off or the
+ * limit was set explicitly; shared by every batched decode entry
+ * point so the knob behaves identically everywhere.
+ */
+SyndromeCacheOptions resolveSyndromeCacheOptions(
+    SyndromeCacheOptions options, int rounds, int basis_stabilizers);
 
 struct SyndromeCacheStats
 {
@@ -57,12 +87,19 @@ class SyndromeCache
 
     /**
      * Look up a syndrome. On hit, stores the cached verdict in
-     * `verdict` and returns true.
+     * `verdict` and returns true. With truncated keying enabled the
+     * caller's `hash` is ignored (the cache hashes the truncated
+     * prefix itself) and a hit means "same prefix", not "same
+     * syndrome".
      */
     bool lookup(uint64_t hash, const int *defects, size_t count,
                 bool &verdict);
 
-    /** Record a decoded verdict (no-op when disabled or oversized). */
+    /** Record a decoded verdict (no-op when disabled or oversized).
+     *  With truncated keying, an insert that immediately follows a
+     *  lookup on the same (pointer, count) list reuses that lookup's
+     *  truncation — callers must not mutate the defect buffer between
+     *  the two calls (the decode pipeline never does). */
     void insert(uint64_t hash, const int *defects, size_t count,
                 bool verdict);
 
@@ -82,11 +119,22 @@ class SyndromeCache
     };
 
     void flush();
+    /** Filter `defects` through the truncated-key cutoff into
+     *  keyScratch_ and return its prefix hash. */
+    uint64_t truncateKey(const int *defects, size_t count);
 
     SyndromeCacheOptions options_;
     SyndromeCacheStats stats_;
     std::vector<Slot> slots_;
     std::vector<int> arena_;
+    std::vector<int> keyScratch_;
+    // A miss is followed by insert() on the same list (the pipeline's
+    // lookup -> decode -> insert sequence); remembering the lookup's
+    // truncation avoids filtering and hashing the list twice.
+    const int *lastKeySrc_ = nullptr;
+    size_t lastKeyCount_ = 0;
+    uint64_t lastKeyHash_ = 0;
+    bool lastKeyValid_ = false;
     size_t used_ = 0;
     uint64_t mask_ = 0;
 };

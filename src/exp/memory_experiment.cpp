@@ -214,14 +214,41 @@ MemoryExperiment::run(const PolicyFactory &factory,
     return result;
 }
 
+SyndromeCacheOptions
+MemoryExperiment::resolvedCacheOptions() const
+{
+    return resolveSyndromeCacheOptions(
+        config_.syndromeCache, config_.rounds,
+        code_.numBasisStabilizers(config_.basis));
+}
+
+// A 1-lane group delegates to the scalar reference simulator at every
+// width, so splitting 1-lane tail blocks into their own groups keeps
+// wide runs bit-identical to the width-64 runs (whose 1-lane tails
+// always were their own groups). For width <= 64 the decomposition is
+// unchanged from the pre-SIMD engine.
+std::vector<std::pair<uint64_t, int>>
+batchGroupSpans(uint64_t shots, uint64_t width)
+{
+    std::vector<std::pair<uint64_t, int>> spans;
+    for (uint64_t first = 0; first < shots;) {
+        uint64_t take = std::min<uint64_t>(width, shots - first);
+        if (take > 1 && take % 64 == 1)
+            --take;
+        spans.push_back({first, (int)take});
+        first += take;
+    }
+    return spans;
+}
+
 ExperimentResult
 MemoryExperiment::runBatched(const PolicyFactory &factory,
                              const std::string &name) const
 {
     const uint64_t width = std::min<uint64_t>(
         std::max<unsigned>(config_.batchWidth, 1),
-        (unsigned)BatchFrameSimulator::kMaxLanes);
-    const uint64_t groups = (config_.shots + width - 1) / width;
+        (unsigned)kMaxBatchLanes);
+    const auto spans = batchGroupSpans(config_.shots, width);
 
     ExperimentResult result = resultHeader(name);
 
@@ -229,25 +256,35 @@ MemoryExperiment::runBatched(const PolicyFactory &factory,
     // mutable, but verdicts are pure functions of the defect list, so
     // results stay identical across any thread count.
     const unsigned workers =
-        resolveThreadCount(groups, config_.threads);
+        resolveThreadCount(spans.size(), config_.threads);
     std::vector<DecodeContext> contexts(workers);
     if (config_.decode) {
+        const SyndromeCacheOptions cache_opts = resolvedCacheOptions();
         for (auto &ctx : contexts)
             ctx.pipeline = std::make_unique<BatchDecoder>(
-                *decoder_, config_.syndromeCache);
+                *decoder_, cache_opts);
     }
 
     std::mutex merge_mutex;
     parallelForWorkers(
-        groups,
+        spans.size(),
         [&](unsigned worker, uint64_t group) {
             ShotStats stats;
             if (config_.trackLpr) {
                 stats.lprData.assign(config_.rounds, 0.0);
                 stats.lprParity.assign(config_.rounds, 0.0);
             }
-            runGroup(group, width, factory, stats,
-                     &contexts[worker]);
+            const auto [first, lanes] = spans[group];
+            // Plane depth (1/4/8 words) follows the group width.
+            if (width <= 64)
+                runGroupT<1>(first, lanes, factory, stats,
+                             &contexts[worker]);
+            else if (width <= 256)
+                runGroupT<4>(first, lanes, factory, stats,
+                             &contexts[worker]);
+            else
+                runGroupT<8>(first, lanes, factory, stats,
+                             &contexts[worker]);
 
             std::lock_guard<std::mutex> lock(merge_mutex);
             mergeStats(result, stats);
@@ -274,14 +311,17 @@ popcount64(uint64_t word)
     return __builtin_popcountll(word);
 }
 
-/** Lane-divergent LRC assignment: the lanes that scheduled (stab,
- *  data) this round, in first-insertion order so that width-1 runs
- *  replay the scalar path's tail order exactly. */
+/** Lane-divergent LRC assignment within one 64-lane block: the block
+ *  lanes that scheduled (stab, data) this round, in first-insertion
+ *  order. Tails are executed block by block so every 64-lane block
+ *  replays exactly the op order its standalone 64-lane group (or, at
+ *  width 1, the scalar path) would execute — the cross-width
+ *  bit-identity anchor. */
 struct ActiveLrc
 {
     int stab;
     int data;
-    uint64_t mask;
+    uint64_t mask;   ///< Lane bits within the owning block.
 };
 
 /**
@@ -438,24 +478,29 @@ MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
         ++stats.logicalErrors;
 }
 
+template <int NW>
 void
-MemoryExperiment::runGroup(uint64_t group, uint64_t width,
-                           const PolicyFactory &factory,
-                           ShotStats &stats, DecodeContext *ctx) const
+MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
+                            const PolicyFactory &factory,
+                            ShotStats &stats, DecodeContext *ctx) const
 {
-    const uint64_t first = group * width;
-    const int W = (int)std::min<uint64_t>(width, config_.shots - first);
+    using Lane = LaneWord<NW>;
+    const uint64_t first = first_shot;
+    const int W = lanes;
+    const int NB = (W + 63) / 64;
     const int n_stabs = code_.numStabilizers();
     const int n_data = code_.numData();
     const StabType primary = protectingStabType(config_.basis);
     const bool swap_lrc = config_.protocol == RemovalProtocol::SwapLrc;
 
-    BatchFrameSimulator sim(code_.numQubits(), config_.em, W,
-                            config_.seed, first);
-    const uint64_t live = sim.liveMask();
-    // Each round emits one record per stabilizer plus one per distinct
-    // lane-divergent LRC tail (bounded by the stabilizer count again).
-    sim.reserveRecord((size_t)config_.rounds * 2 * n_stabs + n_data);
+    BatchFrameSimulatorT<NW> sim(code_.numQubits(), config_.em, W,
+                                 config_.seed, first);
+    const Lane live = sim.liveMask();
+    // Each round emits one record per stabilizer plus, per 64-lane
+    // block, one per distinct lane-divergent LRC tail (bounded by the
+    // stabilizer count again).
+    sim.reserveRecord(
+        (size_t)config_.rounds * (1 + (size_t)NB) * n_stabs + n_data);
 
     std::vector<std::unique_ptr<LrcPolicy>> policies;
     std::vector<std::vector<LrcPair>> lrcs(W);
@@ -475,28 +520,45 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
            plain.ops[prefix_end].type != OpType::Measure)
         ++prefix_end;
 
+    // The observation arrays hold an all-zero invariant between lanes:
+    // per lane only the fired entries are set, the policy consulted,
+    // and the same entries cleared again — so the per-lane cost tracks
+    // the (sparse, at low p) activity instead of the lattice volume.
     RoundObservation obs;
-    obs.events.resize(n_stabs);
-    obs.leakedLabels.resize(n_stabs);
-    obs.hadLrc.resize(n_data);
-    obs.trueLeakedData.resize(n_data);
+    obs.events.assign(n_stabs, 0);
+    obs.leakedLabels.assign(n_stabs, 0);
+    obs.hadLrc.assign(n_data, 0);
+    obs.trueLeakedData.assign(n_data, 0);
 
-    std::vector<uint64_t> flips(n_stabs), labels(n_stabs);
-    std::vector<uint64_t> prev_flips(n_stabs, 0);
-    std::vector<uint64_t> sched_mask(n_data);
-    std::vector<uint64_t> lrc_on_stab(n_stabs);
-    std::vector<ActiveLrc> active;
+    std::vector<Lane> flips(n_stabs, Lane{}), labels(n_stabs, Lane{});
+    std::vector<Lane> prev_flips(n_stabs, Lane{});
+    std::vector<Lane> events(n_stabs, Lane{});
+    std::vector<Lane> sched_mask(n_data, Lane{});
+    std::vector<Lane> lrc_on_stab(n_stabs, Lane{});
+    std::vector<Lane> leak_snapshot(n_data, Lane{});
+    // Lane-major scatter arenas: which stabilizers fired / reported
+    // |L>, and which data qubits are leaked, per lane (flat, reused).
+    std::vector<uint32_t> ev_off((size_t)W + 1), lab_off((size_t)W + 1),
+        leak_off((size_t)W + 1);
+    std::vector<uint32_t> ev_cur(W), lab_cur(W), leak_cur(W);
+    std::vector<int> ev_arena, lab_arena, leak_arena;
+    // Divergent LRC tails are collected and executed per 64-lane
+    // block, preserving each block's own first-insertion order.
+    std::vector<ActiveLrc> active[NW];
     std::vector<int> stab_epoch(n_stabs, -1), data_epoch(n_data, -1);
     int epoch = 0;
 
     for (int r = 0; r < config_.rounds; ++r) {
         // Collect this round's lane-divergent LRC assignments,
         // mirroring buildRoundSchedule's per-lane validation.
-        std::fill(sched_mask.begin(), sched_mask.end(), 0);
-        std::fill(lrc_on_stab.begin(), lrc_on_stab.end(), 0);
-        active.clear();
+        std::fill(sched_mask.begin(), sched_mask.end(), Lane{});
+        std::fill(lrc_on_stab.begin(), lrc_on_stab.end(), Lane{});
+        for (int b = 0; b < NB; ++b)
+            active[b].clear();
         for (int l = 0; l < W; ++l) {
             ++epoch;
+            const int b = l >> 6;
+            const uint64_t bit = uint64_t{1} << (l & 63);
             for (const auto &pair : lrcs[l]) {
                 fatalIf(pair.stab < 0 || pair.stab >= n_stabs,
                         "LRC references an invalid stabilizer");
@@ -513,17 +575,16 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
                                   pair.data) == support.end(),
                         "LRC data qubit is not adjacent to its parity "
                         "qubit");
-                const uint64_t bit = uint64_t{1} << l;
-                sched_mask[pair.data] |= bit;
-                lrc_on_stab[pair.stab] |= bit;
+                setLane(sched_mask[pair.data], l);
+                setLane(lrc_on_stab[pair.stab], l);
                 auto it = std::find_if(
-                    active.begin(), active.end(),
+                    active[b].begin(), active[b].end(),
                     [&](const ActiveLrc &a) {
                         return a.stab == pair.stab &&
                                a.data == pair.data;
                     });
-                if (it == active.end())
-                    active.push_back({pair.stab, pair.data, bit});
+                if (it == active[b].end())
+                    active[b].push_back({pair.stab, pair.data, bit});
                 else
                     it->mask |= bit;
             }
@@ -531,15 +592,24 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
         }
 
         // Account the scheduling decisions against the ground truth at
-        // decision time (end of the previous round), word-wise.
+        // decision time (end of the previous round), word-wise. Only
+        // three totals are needed; the quadrant counts follow.
+        uint64_t sched_total = 0, leaked_total = 0, tp_round = 0;
         for (int q = 0; q < n_data; ++q) {
-            const uint64_t scheduled = sched_mask[q];
-            const uint64_t is_leaked = sim.leakedWord(q) & live;
-            stats.tp += popcount64(scheduled & is_leaked);
-            stats.fp += popcount64(scheduled & ~is_leaked & live);
-            stats.fn += popcount64(~scheduled & is_leaked);
-            stats.tn += popcount64(~scheduled & ~is_leaked & live);
+            const Lane is_leaked = sim.leakedWord(q) & live;
+            leaked_total += (uint64_t)popcountLanes(is_leaked);
+            if (anyLane(sched_mask[q])) {
+                sched_total +=
+                    (uint64_t)popcountLanes(sched_mask[q]);
+                tp_round += (uint64_t)popcountLanes(sched_mask[q] &
+                                                    is_leaked);
+            }
         }
+        stats.tp += tp_round;
+        stats.fp += sched_total - tp_round;
+        stats.fn += leaked_total - tp_round;
+        stats.tn += (uint64_t)W * (uint64_t)n_data - sched_total -
+                    leaked_total + tp_round;
 
         const size_t record_mark = sim.record().size();
 
@@ -549,12 +619,12 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
 
         // Readout: plain stabilizers first (masked off the lanes whose
         // policies LRC'd them under SwapLrc), then the divergent tails
-        // as masked ops.
+        // as masked ops, block by block.
         for (const auto &stab : code_.stabilizers()) {
-            uint64_t m = live;
+            Lane m = live;
             if (swap_lrc)
-                m &= ~lrc_on_stab[stab.index];
-            if (!m)
+                m = andnot(m, lrc_on_stab[stab.index]);
+            if (!anyLane(m))
                 continue;
             Op meas = makeOp(OpType::Measure, stab.ancilla);
             meas.stab = stab.index;
@@ -562,56 +632,66 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
             sim.execute(meas, m);
             sim.execute(makeOp(OpType::Reset, stab.ancilla), m);
         }
-        for (const auto &a : active) {
-            const int parity = code_.stabilizer(a.stab).ancilla;
-            if (swap_lrc) {
-                // SWAP D <-> P, measure + reset D, MOV back -- with the
-                // ERASER+M in-round rule: lanes whose data readout is
-                // labelled |L> squash the MOV and reset P instead.
-                sim.execute(makeOp(OpType::Cnot, a.data, parity),
-                            a.mask);
-                sim.execute(makeOp(OpType::Cnot, parity, a.data),
-                            a.mask);
-                sim.execute(makeOp(OpType::Cnot, a.data, parity),
-                            a.mask);
-                Op meas = makeOp(OpType::Measure, a.data);
-                meas.stab = a.stab;
-                meas.round = r;
-                meas.lrcData = true;
-                sim.execute(meas, a.mask);
-                uint64_t squash = 0;
-                if (multi_level)
-                    squash = sim.record().back().leakedLabels & a.mask;
-                sim.execute(makeOp(OpType::Reset, a.data), a.mask);
-                if (a.mask & ~squash) {
-                    sim.execute(makeOp(OpType::Cnot, parity, a.data),
-                                a.mask & ~squash);
+        for (int b = 0; b < NB; ++b) {
+            for (const auto &a : active[b]) {
+                const int parity = code_.stabilizer(a.stab).ancilla;
+                Lane amask{};
+                laneWordRef(amask, b) = a.mask;
+                if (swap_lrc) {
+                    // SWAP D <-> P, measure + reset D, MOV back -- with
+                    // the ERASER+M in-round rule: lanes whose data
+                    // readout is labelled |L> squash the MOV and reset
+                    // P instead.
                     sim.execute(makeOp(OpType::Cnot, a.data, parity),
-                                a.mask & ~squash);
+                                amask);
+                    sim.execute(makeOp(OpType::Cnot, parity, a.data),
+                                amask);
+                    sim.execute(makeOp(OpType::Cnot, a.data, parity),
+                                amask);
+                    Op meas = makeOp(OpType::Measure, a.data);
+                    meas.stab = a.stab;
+                    meas.round = r;
+                    meas.lrcData = true;
+                    sim.execute(meas, amask);
+                    Lane squash{};
+                    if (multi_level)
+                        laneWordRef(squash, b) =
+                            laneWord(sim.record().back().leakedLabels,
+                                     b) &
+                            a.mask;
+                    sim.execute(makeOp(OpType::Reset, a.data), amask);
+                    const Lane mov = andnot(amask, squash);
+                    if (anyLane(mov)) {
+                        sim.execute(
+                            makeOp(OpType::Cnot, parity, a.data), mov);
+                        sim.execute(
+                            makeOp(OpType::Cnot, a.data, parity), mov);
+                    }
+                    if (anyLane(squash))
+                        sim.execute(makeOp(OpType::Reset, parity),
+                                    squash);
+                } else {
+                    sim.execute(
+                        makeOp(OpType::LeakageIswap, a.data, parity),
+                        amask);
+                    sim.execute(makeOp(OpType::Reset, parity), amask);
                 }
-                if (squash)
-                    sim.execute(makeOp(OpType::Reset, parity),
-                                squash);
-            } else {
-                sim.execute(
-                    makeOp(OpType::LeakageIswap, a.data, parity),
-                    a.mask);
-                sim.execute(makeOp(OpType::Reset, parity), a.mask);
             }
         }
 
         // Gather this round's syndrome words.
-        std::fill(flips.begin(), flips.end(), 0);
-        std::fill(labels.begin(), labels.end(), 0);
+        std::fill(flips.begin(), flips.end(), Lane{});
+        std::fill(labels.begin(), labels.end(), Lane{});
         for (size_t i = record_mark; i < sim.record().size(); ++i) {
             const auto &rec = sim.record()[i];
             if (rec.stab < 0)
                 continue;
             flips[rec.stab] =
-                (flips[rec.stab] & ~rec.mask) | rec.flips;
+                andnot(flips[rec.stab], rec.mask) | rec.flips;
             if (!rec.lrcData)
                 labels[rec.stab] =
-                    (labels[rec.stab] & ~rec.mask) | rec.leakedLabels;
+                    andnot(labels[rec.stab], rec.mask) |
+                    rec.leakedLabels;
         }
 
         if (config_.trackLpr) {
@@ -621,29 +701,87 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
         }
 
         // Materialize each lane's observation and let its policy adapt
-        // the next round -- the adaptive, scalar-side step.
-        for (int l = 0; l < W; ++l) {
-            for (int s = 0; s < n_stabs; ++s) {
-                const uint8_t f = (uint8_t)((flips[s] >> l) & 1);
-                if (r == 0) {
-                    // Only the protected-basis checks are deterministic
-                    // in the first round; the other basis starts random.
-                    obs.events[s] =
-                        code_.stabilizer(s).type == primary ? f : 0;
-                } else {
-                    obs.events[s] =
-                        f ^ (uint8_t)((prev_flips[s] >> l) & 1);
-                }
-                obs.leakedLabels[s] =
-                    (uint8_t)((labels[s] >> l) & 1);
+        // the next round -- the adaptive, scalar-side step. Detection
+        // events, |L> labels and true-leak bits are word-scanned once
+        // into lane-major arenas; each lane then sets only its fired
+        // entries, runs its policy, and clears them again.
+        for (int s = 0; s < n_stabs; ++s) {
+            if (r == 0) {
+                // Only the protected-basis checks are deterministic in
+                // the first round; the other basis starts random.
+                events[s] = code_.stabilizer(s).type == primary
+                    ? flips[s] : Lane{};
+            } else {
+                events[s] = flips[s] ^ prev_flips[s];
             }
-            obs.round = r;
-            std::fill(obs.hadLrc.begin(), obs.hadLrc.end(), 0);
+        }
+        for (int q = 0; q < n_data; ++q)
+            leak_snapshot[q] = sim.leakedWord(q);
+
+        std::fill(ev_cur.begin(), ev_cur.end(), 0);
+        std::fill(lab_cur.begin(), lab_cur.end(), 0);
+        std::fill(leak_cur.begin(), leak_cur.end(), 0);
+        for (int s = 0; s < n_stabs; ++s) {
+            forEachSetLane(events[s], [&](int l) { ++ev_cur[l]; });
+            forEachSetLane(labels[s], [&](int l) { ++lab_cur[l]; });
+        }
+        for (int q = 0; q < n_data; ++q)
+            forEachSetLane(leak_snapshot[q],
+                           [&](int l) { ++leak_cur[l]; });
+        uint32_t ev_total = 0, lab_total = 0, leak_total = 0;
+        for (int l = 0; l < W; ++l) {
+            ev_off[l] = ev_total;
+            ev_total += ev_cur[l];
+            ev_cur[l] = ev_off[l];
+            lab_off[l] = lab_total;
+            lab_total += lab_cur[l];
+            lab_cur[l] = lab_off[l];
+            leak_off[l] = leak_total;
+            leak_total += leak_cur[l];
+            leak_cur[l] = leak_off[l];
+        }
+        ev_off[W] = ev_total;
+        lab_off[W] = lab_total;
+        leak_off[W] = leak_total;
+        ev_arena.resize(ev_total);
+        lab_arena.resize(lab_total);
+        leak_arena.resize(leak_total);
+        for (int s = 0; s < n_stabs; ++s) {
+            forEachSetLane(events[s], [&](int l) {
+                ev_arena[ev_cur[l]++] = s;
+            });
+            forEachSetLane(labels[s], [&](int l) {
+                lab_arena[lab_cur[l]++] = s;
+            });
+        }
+        for (int q = 0; q < n_data; ++q) {
+            forEachSetLane(leak_snapshot[q], [&](int l) {
+                leak_arena[leak_cur[l]++] = q;
+            });
+        }
+
+        obs.round = r;
+        for (int l = 0; l < W; ++l) {
+            for (uint32_t k = ev_off[l]; k < ev_off[l + 1]; ++k)
+                obs.events[ev_arena[k]] = 1;
+            for (uint32_t k = lab_off[l]; k < lab_off[l + 1]; ++k)
+                obs.leakedLabels[lab_arena[k]] = 1;
+            for (uint32_t k = leak_off[l]; k < leak_off[l + 1]; ++k)
+                obs.trueLeakedData[leak_arena[k]] = 1;
             for (const auto &pair : lrcs[l])
                 obs.hadLrc[pair.data] = 1;
-            for (int q = 0; q < n_data; ++q)
-                obs.trueLeakedData[q] = sim.leaked(q, l) ? 1 : 0;
-            lrcs[l] = policies[l]->nextRound(obs);
+
+            auto next = policies[l]->nextRound(obs);
+
+            for (uint32_t k = ev_off[l]; k < ev_off[l + 1]; ++k)
+                obs.events[ev_arena[k]] = 0;
+            for (uint32_t k = lab_off[l]; k < lab_off[l + 1]; ++k)
+                obs.leakedLabels[lab_arena[k]] = 0;
+            for (uint32_t k = leak_off[l]; k < leak_off[l + 1]; ++k)
+                obs.trueLeakedData[leak_arena[k]] = 0;
+            for (const auto &pair : lrcs[l])
+                obs.hadLrc[pair.data] = 0;
+            lrcs[l] = std::move(next);
         }
         std::copy(flips.begin(), flips.end(), prev_flips.begin());
     }
@@ -660,10 +798,12 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
                            sim.record(), W, ctx->syndrome);
     const BatchSyndrome &syndrome = ctx->syndrome;
     if (config_.batchDecode) {
-        const uint64_t predictions =
-            ctx->pipeline->decodeBatch(syndrome);
-        stats.logicalErrors += popcount64(
-            (predictions ^ syndrome.observableWord) & live);
+        uint64_t predictions[kMaxBatchWords];
+        ctx->pipeline->decodeBatch(syndrome, predictions);
+        for (int b = 0; b < NB; ++b)
+            stats.logicalErrors += popcount64(
+                (predictions[b] ^ syndrome.observableWords[b]) &
+                laneWord(live, b));
     } else {
         // Scalar decode-per-shot baseline (perf comparisons only).
         for (int l = 0; l < W; ++l) {
@@ -676,5 +816,15 @@ MemoryExperiment::runGroup(uint64_t group, uint64_t width,
         }
     }
 }
+
+template void MemoryExperiment::runGroupT<1>(
+    uint64_t, int, const PolicyFactory &, ShotStats &,
+    DecodeContext *) const;
+template void MemoryExperiment::runGroupT<4>(
+    uint64_t, int, const PolicyFactory &, ShotStats &,
+    DecodeContext *) const;
+template void MemoryExperiment::runGroupT<8>(
+    uint64_t, int, const PolicyFactory &, ShotStats &,
+    DecodeContext *) const;
 
 } // namespace qec

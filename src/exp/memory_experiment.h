@@ -14,9 +14,11 @@
 #ifndef QEC_EXP_MEMORY_EXPERIMENT_H
 #define QEC_EXP_MEMORY_EXPERIMENT_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "code/rotated_surface_code.h"
@@ -57,10 +59,16 @@ struct ExperimentConfig
     bool trackLpr = false;
     unsigned threads = 0;
     /**
-     * Shots packed per simulator word (1..64). 1 selects the scalar
-     * per-shot path; >1 selects the bit-packed batch engine, which
-     * chunks shots into word-groups and is statistically equivalent
-     * (but not draw-for-draw identical) to the scalar path.
+     * Shots packed per simulator word-group (1..512). 1 selects the
+     * scalar per-shot path; >1 selects the bit-packed batch engine,
+     * which chunks shots into word-groups and is statistically
+     * equivalent (but not draw-for-draw identical) to the scalar
+     * path. Widths above 64 run the SIMD multi-word engine (64 lanes
+     * per plane word, up to 8 words); because every 64-lane block
+     * keeps its own noise streams, 256- and 512-wide runs are
+     * bit-identical to the corresponding 64-wide runs. 256/512 are
+     * the throughput sweet spots on AVX2/AVX-512 hosts (see
+     * recommendedBatchWidth()).
      */
     unsigned batchWidth = 1;
     DecoderOptions decoderOptions;
@@ -120,6 +128,17 @@ struct ExperimentResult
 };
 
 /**
+ * Word-group decomposition shared by every batched driver: (first
+ * shot, lane count) spans covering [0, shots), groups of `width`
+ * lanes with a ragged tail — except that a tail whose last 64-lane
+ * block would hold exactly one lane is split so the final shot forms
+ * its own 1-lane (scalar-delegating) group, keeping wide runs
+ * bit-identical to the width-64 runs.
+ */
+std::vector<std::pair<uint64_t, int>> batchGroupSpans(uint64_t shots,
+                                                      uint64_t width);
+
+/**
  * Builds a decoder for a detector model at physical error rate p;
  * lets callers swap in any Decoder implementation (the paper: "any
  * other decoder may be used as well").
@@ -155,9 +174,11 @@ class MemoryExperiment
 
     /**
      * Run all shots on the bit-packed batch engine regardless of
-     * config().batchWidth (word-group width = max(batchWidth, 1)).
-     * With width 1 this reproduces the scalar path draw-for-draw,
-     * which the differential tests rely on.
+     * config().batchWidth (word-group width = max(batchWidth, 1),
+     * clamped to 512). With width 1 this reproduces the scalar path
+     * draw-for-draw, which the differential tests rely on; widths
+     * 256/512 reproduce the width-64 runs bit for bit (per-block
+     * noise streams).
      */
     ExperimentResult runBatched(const PolicyFactory &factory,
                                 const std::string &name) const;
@@ -174,9 +195,14 @@ class MemoryExperiment
     struct DecodeContext;
     void runShot(uint64_t shot, const PolicyFactory &factory,
                  ShotStats &stats) const;
-    void runGroup(uint64_t group, uint64_t width,
-                  const PolicyFactory &factory, ShotStats &stats,
-                  DecodeContext *ctx) const;
+    /** One word-group of `lanes` shots starting at `first_shot`, on
+     *  the NW-plane-word engine (NW = 1/4/8). */
+    template <int NW>
+    void runGroupT(uint64_t first_shot, int lanes,
+                   const PolicyFactory &factory, ShotStats &stats,
+                   DecodeContext *ctx) const;
+    /** Dedup-cache options with the derived truncated-key cutoff. */
+    SyndromeCacheOptions resolvedCacheOptions() const;
     ExperimentResult resultHeader(const std::string &name) const;
     void mergeStats(ExperimentResult &result,
                     const ShotStats &stats) const;

@@ -64,60 +64,128 @@ shotIsSuspect(const RotatedSurfaceCode &code, int rounds,
 /** Per-worker scratch for the batched suspicion scan. */
 struct SuspectScratch
 {
-    std::vector<uint64_t> flips;    ///< [round][stab] words.
-    std::vector<uint64_t> evRing;   ///< Last `window` event words.
+    std::vector<uint64_t> flips;    ///< [round][stab][word] planes.
+    std::vector<uint64_t> evRing;   ///< Last `window` event planes.
 };
 
 /**
- * Word-parallel shotIsSuspect: one bit per lane. Event words are
- * mostly zero at the rates of interest, so the per-lane window
- * counters are only touched on set bits.
+ * Word-parallel shotIsSuspect: one bit per lane, any group width.
+ * Event words are mostly zero at the rates of interest, so the
+ * per-lane window counters are only touched on set bits.
  */
-uint64_t
+template <int NW>
+void
 suspectMaskBatched(const RotatedSurfaceCode &code, int rounds,
-                   const std::vector<BatchMeasureRecord> &record,
+                   const std::vector<BatchMeasureRecordT<NW>> &record,
                    int num_lanes, const PostSelectOptions &options,
-                   SuspectScratch &scratch)
+                   SuspectScratch &scratch,
+                   uint64_t suspect[kMaxBatchWords])
 {
     const int n_stabs = code.numStabilizers();
-    const uint64_t live = laneMask(num_lanes);
-    scratch.flips.assign((size_t)n_stabs * rounds, 0);
+    const int nw = (num_lanes + 63) / 64;
+    scratch.flips.assign((size_t)n_stabs * rounds * nw, 0);
     for (const auto &rec : record) {
         if (rec.stab >= 0 && !rec.finalData) {
-            uint64_t &word =
-                scratch.flips[(size_t)rec.round * n_stabs + rec.stab];
-            word = (word & ~rec.mask) | rec.flips;
+            uint64_t *word =
+                scratch.flips.data() +
+                ((size_t)rec.round * n_stabs + rec.stab) * nw;
+            for (int b = 0; b < nw; ++b)
+                word[b] = (word[b] & ~laneWord(rec.mask, b)) |
+                          laneWord(rec.flips, b);
         }
     }
 
     const int window = std::max(options.window, 1);
-    scratch.evRing.assign((size_t)window, 0);
-    uint64_t suspect = 0;
+    scratch.evRing.assign((size_t)window * nw, 0);
+    for (int b = 0; b < nw; ++b)
+        suspect[b] = 0;
     for (int s = 0; s < n_stabs; ++s) {
-        uint8_t counts[64] = {0};
+        uint8_t counts[kMaxBatchLanes] = {0};
         std::fill(scratch.evRing.begin(), scratch.evRing.end(), 0);
-        uint64_t prev = 0;
+        uint64_t prev[kMaxBatchWords] = {0};
         for (int r = 0; r < rounds; ++r) {
-            const uint64_t cur =
-                scratch.flips[(size_t)r * n_stabs + s];
-            const uint64_t ev = (cur ^ prev) & live;
-            prev = cur;
-            uint64_t leaving = scratch.evRing[r % window];
-            scratch.evRing[r % window] = ev;
-            while (leaving) {
-                --counts[__builtin_ctzll(leaving)];
-                leaving &= leaving - 1;
-            }
-            uint64_t arriving = ev;
-            while (arriving) {
-                const int l = __builtin_ctzll(arriving);
-                arriving &= arriving - 1;
-                if (++counts[l] >= options.eventThreshold)
-                    suspect |= uint64_t{1} << l;
+            const uint64_t *cur =
+                scratch.flips.data() + ((size_t)r * n_stabs + s) * nw;
+            uint64_t *ring = scratch.evRing.data() + (r % window) * nw;
+            for (int b = 0; b < nw; ++b) {
+                const uint64_t ev =
+                    (cur[b] ^ prev[b]) & laneMask64(num_lanes - 64 * b);
+                prev[b] = cur[b];
+                uint64_t leaving = ring[b];
+                ring[b] = ev;
+                const int base = 64 * b;
+                while (leaving) {
+                    --counts[base + __builtin_ctzll(leaving)];
+                    leaving &= leaving - 1;
+                }
+                uint64_t arriving = ev;
+                while (arriving) {
+                    const int l = base + __builtin_ctzll(arriving);
+                    arriving &= arriving - 1;
+                    if (++counts[l] >= options.eventThreshold)
+                        suspect[b] |= uint64_t{1} << (l - base);
+                }
             }
         }
     }
-    return suspect;
+}
+
+/** Per-worker context of the batched path. */
+struct PostSelectContext
+{
+    SparseSyndromeExtractor extractor;
+    BatchSyndrome syndrome;
+    SuspectScratch suspect;
+    std::unique_ptr<BatchDecoder> pipeline;
+};
+
+/** Tallies of one word-group, merged under the caller's mutex. */
+struct GroupTally
+{
+    uint64_t errorsAll = 0;
+    uint64_t kept = 0;
+    uint64_t errorsKept = 0;
+};
+
+template <int NW>
+GroupTally
+runPostSelectGroup(const RotatedSurfaceCode &code,
+                   const ExperimentConfig &config,
+                   const PostSelectOptions &options,
+                   const Circuit &circuit, PostSelectContext &ctx,
+                   uint64_t first, int W)
+{
+    using Lane = LaneWord<NW>;
+    const int nw = (W + 63) / 64;
+    const Lane live = laneMaskOf<Lane>(W);
+
+    BatchFrameSimulatorT<NW> sim(code.numQubits(), config.em, W,
+                                 config.seed, first);
+    sim.reserveRecord(circuit.ops.size());
+    sim.executeRange(circuit.ops.data(),
+                     circuit.ops.data() + circuit.ops.size(), live);
+
+    uint64_t suspect[kMaxBatchWords];
+    suspectMaskBatched(code, config.rounds, sim.record(), W, options,
+                       ctx.suspect, suspect);
+    ctx.extractor.extract(code, config.basis, config.rounds,
+                          sim.record(), W, ctx.syndrome);
+    uint64_t predictions[kMaxBatchWords];
+    ctx.pipeline->decodeBatch(ctx.syndrome, predictions);
+
+    GroupTally tally;
+    for (int b = 0; b < nw; ++b) {
+        const uint64_t live_b = laneWord(live, b);
+        const uint64_t errors =
+            (predictions[b] ^ ctx.syndrome.observableWords[b]) &
+            live_b;
+        tally.errorsAll += (uint64_t)__builtin_popcountll(errors);
+        tally.kept +=
+            (uint64_t)__builtin_popcountll(~suspect[b] & live_b);
+        tally.errorsKept +=
+            (uint64_t)__builtin_popcountll(errors & ~suspect[b]);
+    }
+    return tally;
 }
 
 } // namespace
@@ -135,60 +203,44 @@ runPostSelectedExperimentBatched(const RotatedSurfaceCode &code,
 
     const uint64_t width = std::min<uint64_t>(
         std::max<unsigned>(config.batchWidth, 1),
-        (unsigned)BatchFrameSimulator::kMaxLanes);
-    const uint64_t groups = (config.shots + width - 1) / width;
+        (unsigned)kMaxBatchLanes);
+    const auto spans = batchGroupSpans(config.shots, width);
 
-    struct Context
-    {
-        SparseSyndromeExtractor extractor;
-        BatchSyndrome syndrome;
-        SuspectScratch suspect;
-        std::unique_ptr<BatchDecoder> pipeline;
-    };
     const unsigned workers =
-        resolveThreadCount(groups, config.threads);
-    std::vector<Context> contexts(workers);
+        resolveThreadCount(spans.size(), config.threads);
+    std::vector<PostSelectContext> contexts(workers);
+    const SyndromeCacheOptions cache_opts = resolveSyndromeCacheOptions(
+        config.syndromeCache, config.rounds,
+        code.numBasisStabilizers(config.basis));
     for (auto &ctx : contexts)
         ctx.pipeline = std::make_unique<BatchDecoder>(
-            decoder, config.syndromeCache);
+            decoder, cache_opts);
 
     PostSelectResult result;
     result.shots = config.shots;
 
     std::mutex merge;
     parallelForWorkers(
-        groups,
+        spans.size(),
         [&](unsigned worker, uint64_t group) {
-            Context &ctx = contexts[worker];
-            const uint64_t first = group * width;
-            const int W =
-                (int)std::min<uint64_t>(width, config.shots - first);
-            const uint64_t live = laneMask(W);
+            PostSelectContext &ctx = contexts[worker];
+            const auto [first, W] = spans[group];
 
-            BatchFrameSimulator sim(code.numQubits(), config.em, W,
-                                    config.seed, first);
-            sim.reserveRecord(circuit.ops.size());
-            sim.executeRange(circuit.ops.data(),
-                             circuit.ops.data() + circuit.ops.size(),
-                             live);
-
-            const uint64_t suspect = suspectMaskBatched(
-                code, config.rounds, sim.record(), W, options,
-                ctx.suspect);
-            ctx.extractor.extract(code, config.basis, config.rounds,
-                                  sim.record(), W, ctx.syndrome);
-            const uint64_t predictions =
-                ctx.pipeline->decodeBatch(ctx.syndrome);
-            const uint64_t errors =
-                (predictions ^ ctx.syndrome.observableWord) & live;
+            GroupTally tally;
+            if (width <= 64)
+                tally = runPostSelectGroup<1>(code, config, options,
+                                              circuit, ctx, first, W);
+            else if (width <= 256)
+                tally = runPostSelectGroup<4>(code, config, options,
+                                              circuit, ctx, first, W);
+            else
+                tally = runPostSelectGroup<8>(code, config, options,
+                                              circuit, ctx, first, W);
 
             std::lock_guard<std::mutex> lock(merge);
-            result.logicalErrorsAll +=
-                (uint64_t)__builtin_popcountll(errors);
-            result.kept +=
-                (uint64_t)__builtin_popcountll(~suspect & live);
-            result.logicalErrorsKept +=
-                (uint64_t)__builtin_popcountll(errors & ~suspect);
+            result.logicalErrorsAll += tally.errorsAll;
+            result.kept += tally.kept;
+            result.logicalErrorsKept += tally.errorsKept;
         },
         config.threads);
     return result;

@@ -57,11 +57,12 @@ struct PostSelectResult
  * complements, active removal in the prior work).
  *
  * With config.batchWidth > 1 the study runs on the bit-packed batch
- * engine: the suspicion scan operates word-parallel on detection-event
- * words (per-lane window counters touched only on set bits) and the
- * decode step goes through the BatchDecoder pipeline (sparse
- * syndromes, zero-defect fast path, dedup cache). Statistically
- * equivalent to the scalar path.
+ * engine (widths up to 512 via the SIMD multi-word planes): the
+ * suspicion scan operates word-parallel on detection-event words
+ * (per-lane window counters touched only on set bits) and the decode
+ * step goes through the BatchDecoder pipeline (sparse syndromes,
+ * zero-defect fast path, dedup cache). Statistically equivalent to
+ * the scalar path.
  */
 PostSelectResult runPostSelectedExperiment(
     const RotatedSurfaceCode &code, const ExperimentConfig &config,

@@ -8,51 +8,57 @@ namespace qec
 namespace
 {
 
-/** Salt separating the word-group mask stream from per-lane streams. */
+/** Salt separating word-group mask streams from per-lane streams. */
 constexpr uint64_t kBatchStreamSalt = 0x9ec0ffeeb47c5a11ULL;
-
-inline uint64_t
-laneBit(int lane)
-{
-    return uint64_t{1} << lane;
-}
-
-inline int
-popcount(uint64_t word)
-{
-    return __builtin_popcountll(word);
-}
 
 } // namespace
 
-BatchFrameSimulator::BatchFrameSimulator(int num_qubits,
-                                         const ErrorModel &em,
-                                         int num_lanes, uint64_t seed,
-                                         uint64_t first_shot)
+template <int NW>
+BatchFrameSimulatorT<NW>::BatchFrameSimulatorT(int num_qubits,
+                                               const ErrorModel &em,
+                                               int num_lanes,
+                                               uint64_t seed,
+                                               uint64_t first_shot)
     : numQubits_(num_qubits), numLanes_(num_lanes),
-      live_(laneMask(num_lanes)), em_(em),
-      batchRng_(Rng::forStream(seed, first_shot, kBatchStreamSalt)),
-      sampler_(&batchRng_)
+      numBlocks_((num_lanes + 63) / 64),
+      live_(laneMaskOf<Lane>(num_lanes)), em_(em)
 {
     fatalIf(num_lanes < 1 || num_lanes > kMaxLanes,
-            "batch simulator needs 1..64 lanes");
+            "batch simulator lane count out of range for this width");
     if (numLanes_ == 1) {
-        // W=1 reference mode: the scalar simulator, seeded exactly as
-        // the scalar experiment path seeds this shot.
+        // W=1 reference mode at every plane depth: the scalar
+        // simulator, seeded exactly as the scalar experiment path
+        // seeds this shot. Delegating for NW > 1 as well keeps
+        // 1-lane ragged tail groups bit-identical across widths
+        // (e.g. shots = 257 at widths 64 and 256 both simulate shot
+        // 256 on this scalar stream).
         scalar_ = std::make_unique<FrameSimulator>(
             num_qubits, em, Rng::forShot(seed, first_shot));
         return;
     }
+    // Block b owns the streams of the 64-lane group that would start
+    // at shot first_shot + 64*b: W-wide runs replay the 64-wide runs
+    // bit for bit.
+    blockRng_.reserve(numBlocks_);
+    samplers_.reserve(numBlocks_);
+    for (int b = 0; b < numBlocks_; ++b) {
+        blockLanes_[b] =
+            numLanes_ - 64 * b >= 64 ? 64 : numLanes_ - 64 * b;
+        blockRng_.push_back(Rng::forStream(
+            seed, first_shot + 64 * (uint64_t)b, kBatchStreamSalt));
+        samplers_.emplace_back(&blockRng_[b]);
+    }
     laneRng_.reserve(numLanes_);
     for (int l = 0; l < numLanes_; ++l)
         laneRng_.push_back(Rng::forShot(seed, first_shot + l));
-    x_.assign(num_qubits, 0);
-    z_.assign(num_qubits, 0);
-    leaked_.assign(num_qubits, 0);
+    x_.assign(num_qubits, Lane{});
+    z_.assign(num_qubits, Lane{});
+    leaked_.assign(num_qubits, Lane{});
 }
 
+template <int NW>
 void
-BatchFrameSimulator::reset()
+BatchFrameSimulatorT<NW>::reset()
 {
     record_.clear();
     if (scalar_) {
@@ -60,51 +66,72 @@ BatchFrameSimulator::reset()
         scalarSynced_ = 0;
         return;
     }
-    std::fill(x_.begin(), x_.end(), 0);
-    std::fill(z_.begin(), z_.end(), 0);
-    std::fill(leaked_.begin(), leaked_.end(), 0);
+    std::fill(x_.begin(), x_.end(), Lane{});
+    std::fill(z_.begin(), z_.end(), Lane{});
+    std::fill(leaked_.begin(), leaked_.end(), Lane{});
 }
 
-uint64_t
-BatchFrameSimulator::xWord(int q) const
+template <int NW>
+typename BatchFrameSimulatorT<NW>::Lane
+BatchFrameSimulatorT<NW>::xWord(int q) const
 {
-    return scalar_ ? (scalar_->xFrame(q) ? 1 : 0) : x_[q];
+    if (scalar_) {
+        Lane r{};
+        laneWordRef(r, 0) = scalar_->xFrame(q) ? 1 : 0;
+        return r;
+    }
+    return x_[q];
 }
 
-uint64_t
-BatchFrameSimulator::zWord(int q) const
+template <int NW>
+typename BatchFrameSimulatorT<NW>::Lane
+BatchFrameSimulatorT<NW>::zWord(int q) const
 {
-    return scalar_ ? (scalar_->zFrame(q) ? 1 : 0) : z_[q];
+    if (scalar_) {
+        Lane r{};
+        laneWordRef(r, 0) = scalar_->zFrame(q) ? 1 : 0;
+        return r;
+    }
+    return z_[q];
 }
 
-uint64_t
-BatchFrameSimulator::leakedWord(int q) const
+template <int NW>
+typename BatchFrameSimulatorT<NW>::Lane
+BatchFrameSimulatorT<NW>::leakedWord(int q) const
 {
-    return scalar_ ? (scalar_->leaked(q) ? 1 : 0) : leaked_[q];
+    if (scalar_) {
+        Lane r{};
+        laneWordRef(r, 0) = scalar_->leaked(q) ? 1 : 0;
+        return r;
+    }
+    return leaked_[q];
 }
 
+template <int NW>
 bool
-BatchFrameSimulator::leaked(int q, int lane) const
+BatchFrameSimulatorT<NW>::leaked(int q, int lane) const
 {
-    return (leakedWord(q) >> lane) & 1;
+    return testLane(leakedWord(q), lane);
 }
 
+template <int NW>
 uint64_t
-BatchFrameSimulator::countLeaked(int first, int last) const
+BatchFrameSimulatorT<NW>::countLeaked(int first, int last) const
 {
     if (scalar_)
         return (uint64_t)scalar_->countLeaked(first, last);
     uint64_t n = 0;
     for (int q = first; q < last; ++q)
-        n += popcount(leaked_[q]);
+        n += (uint64_t)popcountLanes(leaked_[q]);
     return n;
 }
 
+template <int NW>
 void
-BatchFrameSimulator::injectPauli(int q, Pauli p, uint64_t mask)
+BatchFrameSimulatorT<NW>::injectPauli(int q, Pauli p, const Lane &mask)
 {
     if (scalar_) {
-        if (mask & 1)
+        if (laneWord(mask, 0) & 1)
             scalar_->injectPauli(q, p);
         return;
     }
@@ -114,150 +141,177 @@ BatchFrameSimulator::injectPauli(int q, Pauli p, uint64_t mask)
         z_[q] ^= mask & live_;
 }
 
+template <int NW>
 void
-BatchFrameSimulator::setLeaked(int q, bool leaked, uint64_t mask)
+BatchFrameSimulatorT<NW>::setLeaked(int q, bool leaked,
+                                    const Lane &mask)
 {
     if (scalar_) {
-        if (mask & 1)
+        if (laneWord(mask, 0) & 1)
             scalar_->setLeaked(q, leaked);
         return;
     }
     if (leaked)
         leaked_[q] |= mask & live_;
     else
-        leaked_[q] &= ~mask;
+        leaked_[q] = andnot(leaked_[q], mask);
 }
 
+template <int NW>
 void
-BatchFrameSimulator::syncScalarRecord()
+BatchFrameSimulatorT<NW>::syncScalarRecord()
 {
     const auto &scalar_record = scalar_->record();
     for (; scalarSynced_ < scalar_record.size(); ++scalarSynced_) {
         const MeasureRecord &rec = scalar_record[scalarSynced_];
-        BatchMeasureRecord batch;
+        Record batch;
         batch.qubit = rec.qubit;
         batch.stab = rec.stab;
         batch.round = rec.round;
         batch.finalData = rec.finalData;
         batch.lrcData = rec.lrcData;
-        batch.mask = 1;
-        batch.flips = rec.flip ? 1 : 0;
-        batch.leakedLabels = rec.leakedLabel ? 1 : 0;
+        laneWordRef(batch.mask, 0) = 1;
+        laneWordRef(batch.flips, 0) = rec.flip ? 1 : 0;
+        laneWordRef(batch.leakedLabels, 0) = rec.leakedLabel ? 1 : 0;
         record_.push_back(batch);
     }
 }
 
-void
-BatchFrameSimulator::depolarizePerLane(int q, uint64_t mask)
+template <int NW>
+typename BatchFrameSimulatorT<NW>::Lane
+BatchFrameSimulatorT<NW>::drawWhere(double p, const Lane &gate)
 {
-    while (mask) {
-        const int l = __builtin_ctzll(mask);
-        mask &= mask - 1;
-        const uint64_t b = laneBit(l);
+    Lane out{};
+    for (int b = 0; b < numBlocks_; ++b) {
+        if (laneWord(gate, b))
+            laneWordRef(out, b) = samplers_[b].draw(p, blockLanes_[b]);
+    }
+    return out;
+}
+
+template <int NW>
+typename BatchFrameSimulatorT<NW>::Lane
+BatchFrameSimulatorT<NW>::randBitsWhere(const Lane &gate)
+{
+    Lane out{};
+    for (int b = 0; b < numBlocks_; ++b) {
+        if (laneWord(gate, b))
+            laneWordRef(out, b) = blockRng_[b].next();
+    }
+    return out;
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::depolarizePerLane(int q, const Lane &mask)
+{
+    forEachSetLane(mask, [&](int l) {
         // Uniform over {X, Y, Z}, matching the scalar draw order.
         switch (laneRng_[l].randint(3)) {
-          case 0: x_[q] ^= b; break;
-          case 1: x_[q] ^= b; z_[q] ^= b; break;
-          default: z_[q] ^= b; break;
+          case 0: flipLane(x_[q], l); break;
+          case 1: flipLane(x_[q], l); flipLane(z_[q], l); break;
+          default: flipLane(z_[q], l); break;
         }
-    }
+    });
 }
 
+template <int NW>
 void
-BatchFrameSimulator::randomComputational(int q, uint64_t mask)
+BatchFrameSimulatorT<NW>::randomComputational(int q, const Lane &mask)
 {
-    leaked_[q] &= ~mask;
-    uint64_t m = mask;
-    while (m) {
-        const int l = __builtin_ctzll(m);
-        m &= m - 1;
-        const uint64_t b = laneBit(l);
-        x_[q] = (x_[q] & ~b) | (laneRng_[l].bit() ? b : 0);
-        z_[q] = (z_[q] & ~b) | (laneRng_[l].bit() ? b : 0);
-    }
+    leaked_[q] = andnot(leaked_[q], mask);
+    x_[q] = andnot(x_[q], mask);
+    z_[q] = andnot(z_[q], mask);
+    forEachSetLane(mask, [&](int l) {
+        if (laneRng_[l].bit())
+            setLane(x_[q], l);
+        if (laneRng_[l].bit())
+            setLane(z_[q], l);
+    });
 }
 
+template <int NW>
 void
-BatchFrameSimulator::maybeLeak(int q, uint64_t mask)
+BatchFrameSimulatorT<NW>::maybeLeak(int q, const Lane &mask)
 {
     if (!em_.leakageEnabled)
         return;
-    const uint64_t m =
-        sampler_.draw(em_.leakInjectProb(), numLanes_) & mask &
-        ~leaked_[q];
+    const Lane m = andnot(drawWhere(em_.leakInjectProb(), mask) & mask,
+                          leaked_[q]);
     leaked_[q] |= m;
 }
 
+template <int NW>
 void
-BatchFrameSimulator::maybeSeep(int q, uint64_t mask)
+BatchFrameSimulatorT<NW>::maybeSeep(int q, const Lane &mask)
 {
-    const uint64_t leaked = leaked_[q] & mask;
-    if (!leaked)
+    const Lane leaked = leaked_[q] & mask;
+    if (!anyLane(leaked))
         return;
-    const uint64_t m =
-        sampler_.draw(em_.seepageProb(), numLanes_) & leaked;
-    if (m) {
+    const Lane m = drawWhere(em_.seepageProb(), leaked) & leaked;
+    if (anyLane(m)) {
         // Seeped lanes return in a random computational state.
         randomComputational(q, m);
     }
 }
 
+template <int NW>
 void
-BatchFrameSimulator::opDataNoise(int q, uint64_t mask)
+BatchFrameSimulatorT<NW>::opDataNoise(int q, const Lane &mask)
 {
-    const uint64_t depol =
-        sampler_.draw(em_.p, numLanes_) & mask & ~leaked_[q];
+    const Lane depol =
+        andnot(drawWhere(em_.p, mask) & mask, leaked_[q]);
     depolarizePerLane(q, depol);
     maybeLeak(q, mask);
     maybeSeep(q, mask);
 }
 
+template <int NW>
 void
-BatchFrameSimulator::opReset(int q, uint64_t mask)
+BatchFrameSimulatorT<NW>::opReset(int q, const Lane &mask)
 {
-    x_[q] &= ~mask;
-    z_[q] &= ~mask;
-    leaked_[q] &= ~mask;
+    x_[q] = andnot(x_[q], mask);
+    z_[q] = andnot(z_[q], mask);
+    leaked_[q] = andnot(leaked_[q], mask);
     // Initialization error: the qubit comes up in |1> with prob p.
-    x_[q] |= sampler_.draw(em_.p, numLanes_) & mask;
+    x_[q] |= drawWhere(em_.p, mask) & mask;
 }
 
+template <int NW>
 void
-BatchFrameSimulator::opH(int q, uint64_t mask)
+BatchFrameSimulatorT<NW>::opH(int q, const Lane &mask)
 {
-    const uint64_t act = mask & ~leaked_[q];
-    const uint64_t xw = x_[q];
-    const uint64_t zw = z_[q];
-    x_[q] = (xw & ~act) | (zw & act);
-    z_[q] = (zw & ~act) | (xw & act);
-    depolarizePerLane(q, sampler_.draw(em_.p, numLanes_) & act);
+    const Lane act = andnot(mask, leaked_[q]);
+    const Lane xw = x_[q];
+    const Lane zw = z_[q];
+    x_[q] = andnot(xw, act) | (zw & act);
+    z_[q] = andnot(zw, act) | (xw & act);
+    depolarizePerLane(q, drawWhere(em_.p, mask) & act);
 }
 
+template <int NW>
 void
-BatchFrameSimulator::twoQubitNoise(int a, int b, uint64_t mask)
+BatchFrameSimulatorT<NW>::twoQubitNoise(int a, int b, const Lane &mask)
 {
-    uint64_t m = sampler_.draw(em_.p, numLanes_) & mask;
-    while (m) {
-        const int l = __builtin_ctzll(m);
-        m &= m - 1;
-        const uint64_t bit = laneBit(l);
+    const Lane m = drawWhere(em_.p, mask) & mask;
+    forEachSetLane(m, [&](int l) {
         // One of the 15 non-identity two-qubit Paulis, uniformly.
         const uint32_t pp = 1 + laneRng_[l].randint(15);
         const uint32_t pa = pp & 3;
         const uint32_t pb = (pp >> 2) & 3;
-        if (!(leaked_[a] & bit)) {
+        if (!testLane(leaked_[a], l)) {
             if (pa == 1 || pa == 2)
-                x_[a] ^= bit;
+                flipLane(x_[a], l);
             if (pa == 2 || pa == 3)
-                z_[a] ^= bit;
+                flipLane(z_[a], l);
         }
-        if (!(leaked_[b] & bit)) {
+        if (!testLane(leaked_[b], l)) {
             if (pb == 1 || pb == 2)
-                x_[b] ^= bit;
+                flipLane(x_[b], l);
             if (pb == 2 || pb == 3)
-                z_[b] ^= bit;
+                flipLane(z_[b], l);
         }
-    }
+    });
     if (em_.leakageEnabled) {
         maybeLeak(a, mask);
         maybeLeak(b, mask);
@@ -266,40 +320,40 @@ BatchFrameSimulator::twoQubitNoise(int a, int b, uint64_t mask)
     }
 }
 
+template <int NW>
 void
-BatchFrameSimulator::opCnot(int c, int t, uint64_t mask)
+BatchFrameSimulatorT<NW>::opCnot(int c, int t, const Lane &mask)
 {
-    const uint64_t lc = leaked_[c];
-    const uint64_t lt = leaked_[t];
-    const uint64_t both_clean = mask & ~lc & ~lt;
+    const Lane lc = leaked_[c];
+    const Lane lt = leaked_[t];
+    const Lane both_clean = andnot(andnot(mask, lc), lt);
     x_[t] ^= x_[c] & both_clean;
     z_[c] ^= z_[t] & both_clean;
 
     // Exactly one operand leaked: the gate is uncalibrated for |L>, so
     // the unleaked operand receives a uniformly random Pauli, and
     // leakage may transport.
-    const uint64_t c_only = mask & lc & ~lt;
-    const uint64_t t_only = mask & lt & ~lc;
-    if (c_only) {
-        x_[t] ^= batchRng_.next() & c_only;
-        z_[t] ^= batchRng_.next() & c_only;
+    const Lane c_only = andnot(mask & lc, lt);
+    const Lane t_only = andnot(mask & lt, lc);
+    if (anyLane(c_only)) {
+        x_[t] ^= randBitsWhere(c_only) & c_only;
+        z_[t] ^= randBitsWhere(c_only) & c_only;
     }
-    if (t_only) {
-        x_[c] ^= batchRng_.next() & t_only;
-        z_[c] ^= batchRng_.next() & t_only;
+    if (anyLane(t_only)) {
+        x_[c] ^= randBitsWhere(t_only) & t_only;
+        z_[c] ^= randBitsWhere(t_only) & t_only;
     }
-    const uint64_t mixed = c_only | t_only;
-    if (mixed && em_.pTransport > 0.0) {
-        const uint64_t tr =
-            sampler_.draw(em_.pTransport, numLanes_) & mixed;
+    const Lane mixed = c_only | t_only;
+    if (anyLane(mixed) && em_.pTransport > 0.0) {
+        const Lane tr = drawWhere(em_.pTransport, mixed) & mixed;
         leaked_[t] |= tr & c_only;
         leaked_[c] |= tr & t_only;
         if (em_.transport == TransportModel::Exchange) {
-            const uint64_t src_c = tr & c_only;
-            if (src_c)
+            const Lane src_c = tr & c_only;
+            if (anyLane(src_c))
                 randomComputational(c, src_c);
-            const uint64_t src_t = tr & t_only;
-            if (src_t)
+            const Lane src_t = tr & t_only;
+            if (anyLane(src_t))
                 randomComputational(t, src_t);
         }
     }
@@ -307,52 +361,55 @@ BatchFrameSimulator::opCnot(int c, int t, uint64_t mask)
     twoQubitNoise(c, t, mask);
 }
 
+template <int NW>
 void
-BatchFrameSimulator::opLeakageIswap(int d, int p, uint64_t mask)
+BatchFrameSimulatorT<NW>::opLeakageIswap(int d, int p, const Lane &mask)
 {
-    const uint64_t ld = leaked_[d];
-    const uint64_t lp = leaked_[p];
+    const Lane ld = leaked_[d];
+    const Lane lp = leaked_[p];
 
     // DQLR moves the data qubit's leakage onto the (just reset) parity
     // qubit; the data qubit returns to a random computational state.
-    const uint64_t move = mask & ld & ~lp;
-    if (move) {
+    const Lane move = andnot(mask & ld, lp);
+    if (anyLane(move)) {
         leaked_[p] |= move;
         randomComputational(d, move);
     }
 
     // Reset failure left the parity qubit in |1>: the iSWAP acts in the
     // |11>/|20> subspace and can excite the data qubit to |L>.
-    const uint64_t excitable = mask & ~ld & ~lp & x_[p];
-    if (excitable && em_.leakageEnabled && em_.dqlrExciteProb > 0.0) {
+    const Lane excitable = andnot(andnot(mask, ld), lp) & x_[p];
+    if (anyLane(excitable) && em_.leakageEnabled &&
+        em_.dqlrExciteProb > 0.0) {
         leaked_[d] |=
-            sampler_.draw(em_.dqlrExciteProb, numLanes_) & excitable;
+            drawWhere(em_.dqlrExciteProb, excitable) & excitable;
     }
     // The op has CNOT-class fidelity (Section A.2.2).
     twoQubitNoise(d, p, mask);
 }
 
+template <int NW>
 void
-BatchFrameSimulator::opMeasure(const Op &op, bool x_basis,
-                               uint64_t mask)
+BatchFrameSimulatorT<NW>::opMeasure(const Op &op, bool x_basis,
+                                    const Lane &mask)
 {
     const int q = op.q0;
-    const uint64_t frame = x_basis ? z_[q] : x_[q];
-    const uint64_t lk = leaked_[q] & mask;
+    const Lane frame = x_basis ? z_[q] : x_[q];
+    const Lane lk = leaked_[q] & mask;
 
     // Unleaked lanes report the frame; a two-level discriminator
     // classifies |L> randomly, and the multi-level discriminator flags
     // |L> unless it errs.
-    uint64_t flips = frame & ~leaked_[q] & mask;
-    uint64_t labels = 0;
-    if (lk) {
-        flips |= batchRng_.next() & lk;
+    Lane flips = andnot(frame, leaked_[q]) & mask;
+    Lane labels{};
+    if (anyLane(lk)) {
+        flips |= randBitsWhere(lk) & lk;
         labels =
-            lk & ~sampler_.draw(em_.multiLevelMissProb(), numLanes_);
+            andnot(lk, drawWhere(em_.multiLevelMissProb(), lk));
     }
-    flips ^= sampler_.draw(em_.p, numLanes_) & mask;
+    flips ^= drawWhere(em_.p, mask) & mask;
 
-    BatchMeasureRecord rec;
+    Record rec;
     rec.qubit = q;
     rec.stab = op.stab;
     rec.round = op.round;
@@ -364,18 +421,19 @@ BatchFrameSimulator::opMeasure(const Op &op, bool x_basis,
     record_.push_back(rec);
 }
 
+template <int NW>
 void
-BatchFrameSimulator::execute(const Op &op, uint64_t mask)
+BatchFrameSimulatorT<NW>::execute(const Op &op, const Lane &mask_in)
 {
-    mask &= live_;
+    const Lane mask = mask_in & live_;
     if (scalar_) {
-        if (mask & 1) {
+        if (laneWord(mask, 0) & 1) {
             scalar_->execute(op);
             syncScalarRecord();
         }
         return;
     }
-    if (!mask)
+    if (!anyLane(mask))
         return;
     switch (op.type) {
       case OpType::RoundStart:
@@ -404,12 +462,17 @@ BatchFrameSimulator::execute(const Op &op, uint64_t mask)
     }
 }
 
+template <int NW>
 void
-BatchFrameSimulator::executeRange(const Op *begin, const Op *end,
-                                  uint64_t mask)
+BatchFrameSimulatorT<NW>::executeRange(const Op *begin, const Op *end,
+                                       const Lane &mask)
 {
     for (const Op *op = begin; op != end; ++op)
         execute(*op, mask);
 }
+
+template class BatchFrameSimulatorT<1>;
+template class BatchFrameSimulatorT<4>;
+template class BatchFrameSimulatorT<8>;
 
 } // namespace qec

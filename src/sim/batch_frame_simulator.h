@@ -1,15 +1,26 @@
 /**
  * @file
- * Bit-packed batched Pauli-frame simulator: W shots per machine word.
+ * Bit-packed batched Pauli-frame simulator: W shots per plane word.
  *
  * Where FrameSimulator stores one byte per qubit per flag and runs one
- * shot at a time, this engine packs up to 64 shots ("lanes") into one
- * uint64_t per qubit per bit-plane (X frame, Z frame, leaked), the bulk
- * Pauli-frame layout popularized by Stim. Static circuit structure —
- * CNOT frame propagation, Hadamard plane swaps, resets — executes as a
- * handful of word ops for all lanes at once; noise is sampled as
- * Bernoulli *masks* via BernoulliMaskSampler, so at p = 1e-3 the cost
- * of a noisy location is amortized across the whole word.
+ * shot at a time, this engine packs up to W = NW*64 shots ("lanes")
+ * into one NW-word plane per qubit per bit-plane (X frame, Z frame,
+ * leaked) — the bulk Pauli-frame layout popularized by Stim, extended
+ * here to width-generic SIMD words (see base/simd_word.h). Static
+ * circuit structure — CNOT frame propagation, Hadamard plane swaps,
+ * resets — executes as a handful of vector word ops for all lanes at
+ * once; noise is sampled as Bernoulli *masks* via BernoulliMaskSampler,
+ * so at p = 1e-3 the cost of a noisy location is amortized across the
+ * whole word-group.
+ *
+ * Randomness is streamed per 64-lane *block*: block b of a word-group
+ * starting at shot S owns the mask-sampler/raw-bit streams a 64-lane
+ * group starting at shot S + 64*b would own, and every draw is gated
+ * on the block exactly as the 64-lane engine gates it on its whole
+ * word. A W = 256/512 run is therefore bit-for-bit the concatenation
+ * of its W = 64 sub-runs — the cross-width differential anchor the
+ * tests pin — and NW = 1 instantiates with plain uint64_t lane sets,
+ * reproducing the pre-SIMD engine exactly.
  *
  * Leakage breaks pure lockstep: ERASER adapts each shot's LRC schedule
  * from that shot's own syndrome, and leaked qubits respond to gates
@@ -24,11 +35,13 @@
  *    experiment layer can run policy-divergent LRC/DQLR insertions
  *    only on the lanes whose policies scheduled them.
  *
- * With num_lanes == 1 the engine delegates to the scalar FrameSimulator
- * seeded exactly as MemoryExperiment seeds shot `first_shot`; the
- * scalar simulator is thereby the W=1 reference implementation, which
- * differential tests exploit to check the batched experiment
- * orchestration bit-for-bit against the scalar path.
+ * With num_lanes == 1 the engine (at every plane depth) delegates to
+ * the scalar FrameSimulator seeded exactly as MemoryExperiment seeds
+ * shot `first_shot`; the scalar simulator is thereby the W=1
+ * reference implementation, which differential tests exploit to
+ * check the batched experiment orchestration bit-for-bit against the
+ * scalar path — and which keeps 1-lane ragged tail groups identical
+ * across widths.
  */
 
 #ifndef QEC_SIM_BATCH_FRAME_SIMULATOR_H
@@ -39,6 +52,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/simd_word.h"
 #include "code/circuit.h"
 #include "code/types.h"
 #include "sim/bit_mask_sampler.h"
@@ -49,57 +63,71 @@ namespace qec
 {
 
 /** One measurement across all lanes: per-lane outcome bits packed into
- *  words, plus the lane set for which the measurement happened. */
-struct BatchMeasureRecord
+ *  plane words, plus the lane set for which the measurement happened. */
+template <int NW>
+struct BatchMeasureRecordT
 {
+    using Lane = LaneWord<NW>;
+
     int qubit = -1;
     int stab = -1;            ///< Stabilizer reported (-1 for finals).
     int round = -1;
     bool finalData = false;
     bool lrcData = false;     ///< Data qubit measured for an LRC.
-    uint64_t mask = 0;        ///< Lanes that executed this measurement.
-    uint64_t flips = 0;       ///< Flip bits; zero outside `mask`.
-    uint64_t leakedLabels = 0; ///< |L> labels; zero outside `mask`.
+    Lane mask{};              ///< Lanes that executed this measurement.
+    Lane flips{};             ///< Flip bits; zero outside `mask`.
+    Lane leakedLabels{};      ///< |L> labels; zero outside `mask`.
 };
 
+/** The pre-SIMD 64-lane record layout (uint64_t lane sets). */
+using BatchMeasureRecord = BatchMeasureRecordT<1>;
+
 /**
- * Executes circuits over W parallel shots. Lane l simulates global
- * shot `first_shot + l` of the experiment identified by `seed`.
- * One instance per word-group; not thread-safe across word-groups.
+ * Executes circuits over W parallel shots packed NW words deep. Lane l
+ * simulates global shot `first_shot + l` of the experiment identified
+ * by `seed`. One instance per word-group; not thread-safe across
+ * word-groups.
  */
-class BatchFrameSimulator
+template <int NW>
+class BatchFrameSimulatorT
 {
   public:
-    /** Maximum lanes per word (bits in the plane word type). */
-    static constexpr int kMaxLanes = 64;
+    using Lane = LaneWord<NW>;
+    using Record = BatchMeasureRecordT<NW>;
 
-    BatchFrameSimulator(int num_qubits, const ErrorModel &em,
-                        int num_lanes, uint64_t seed,
-                        uint64_t first_shot);
+    /** Plane words per lane set. */
+    static constexpr int kWords = NW;
+    /** Maximum lanes per word-group at this width. */
+    static constexpr int kMaxLanes = NW * 64;
 
-    // The sampler holds a pointer into this object's RNG; copies would
-    // keep drawing from (and later dangle on) the source's stream.
-    BatchFrameSimulator(const BatchFrameSimulator &) = delete;
-    BatchFrameSimulator & operator=(const BatchFrameSimulator &)
+    BatchFrameSimulatorT(int num_qubits, const ErrorModel &em,
+                         int num_lanes, uint64_t seed,
+                         uint64_t first_shot);
+
+    // The samplers hold pointers into this object's per-block RNGs;
+    // copies would keep drawing from (and later dangle on) the
+    // source's streams.
+    BatchFrameSimulatorT(const BatchFrameSimulatorT &) = delete;
+    BatchFrameSimulatorT & operator=(const BatchFrameSimulatorT &)
         = delete;
 
     /** Clear frames, leakage and the measurement record. */
     void reset();
 
     /** Execute one operation on a subset of lanes. */
-    void execute(const Op &op, uint64_t mask);
+    void execute(const Op &op, const Lane &mask);
     /** Execute one operation on all live lanes. */
     void execute(const Op &op) { execute(op, live_); }
 
     /** Execute a span of operations on a subset of lanes. */
-    void executeRange(const Op *begin, const Op *end, uint64_t mask);
+    void executeRange(const Op *begin, const Op *end, const Lane &mask);
     void
     executeRange(const Op *begin, const Op *end)
     {
         executeRange(begin, end, live_);
     }
 
-    const std::vector<BatchMeasureRecord> &
+    const std::vector<Record> &
     record() const
     {
         return record_;
@@ -114,60 +142,84 @@ class BatchFrameSimulator
 
     int numQubits() const { return numQubits_; }
     int numLanes() const { return numLanes_; }
-    /** Mask with one bit set per live lane. */
-    uint64_t liveMask() const { return live_; }
+    /** 64-lane blocks in this group (ceil(numLanes / 64)). */
+    int numBlocks() const { return numBlocks_; }
+    /** Lane set with one bit per live lane. */
+    const Lane & liveMask() const { return live_; }
 
     /** Per-qubit plane words (bits above numLanes() are zero). */
-    uint64_t xWord(int q) const;
-    uint64_t zWord(int q) const;
-    uint64_t leakedWord(int q) const;
+    Lane xWord(int q) const;
+    Lane zWord(int q) const;
+    Lane leakedWord(int q) const;
     bool leaked(int q, int lane) const;
 
     /** Total leaked (qubit, lane) pairs in a qubit range. */
     uint64_t countLeaked(int first, int last) const;
 
     /** Test/DEM hook: XOR a Pauli into the frame on masked lanes. */
-    void injectPauli(int q, Pauli p, uint64_t mask);
+    void injectPauli(int q, Pauli p, const Lane &mask);
     /** Test hook: force leakage state on masked lanes. */
-    void setLeaked(int q, bool leaked, uint64_t mask);
+    void setLeaked(int q, bool leaked, const Lane &mask);
 
     const ErrorModel & errorModel() const { return em_; }
 
   private:
-    void opDataNoise(int q, uint64_t mask);
-    void opReset(int q, uint64_t mask);
-    void opH(int q, uint64_t mask);
-    void opCnot(int c, int t, uint64_t mask);
-    void opLeakageIswap(int d, int p, uint64_t mask);
-    void opMeasure(const Op &op, bool x_basis, uint64_t mask);
+    void opDataNoise(int q, const Lane &mask);
+    void opReset(int q, const Lane &mask);
+    void opH(int q, const Lane &mask);
+    void opCnot(int c, int t, const Lane &mask);
+    void opLeakageIswap(int d, int p, const Lane &mask);
+    void opMeasure(const Op &op, bool x_basis, const Lane &mask);
 
-    void twoQubitNoise(int a, int b, uint64_t mask);
-    void maybeLeak(int q, uint64_t mask);
-    void maybeSeep(int q, uint64_t mask);
+    void twoQubitNoise(int a, int b, const Lane &mask);
+    void maybeLeak(int q, const Lane &mask);
+    void maybeSeep(int q, const Lane &mask);
     /** Per-lane uniform {I,X,Y,Z} depolarizing on masked lanes. */
-    void depolarizePerLane(int q, uint64_t mask);
+    void depolarizePerLane(int q, const Lane &mask);
     /** Random computational state relative to the reference. */
-    void randomComputational(int q, uint64_t mask);
+    void randomComputational(int q, const Lane &mask);
+
+    /**
+     * Bernoulli(p) lane mask, drawn per 64-lane block and only on
+     * blocks where `gate` has a set bit — the width-generic image of
+     * the 64-lane engine's "draw iff this op ran / this condition
+     * held for the word" structure. Blocks outside `gate` consume
+     * nothing from their streams.
+     */
+    Lane drawWhere(double p, const Lane &gate);
+    /** Raw uniform bits per block, gated like drawWhere. */
+    Lane randBitsWhere(const Lane &gate);
 
     /** Mirror any new scalar-mode records into batch records. */
     void syncScalarRecord();
 
     int numQubits_;
     int numLanes_;
-    uint64_t live_;
+    int numBlocks_;
+    int blockLanes_[NW];      ///< Live lanes per 64-lane block.
+    Lane live_;
     ErrorModel em_;
-    Rng batchRng_;
-    BernoulliMaskSampler sampler_;
+    /** Per-block group streams; block b draws what a 64-lane group at
+     *  first_shot + 64*b would draw. */
+    std::vector<Rng> blockRng_;
+    std::vector<BernoulliMaskSampler> samplers_;
     std::vector<Rng> laneRng_;
-    std::vector<uint64_t> x_;
-    std::vector<uint64_t> z_;
-    std::vector<uint64_t> leaked_;
-    std::vector<BatchMeasureRecord> record_;
+    std::vector<Lane> x_;
+    std::vector<Lane> z_;
+    std::vector<Lane> leaked_;
+    std::vector<Record> record_;
 
-    /** W=1 reference mode: delegate to the scalar simulator. */
+    /** W=1 reference mode (any NW): the scalar simulator. */
     std::unique_ptr<FrameSimulator> scalar_;
     size_t scalarSynced_ = 0;
 };
+
+/** The 64-lane engine (uint64_t lane sets, pre-SIMD layout). */
+using BatchFrameSimulator = BatchFrameSimulatorT<1>;
+
+extern template class BatchFrameSimulatorT<1>;
+extern template class BatchFrameSimulatorT<4>;
+extern template class BatchFrameSimulatorT<8>;
 
 } // namespace qec
 

@@ -84,7 +84,7 @@ BernoulliMaskSampler::drawDense(double p, int nlanes)
 }
 
 uint64_t
-BernoulliMaskSampler::draw(double p, int nlanes)
+BernoulliMaskSampler::drawSlow(double p, int nlanes)
 {
     if (p <= 0.0 || nlanes <= 0)
         return 0;

@@ -22,10 +22,12 @@
 #ifndef QEC_SIM_BIT_MASK_SAMPLER_H
 #define QEC_SIM_BIT_MASK_SAMPLER_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "base/rng.h"
+#include "base/simd_word.h"
 
 namespace qec
 {
@@ -40,8 +42,30 @@ class BernoulliMaskSampler
      * A word whose low `nlanes` bits are independent Bernoulli(p)
      * draws (higher bits are zero). Streams are kept per distinct
      * probability so rare-event skips carry across calls.
+     *
+     * Inlined fast path: an engine run alternates between a handful
+     * of distinct rare probabilities (gate, leak, seepage, ...), so
+     * the per-probability stream list stays tiny and is scanned
+     * inline; when the matching stream's pending skip covers the
+     * whole word (the overwhelmingly common case at the error rates
+     * of interest) the draw is a compare + subtract — identical in
+     * sequence to the out-of-line rare path, just without the call.
      */
-    uint64_t draw(double p, int nlanes);
+    uint64_t
+    draw(double p, int nlanes)
+    {
+        for (auto &stream : streams_) {
+            if (stream.p == p) {
+                if (nlanes > 0 &&
+                    stream.skip >= (uint64_t)nlanes) {
+                    stream.skip -= (uint64_t)nlanes;
+                    return 0;
+                }
+                break;
+            }
+        }
+        return drawSlow(p, nlanes);
+    }
 
     /** Probability below which the geometric skip path is used. */
     static constexpr double kRareThreshold = 0.02;
@@ -54,6 +78,8 @@ class BernoulliMaskSampler
         uint64_t skip = 0;     ///< Trials remaining before the next hit.
     };
 
+    uint64_t drawSlow(double p, int nlanes);
+
     Stream & streamFor(double p);
     uint64_t sampleGap(const Stream &stream);
     uint64_t drawRare(Stream &stream, int nlanes);
@@ -63,11 +89,12 @@ class BernoulliMaskSampler
     std::vector<Stream> streams_;
 };
 
-/** Mask with the low `nlanes` bits set (nlanes in [0, 64]). */
+/** Mask with the low `nlanes` bits set (alias of base/simd_word.h's
+ *  clamped laneMask64, kept for the sampler's historical callers). */
 inline uint64_t
 laneMask(int nlanes)
 {
-    return nlanes >= 64 ? ~uint64_t{0} : ((uint64_t{1} << nlanes) - 1);
+    return laneMask64(nlanes);
 }
 
 } // namespace qec

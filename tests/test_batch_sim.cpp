@@ -384,6 +384,181 @@ TEST(BatchDifferential, PartialWordGroupsCoverAllShots)
     EXPECT_EQ(result.tp + result.fp, result.lrcsScheduled);
 }
 
+// ------------------------------------ SIMD width matrix (W = 256/512)
+
+/** Exact-equality check of two runs' full counter set. */
+void
+expectResultsIdentical(const ExperimentResult &a,
+                       const ExperimentResult &b, const char *what)
+{
+    EXPECT_EQ(a.logicalErrors, b.logicalErrors) << what;
+    EXPECT_EQ(a.tp, b.tp) << what;
+    EXPECT_EQ(a.fp, b.fp) << what;
+    EXPECT_EQ(a.tn, b.tn) << what;
+    EXPECT_EQ(a.fn, b.fn) << what;
+    EXPECT_EQ(a.lrcsScheduled, b.lrcsScheduled) << what;
+    ASSERT_EQ(a.lprDataSum.size(), b.lprDataSum.size()) << what;
+    for (size_t r = 0; r < a.lprDataSum.size(); ++r) {
+        EXPECT_DOUBLE_EQ(a.lprDataSum[r], b.lprDataSum[r]) << what;
+        EXPECT_DOUBLE_EQ(a.lprParitySum[r], b.lprParitySum[r]) << what;
+    }
+}
+
+/**
+ * W = 256 and W = 512 must reproduce the W = 64 run bit for bit:
+ * every 64-lane block of a wide word-group carries the exact noise
+ * streams of the standalone 64-lane group at the same first shot.
+ * shots = 391 exercises ragged tail groups at every width.
+ */
+TEST(BatchDifferential, WideWidthsMatchWidth64Exactly)
+{
+    RotatedSurfaceCode code(3);
+    for (RemovalProtocol protocol :
+         {RemovalProtocol::SwapLrc, RemovalProtocol::Dqlr}) {
+        for (PolicyKind kind :
+             {PolicyKind::Always, PolicyKind::Eraser,
+              PolicyKind::EraserM, PolicyKind::Optimal}) {
+            ExperimentConfig cfg;
+            cfg.rounds = 5;
+            cfg.shots = 391;
+            cfg.seed = 20260726;
+            cfg.em = ErrorModel::standard(3e-3);
+            cfg.protocol = protocol;
+            cfg.trackLpr = true;
+
+            cfg.batchWidth = 64;
+            auto w64 = MemoryExperiment(code, cfg).run(kind);
+            cfg.batchWidth = 256;
+            auto w256 = MemoryExperiment(code, cfg).run(kind);
+            cfg.batchWidth = 512;
+            auto w512 = MemoryExperiment(code, cfg).run(kind);
+
+            expectResultsIdentical(w64, w256, "W=256 vs W=64");
+            expectResultsIdentical(w64, w512, "W=512 vs W=64");
+        }
+    }
+}
+
+TEST(BatchDifferential, OneLaneTailGroupsMatchAcrossWidths)
+{
+    // shots = 257: the width-64 run ends with a 1-lane group (which
+    // delegates to the scalar reference simulator); the width-256/512
+    // runs must delegate their 1-lane tails identically, or the
+    // cross-width bit-identity breaks exactly on the tail shot.
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 5;
+    cfg.shots = 257;
+    cfg.seed = 99;
+    cfg.em = ErrorModel::standard(5e-3);
+    cfg.trackLpr = true;
+
+    cfg.batchWidth = 64;
+    auto w64 = MemoryExperiment(code, cfg).run(PolicyKind::Eraser);
+    cfg.batchWidth = 256;
+    auto w256 = MemoryExperiment(code, cfg).run(PolicyKind::Eraser);
+    cfg.batchWidth = 512;
+    auto w512 = MemoryExperiment(code, cfg).run(PolicyKind::Eraser);
+    expectResultsIdentical(w64, w256, "1-lane tail W=256 vs W=64");
+    expectResultsIdentical(w64, w512, "1-lane tail W=512 vs W=64");
+}
+
+TEST(BatchDifferential, WideWidthsMatchWidth64OnMemoryX)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 5;
+    cfg.shots = 300;
+    cfg.seed = 8;
+    cfg.em = ErrorModel::standard(2e-3);
+    cfg.basis = Basis::X;
+    cfg.decoderKind = DecoderKind::UnionFind;
+    cfg.trackLpr = true;
+
+    cfg.batchWidth = 64;
+    auto w64 = MemoryExperiment(code, cfg).run(PolicyKind::Eraser);
+    cfg.batchWidth = 512;
+    auto w512 = MemoryExperiment(code, cfg).run(PolicyKind::Eraser);
+    expectResultsIdentical(w64, w512, "basis X W=512 vs W=64");
+}
+
+/**
+ * Engine-level pin of the same property: a 256-lane simulator running
+ * a memory circuit produces, block by block, the records of the four
+ * 64-lane simulators at first shots 0/64/128/192.
+ */
+TEST(BatchSim, WideEngineMatchesBlockwise64LaneEngines)
+{
+    RotatedSurfaceCode code(3);
+    Circuit circuit = buildMemoryCircuit(code, 5, Basis::Z);
+    ErrorModel em = ErrorModel::standard(4e-3);
+
+    BatchFrameSimulatorT<4> wide(code.numQubits(), em, 256, 321, 0);
+    wide.executeRange(circuit.ops.data(),
+                      circuit.ops.data() + circuit.ops.size());
+
+    for (int b = 0; b < 4; ++b) {
+        BatchFrameSimulator narrow(code.numQubits(), em, 64, 321,
+                                   64 * (uint64_t)b);
+        narrow.executeRange(circuit.ops.data(),
+                            circuit.ops.data() + circuit.ops.size());
+        ASSERT_EQ(wide.record().size(), narrow.record().size());
+        for (size_t i = 0; i < narrow.record().size(); ++i) {
+            const auto &w = wide.record()[i];
+            const auto &n = narrow.record()[i];
+            ASSERT_EQ(laneWord(w.mask, b), n.mask) << b << " " << i;
+            ASSERT_EQ(laneWord(w.flips, b), n.flips) << b << " " << i;
+            ASSERT_EQ(laneWord(w.leakedLabels, b), n.leakedLabels)
+                << b << " " << i;
+        }
+        for (int q = 0; q < code.numQubits(); ++q) {
+            ASSERT_EQ(laneWord(wide.xWord(q), b), narrow.xWord(q));
+            ASSERT_EQ(laneWord(wide.zWord(q), b), narrow.zWord(q));
+            ASSERT_EQ(laneWord(wide.leakedWord(q), b),
+                      narrow.leakedWord(q));
+        }
+    }
+}
+
+/** Statistical LER/LPR agreement of the widest engine against the
+ *  scalar reference at the paper's headline distance. */
+TEST(BatchDifferential, W512AgreesWithScalarStatisticallyAtD11)
+{
+    RotatedSurfaceCode code(11);
+    ExperimentConfig cfg;
+    cfg.rounds = 4;
+    cfg.shots = 320;
+    cfg.seed = 555;
+    cfg.em = ErrorModel::standard(8e-3);
+    cfg.decoderKind = DecoderKind::UnionFind;
+    cfg.trackLpr = true;
+    MemoryExperiment scalar_exp(code, cfg);
+    auto scalar = scalar_exp.run(PolicyKind::Eraser);
+
+    cfg.batchWidth = 512;
+    MemoryExperiment wide_exp(code, cfg);
+    auto wide = wide_exp.run(PolicyKind::Eraser);
+
+    ASSERT_GT(scalar.logicalErrors, 0u);
+    ASSERT_GT(wide.logicalErrors, 0u);
+    const double p_pool = (scalar.ler() + wide.ler()) / 2.0;
+    const double sigma =
+        std::sqrt(2.0 * p_pool * (1 - p_pool) / (double)cfg.shots);
+    EXPECT_NEAR(scalar.ler(), wide.ler(), 5 * sigma);
+
+    for (int r = 1; r < cfg.rounds; ++r) {
+        const double a = scalar.lprData(r);
+        const double b = wide.lprData(r);
+        ASSERT_GT(a, 0.0);
+        ASSERT_GT(b, 0.0);
+        const double trials = (double)cfg.shots * code.numData();
+        const double pool = (a + b) / 2.0;
+        const double s =
+            std::sqrt(2.0 * pool * (1 - pool) / trials);
+        EXPECT_NEAR(a, b, 6 * s + 1e-9) << "round " << r;
+    }
+}
+
 TEST(BatchDifferential, BatchedRunIsDeterministic)
 {
     RotatedSurfaceCode code(3);

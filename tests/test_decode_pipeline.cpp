@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 
@@ -319,6 +320,150 @@ TEST(DecodePipeline, ZeroDefectDecodeAllocatesNothingForBothDecoders)
     EXPECT_EQ(g_allocations.load(), before) << sink;
 }
 
+TEST(DecodePipeline, MwpmDecodeIsAllocationFreeInSteadyState)
+{
+    // The blossom solver now lives in the workspace's MatcherScratch:
+    // once warmed up on a shot set, repeating the set must perform
+    // zero heap allocations end to end (the last piece of the
+    // zero-alloc decode story; previously the Matcher rebuilt its
+    // vectors on every matching call).
+    RotatedSurfaceCode code(5);
+    const int rounds = 10;
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    MwpmDecoder decoder(dem, 1e-3);
+
+    auto shots = sampleDefectSets(code, rounds, 40, 3e-3, 76);
+    DecodeWorkspace ws;
+    // Two warmup passes: the first sizes every array, the second lets
+    // per-blossom-slot capacities settle.
+    for (int warmup = 0; warmup < 2; ++warmup) {
+        for (const auto &defects : shots)
+            decoder.decodeSparse(defects.data(), defects.size(), ws);
+    }
+
+    const uint64_t before = g_allocations.load();
+    bool sink = false;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        for (const auto &defects : shots)
+            sink ^= decoder.decodeSparse(defects.data(),
+                                         defects.size(), ws);
+    }
+    const uint64_t after = g_allocations.load();
+    EXPECT_EQ(after, before) << "MWPM decode allocated on the "
+                                "steady-state path (sink="
+                             << sink << ")";
+}
+
+TEST(DecodePipeline, MatcherScratchReuseMatchesThrowawaySolves)
+{
+    // Same instances through one persistent scratch and through
+    // fresh solves must produce identical matchings.
+    Rng rng(11);
+    MatcherScratch scratch;
+    for (int iter = 0; iter < 30; ++iter) {
+        const int n = 2 + (int)rng.randint(10);
+        std::vector<MatchEdge> edges;
+        for (int i = 0; i < n; ++i) {
+            for (int j = i + 1; j < n; ++j)
+                edges.push_back(
+                    {i, j, (int64_t)(1 + rng.randint(50))});
+            edges.push_back({i, n + i, (int64_t)(1 + rng.randint(50))});
+        }
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                edges.push_back({n + i, n + j, 0});
+
+        std::vector<MatchEdge> a(edges), b(edges);
+        std::vector<int> fresh, reused;
+        minWeightPerfectMatchingInPlace(2 * n, a, fresh);
+        minWeightPerfectMatchingInPlace(2 * n, b, reused, scratch);
+        ASSERT_EQ(fresh, reused) << "instance " << iter;
+    }
+}
+
+TEST(DecodePipeline, TruncatedPrefixKeyReplaysPrefixVerdict)
+{
+    // keyDetectorLimit = 10: defects >= 10 are excluded from the key,
+    // so lists agreeing below 10 share one (approximate) entry.
+    SyndromeCacheOptions options;
+    options.keyDetectorLimit = 10;
+    SyndromeCache cache(options);
+
+    const std::vector<int> a = {1, 4, 12};
+    const std::vector<int> same_prefix = {1, 4, 17};
+    const std::vector<int> other_prefix = {1, 5, 12};
+    cache.insert(syndromeHash(a.data(), a.size()), a.data(), a.size(),
+                 true);
+    bool verdict = false;
+    EXPECT_TRUE(cache.lookup(syndromeHash(same_prefix.data(), 3),
+                             same_prefix.data(), 3, verdict));
+    EXPECT_TRUE(verdict);
+    EXPECT_FALSE(cache.lookup(syndromeHash(other_prefix.data(), 3),
+                              other_prefix.data(), 3, verdict));
+}
+
+TEST(DecodePipeline, TruncatedPrefixKeyRaisesHitRate)
+{
+    // The point of the knob: at p = 1e-3-ish rates exact dedup almost
+    // never fires while prefix keys do. Run the same shot set through
+    // an exact and a truncated pipeline and compare hit rates.
+    RotatedSurfaceCode code(3);
+    const int rounds = 6;
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    UnionFindDecoder decoder(dem, 1e-3);
+
+    auto shots = sampleDefectSets(code, rounds, 600, 1.5e-3, 77);
+
+    SyndromeCacheOptions exact;
+    BatchDecoder exact_pipe(decoder, exact);
+    SyndromeCacheOptions truncated;
+    // Keep all but the last two detector rows in the key.
+    truncated.keyDetectorLimit =
+        (uint32_t)((rounds - 1) * code.numBasisStabilizers(Basis::Z));
+    BatchDecoder trunc_pipe(decoder, truncated);
+
+    for (const auto &defects : shots) {
+        exact_pipe.decodeOne(defects.data(), defects.size());
+        trunc_pipe.decodeOne(defects.data(), defects.size());
+    }
+    EXPECT_GE(trunc_pipe.stats().cacheHits,
+              exact_pipe.stats().cacheHits);
+    EXPECT_GT(trunc_pipe.stats().cacheHits, 0u);
+}
+
+TEST(DecodePipeline, ExperimentDerivesTruncatedKeyFromRounds)
+{
+    // config.syndromeCache.truncateRounds flows through the batched
+    // experiment; the truncated run must see a hit rate at least as
+    // high as the exact run and produce a sane LER (approximation
+    // noise at these sizes stays within the statistical band).
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 6;
+    cfg.shots = 1500;
+    cfg.seed = 31337;
+    cfg.em = ErrorModel::standard(2e-3);
+    cfg.decoderKind = DecoderKind::UnionFind;
+    cfg.batchWidth = 64;
+
+    MemoryExperiment exact(code, cfg);
+    auto exact_result = exact.run(PolicyKind::Eraser);
+
+    cfg.syndromeCache.truncateRounds = 2;
+    MemoryExperiment truncated(code, cfg);
+    auto trunc_result = truncated.run(PolicyKind::Eraser);
+
+    EXPECT_GE(trunc_result.syndromeCacheHitRate(),
+              exact_result.syndromeCacheHitRate());
+    ASSERT_GT(exact_result.logicalErrors, 0u);
+    const double p_pool =
+        (exact_result.ler() + trunc_result.ler()) / 2.0;
+    const double sigma = std::sqrt(2.0 * p_pool * (1 - p_pool) /
+                                   (double)cfg.shots);
+    EXPECT_NEAR(exact_result.ler(), trunc_result.ler(),
+                5 * sigma + 1e-9);
+}
+
 TEST(DecodePipeline, MwpmWorkspaceFootprintStabilizes)
 {
     // The MWPM path still allocates inside the blossom solver, but the
@@ -373,7 +518,8 @@ TEST(DecodePipeline, SparseExtractionMatchesPerLaneExtraction)
         if (!outcomes[l].defects.empty())
             expect_nonzero |= uint64_t{1} << l;
     }
-    EXPECT_EQ(syndrome.nonzeroMask, expect_nonzero);
+    EXPECT_EQ(syndrome.nonzeroWords[0], expect_nonzero);
+    EXPECT_EQ(syndrome.numWords, 1);
 }
 
 TEST(DecodePipeline, LaneHashesDedupeIdenticalSyndromes)

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests of the width-generic SIMD plane-word layer
+ * (base/simd_word.h): every WordVec operation is checked word-for-word
+ * against the scalar uint64_t reference semantics, at both supported
+ * wide widths (4 and 8 plane words), plus the lane helpers and the
+ * compile/run-time backend dispatch hooks. When the build forces the
+ * portable fallback (QEC_SIMD_FORCE_PORTABLE) the same tests pin the
+ * portable implementations instead — the two backends must be
+ * indistinguishable here by construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/simd_word.h"
+
+namespace qec
+{
+namespace
+{
+
+template <int NW>
+WordVec<NW>
+randomVec(Rng &rng)
+{
+    WordVec<NW> v;
+    for (int i = 0; i < NW; ++i)
+        v.w[i] = rng.next();
+    return v;
+}
+
+template <int NW>
+void
+checkBooleanOpsAgainstScalar()
+{
+    Rng rng(42 + NW);
+    for (int iter = 0; iter < 200; ++iter) {
+        const WordVec<NW> a = randomVec<NW>(rng);
+        const WordVec<NW> b = randomVec<NW>(rng);
+        const WordVec<NW> band = a & b;
+        const WordVec<NW> bor = a | b;
+        const WordVec<NW> bxor = a ^ b;
+        const WordVec<NW> bnot = ~a;
+        const WordVec<NW> bandn = andnot(a, b);
+        for (int i = 0; i < NW; ++i) {
+            ASSERT_EQ(band.w[i], a.w[i] & b.w[i]);
+            ASSERT_EQ(bor.w[i], a.w[i] | b.w[i]);
+            ASSERT_EQ(bxor.w[i], a.w[i] ^ b.w[i]);
+            ASSERT_EQ(bnot.w[i], ~a.w[i]);
+            ASSERT_EQ(bandn.w[i], a.w[i] & ~b.w[i]);
+        }
+        int pop = 0;
+        for (int i = 0; i < NW; ++i)
+            pop += __builtin_popcountll(a.w[i]);
+        ASSERT_EQ(popcountLanes(a), pop);
+        ASSERT_EQ(anyLane(a), pop != 0);
+    }
+}
+
+TEST(SimdWord, BooleanOpsMatchScalarReference)
+{
+    checkBooleanOpsAgainstScalar<4>();
+    checkBooleanOpsAgainstScalar<8>();
+}
+
+TEST(SimdWord, CompoundAssignmentMatchesBinaryOps)
+{
+    Rng rng(7);
+    const WordVec<4> a = randomVec<4>(rng);
+    const WordVec<4> b = randomVec<4>(rng);
+    WordVec<4> c = a;
+    c &= b;
+    EXPECT_EQ(c, a & b);
+    c = a;
+    c |= b;
+    EXPECT_EQ(c, a | b);
+    c = a;
+    c ^= b;
+    EXPECT_EQ(c, a ^ b);
+    EXPECT_NE(a, ~a);
+}
+
+TEST(SimdWord, DefaultConstructionIsZero)
+{
+    WordVec<8> v;
+    EXPECT_FALSE(anyLane(v));
+    EXPECT_EQ(popcountLanes(v), 0);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(v.w[i], 0u);
+}
+
+TEST(SimdWord, LaneBitHelpersAddressTheRightWord)
+{
+    WordVec<8> v;
+    for (int lane : {0, 1, 63, 64, 100, 255, 256, 511}) {
+        setLane(v, lane);
+        EXPECT_TRUE(testLane(v, lane)) << lane;
+        EXPECT_EQ(v.w[lane >> 6], uint64_t{1} << (lane & 63));
+        flipLane(v, lane);
+        EXPECT_FALSE(testLane(v, lane)) << lane;
+        EXPECT_FALSE(anyLane(v));
+        // flipLane toggles, setLane is idempotent.
+        setLane(v, lane);
+        setLane(v, lane);
+        EXPECT_EQ(popcountLanes(v), 1);
+        flipLane(v, lane);
+    }
+    // The scalar overloads share the semantics.
+    uint64_t s = 0;
+    setLane(s, 13);
+    EXPECT_TRUE(testLane(s, 13));
+    flipLane(s, 13);
+    EXPECT_EQ(s, 0u);
+}
+
+TEST(SimdWord, LaneMaskCoversExactlyTheLowLanes)
+{
+    EXPECT_EQ(laneMask64(0), 0u);
+    EXPECT_EQ(laneMask64(1), 1u);
+    EXPECT_EQ(laneMask64(64), ~uint64_t{0});
+    EXPECT_EQ(laneMask64(70), ~uint64_t{0});
+    EXPECT_EQ(laneMask64(-3), 0u);
+
+    for (int n : {0, 1, 63, 64, 65, 128, 200, 256, 300, 511, 512}) {
+        const auto m = laneMaskOf<WordVec<8>>(n);
+        EXPECT_EQ(popcountLanes(m), n);
+        for (int lane = 0; lane < 512; ++lane)
+            ASSERT_EQ(testLane(m, lane), lane < n) << n << " " << lane;
+    }
+    EXPECT_EQ(laneMaskOf<uint64_t>(10), laneMask64(10));
+}
+
+TEST(SimdWord, ForEachSetLaneVisitsAscendingAcrossWords)
+{
+    WordVec<4> v;
+    const std::vector<int> lanes = {0, 5, 63, 64, 130, 200, 255};
+    for (int l : lanes)
+        setLane(v, l);
+    std::vector<int> seen;
+    forEachSetLane(v, [&](int l) { seen.push_back(l); });
+    EXPECT_EQ(seen, lanes);
+
+    uint64_t s = (1ull << 3) | (1ull << 40);
+    seen.clear();
+    forEachSetLane(s, [&](int l) { seen.push_back(l); });
+    EXPECT_EQ(seen, (std::vector<int>{3, 40}));
+}
+
+TEST(SimdWord, LaneWordAccessorsRoundTrip)
+{
+    WordVec<4> v;
+    laneWordRef(v, 2) = 0xDEADBEEFull;
+    EXPECT_EQ(laneWord(v, 2), 0xDEADBEEFull);
+    EXPECT_EQ(laneWord(v, 0), 0u);
+    uint64_t s = 0;
+    laneWordRef(s, 0) = 7;
+    EXPECT_EQ(laneWord(s, 0), 7u);
+}
+
+TEST(SimdWord, LaneWordTypeSelectsRawWordAtWidthOne)
+{
+    static_assert(std::is_same_v<LaneWord<1>, uint64_t>,
+                  "NW=1 must be the raw pre-SIMD word type");
+    static_assert(std::is_same_v<LaneWord<4>, WordVec<4>>, "");
+    static_assert(WordVec<4>::kLanes == 256, "");
+    static_assert(WordVec<8>::kLanes == kMaxBatchLanes, "");
+    static_assert(alignof(WordVec<4>) == 32, "");
+    static_assert(alignof(WordVec<8>) == 64, "");
+}
+
+TEST(SimdWord, RuntimeDispatchIsConsistent)
+{
+    EXPECT_TRUE(runtimeSimdSupported(SimdBackend::Portable));
+    // Whatever backend this test TU was compiled with must run here.
+    EXPECT_TRUE(runtimeSimdSupported(compiledSimdBackend()));
+    EXPECT_NE(simdBackendName(), nullptr);
+    const int w = recommendedBatchWidth();
+    EXPECT_TRUE(w == 64 || w == 256 || w == 512);
+    EXPECT_LE(w, kMaxBatchLanes);
+#if defined(QEC_SIMD_FORCE_PORTABLE)
+    EXPECT_EQ(compiledSimdBackend(), SimdBackend::Portable);
+    EXPECT_STREQ(simdBackendName(), "portable");
+#endif
+}
+
+} // namespace
+} // namespace qec
