@@ -21,6 +21,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +73,57 @@ BM_LsbDliRoundDecision(benchmark::State &state)
     }
 }
 BENCHMARK(BM_LsbDliRoundDecision)->Arg(3)->Arg(7)->Arg(11);
+
+template <int NW>
+void
+runBatchControllerRound(benchmark::State &state, int d, int lanes)
+{
+    // Word-parallel image of BM_LsbDliRoundDecision: one controller
+    // decision for a whole word-group. Items = lane decisions, so the
+    // items/s ratio against BM_LsbDliRoundDecision's iterations/s is
+    // the controller's lane-parallel speedup.
+    using Lane = LaneWord<NW>;
+    RotatedSurfaceCode code(d);
+    SwapLookupTable lookup(code);
+    BatchPolicySpec spec;
+    spec.kind = BatchPolicyKind::Eraser;
+    BatchEraserController<Lane> controller(code, lookup, spec);
+    Rng rng(1);
+
+    std::vector<Lane> events(code.numStabilizers(), Lane{});
+    std::vector<Lane> labels(code.numStabilizers(), Lane{});
+    std::vector<Lane> had_lrc(code.numData(), Lane{});
+    for (auto &plane : events) {
+        for (int l = 0; l < lanes; ++l) {
+            if (rng.bernoulli(0.03))
+                setLane(plane, l);
+        }
+    }
+    const Lane live = laneMaskOf<Lane>(lanes);
+    std::vector<std::vector<LrcPair>> lrcs(lanes);
+
+    for (auto _ : state) {
+        controller.nextRound(events, labels, had_lrc, live, lrcs);
+        benchmark::DoNotOptimize(lrcs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * lanes);
+}
+
+void
+BM_BatchControllerRound(benchmark::State &state)
+{
+    const int d = (int)state.range(0);
+    const int width = (int)state.range(1);
+    if (width <= 64)
+        runBatchControllerRound<1>(state, d, width);
+    else if (width <= 256)
+        runBatchControllerRound<4>(state, d, width);
+    else
+        runBatchControllerRound<8>(state, d, width);
+}
+BENCHMARK(BM_BatchControllerRound)
+    ->ArgNames({"d", "width"})
+    ->Args({11, 64})->Args({11, 256})->Args({11, 512});
 
 void
 BM_FrameSimRound(benchmark::State &state)
@@ -470,10 +522,15 @@ emitDecodeJson()
 
 /**
  * SIMD width-scaling tracking: run the decoded d=11 UF ERASER sweep
- * (rounds = 3d) at word-group widths 64/256/512 and write shots/s and
- * the speedup over the width-64 anchor as JSON, together with the
- * engine's compiled backend and the host's recommended width. Rates
- * divide by executed shots (per-group live lanes), never by
+ * (rounds = 3d, 1 worker so the ratio is pure per-core width scaling,
+ * not thread-count effects) at word-group widths 64/256/512 and write
+ * shots/s and the speedup over the width-64 anchor as JSON, together
+ * with the engine's compiled backend, the host's recommended width
+ * and a "width_scaling" summary block (the p = 1e-3 wide-width
+ * speedups regressions are watched on). All widths run the same seed,
+ * so `verdicts_match_64` pins the cross-width bit-identity of the
+ * word-parallel controller in the artifact itself. Rates divide by
+ * executed shots (per-group live lanes), never by
  * groups * batchWidth, so ragged tail groups cannot inflate them.
  */
 void
@@ -492,8 +549,9 @@ emitSimdJson()
     std::fprintf(
         out,
         "{\n  \"bench\": \"decoded d=11 UF ERASER sweep, rounds=3d, "
-        "word-group width sweep; width 64 is the bit-identical "
-        "pre-SIMD anchor\",\n"
+        "1 core, word-group width sweep; width 64 is the "
+        "bit-identical pre-SIMD anchor and all widths decode the "
+        "same shots\",\n"
         "  \"engine_backend\": \"%s\",\n"
         "  \"recommended_width\": %d,\n"
         "  \"entries\": [\n",
@@ -502,40 +560,82 @@ emitSimdJson()
     const int d = 11;
     RotatedSurfaceCode code(d);
     bool first = true;
+    double scale_256 = 0.0, scale_512 = 0.0;
+    bool warmed = false;
     for (double p : {1e-3, 1e-4}) {
         double base_rate = 0.0;
+        uint64_t base_errors = 0;
+        uint64_t base_fingerprint = 0;
         for (unsigned width : {64u, 256u, 512u}) {
             ExperimentConfig cfg;
             cfg.rounds = 3 * d;
             cfg.shots = p < 5e-4 ? 3072 : 1536;
-            cfg.seed = 5000 + (int)width;
+            cfg.seed = 5000;
             cfg.em = ErrorModel::standard(p);
             cfg.decode = true;
             cfg.decoderKind = DecoderKind::UnionFind;
             cfg.batchWidth = width;
+            cfg.threads = 1;
             MemoryExperiment exp(code, cfg);
-            const auto start = std::chrono::steady_clock::now();
-            auto result = exp.run(PolicyKind::Eraser);
-            const double secs = std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() -
-                                    start)
-                                    .count();
-            const double rate = (double)result.shots /
-                                (secs > 0.0 ? secs : 1e-9);
-            if (width == 64)
+            // Best-of-3 (after one warm-up for the whole sweep):
+            // single-run wall times on shared hosts carry enough
+            // scheduler noise to swamp the width ratios this artifact
+            // exists to track.
+            if (!warmed) {
+                exp.run(PolicyKind::Eraser);
+                warmed = true;
+            }
+            double rate = 0.0;
+            ExperimentResult result;
+            for (int rep = 0; rep < 3; ++rep) {
+                const auto start = std::chrono::steady_clock::now();
+                result = exp.run(PolicyKind::Eraser);
+                const double secs =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                rate = std::max(rate, (double)result.shots /
+                                          (secs > 0.0 ? secs : 1e-9));
+            }
+            if (width == 64) {
                 base_rate = rate;
+                base_errors = result.logicalErrors;
+                base_fingerprint = result.verdictFingerprint;
+            }
+            const double speedup =
+                base_rate > 0.0 ? rate / base_rate : 1.0;
+            if (p == 1e-3 && width == 256)
+                scale_256 = speedup;
+            if (p == 1e-3 && width == 512)
+                scale_512 = speedup;
+            // Per-shot identity, not just equal error counts: the
+            // fingerprint is an order-independent XOR over every
+            // (shot, verdict) pair, so compensating flips cannot fake
+            // a match.
+            const bool verdicts_match =
+                result.logicalErrors == base_errors &&
+                result.verdictFingerprint == base_fingerprint;
             std::fprintf(out,
                          "%s    {\"p\": %.0e, \"width\": %u, "
                          "\"shots\": %llu, "
+                         "\"logical_errors\": %llu, "
+                         "\"verdicts_match_64\": %s, "
                          "\"shots_per_s\": %.1f, "
                          "\"speedup_vs_64\": %.3f}",
                          first ? "" : ",\n", p, width,
-                         (unsigned long long)result.shots, rate,
-                         base_rate > 0.0 ? rate / base_rate : 1.0);
+                         (unsigned long long)result.shots,
+                         (unsigned long long)result.logicalErrors,
+                         verdicts_match ? "true" : "false",
+                         rate, speedup);
             first = false;
         }
     }
-    std::fprintf(out, "\n  ]\n}\n");
+    std::fprintf(out,
+                 "\n  ],\n"
+                 "  \"width_scaling\": {\"p\": 1e-3, "
+                 "\"speedup_256_vs_64\": %.3f, "
+                 "\"speedup_512_vs_64\": %.3f}\n}\n",
+                 scale_256, scale_512);
     std::fclose(out);
     std::printf("wrote %s\n", path.c_str());
 }

@@ -46,6 +46,13 @@ runtimeSimdSupported(SimdBackend backend)
 int
 recommendedBatchWidth()
 {
+    // This TU is part of the engine's SIMD source set, so its compiled
+    // backend is the backend the WordVec hot loops actually run with.
+    // A portable build executes wide plane words as scalar loops: the
+    // host CPU's vector units are irrelevant and widths above 64 only
+    // deepen every plane touch, so never recommend them.
+    if (compiledSimdBackend() == SimdBackend::Portable)
+        return 64;
     if (runtimeSimdSupported(SimdBackend::Avx512))
         return 512;
     if (runtimeSimdSupported(SimdBackend::Avx2) ||

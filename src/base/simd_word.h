@@ -394,6 +394,18 @@ flipLane(WordVec<NW> &v, int lane)
     v.w[lane >> 6] ^= uint64_t{1} << (lane & 63);
 }
 
+inline void
+clearLane(uint64_t &v, int lane)
+{
+    v &= ~(uint64_t{1} << lane);
+}
+template <int NW>
+inline void
+clearLane(WordVec<NW> &v, int lane)
+{
+    v.w[lane >> 6] &= ~(uint64_t{1} << (lane & 63));
+}
+
 /** Lane set with the low `nlanes` lanes set. */
 template <typename L>
 inline L
@@ -469,8 +481,12 @@ bool runtimeSimdSupported(SimdBackend backend);
 /**
  * Word-group width recommendation for this host: 512 when 512-bit
  * vector ops are native, else 256 with any 128/256-bit vector unit,
- * else 64. Any width up to kMaxBatchLanes is *correct* everywhere —
- * this is purely a throughput default.
+ * else 64. When the engine library itself was compiled with the
+ * portable fallback (QEC_PORTABLE_SIMD), wide WordVec ops are scalar
+ * loops and widths above 64 only add plane-depth overhead, so the
+ * recommendation clamps to 64 regardless of the host CPU. Any width
+ * up to kMaxBatchLanes is *correct* everywhere — this is purely a
+ * throughput default.
  */
 int recommendedBatchWidth();
 

@@ -57,6 +57,87 @@ DynamicLrcInsertion::allocateLookup(LeakageTrackingTable &ltt,
     return lrcs;
 }
 
+template <typename Lane>
+void
+DynamicLrcInsertion::allocateLane(int lane,
+                                  const std::vector<int> &candidates,
+                                  BatchLeakageTrackingTable<Lane> &ltt,
+                                  const BatchParityUsageTable<Lane> &putt,
+                                  DliLaneScratch &scratch,
+                                  std::vector<LrcPair> &lrcs) const
+{
+    lrcs.clear();
+    if (allocator_ == DliAllocator::LookupTable) {
+        if ((int)scratch.takenEpoch.size() < code_.numStabilizers())
+            scratch.takenEpoch.assign(code_.numStabilizers(), 0);
+        const int epoch = ++scratch.epoch;
+        for (int q : candidates) {
+            if (!ltt.marked(q, lane))
+                continue;
+            const SwapEntry &entry = lookup_.entry(q);
+            int chosen = -1;
+            if (!putt.used(entry.primary, lane) &&
+                scratch.takenEpoch[entry.primary] != epoch) {
+                chosen = entry.primary;
+            } else {
+                for (int backup : entry.backups) {
+                    if (!putt.used(backup, lane) &&
+                        scratch.takenEpoch[backup] != epoch) {
+                        chosen = backup;
+                        break;
+                    }
+                }
+            }
+            if (chosen < 0)
+                continue;   // Stays marked; retried next round.
+            scratch.takenEpoch[chosen] = epoch;
+            lrcs.push_back({q, chosen});
+            ltt.clear(q, lane);
+        }
+        return;
+    }
+
+    // Exact matching is an ablation path: like the per-lane reference
+    // allocateMatching, it builds its instance vectors per call (the
+    // paper-default lookup branch above is the allocation-free one).
+    std::vector<int> marked;
+    for (int q : candidates) {
+        if (ltt.marked(q, lane))
+            marked.push_back(q);
+    }
+    std::vector<std::vector<int>> adjacency(marked.size());
+    for (size_t i = 0; i < marked.size(); ++i) {
+        for (int s : code_.stabilizersOfData(marked[i])) {
+            if (!putt.used(s, lane))
+                adjacency[i].push_back(s);
+        }
+    }
+    auto match = maxBipartiteMatching((int)marked.size(), adjacency,
+                                      code_.numStabilizers());
+    for (size_t i = 0; i < marked.size(); ++i) {
+        if (match[i] < 0)
+            continue;
+        lrcs.push_back({marked[i], match[i]});
+        ltt.clear(marked[i], lane);
+    }
+}
+
+template void DynamicLrcInsertion::allocateLane<uint64_t>(
+    int, const std::vector<int> &,
+    BatchLeakageTrackingTable<uint64_t> &,
+    const BatchParityUsageTable<uint64_t> &, DliLaneScratch &,
+    std::vector<LrcPair> &) const;
+template void DynamicLrcInsertion::allocateLane<WordVec<4>>(
+    int, const std::vector<int> &,
+    BatchLeakageTrackingTable<WordVec<4>> &,
+    const BatchParityUsageTable<WordVec<4>> &, DliLaneScratch &,
+    std::vector<LrcPair> &) const;
+template void DynamicLrcInsertion::allocateLane<WordVec<8>>(
+    int, const std::vector<int> &,
+    BatchLeakageTrackingTable<WordVec<8>> &,
+    const BatchParityUsageTable<WordVec<8>> &, DliLaneScratch &,
+    std::vector<LrcPair> &) const;
+
 std::vector<LrcPair>
 DynamicLrcInsertion::allocateMatching(LeakageTrackingTable &ltt,
                                       const ParityUsageTable &putt,

@@ -31,6 +31,18 @@ enum class DliAllocator
     ExactMatching,
 };
 
+/**
+ * Reusable scratch for the word-parallel engine's per-lane DLI
+ * fallback: the "parity qubit taken this round" set is epoch-versioned
+ * so consecutive lanes never pay a table wipe. One instance per
+ * controller, never shared across threads.
+ */
+struct DliLaneScratch
+{
+    std::vector<int> takenEpoch;
+    int epoch = 0;
+};
+
 class DynamicLrcInsertion
 {
   public:
@@ -55,6 +67,31 @@ class DynamicLrcInsertion
     std::vector<LrcPair> allocate(LeakageTrackingTable &ltt,
                                   const ParityUsageTable &putt,
                                   std::vector<int> &used_stabs) const;
+
+    /**
+     * Allocate LRCs for one lane of a word-parallel tracking-table
+     * pair — the per-lane fallback the batch controller runs only on
+     * lanes whose speculation-active mask is nonzero. Walks exactly
+     * the order `allocate` walks (candidates ascending, primary then
+     * backups / exact matching), so lane l's output is bit-identical
+     * to a per-lane policy's. Allocated qubits are cleared from lane
+     * l of the LTT; the caller feeds the chosen stabs (the pairs'
+     * `stab` fields) into BatchParityUsageTable::markPending.
+     *
+     * @param lane       Lane to allocate for.
+     * @param candidates Ascending data-qubit ids whose LTT plane has
+     *                   any lane set (a superset of lane l's marks).
+     * @param ltt        Word-parallel suspect table (updated in place).
+     * @param putt       Word-parallel cooldown table, current round.
+     * @param scratch    Reusable epoch-versioned taken set.
+     * @param[out] lrcs  Cleared, then filled with lane l's pairs.
+     */
+    template <typename Lane>
+    void allocateLane(int lane, const std::vector<int> &candidates,
+                      BatchLeakageTrackingTable<Lane> &ltt,
+                      const BatchParityUsageTable<Lane> &putt,
+                      DliLaneScratch &scratch,
+                      std::vector<LrcPair> &lrcs) const;
 
   private:
     std::vector<LrcPair> allocateLookup(

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "base/simd_word.h"
 
 namespace qec
 {
@@ -11,6 +12,10 @@ LeakageSpeculationBlock::LeakageSpeculationBlock(
     const RotatedSurfaceCode &code, LsbOptions options)
     : code_(code), options_(options)
 {
+    thresholds_.reserve(code_.numData());
+    for (int q = 0; q < code_.numData(); ++q)
+        thresholds_.push_back((uint8_t)thresholdFor(
+            (int)code_.stabilizersOfData(q).size()));
 }
 
 int
@@ -77,8 +82,7 @@ LeakageSpeculationBlock::speculate(
         // any leakage on this qubit (Section 4.2.1).
         if (had_lrc[q])
             continue;
-        const int neighbors = (int)code_.stabilizersOfData(q).size();
-        if (flips >= thresholdFor(neighbors))
+        if (flips >= thresholds_[q])
             ltt.mark(q);
     }
 
@@ -98,5 +102,74 @@ LeakageSpeculationBlock::speculate(
         }
     }
 }
+
+template <typename Lane>
+void
+LeakageSpeculationBlock::speculateWords(
+    const std::vector<Lane> &events,
+    const std::vector<Lane> &leaked_labels,
+    const std::vector<Lane> &had_lrc, const Lane &live,
+    BatchLeakageTrackingTable<Lane> &ltt) const
+{
+    panicIf((int)events.size() != code_.numStabilizers(),
+            "need one detection-event plane per stabilizer");
+    panicIf((int)had_lrc.size() != code_.numData(),
+            "need one LRC suppression plane per data qubit");
+
+    for (int q = 0; q < code_.numData(); ++q) {
+        // Bit-sliced flip counter over the neighbor event planes:
+        // ge_k holds the lanes with at least k flipped neighbors so
+        // far. Rotated-surface data qubits have at most 4 neighbors,
+        // so four cumulative masks cover every threshold rule.
+        Lane ge1{}, ge2{}, ge3{}, ge4{};
+        for (int s : code_.stabilizersOfData(q)) {
+            const Lane e = events[s];
+            ge4 |= ge3 & e;
+            ge3 |= ge2 & e;
+            ge2 |= ge1 & e;
+            ge1 |= e;
+        }
+        if (!anyLane(ge1))
+            continue;   // no neighbor fired in any lane
+        const int t = thresholds_[q];
+        Lane over = t <= 1 ? ge1 : t == 2 ? ge2 : t == 3 ? ge3 : ge4;
+        // An LRC in the round producing this syndrome already removed
+        // any leakage on this qubit (Section 4.2.1).
+        over = andnot(over & live, had_lrc[q]);
+        if (anyLane(over))
+            ltt.mark(q, over);
+    }
+
+    if (options_.useMultiLevelReadout) {
+        // A parity qubit read out as |L> presumably transported
+        // leakage to a neighbour: suspect all its data qubits on the
+        // labelled lanes (Section 4.6.1).
+        panicIf((int)leaked_labels.size() != code_.numStabilizers(),
+                "need one |L> label plane per stabilizer");
+        for (int s = 0; s < code_.numStabilizers(); ++s) {
+            const Lane lab = leaked_labels[s] & live;
+            if (!anyLane(lab))
+                continue;
+            for (int q : code_.stabilizer(s).support) {
+                const Lane m = andnot(lab, had_lrc[q]);
+                if (anyLane(m))
+                    ltt.mark(q, m);
+            }
+        }
+    }
+}
+
+template void LeakageSpeculationBlock::speculateWords<uint64_t>(
+    const std::vector<uint64_t> &, const std::vector<uint64_t> &,
+    const std::vector<uint64_t> &, const uint64_t &,
+    BatchLeakageTrackingTable<uint64_t> &) const;
+template void LeakageSpeculationBlock::speculateWords<WordVec<4>>(
+    const std::vector<WordVec<4>> &, const std::vector<WordVec<4>> &,
+    const std::vector<WordVec<4>> &, const WordVec<4> &,
+    BatchLeakageTrackingTable<WordVec<4>> &) const;
+template void LeakageSpeculationBlock::speculateWords<WordVec<8>>(
+    const std::vector<WordVec<8>> &, const std::vector<WordVec<8>> &,
+    const std::vector<WordVec<8>> &, const WordVec<8> &,
+    BatchLeakageTrackingTable<WordVec<8>> &) const;
 
 } // namespace qec

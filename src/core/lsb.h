@@ -65,6 +65,33 @@ class LeakageSpeculationBlock
                    const std::vector<uint8_t> &had_lrc,
                    LeakageTrackingTable &ltt) const;
 
+    /**
+     * Word-parallel speculation over detection-event bit planes: every
+     * lane of a word-group is thresholded at once. The neighbor flip
+     * count is accumulated as a bit-sliced >=1/>=2/>=3/>=4 ripple over
+     * the (at most four) adjacent stabilizer event planes, then the
+     * per-qubit threshold selects the mask of lanes to mark — lane for
+     * lane what `speculate` computes from one lane's byte arrays.
+     *
+     * @param events        Detection-event lane plane per stabilizer.
+     * @param leaked_labels |L> label lane plane per stabilizer
+     *                      (ignored unless options.useMultiLevelReadout;
+     *                      may be empty in that case).
+     * @param had_lrc       LRC suppression plane per data qubit: lanes
+     *                      whose LRC serviced the qubit in the round
+     *                      producing this syndrome.
+     * @param live          Live-lane mask; dead (ragged-tail) lanes are
+     *                      never marked even if a stray plane bit leaks
+     *                      in.
+     * @param ltt           Word-parallel table to update.
+     */
+    template <typename Lane>
+    void speculateWords(const std::vector<Lane> &events,
+                        const std::vector<Lane> &leaked_labels,
+                        const std::vector<Lane> &had_lrc,
+                        const Lane &live,
+                        BatchLeakageTrackingTable<Lane> &ltt) const;
+
     /** Flip-count threshold for a data qubit with `neighbors`
      *  adjacent parity qubits. */
     int thresholdFor(int neighbors) const;
@@ -72,6 +99,8 @@ class LeakageSpeculationBlock
   private:
     const RotatedSurfaceCode &code_;
     LsbOptions options_;
+    /** thresholdFor(#neighbors) per data qubit, fixed at build. */
+    std::vector<uint8_t> thresholds_;
     // Event-sparse scan scratch: per-data-qubit flip counters plus the
     // list of qubits touched this call (so cost tracks fired events,
     // not the lattice; one LSB per lane-policy, never shared).

@@ -112,6 +112,7 @@ EraserPolicy::EraserPolicy(const RotatedSurfaceCode &code,
                            bool multi_level, LsbThreshold threshold,
                            DliAllocator allocator, bool putt_cooldown)
     : multiLevel_(multi_level), puttCooldown_(putt_cooldown),
+      threshold_(threshold), allocator_(allocator),
       lsb_(code, LsbOptions{threshold, multi_level}),
       dli_(code, lookup, allocator),
       ltt_(code.numData()),
@@ -129,6 +130,68 @@ EraserPolicy::nextRound(const RoundObservation &obs)
         putt_.advanceRound(usedStabsScratch_);
     return lrcs;
 }
+
+template <typename Lane>
+BatchEraserController<Lane>::BatchEraserController(
+    const RotatedSurfaceCode &code, const SwapLookupTable &lookup,
+    const BatchPolicySpec &spec)
+    : puttCooldown_(spec.puttCooldown),
+      lsb_(code, LsbOptions{spec.threshold, spec.multiLevel}),
+      dli_(code, lookup, spec.allocator),
+      ltt_(code.numData()),
+      putt_(code.numStabilizers())
+{
+    panicIf(spec.kind != BatchPolicyKind::Eraser,
+            "BatchEraserController needs an Eraser policy spec");
+}
+
+template <typename Lane>
+void
+BatchEraserController<Lane>::nextRound(
+    const std::vector<Lane> &events, const std::vector<Lane> &labels,
+    const std::vector<Lane> &had_lrc, const Lane &live,
+    std::vector<std::vector<LrcPair>> &lrcs)
+{
+    // Stage 1 — word-parallel speculation straight on the planes.
+    lsb_.speculateWords(events, labels, had_lrc, live, ltt_);
+
+    // Stage 2 — collect the speculation-active lane mask (and the
+    // candidate qubits any active lane will walk). Marks persist
+    // across rounds for unserviced qubits, so the mask is recomputed
+    // from the planes rather than from this round's events alone.
+    candidates_.clear();
+    Lane active{};
+    for (int q = 0; q < ltt_.size(); ++q) {
+        const Lane &w = ltt_.word(q);
+        if (anyLane(w)) {
+            candidates_.push_back(q);
+            active |= w;
+        }
+    }
+    active &= live;
+
+    for (auto &lane_lrcs : lrcs)
+        lane_lrcs.clear();
+
+    // Stage 3 — per-lane DLI, but only on active lanes (at the error
+    // rates of interest most rounds have none).
+    forEachSetLane(active, [&](int l) {
+        dli_.allocateLane(l, candidates_, ltt_, putt_, laneScratch_,
+                          lrcs[l]);
+        if (puttCooldown_) {
+            for (const auto &pair : lrcs[l])
+                putt_.markPending(pair.stab, l);
+        }
+    });
+
+    // Stage 4 — PUTT cooldown advance for every lane at once.
+    if (puttCooldown_)
+        putt_.advanceRound();
+}
+
+template class BatchEraserController<uint64_t>;
+template class BatchEraserController<WordVec<4>>;
+template class BatchEraserController<WordVec<8>>;
 
 OptimalLrcPolicy::OptimalLrcPolicy(const RotatedSurfaceCode &code,
                                    const SwapLookupTable &lookup)

@@ -49,6 +49,37 @@ struct RoundObservation
     std::vector<uint8_t> trueLeakedData;
 };
 
+/**
+ * How the word-parallel experiment engine may evaluate a policy
+ * across a whole word-group (see BatchEraserController).
+ */
+enum class BatchPolicyKind
+{
+    /** No lane-parallel form: one policy instance per lane, fed a
+     *  materialized per-lane RoundObservation (the fallback path). */
+    PerLane,
+    /** Never schedules anything: skip policy evaluation outright. */
+    Never,
+    /** The schedule depends only on the round index, never on the
+     *  syndrome: one shared instance drives every lane. */
+    Uniform,
+    /** The ERASER controller: LSB/LTT/PUTT evaluate word-parallel on
+     *  bit planes, DLI falls back per lane on speculation-active
+     *  lanes only. */
+    Eraser,
+};
+
+/** Lane-parallel evaluation capability + parameters of a policy. */
+struct BatchPolicySpec
+{
+    BatchPolicyKind kind = BatchPolicyKind::PerLane;
+    /** ERASER parameters (kind == Eraser only). */
+    bool multiLevel = false;
+    bool puttCooldown = true;
+    LsbThreshold threshold = LsbThreshold::AtLeastTwo;
+    DliAllocator allocator = DliAllocator::LookupTable;
+};
+
 /** Scheduling policy interface. */
 class LrcPolicy
 {
@@ -60,6 +91,14 @@ class LrcPolicy
     /** ERASER+M consumes |L> labels and squashes the MOV-back when an
      *  LRC'd data qubit reads out as |L> (Section 4.6). */
     virtual bool usesMultiLevelReadout() const { return false; }
+
+    /**
+     * Lane-parallel evaluation capability. The default (PerLane) is
+     * always correct; overriding it promises the word-parallel
+     * evaluation is bit-identical to calling nextRound per lane,
+     * which the cross-width differential tests pin.
+     */
+    virtual BatchPolicySpec batchSpec() const { return {}; }
 
     /** LRC pairs to execute in round 0 (before any syndrome). */
     virtual std::vector<LrcPair> firstRound() { return {}; }
@@ -75,6 +114,13 @@ class NeverLrcPolicy : public LrcPolicy
 {
   public:
     std::string name() const override { return "No-LRC"; }
+    BatchPolicySpec
+    batchSpec() const override
+    {
+        BatchPolicySpec spec;
+        spec.kind = BatchPolicyKind::Never;
+        return spec;
+    }
     std::vector<LrcPair>
     nextRound(const RoundObservation &) override
     {
@@ -96,6 +142,15 @@ class AlwaysLrcPolicy : public LrcPolicy
     name() const override
     {
         return everyRound_ ? "DQLR" : "Always-LRCs";
+    }
+    BatchPolicySpec
+    batchSpec() const override
+    {
+        // The schedule is a pure function of the round index, so one
+        // instance serves every lane of a word-group.
+        BatchPolicySpec spec;
+        spec.kind = BatchPolicyKind::Uniform;
+        return spec;
     }
     std::vector<LrcPair> firstRound() override;
     std::vector<LrcPair> nextRound(const RoundObservation &obs)
@@ -135,6 +190,17 @@ class EraserPolicy : public LrcPolicy
         return multiLevel_ ? "ERASER+M" : "ERASER";
     }
     bool usesMultiLevelReadout() const override { return multiLevel_; }
+    BatchPolicySpec
+    batchSpec() const override
+    {
+        BatchPolicySpec spec;
+        spec.kind = BatchPolicyKind::Eraser;
+        spec.multiLevel = multiLevel_;
+        spec.puttCooldown = puttCooldown_;
+        spec.threshold = threshold_;
+        spec.allocator = allocator_;
+        return spec;
+    }
     std::vector<LrcPair> nextRound(const RoundObservation &obs)
         override;
 
@@ -144,6 +210,8 @@ class EraserPolicy : public LrcPolicy
   private:
     bool multiLevel_;
     bool puttCooldown_;
+    LsbThreshold threshold_;
+    DliAllocator allocator_;
     LeakageSpeculationBlock lsb_;
     DynamicLrcInsertion dli_;
     LeakageTrackingTable ltt_;
@@ -174,6 +242,72 @@ class OptimalLrcPolicy : public LrcPolicy
     LeakageTrackingTable ltt_;
     std::vector<int> usedStabsScratch_;
 };
+
+/**
+ * Word-parallel ERASER controller: the lane-parallel form of
+ * EraserPolicy for one word-group of W = 64/256/512 shots.
+ *
+ * Where W per-lane EraserPolicy instances each scan a materialized
+ * byte-array observation, this controller keeps ONE set of LTT/PUTT
+ * bit planes for the whole group and evaluates the speculation stage
+ * as word arithmetic directly on the engine's detection-event planes:
+ * LSB thresholds all lanes at once (bit-sliced neighbor counts,
+ * had-LRC suppression planes, ERASER+M |L> label planes), and only
+ * lanes whose speculation-active mask is nonzero fall back to the
+ * inherently sequential per-lane DLI walk. Round cost is
+ * O(lattice x plane words + active lanes) instead of
+ * O(lattice x lanes).
+ *
+ * Lane l's schedule stream is bit-identical to a dedicated
+ * EraserPolicy fed lane l's observations — the invariant the
+ * cross-width controller differentials pin.
+ */
+template <typename Lane>
+class BatchEraserController
+{
+  public:
+    BatchEraserController(const RotatedSurfaceCode &code,
+                          const SwapLookupTable &lookup,
+                          const BatchPolicySpec &spec);
+
+    /**
+     * Observe one round's planes and emit every lane's next-round
+     * LRCs.
+     *
+     * @param events  Detection-event lane plane per stabilizer.
+     * @param labels  |L> label lane plane per stabilizer (consulted
+     *                only for ERASER+M).
+     * @param had_lrc Plane per data qubit: lanes whose LRC serviced
+     *                it in the round producing this syndrome.
+     * @param live    Live-lane mask of the word-group.
+     * @param[out] lrcs Per-lane schedules for the next round; every
+     *                entry is rewritten (inactive lanes get empty).
+     */
+    void nextRound(const std::vector<Lane> &events,
+                   const std::vector<Lane> &labels,
+                   const std::vector<Lane> &had_lrc, const Lane &live,
+                   std::vector<std::vector<LrcPair>> &lrcs);
+
+    const BatchLeakageTrackingTable<Lane> & ltt() const
+    {
+        return ltt_;
+    }
+    const BatchParityUsageTable<Lane> & putt() const { return putt_; }
+
+  private:
+    bool puttCooldown_;
+    LeakageSpeculationBlock lsb_;
+    DynamicLrcInsertion dli_;
+    BatchLeakageTrackingTable<Lane> ltt_;
+    BatchParityUsageTable<Lane> putt_;
+    DliLaneScratch laneScratch_;
+    /** Data qubits whose LTT plane has any lane set, ascending. */
+    std::vector<int> candidates_;
+};
+
+extern template class BatchEraserController<uint64_t>;
+extern template class BatchEraserController<WordVec<4>>;
+extern template class BatchEraserController<WordVec<8>>;
 
 /** Named policy kinds for factories and benches. */
 enum class PolicyKind

@@ -10,13 +10,24 @@
  * parity qubit: set while the qubit is cooling down after taking part
  * in an LRC (it skipped its measure+reset that round, so using it
  * again immediately would let leakage accumulate — Section 4.2.2).
+ *
+ * Both tables also come in a word-parallel ("batch") flavour for the
+ * bit-packed experiment engine: one lane-set word per qubit instead of
+ * one byte, so W = 64/256/512 lanes' tables live side by side as bit
+ * planes and the speculation stage updates all lanes with word ops.
+ * Lane l of plane q is exactly what a per-lane table's entry q would
+ * hold for shot l — the bit-identity anchor the differential tests
+ * pin.
  */
 
 #ifndef QEC_CORE_TRACKING_TABLES_H
 #define QEC_CORE_TRACKING_TABLES_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "base/simd_word.h"
 
 namespace qec
 {
@@ -112,6 +123,117 @@ class ParityUsageTable
   private:
     std::vector<uint8_t> used_;
     std::vector<int> lastUsed_;
+};
+
+/**
+ * Word-parallel LTT: one lane-set plane per data qubit. The LSB marks
+ * whole lane words at once; the per-lane DLI fallback tests and clears
+ * single lane bits.
+ */
+template <typename Lane>
+class BatchLeakageTrackingTable
+{
+  public:
+    explicit BatchLeakageTrackingTable(int num_data)
+        : marks_(num_data, Lane{})
+    {
+    }
+
+    /** OR a lane set into qubit `data`'s mark plane. */
+    void
+    mark(int data, const Lane &lanes)
+    {
+        marks_[data] |= lanes;
+    }
+
+    bool
+    marked(int data, int lane) const
+    {
+        return testLane(marks_[data], lane);
+    }
+
+    void
+    clear(int data, int lane)
+    {
+        clearLane(marks_[data], lane);
+    }
+
+    const Lane & word(int data) const { return marks_[data]; }
+    int size() const { return (int)marks_.size(); }
+
+    void
+    reset()
+    {
+        std::fill(marks_.begin(), marks_.end(), Lane{});
+    }
+
+  private:
+    std::vector<Lane> marks_;
+};
+
+/**
+ * Word-parallel PUTT: one cooldown lane-set plane per stabilizer. The
+ * round protocol mirrors ParityUsageTable::advanceRound lane by lane:
+ * DLI consults the *current* planes while this round's allocations
+ * accumulate in the *pending* planes; advanceRound() then retires the
+ * current planes and promotes the pending ones. Only planes that
+ * actually held bits are touched, so quiescent rounds cost O(active)
+ * instead of a full-table wipe.
+ */
+template <typename Lane>
+class BatchParityUsageTable
+{
+  public:
+    explicit BatchParityUsageTable(int num_stabs)
+        : used_(num_stabs, Lane{}), pending_(num_stabs, Lane{})
+    {
+    }
+
+    bool
+    used(int stab, int lane) const
+    {
+        return testLane(used_[stab], lane);
+    }
+
+    const Lane & word(int stab) const { return used_[stab]; }
+    int size() const { return (int)used_.size(); }
+
+    /** Record that `lane` allocated `stab` this round (blocked next
+     *  round). */
+    void
+    markPending(int stab, int lane)
+    {
+        if (!anyLane(pending_[stab]))
+            pendingStabs_.push_back(stab);
+        setLane(pending_[stab], lane);
+    }
+
+    /** Retire the current round's cooldowns and promote this round's
+     *  allocations, for every lane at once. */
+    void
+    advanceRound()
+    {
+        for (int s : usedStabs_)
+            used_[s] = Lane{};
+        used_.swap(pending_);
+        usedStabs_.swap(pendingStabs_);
+        pendingStabs_.clear();
+    }
+
+    void
+    reset()
+    {
+        std::fill(used_.begin(), used_.end(), Lane{});
+        std::fill(pending_.begin(), pending_.end(), Lane{});
+        usedStabs_.clear();
+        pendingStabs_.clear();
+    }
+
+  private:
+    std::vector<Lane> used_;
+    std::vector<Lane> pending_;
+    std::vector<int> usedStabs_;
+    std::vector<int> pendingStabs_;
 };
 
 } // namespace qec

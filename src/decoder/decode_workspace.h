@@ -45,21 +45,29 @@ struct DecodeWorkspace
     uint64_t statComponents = 0;     ///< Matching components seen.
 
     // ------------------------------------------------ union-find state
-    // Per-vertex entries are valid only when ufStamp[v] == epoch; a
+    // Per-vertex entries are valid only when node.stamp == epoch; a
     // vertex is lazily initialized the first time a decode touches it.
-    std::vector<uint64_t> ufStamp;
-    std::vector<int> ufParent;
-    std::vector<uint8_t> ufOdd;
-    std::vector<uint8_t> ufOnBoundary;
-    std::vector<uint8_t> ufInCluster;
-    std::vector<uint8_t> ufExpanded;
-    std::vector<uint8_t> ufIsDefect;
-    // Cluster frontiers as intrusive singly-linked lists: O(1) concat
-    // on merge, no per-cluster vectors.
-    std::vector<int> ufFHead;
-    std::vector<int> ufFTail;
-    std::vector<int> ufFSize;
-    std::vector<int> ufFNext;
+    // One struct per vertex (not struct-of-arrays): lazy-touching a
+    // vertex then costs one cache line instead of eleven, and the
+    // growth/merge walks are cache-miss-bound on exactly these
+    // accesses.
+    struct UfNode
+    {
+        uint64_t stamp;
+        int parent;
+        // Cluster frontiers as intrusive singly-linked lists: O(1)
+        // concat on merge, no per-cluster vectors.
+        int fHead;
+        int fTail;
+        int fSize;
+        int fNext;
+        uint8_t odd;
+        uint8_t onBoundary;
+        uint8_t inCluster;
+        uint8_t expanded;
+        uint8_t isDefect;
+    };
+    std::vector<UfNode> ufNode;
     /** Edge e is "grown" this call iff ufEdgeStamp[e] == epoch. */
     std::vector<uint64_t> ufEdgeStamp;
     std::vector<int> ufActive;
@@ -67,10 +75,15 @@ struct DecodeWorkspace
     /** Grown edges incident to the virtual boundary vertex, so the
      *  peeling pass never scans the boundary's full adjacency row. */
     std::vector<int> ufBoundaryGrown;
-    // Peeling pass scratch (visited iff peelStamp[v] == epoch).
-    std::vector<uint64_t> peelStamp;
-    std::vector<int> peelParentEdge;
-    std::vector<uint8_t> peelCharge;
+    // Peeling pass scratch (visited iff node.stamp == epoch), one
+    // line per vertex for the same reason as UfNode.
+    struct PeelNode
+    {
+        uint64_t stamp;
+        int parentEdge;
+        uint8_t charge;
+    };
+    std::vector<PeelNode> peelNode;
     std::vector<int> peelOrder;
     std::vector<int> peelQueue;
 
@@ -116,27 +129,15 @@ struct DecodeWorkspace
     void
     ensureUf(size_t num_vertices, size_t num_edges)
     {
-        if (ufStamp.size() >= num_vertices &&
+        if (ufNode.size() >= num_vertices &&
             ufEdgeStamp.size() >= num_edges)
             return;
-        ufStamp.resize(num_vertices, 0);
-        ufParent.resize(num_vertices);
-        ufOdd.resize(num_vertices);
-        ufOnBoundary.resize(num_vertices);
-        ufInCluster.resize(num_vertices);
-        ufExpanded.resize(num_vertices);
-        ufIsDefect.resize(num_vertices);
-        ufFHead.resize(num_vertices);
-        ufFTail.resize(num_vertices);
-        ufFSize.resize(num_vertices);
-        ufFNext.resize(num_vertices);
+        ufNode.resize(num_vertices, UfNode{});
         ufEdgeStamp.resize(num_edges, 0);
         ufActive.reserve(num_vertices);
         ufNextActive.reserve(num_vertices);
         ufBoundaryGrown.reserve(num_edges);
-        peelStamp.resize(num_vertices, 0);
-        peelParentEdge.resize(num_vertices);
-        peelCharge.resize(num_vertices);
+        peelNode.resize(num_vertices, PeelNode{});
         peelOrder.reserve(num_vertices);
         peelQueue.reserve(num_vertices);
     }
@@ -165,14 +166,9 @@ struct DecodeWorkspace
                    sizeof(typename std::remove_reference_t<
                           decltype(v)>::value_type);
         };
-        return bytes(ufStamp) + bytes(ufParent) + bytes(ufOdd) +
-               bytes(ufOnBoundary) + bytes(ufInCluster) +
-               bytes(ufExpanded) + bytes(ufIsDefect) + bytes(ufFHead) +
-               bytes(ufFTail) + bytes(ufFSize) + bytes(ufFNext) +
-               bytes(ufEdgeStamp) + bytes(ufActive) +
+        return bytes(ufNode) + bytes(ufEdgeStamp) + bytes(ufActive) +
                bytes(ufNextActive) + bytes(ufBoundaryGrown) +
-               bytes(peelStamp) + bytes(peelParentEdge) +
-               bytes(peelCharge) + bytes(peelOrder) +
+               bytes(peelNode) + bytes(peelOrder) +
                bytes(peelQueue) + bytes(mwStamp) + bytes(mwDist) +
                bytes(mwObs) + bytes(mwSettled) + bytes(mwOwner) +
                bytes(mwHeap) + bytes(mwCands) +

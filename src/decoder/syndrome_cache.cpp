@@ -12,15 +12,6 @@ namespace
 constexpr uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr uint64_t kFnvPrime = 1099511628211ull;
 
-inline uint64_t
-prefixHash(const int *defects, size_t count)
-{
-    uint64_t h = kFnvOffset;
-    for (size_t k = 0; k < count; ++k)
-        h = (h ^ (uint64_t)(uint32_t)defects[k]) * kFnvPrime;
-    return h;
-}
-
 } // namespace
 
 SyndromeCacheOptions
@@ -48,19 +39,19 @@ SyndromeCache::SyndromeCache(SyndromeCacheOptions options)
     slots_.resize(size_t{1} << options_.tableLog2);
     mask_ = slots_.size() - 1;
     arena_.reserve(options_.arenaCapacity);
-    if (options_.keyDetectorLimit)
-        keyScratch_.reserve(1024);
 }
 
 uint64_t
 SyndromeCache::truncateKey(const int *defects, size_t count)
 {
-    keyScratch_.clear();
+    // Hash the prefix in place: entries store and verify the FULL
+    // defect list, so the truncated ids never need materializing.
+    uint64_t h = kFnvOffset;
     for (size_t k = 0; k < count; ++k) {
         if ((uint32_t)defects[k] < options_.keyDetectorLimit)
-            keyScratch_.push_back(defects[k]);
+            h = (h ^ (uint64_t)(uint32_t)defects[k]) * kFnvPrime;
     }
-    return prefixHash(keyScratch_.data(), keyScratch_.size());
+    return h;
 }
 
 bool
@@ -72,13 +63,17 @@ SyndromeCache::lookup(uint64_t hash, const int *defects, size_t count,
         return false;
     }
     if (options_.keyDetectorLimit) {
+        // Truncated keying hashes the prefix only, but entries store
+        // the FULL defect list and a hit requires full equality below:
+        // a prefix collision with a differing tail probes on (and at
+        // worst misses), it can never replay the wrong verdict. The
+        // approximation is miss-only — coarser hashes cluster the
+        // probe chains, they never change a correction.
         lastKeyHash_ = truncateKey(defects, count);
         lastKeySrc_ = defects;
         lastKeyCount_ = count;
         lastKeyValid_ = true;
         hash = lastKeyHash_;
-        defects = keyScratch_.data();
-        count = keyScratch_.size();
     }
     size_t slot = hash & mask_;
     while (slots_[slot].used) {
@@ -104,15 +99,15 @@ SyndromeCache::insert(uint64_t hash, const int *defects, size_t count,
         return;
     if (options_.keyDetectorLimit) {
         // Reuse the immediately preceding lookup's truncation when it
-        // covered this exact list; anything else recomputes.
+        // covered this exact list; anything else recomputes. The full
+        // list is what gets stored either way — only the hash is
+        // prefix-derived.
         if (lastKeyValid_ && lastKeySrc_ == defects &&
             lastKeyCount_ == count)
             hash = lastKeyHash_;
         else
             hash = truncateKey(defects, count);
         lastKeyValid_ = false;
-        defects = keyScratch_.data();
-        count = keyScratch_.size();
     }
     if (count > options_.arenaCapacity)
         return;

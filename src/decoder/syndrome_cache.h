@@ -36,17 +36,16 @@ struct SyndromeCacheOptions
     uint32_t arenaCapacity = 1u << 17;
     /**
      * Round-truncated prefix keying (0 = off = exact). When set to k,
-     * cache keys are computed from the syndrome *prefix* only — the
-     * defects in all but the last k detector rows — so shots that
-     * agree on the early rounds share one entry even when their tails
-     * differ. This raises hit rates dramatically at p = 1e-3, where
-     * exact dedup almost never fires, at the price of being an
-     * APPROXIMATION: the replayed verdict is the first matching
-     * shot's, so tail-only defect differences are ignored. Use it for
-     * LER-statistics sweeps where a per-mille verdict perturbation is
-     * far below sampling noise, never for verdict-exact differential
-     * work. The experiment layer derives `keyDetectorLimit` from this
-     * and the round/stabilizer counts.
+     * cache HASHES are computed from the syndrome *prefix* only — the
+     * defects in all but the last k detector rows — which makes
+     * hashing cheaper and clusters shots that agree on the early
+     * rounds onto one probe chain. Every hit is still verified
+     * against the stored FULL defect list before its verdict is
+     * replayed, so the mode is miss-only-approximate: a prefix
+     * collision with a differing tail costs extra probing, never a
+     * wrong correction. Verdicts are therefore bit-identical to the
+     * exact mode at every setting. The experiment layer derives
+     * `keyDetectorLimit` from this and the round/stabilizer counts.
      */
     uint32_t truncateRounds = 0;
     /** Derived detector-id cutoff for the truncated key: defects with
@@ -89,8 +88,9 @@ class SyndromeCache
      * Look up a syndrome. On hit, stores the cached verdict in
      * `verdict` and returns true. With truncated keying enabled the
      * caller's `hash` is ignored (the cache hashes the truncated
-     * prefix itself) and a hit means "same prefix", not "same
-     * syndrome".
+     * prefix itself), but a hit still requires the FULL stored defect
+     * list to match — truncation can only cause extra misses, never a
+     * wrong verdict.
      */
     bool lookup(uint64_t hash, const int *defects, size_t count,
                 bool &verdict);
@@ -119,15 +119,13 @@ class SyndromeCache
     };
 
     void flush();
-    /** Filter `defects` through the truncated-key cutoff into
-     *  keyScratch_ and return its prefix hash. */
+    /** FNV hash of the ids below the truncated-key cutoff. */
     uint64_t truncateKey(const int *defects, size_t count);
 
     SyndromeCacheOptions options_;
     SyndromeCacheStats stats_;
     std::vector<Slot> slots_;
     std::vector<int> arena_;
-    std::vector<int> keyScratch_;
     // A miss is followed by insert() on the same list (the pipeline's
     // lookup -> decode -> insert sequence); remembering the lookup's
     // truncation avoids filtering and hashing the list twice.

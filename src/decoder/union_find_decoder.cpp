@@ -47,40 +47,42 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
     const size_t n = (size_t)numDets_ + 1;
     ws.ensureUf(n, edges_.size());
     const uint64_t epoch = ++ws.epoch;
+    DecodeWorkspace::UfNode *nodes = ws.ufNode.data();
 
     // Lazily initialize a vertex the first time this call touches it:
     // untouched vertices cost nothing, so the pass scales with the
-    // cluster sizes, not the lattice.
+    // cluster sizes, not the lattice (and a touch is one cache line).
     auto touch = [&](int v) {
-        if (ws.ufStamp[v] != epoch) {
-            ws.ufStamp[v] = epoch;
-            ws.ufParent[v] = v;
-            ws.ufOdd[v] = 0;
-            ws.ufOnBoundary[v] = 0;
-            ws.ufInCluster[v] = 0;
-            ws.ufExpanded[v] = 0;
-            ws.ufIsDefect[v] = 0;
-            ws.ufFHead[v] = -1;
-            ws.ufFTail[v] = -1;
-            ws.ufFSize[v] = 0;
-            ws.ufFNext[v] = -1;
+        DecodeWorkspace::UfNode &node = nodes[v];
+        if (node.stamp != epoch) {
+            node.stamp = epoch;
+            node.parent = v;
+            node.odd = 0;
+            node.onBoundary = 0;
+            node.inCluster = 0;
+            node.expanded = 0;
+            node.isDefect = 0;
+            node.fHead = -1;
+            node.fTail = -1;
+            node.fSize = 0;
+            node.fNext = -1;
         }
     };
     auto find = [&](int v) {
-        while (ws.ufParent[v] != v) {
-            ws.ufParent[v] = ws.ufParent[ws.ufParent[v]];
-            v = ws.ufParent[v];
+        while (nodes[v].parent != v) {
+            nodes[v].parent = nodes[nodes[v].parent].parent;
+            v = nodes[v].parent;
         }
         return v;
     };
     auto pushFrontier = [&](int root, int v) {
-        ws.ufFNext[v] = -1;
-        if (ws.ufFTail[root] < 0)
-            ws.ufFHead[root] = v;
+        nodes[v].fNext = -1;
+        if (nodes[root].fTail < 0)
+            nodes[root].fHead = v;
         else
-            ws.ufFNext[ws.ufFTail[root]] = v;
-        ws.ufFTail[root] = v;
-        ++ws.ufFSize[root];
+            nodes[nodes[root].fTail].fNext = v;
+        nodes[root].fTail = v;
+        ++nodes[root].fSize;
     };
 
     ws.ufActive.clear();
@@ -88,18 +90,18 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
     for (size_t k = 0; k < count; ++k) {
         const int det = defects[k];
         touch(det);
-        if (ws.ufIsDefect[det])
+        if (nodes[det].isDefect)
             continue;   // duplicate id: re-linking the frontier node
                         // onto itself would cycle the intrusive list
-        ws.ufIsDefect[det] = 1;
-        ws.ufOdd[det] = 1;
-        ws.ufInCluster[det] = 1;
+        nodes[det].isDefect = 1;
+        nodes[det].odd = 1;
+        nodes[det].inCluster = 1;
         pushFrontier(det, det);
         ws.ufActive.push_back(det);
     }
     touch(boundaryVertex_);
-    ws.ufInCluster[boundaryVertex_] = 1;
-    ws.ufOnBoundary[boundaryVertex_] = 1;
+    nodes[boundaryVertex_].inCluster = 1;
+    nodes[boundaryVertex_].onBoundary = 1;
 
     auto merge = [&](int a, int b) {
         // Union by frontier size; returns the surviving root.
@@ -107,21 +109,21 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
         b = find(b);
         if (a == b)
             return a;
-        if (ws.ufFSize[a] < ws.ufFSize[b])
+        if (nodes[a].fSize < nodes[b].fSize)
             std::swap(a, b);
-        ws.ufParent[b] = a;
-        ws.ufOdd[a] ^= ws.ufOdd[b];
-        ws.ufOnBoundary[a] |= ws.ufOnBoundary[b];
-        if (ws.ufFHead[b] >= 0) {   // concat b's frontier onto a's
-            if (ws.ufFTail[a] < 0)
-                ws.ufFHead[a] = ws.ufFHead[b];
+        nodes[b].parent = a;
+        nodes[a].odd ^= nodes[b].odd;
+        nodes[a].onBoundary |= nodes[b].onBoundary;
+        if (nodes[b].fHead >= 0) {   // concat b's frontier onto a's
+            if (nodes[a].fTail < 0)
+                nodes[a].fHead = nodes[b].fHead;
             else
-                ws.ufFNext[ws.ufFTail[a]] = ws.ufFHead[b];
-            ws.ufFTail[a] = ws.ufFTail[b];
-            ws.ufFSize[a] += ws.ufFSize[b];
-            ws.ufFHead[b] = -1;
-            ws.ufFTail[b] = -1;
-            ws.ufFSize[b] = 0;
+                nodes[nodes[a].fTail].fNext = nodes[b].fHead;
+            nodes[a].fTail = nodes[b].fTail;
+            nodes[a].fSize += nodes[b].fSize;
+            nodes[b].fHead = -1;
+            nodes[b].fTail = -1;
+            nodes[b].fSize = 0;
         }
         return a;
     };
@@ -132,7 +134,7 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
         bool grew_any = false;
         for (int root : ws.ufActive) {
             int r = find(root);
-            if (r != root || !ws.ufOdd[r] || ws.ufOnBoundary[r])
+            if (r != root || !nodes[r].odd || nodes[r].onBoundary)
                 continue;   // stale entry or neutralized meanwhile
 
             // Detach the frontier and expand every not-yet-expanded
@@ -140,17 +142,17 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
             // (empty) frontier for the next layer. Detached nodes can
             // never be re-linked mid-walk: only vertices outside every
             // cluster are pushed onto a frontier.
-            int u = ws.ufFHead[r];
-            ws.ufFHead[r] = -1;
-            ws.ufFTail[r] = -1;
-            ws.ufFSize[r] = 0;
+            int u = nodes[r].fHead;
+            nodes[r].fHead = -1;
+            nodes[r].fTail = -1;
+            nodes[r].fSize = 0;
             while (u >= 0) {
-                const int next_u = ws.ufFNext[u];
-                if (ws.ufExpanded[u]) {
+                const int next_u = nodes[u].fNext;
+                if (nodes[u].expanded) {
                     u = next_u;
                     continue;
                 }
-                ws.ufExpanded[u] = 1;
+                nodes[u].expanded = 1;
                 grew_any = true;
                 const int row_end = csrOffsets_[(size_t)u + 1];
                 for (int ci = csrOffsets_[u]; ci < row_end; ++ci) {
@@ -164,11 +166,11 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
                         u == boundaryVertex_)
                         ws.ufBoundaryGrown.push_back(ei);
                     touch(w);
-                    if (!ws.ufInCluster[w]) {
-                        ws.ufInCluster[w] = 1;
+                    if (!nodes[w].inCluster) {
+                        nodes[w].inCluster = 1;
                         const int rr = find(u);
                         pushFrontier(rr, w);
-                        ws.ufParent[w] = rr;
+                        nodes[w].parent = rr;
                     } else {
                         merge(u, w);
                     }
@@ -176,7 +178,7 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
                 u = next_u;
             }
             r = find(root);
-            if (ws.ufOdd[r] && !ws.ufOnBoundary[r])
+            if (nodes[r].odd && !nodes[r].onBoundary)
                 ws.ufNextActive.push_back(r);
         }
         // Deduplicate roots.
@@ -186,7 +188,7 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
                               ws.ufNextActive.end());
         ws.ufActive.clear();
         for (int r : ws.ufNextActive) {
-            if (find(r) == r && ws.ufOdd[r] && !ws.ufOnBoundary[r])
+            if (find(r) == r && nodes[r].odd && !nodes[r].onBoundary)
                 ws.ufActive.push_back(r);
         }
         if (!ws.ufActive.empty() && !grew_any)
@@ -200,11 +202,12 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
     // adjacency row spans the whole lattice, so its grown edges come
     // from the list collected during growth instead of a CSR scan.
     ws.peelOrder.clear();
+    DecodeWorkspace::PeelNode *peel = ws.peelNode.data();
 
     auto bfs = [&](int root) {
-        ws.peelStamp[root] = epoch;
-        ws.peelParentEdge[root] = -1;
-        ws.peelCharge[root] = ws.ufIsDefect[root];
+        peel[root].stamp = epoch;
+        peel[root].parentEdge = -1;
+        peel[root].charge = nodes[root].isDefect;
         ws.peelQueue.clear();
         ws.peelQueue.push_back(root);
         size_t head = 0;
@@ -226,11 +229,11 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
                     continue;   // not grown this call
                 const Edge &edge = edges_[ei];
                 const int w = edge.u == u ? edge.v : edge.u;
-                if (ws.peelStamp[w] == epoch)
+                if (peel[w].stamp == epoch)
                     continue;
-                ws.peelStamp[w] = epoch;
-                ws.peelParentEdge[w] = ei;
-                ws.peelCharge[w] = ws.ufIsDefect[w];
+                peel[w].stamp = epoch;
+                peel[w].parentEdge = ei;
+                peel[w].charge = nodes[w].isDefect;
                 ws.peelQueue.push_back(w);
             }
         }
@@ -238,22 +241,22 @@ UnionFindDecoder::decodeSparse(const int *defects, size_t count,
 
     bfs(boundaryVertex_);
     for (size_t k = 0; k < count; ++k) {
-        if (ws.peelStamp[defects[k]] != epoch)
+        if (peel[defects[k]].stamp != epoch)
             bfs(defects[k]);
     }
 
     bool obs = false;
     for (size_t i = ws.peelOrder.size(); i-- > 0;) {
         const int v = ws.peelOrder[i];
-        const int ei = ws.peelParentEdge[v];
+        const int ei = peel[v].parentEdge;
         if (ei < 0)
             continue;   // a root
-        if (!ws.peelCharge[v])
+        if (!peel[v].charge)
             continue;
         const Edge &edge = edges_[ei];
         const int parent_v = edge.u == v ? edge.v : edge.u;
-        ws.peelCharge[v] = 0;
-        ws.peelCharge[parent_v] ^= 1;
+        peel[v].charge = 0;
+        peel[parent_v].charge ^= 1;
         obs ^= (edge.obs != 0);
     }
     // Remaining charge sits on roots: the boundary vertex absorbs it,

@@ -98,11 +98,32 @@ ExperimentResult::lprTotal(int round) const
 struct MemoryExperiment::ShotStats
 {
     uint64_t logicalErrors = 0;
+    uint64_t verdictHash = 0;
     uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
     uint64_t lrcsScheduled = 0;
     std::vector<double> lprData;
     std::vector<double> lprParity;
 };
+
+namespace
+{
+
+/** Per-shot contribution to ExperimentResult::verdictFingerprint:
+ *  a splitmix64-style mix of (shot id, error bit), XOR-combined so
+ *  the total is independent of shot and thread order. */
+inline uint64_t
+verdictMix(uint64_t shot, bool error)
+{
+    uint64_t x = shot * 2 + (error ? 1 : 0) + 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
 
 /**
  * One worker thread's decode pipeline: the extractor's bit-plane
@@ -177,6 +198,7 @@ MemoryExperiment::mergeStats(ExperimentResult &result,
                              const ShotStats &stats) const
 {
     result.logicalErrors += stats.logicalErrors;
+    result.verdictFingerprint ^= stats.verdictHash;
     result.tp += stats.tp;
     result.fp += stats.fp;
     result.tn += stats.tn;
@@ -474,8 +496,9 @@ MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
     ShotOutcome outcome = extractDefects(code_, config_.basis,
                                          config_.rounds, sim.record());
     const bool predicted = decoder_->decode(outcome.defects);
-    if (predicted != outcome.observableFlip)
-        ++stats.logicalErrors;
+    const bool error = predicted != outcome.observableFlip;
+    stats.logicalErrors += error ? 1 : 0;
+    stats.verdictHash ^= verdictMix(shot, error);
 }
 
 template <int NW>
@@ -502,14 +525,37 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
     sim.reserveRecord(
         (size_t)config_.rounds * (1 + (size_t)NB) * n_stabs + n_data);
 
+    // Policy evaluation dispatch: a probe instance reports whether the
+    // policy has a lane-parallel form. ERASER runs the word-parallel
+    // controller (one LTT/PUTT bit-plane set for the group), Uniform
+    // policies run one shared instance, and only PerLane policies
+    // (Optimal, custom) materialize per-lane observations below.
+    std::unique_ptr<LrcPolicy> shared = factory();
+    const BatchPolicySpec spec = shared->batchSpec();
+    const bool multi_level = shared->usesMultiLevelReadout();
+    const bool per_lane = spec.kind == BatchPolicyKind::PerLane;
+
     std::vector<std::unique_ptr<LrcPolicy>> policies;
+    std::unique_ptr<BatchEraserController<Lane>> controller;
     std::vector<std::vector<LrcPair>> lrcs(W);
-    policies.reserve(W);
-    for (int l = 0; l < W; ++l) {
-        policies.push_back(factory());
-        lrcs[l] = policies[l]->firstRound();
+    if (per_lane) {
+        policies.reserve(W);
+        policies.push_back(std::move(shared));
+        for (int l = 1; l < W; ++l)
+            policies.push_back(factory());
+        for (int l = 0; l < W; ++l)
+            lrcs[l] = policies[l]->firstRound();
+    } else if (spec.kind == BatchPolicyKind::Eraser) {
+        controller = std::make_unique<BatchEraserController<Lane>>(
+            code_, lookup_, spec);
+        const auto first_lrcs = shared->firstRound();
+        for (int l = 0; l < W; ++l)
+            lrcs[l] = first_lrcs;
+    } else {
+        // Uniform/Never schedules live in lrcs[0] only; the round
+        // loop never consults the other lanes' slots on these paths.
+        lrcs[0] = shared->firstRound();
     }
-    const bool multi_level = policies[0]->usesMultiLevelReadout();
 
     // The pre-readout segment (round start, data noise, basis changes,
     // CNOT layers) is schedule-independent: build it once and replay it
@@ -551,44 +597,75 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
     for (int r = 0; r < config_.rounds; ++r) {
         // Collect this round's lane-divergent LRC assignments,
         // mirroring buildRoundSchedule's per-lane validation.
+        // Controller-produced schedules are valid by construction
+        // (DLI allocates from the adjacency lookup with a taken set),
+        // so the per-pair validation only runs for per-lane policies,
+        // whose nextRound is arbitrary user code.
         std::fill(sched_mask.begin(), sched_mask.end(), Lane{});
         std::fill(lrc_on_stab.begin(), lrc_on_stab.end(), Lane{});
         for (int b = 0; b < NB; ++b)
             active[b].clear();
-        for (int l = 0; l < W; ++l) {
-            ++epoch;
-            const int b = l >> 6;
-            const uint64_t bit = uint64_t{1} << (l & 63);
-            for (const auto &pair : lrcs[l]) {
+        if (!per_lane && spec.kind != BatchPolicyKind::Eraser) {
+            // Lane-uniform schedule: every live lane executes lane 0's
+            // pairs, so the masks and block tails are whole-word. The
+            // Uniform capability is claimable by arbitrary policy
+            // subclasses, so the pairs are still bounds-checked.
+            for (const auto &pair : lrcs[0]) {
                 fatalIf(pair.stab < 0 || pair.stab >= n_stabs,
                         "LRC references an invalid stabilizer");
-                fatalIf(stab_epoch[pair.stab] == epoch,
-                        "two LRCs share one parity qubit in the same "
-                        "round");
-                fatalIf(data_epoch[pair.data] == epoch,
-                        "one data qubit has two LRCs in the same round");
-                stab_epoch[pair.stab] = epoch;
-                data_epoch[pair.data] = epoch;
-                const auto &support =
-                    code_.stabilizer(pair.stab).support;
-                fatalIf(std::find(support.begin(), support.end(),
-                                  pair.data) == support.end(),
-                        "LRC data qubit is not adjacent to its parity "
-                        "qubit");
-                setLane(sched_mask[pair.data], l);
-                setLane(lrc_on_stab[pair.stab], l);
-                auto it = std::find_if(
-                    active[b].begin(), active[b].end(),
-                    [&](const ActiveLrc &a) {
-                        return a.stab == pair.stab &&
-                               a.data == pair.data;
-                    });
-                if (it == active[b].end())
-                    active[b].push_back({pair.stab, pair.data, bit});
-                else
-                    it->mask |= bit;
+                fatalIf(pair.data < 0 || pair.data >= n_data,
+                        "LRC references an invalid data qubit");
+                sched_mask[pair.data] = live;
+                lrc_on_stab[pair.stab] = live;
+                for (int b = 0; b < NB; ++b)
+                    active[b].push_back(
+                        {pair.stab, pair.data, laneWord(live, b)});
             }
-            stats.lrcsScheduled += lrcs[l].size();
+            stats.lrcsScheduled +=
+                (uint64_t)lrcs[0].size() * (uint64_t)W;
+        } else {
+            for (int l = 0; l < W; ++l) {
+                ++epoch;
+                const int b = l >> 6;
+                const uint64_t bit = uint64_t{1} << (l & 63);
+                for (const auto &pair : lrcs[l]) {
+                    if (per_lane) {
+                        fatalIf(pair.stab < 0 || pair.stab >= n_stabs,
+                                "LRC references an invalid stabilizer");
+                        fatalIf(pair.data < 0 || pair.data >= n_data,
+                                "LRC references an invalid data qubit");
+                        fatalIf(stab_epoch[pair.stab] == epoch,
+                                "two LRCs share one parity qubit in "
+                                "the same round");
+                        fatalIf(data_epoch[pair.data] == epoch,
+                                "one data qubit has two LRCs in the "
+                                "same round");
+                        stab_epoch[pair.stab] = epoch;
+                        data_epoch[pair.data] = epoch;
+                        const auto &support =
+                            code_.stabilizer(pair.stab).support;
+                        fatalIf(std::find(support.begin(),
+                                          support.end(),
+                                          pair.data) == support.end(),
+                                "LRC data qubit is not adjacent to "
+                                "its parity qubit");
+                    }
+                    setLane(sched_mask[pair.data], l);
+                    setLane(lrc_on_stab[pair.stab], l);
+                    auto it = std::find_if(
+                        active[b].begin(), active[b].end(),
+                        [&](const ActiveLrc &a) {
+                            return a.stab == pair.stab &&
+                                   a.data == pair.data;
+                        });
+                    if (it == active[b].end())
+                        active[b].push_back(
+                            {pair.stab, pair.data, bit});
+                    else
+                        it->mask |= bit;
+                }
+                stats.lrcsScheduled += lrcs[l].size();
+            }
         }
 
         // Account the scheduling decisions against the ground truth at
@@ -635,46 +712,55 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
         for (int b = 0; b < NB; ++b) {
             for (const auto &a : active[b]) {
                 const int parity = code_.stabilizer(a.stab).ancilla;
-                Lane amask{};
-                laneWordRef(amask, b) = a.mask;
+                // Tail masks never span blocks, so each op runs on the
+                // engine's single-block path: word arithmetic on plane
+                // word b regardless of NW, keeping the per-tail cost
+                // width-invariant.
                 if (swap_lrc) {
                     // SWAP D <-> P, measure + reset D, MOV back -- with
                     // the ERASER+M in-round rule: lanes whose data
                     // readout is labelled |L> squash the MOV and reset
                     // P instead.
-                    sim.execute(makeOp(OpType::Cnot, a.data, parity),
-                                amask);
-                    sim.execute(makeOp(OpType::Cnot, parity, a.data),
-                                amask);
-                    sim.execute(makeOp(OpType::Cnot, a.data, parity),
-                                amask);
+                    sim.executeBlock(
+                        makeOp(OpType::Cnot, a.data, parity), b,
+                        a.mask);
+                    sim.executeBlock(
+                        makeOp(OpType::Cnot, parity, a.data), b,
+                        a.mask);
+                    sim.executeBlock(
+                        makeOp(OpType::Cnot, a.data, parity), b,
+                        a.mask);
                     Op meas = makeOp(OpType::Measure, a.data);
                     meas.stab = a.stab;
                     meas.round = r;
                     meas.lrcData = true;
-                    sim.execute(meas, amask);
-                    Lane squash{};
+                    sim.executeBlock(meas, b, a.mask);
+                    uint64_t squash = 0;
                     if (multi_level)
-                        laneWordRef(squash, b) =
+                        squash =
                             laneWord(sim.record().back().leakedLabels,
                                      b) &
                             a.mask;
-                    sim.execute(makeOp(OpType::Reset, a.data), amask);
-                    const Lane mov = andnot(amask, squash);
-                    if (anyLane(mov)) {
-                        sim.execute(
-                            makeOp(OpType::Cnot, parity, a.data), mov);
-                        sim.execute(
-                            makeOp(OpType::Cnot, a.data, parity), mov);
+                    sim.executeBlock(makeOp(OpType::Reset, a.data), b,
+                                     a.mask);
+                    const uint64_t mov = a.mask & ~squash;
+                    if (mov) {
+                        sim.executeBlock(
+                            makeOp(OpType::Cnot, parity, a.data), b,
+                            mov);
+                        sim.executeBlock(
+                            makeOp(OpType::Cnot, a.data, parity), b,
+                            mov);
                     }
-                    if (anyLane(squash))
-                        sim.execute(makeOp(OpType::Reset, parity),
-                                    squash);
+                    if (squash)
+                        sim.executeBlock(makeOp(OpType::Reset, parity),
+                                         b, squash);
                 } else {
-                    sim.execute(
+                    sim.executeBlock(
                         makeOp(OpType::LeakageIswap, a.data, parity),
-                        amask);
-                    sim.execute(makeOp(OpType::Reset, parity), amask);
+                        b, a.mask);
+                    sim.executeBlock(makeOp(OpType::Reset, parity), b,
+                                     a.mask);
                 }
             }
         }
@@ -700,11 +786,7 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                 (double)sim.countLeaked(n_data, code_.numQubits());
         }
 
-        // Materialize each lane's observation and let its policy adapt
-        // the next round -- the adaptive, scalar-side step. Detection
-        // events, |L> labels and true-leak bits are word-scanned once
-        // into lane-major arenas; each lane then sets only its fired
-        // entries, runs its policy, and clears them again.
+        // Detection-event planes for the speculation logic.
         for (int s = 0; s < n_stabs; ++s) {
             if (r == 0) {
                 // Only the protected-basis checks are deterministic in
@@ -715,73 +797,97 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                 events[s] = flips[s] ^ prev_flips[s];
             }
         }
-        for (int q = 0; q < n_data; ++q)
-            leak_snapshot[q] = sim.leakedWord(q);
-
-        std::fill(ev_cur.begin(), ev_cur.end(), 0);
-        std::fill(lab_cur.begin(), lab_cur.end(), 0);
-        std::fill(leak_cur.begin(), leak_cur.end(), 0);
-        for (int s = 0; s < n_stabs; ++s) {
-            forEachSetLane(events[s], [&](int l) { ++ev_cur[l]; });
-            forEachSetLane(labels[s], [&](int l) { ++lab_cur[l]; });
-        }
-        for (int q = 0; q < n_data; ++q)
-            forEachSetLane(leak_snapshot[q],
-                           [&](int l) { ++leak_cur[l]; });
-        uint32_t ev_total = 0, lab_total = 0, leak_total = 0;
-        for (int l = 0; l < W; ++l) {
-            ev_off[l] = ev_total;
-            ev_total += ev_cur[l];
-            ev_cur[l] = ev_off[l];
-            lab_off[l] = lab_total;
-            lab_total += lab_cur[l];
-            lab_cur[l] = lab_off[l];
-            leak_off[l] = leak_total;
-            leak_total += leak_cur[l];
-            leak_cur[l] = leak_off[l];
-        }
-        ev_off[W] = ev_total;
-        lab_off[W] = lab_total;
-        leak_off[W] = leak_total;
-        ev_arena.resize(ev_total);
-        lab_arena.resize(lab_total);
-        leak_arena.resize(leak_total);
-        for (int s = 0; s < n_stabs; ++s) {
-            forEachSetLane(events[s], [&](int l) {
-                ev_arena[ev_cur[l]++] = s;
-            });
-            forEachSetLane(labels[s], [&](int l) {
-                lab_arena[lab_cur[l]++] = s;
-            });
-        }
-        for (int q = 0; q < n_data; ++q) {
-            forEachSetLane(leak_snapshot[q], [&](int l) {
-                leak_arena[leak_cur[l]++] = q;
-            });
-        }
 
         obs.round = r;
-        for (int l = 0; l < W; ++l) {
-            for (uint32_t k = ev_off[l]; k < ev_off[l + 1]; ++k)
-                obs.events[ev_arena[k]] = 1;
-            for (uint32_t k = lab_off[l]; k < lab_off[l + 1]; ++k)
-                obs.leakedLabels[lab_arena[k]] = 1;
-            for (uint32_t k = leak_off[l]; k < leak_off[l + 1]; ++k)
-                obs.trueLeakedData[leak_arena[k]] = 1;
-            for (const auto &pair : lrcs[l])
-                obs.hadLrc[pair.data] = 1;
+        if (controller) {
+            // Word-parallel adaptive step: the controller thresholds
+            // the event planes for all lanes at once (sched_mask is
+            // exactly this round's had-LRC suppression plane) and
+            // falls back to per-lane DLI only on speculation-active
+            // lanes. No per-lane observation is ever materialized.
+            controller->nextRound(events, labels, sched_mask, live,
+                                  lrcs);
+        } else if (spec.kind == BatchPolicyKind::Uniform) {
+            // Round-indexed schedule: one shared instance decides for
+            // every lane (stored in lrcs[0] only).
+            lrcs[0] = shared->nextRound(obs);
+        } else if (spec.kind == BatchPolicyKind::Never) {
+            // Nothing ever scheduled; lrcs[0] stays empty.
+        } else {
+            // Per-lane fallback: materialize each lane's observation
+            // and let its policy adapt the next round. Detection
+            // events, |L> labels and true-leak bits are word-scanned
+            // once into lane-major arenas; each lane then sets only
+            // its fired entries, runs its policy, and clears them
+            // again.
+            for (int q = 0; q < n_data; ++q)
+                leak_snapshot[q] = sim.leakedWord(q);
 
-            auto next = policies[l]->nextRound(obs);
+            std::fill(ev_cur.begin(), ev_cur.end(), 0);
+            std::fill(lab_cur.begin(), lab_cur.end(), 0);
+            std::fill(leak_cur.begin(), leak_cur.end(), 0);
+            for (int s = 0; s < n_stabs; ++s) {
+                forEachSetLane(events[s], [&](int l) { ++ev_cur[l]; });
+                forEachSetLane(labels[s], [&](int l) { ++lab_cur[l]; });
+            }
+            for (int q = 0; q < n_data; ++q)
+                forEachSetLane(leak_snapshot[q],
+                               [&](int l) { ++leak_cur[l]; });
+            uint32_t ev_total = 0, lab_total = 0, leak_total = 0;
+            for (int l = 0; l < W; ++l) {
+                ev_off[l] = ev_total;
+                ev_total += ev_cur[l];
+                ev_cur[l] = ev_off[l];
+                lab_off[l] = lab_total;
+                lab_total += lab_cur[l];
+                lab_cur[l] = lab_off[l];
+                leak_off[l] = leak_total;
+                leak_total += leak_cur[l];
+                leak_cur[l] = leak_off[l];
+            }
+            ev_off[W] = ev_total;
+            lab_off[W] = lab_total;
+            leak_off[W] = leak_total;
+            ev_arena.resize(ev_total);
+            lab_arena.resize(lab_total);
+            leak_arena.resize(leak_total);
+            for (int s = 0; s < n_stabs; ++s) {
+                forEachSetLane(events[s], [&](int l) {
+                    ev_arena[ev_cur[l]++] = s;
+                });
+                forEachSetLane(labels[s], [&](int l) {
+                    lab_arena[lab_cur[l]++] = s;
+                });
+            }
+            for (int q = 0; q < n_data; ++q) {
+                forEachSetLane(leak_snapshot[q], [&](int l) {
+                    leak_arena[leak_cur[l]++] = q;
+                });
+            }
 
-            for (uint32_t k = ev_off[l]; k < ev_off[l + 1]; ++k)
-                obs.events[ev_arena[k]] = 0;
-            for (uint32_t k = lab_off[l]; k < lab_off[l + 1]; ++k)
-                obs.leakedLabels[lab_arena[k]] = 0;
-            for (uint32_t k = leak_off[l]; k < leak_off[l + 1]; ++k)
-                obs.trueLeakedData[leak_arena[k]] = 0;
-            for (const auto &pair : lrcs[l])
-                obs.hadLrc[pair.data] = 0;
-            lrcs[l] = std::move(next);
+            for (int l = 0; l < W; ++l) {
+                for (uint32_t k = ev_off[l]; k < ev_off[l + 1]; ++k)
+                    obs.events[ev_arena[k]] = 1;
+                for (uint32_t k = lab_off[l]; k < lab_off[l + 1]; ++k)
+                    obs.leakedLabels[lab_arena[k]] = 1;
+                for (uint32_t k = leak_off[l]; k < leak_off[l + 1]; ++k)
+                    obs.trueLeakedData[leak_arena[k]] = 1;
+                for (const auto &pair : lrcs[l])
+                    obs.hadLrc[pair.data] = 1;
+
+                auto next = policies[l]->nextRound(obs);
+
+                for (uint32_t k = ev_off[l]; k < ev_off[l + 1]; ++k)
+                    obs.events[ev_arena[k]] = 0;
+                for (uint32_t k = lab_off[l]; k < lab_off[l + 1]; ++k)
+                    obs.leakedLabels[lab_arena[k]] = 0;
+                for (uint32_t k = leak_off[l]; k < leak_off[l + 1];
+                     ++k)
+                    obs.trueLeakedData[leak_arena[k]] = 0;
+                for (const auto &pair : lrcs[l])
+                    obs.hadLrc[pair.data] = 0;
+                lrcs[l] = std::move(next);
+            }
         }
         std::copy(flips.begin(), flips.end(), prev_flips.begin());
     }
@@ -800,10 +906,19 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
     if (config_.batchDecode) {
         uint64_t predictions[kMaxBatchWords];
         ctx->pipeline->decodeBatch(syndrome, predictions);
-        for (int b = 0; b < NB; ++b)
-            stats.logicalErrors += popcount64(
+        for (int b = 0; b < NB; ++b) {
+            const uint64_t errors =
                 (predictions[b] ^ syndrome.observableWords[b]) &
-                laneWord(live, b));
+                laneWord(live, b);
+            stats.logicalErrors += popcount64(errors);
+            // Live block masks are contiguous low bits, so popcount
+            // is the block's live lane count.
+            const int block_lanes = popcount64(laneWord(live, b));
+            for (int i = 0; i < block_lanes; ++i)
+                stats.verdictHash ^= verdictMix(
+                    first + 64 * (uint64_t)b + i,
+                    (errors >> i) & 1);
+        }
     } else {
         // Scalar decode-per-shot baseline (perf comparisons only).
         for (int l = 0; l < W; ++l) {
@@ -811,8 +926,10 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                 syndrome.laneBegin(l),
                 syndrome.laneBegin(l) + syndrome.laneSize(l));
             const bool predicted = decoder_->decode(defects);
-            if (predicted != syndrome.laneObservable(l))
-                ++stats.logicalErrors;
+            const bool error =
+                predicted != syndrome.laneObservable(l);
+            stats.logicalErrors += error ? 1 : 0;
+            stats.verdictHash ^= verdictMix(first + l, error);
         }
     }
 }

@@ -112,6 +112,17 @@ struct ExperimentResult
     uint64_t zeroDefectShots = 0;     ///< Shots skipped (no defects).
     uint64_t syndromeCacheHits = 0;   ///< Shots replayed from cache.
 
+    /**
+     * Order-independent XOR of a per-(shot id, logical-error bit)
+     * mix, accumulated on every decoded path at any thread count.
+     * Two runs of the same shot set have equal fingerprints iff every
+     * individual shot's verdict matches — a strictly stronger check
+     * than comparing logicalErrors counts, which compensating flips
+     * leave unchanged (used by the BENCH_simd cross-width
+     * verdict-identity field). Zero when decoding is off.
+     */
+    uint64_t verdictFingerprint = 0;
+
     double ler() const;
     /** "<1/shots" string when no error was observed. */
     std::string lerString() const;

@@ -1,5 +1,7 @@
 #include "sim/batch_frame_simulator.h"
 
+#include <cmath>
+
 #include "base/logging.h"
 
 namespace qec
@@ -40,14 +42,13 @@ BatchFrameSimulatorT<NW>::BatchFrameSimulatorT(int num_qubits,
     // at shot first_shot + 64*b: W-wide runs replay the 64-wide runs
     // bit for bit.
     blockRng_.reserve(numBlocks_);
-    samplers_.reserve(numBlocks_);
     for (int b = 0; b < numBlocks_; ++b) {
         blockLanes_[b] =
             numLanes_ - 64 * b >= 64 ? 64 : numLanes_ - 64 * b;
         blockRng_.push_back(Rng::forStream(
             seed, first_shot + 64 * (uint64_t)b, kBatchStreamSalt));
-        samplers_.emplace_back(&blockRng_[b]);
     }
+    rareStreams_.reserve(8);
     laneRng_.reserve(numLanes_);
     for (int l = 0; l < numLanes_; ++l)
         laneRng_.push_back(Rng::forShot(seed, first_shot + l));
@@ -178,13 +179,84 @@ BatchFrameSimulatorT<NW>::syncScalarRecord()
 }
 
 template <int NW>
+typename BatchFrameSimulatorT<NW>::RareStream &
+BatchFrameSimulatorT<NW>::rareStreamFor(double p)
+{
+    for (auto &stream : rareStreams_) {
+        if (stream.p == p)
+            return stream;
+    }
+    RareStream stream;
+    stream.p = p;
+    stream.log1mp = std::log1p(-p);
+    for (int b = 0; b < NW; ++b) {
+        stream.skip[b] = 0;
+        stream.inited[b] = 0;
+    }
+    rareStreams_.push_back(stream);
+    return rareStreams_.back();
+}
+
+template <int NW>
+uint64_t
+BatchFrameSimulatorT<NW>::drawRareBlock(RareStream &stream, int b)
+{
+    // Identical consumption to a per-block BernoulliMaskSampler: the
+    // stream's initial gap is drawn from block b's Rng at b's first
+    // gated draw of this probability, exactly when the standalone
+    // 64-lane group's sampler would create its stream. The gap/walk
+    // algorithms are the sampler's own (shared free functions), so
+    // the streams cannot drift apart.
+    if (!stream.inited[b]) {
+        stream.inited[b] = 1;
+        stream.skip[b] =
+            bernoulliGeometricGap(blockRng_[b], stream.log1mp);
+    }
+    return bernoulliRareMask(blockRng_[b], stream.log1mp,
+                             stream.skip[b], blockLanes_[b]);
+}
+
+template <int NW>
+uint64_t
+BatchFrameSimulatorT<NW>::drawDenseBlock(double p, int b)
+{
+    return bernoulliDenseMask(blockRng_[b], p, blockLanes_[b]);
+}
+
+template <int NW>
 typename BatchFrameSimulatorT<NW>::Lane
 BatchFrameSimulatorT<NW>::drawWhere(double p, const Lane &gate)
 {
     Lane out{};
+    if (p <= 0.0)
+        return out;
+    if (p >= 1.0) {
+        for (int b = 0; b < numBlocks_; ++b) {
+            if (laneWord(gate, b))
+                laneWordRef(out, b) = laneMask64(blockLanes_[b]);
+        }
+        return out;
+    }
+    if (p < BernoulliMaskSampler::kRareThreshold) {
+        // One probability lookup for the whole group; per gated block
+        // the overwhelmingly common case is a compare + subtract on
+        // its contiguous skip counter.
+        RareStream &stream = rareStreamFor(p);
+        for (int b = 0; b < numBlocks_; ++b) {
+            if (!laneWord(gate, b))
+                continue;
+            const uint64_t n = (uint64_t)blockLanes_[b];
+            if (stream.inited[b] && stream.skip[b] >= n) {
+                stream.skip[b] -= n;
+                continue;
+            }
+            laneWordRef(out, b) = drawRareBlock(stream, b);
+        }
+        return out;
+    }
     for (int b = 0; b < numBlocks_; ++b) {
         if (laneWord(gate, b))
-            laneWordRef(out, b) = samplers_[b].draw(p, blockLanes_[b]);
+            laneWordRef(out, b) = drawDenseBlock(p, b);
     }
     return out;
 }
@@ -219,14 +291,19 @@ template <int NW>
 void
 BatchFrameSimulatorT<NW>::randomComputational(int q, const Lane &mask)
 {
-    leaked_[q] = andnot(leaked_[q], mask);
-    x_[q] = andnot(x_[q], mask);
-    z_[q] = andnot(z_[q], mask);
+    // Per-lane events: touch only the set lanes instead of paying
+    // full-plane clears per event (the masks here almost always hold
+    // one or two lanes, and events scale with the group width).
     forEachSetLane(mask, [&](int l) {
+        clearLane(leaked_[q], l);
         if (laneRng_[l].bit())
             setLane(x_[q], l);
+        else
+            clearLane(x_[q], l);
         if (laneRng_[l].bit())
             setLane(z_[q], l);
+        else
+            clearLane(z_[q], l);
     });
 }
 
@@ -236,9 +313,13 @@ BatchFrameSimulatorT<NW>::maybeLeak(int q, const Lane &mask)
 {
     if (!em_.leakageEnabled)
         return;
-    const Lane m = andnot(drawWhere(em_.leakInjectProb(), mask) & mask,
-                          leaked_[q]);
-    leaked_[q] |= m;
+    // The draw itself must always happen (it IS the noise stream);
+    // the post-draw plane update is skipped on the empty-mask common
+    // case.
+    const Lane d = drawWhere(em_.leakInjectProb(), mask);
+    if (!anyLane(d))
+        return;
+    leaked_[q] |= d & mask;
 }
 
 template <int NW>
@@ -259,9 +340,9 @@ template <int NW>
 void
 BatchFrameSimulatorT<NW>::opDataNoise(int q, const Lane &mask)
 {
-    const Lane depol =
-        andnot(drawWhere(em_.p, mask) & mask, leaked_[q]);
-    depolarizePerLane(q, depol);
+    const Lane d = drawWhere(em_.p, mask);
+    if (anyLane(d))
+        depolarizePerLane(q, andnot(d & mask, leaked_[q]));
     maybeLeak(q, mask);
     maybeSeep(q, mask);
 }
@@ -274,7 +355,9 @@ BatchFrameSimulatorT<NW>::opReset(int q, const Lane &mask)
     z_[q] = andnot(z_[q], mask);
     leaked_[q] = andnot(leaked_[q], mask);
     // Initialization error: the qubit comes up in |1> with prob p.
-    x_[q] |= drawWhere(em_.p, mask) & mask;
+    const Lane d = drawWhere(em_.p, mask);
+    if (anyLane(d))
+        x_[q] |= d & mask;
 }
 
 template <int NW>
@@ -286,14 +369,17 @@ BatchFrameSimulatorT<NW>::opH(int q, const Lane &mask)
     const Lane zw = z_[q];
     x_[q] = andnot(xw, act) | (zw & act);
     z_[q] = andnot(zw, act) | (xw & act);
-    depolarizePerLane(q, drawWhere(em_.p, mask) & act);
+    const Lane d = drawWhere(em_.p, mask);
+    if (anyLane(d))
+        depolarizePerLane(q, d & act);
 }
 
 template <int NW>
 void
 BatchFrameSimulatorT<NW>::twoQubitNoise(int a, int b, const Lane &mask)
 {
-    const Lane m = drawWhere(em_.p, mask) & mask;
+    const Lane d = drawWhere(em_.p, mask);
+    const Lane m = anyLane(d) ? d & mask : Lane{};
     forEachSetLane(m, [&](int l) {
         // One of the 15 non-identity two-qubit Paulis, uniformly.
         const uint32_t pp = 1 + laneRng_[l].randint(15);
@@ -326,6 +412,16 @@ BatchFrameSimulatorT<NW>::opCnot(int c, int t, const Lane &mask)
 {
     const Lane lc = leaked_[c];
     const Lane lt = leaked_[t];
+    if (!anyLane((lc | lt) & mask)) {
+        // No leaked operand lane: pure frame propagation, no
+        // divergence masks to build and no draws to gate (the
+        // dominant case while the controller keeps the leakage
+        // population suppressed).
+        x_[t] ^= x_[c] & mask;
+        z_[c] ^= z_[t] & mask;
+        twoQubitNoise(c, t, mask);
+        return;
+    }
     const Lane both_clean = andnot(andnot(mask, lc), lt);
     x_[t] ^= x_[c] & both_clean;
     z_[c] ^= z_[t] & both_clean;
@@ -407,7 +503,9 @@ BatchFrameSimulatorT<NW>::opMeasure(const Op &op, bool x_basis,
         labels =
             andnot(lk, drawWhere(em_.multiLevelMissProb(), lk));
     }
-    flips ^= drawWhere(em_.p, mask) & mask;
+    const Lane me = drawWhere(em_.p, mask);
+    if (anyLane(me))
+        flips ^= me & mask;
 
     Record rec;
     rec.qubit = q;
@@ -419,6 +517,278 @@ BatchFrameSimulatorT<NW>::opMeasure(const Op &op, bool x_basis,
     rec.flips = flips;
     rec.leakedLabels = labels;
     record_.push_back(rec);
+}
+
+template <int NW>
+uint64_t
+BatchFrameSimulatorT<NW>::drawBlockWhere(double p, int b,
+                                         uint64_t gate)
+{
+    if (!gate || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return laneMask64(blockLanes_[b]);
+    if (p < BernoulliMaskSampler::kRareThreshold) {
+        RareStream &stream = rareStreamFor(p);
+        const uint64_t n = (uint64_t)blockLanes_[b];
+        if (stream.inited[b] && stream.skip[b] >= n) {
+            stream.skip[b] -= n;
+            return 0;
+        }
+        return drawRareBlock(stream, b);
+    }
+    return drawDenseBlock(p, b);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::depolarizePerLaneB(int q, int b,
+                                             uint64_t mask)
+{
+    // The Lane version is already a pure per-set-lane loop, so the
+    // block variant just lifts the word into a one-block lane set:
+    // one definition of the RNG-stream-critical body.
+    Lane m{};
+    laneWordRef(m, b) = mask;
+    depolarizePerLane(q, m);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::randomComputationalB(int q, int b,
+                                               uint64_t mask)
+{
+    Lane m{};
+    laneWordRef(m, b) = mask;
+    randomComputational(q, m);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::maybeLeakB(int q, int b, uint64_t mask)
+{
+    if (!em_.leakageEnabled)
+        return;
+    const uint64_t d = drawBlockWhere(em_.leakInjectProb(), b, mask);
+    if (!d)
+        return;
+    laneWordRef(leaked_[q], b) |= d & mask;
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::maybeSeepB(int q, int b, uint64_t mask)
+{
+    const uint64_t leaked = laneWord(leaked_[q], b) & mask;
+    if (!leaked)
+        return;
+    const uint64_t m =
+        drawBlockWhere(em_.seepageProb(), b, leaked) & leaked;
+    if (m)
+        randomComputationalB(q, b, m);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::twoQubitNoiseB(int qa, int qb, int b,
+                                         uint64_t mask)
+{
+    const uint64_t d = drawBlockWhere(em_.p, b, mask);
+    uint64_t m = d & mask;
+    const int base = 64 * b;
+    while (m) {
+        const int l = base + __builtin_ctzll(m);
+        m &= m - 1;
+        // One of the 15 non-identity two-qubit Paulis, uniformly.
+        const uint32_t pp = 1 + laneRng_[l].randint(15);
+        const uint32_t pa = pp & 3;
+        const uint32_t pb = (pp >> 2) & 3;
+        if (!testLane(leaked_[qa], l)) {
+            if (pa == 1 || pa == 2)
+                flipLane(x_[qa], l);
+            if (pa == 2 || pa == 3)
+                flipLane(z_[qa], l);
+        }
+        if (!testLane(leaked_[qb], l)) {
+            if (pb == 1 || pb == 2)
+                flipLane(x_[qb], l);
+            if (pb == 2 || pb == 3)
+                flipLane(z_[qb], l);
+        }
+    }
+    if (em_.leakageEnabled) {
+        maybeLeakB(qa, b, mask);
+        maybeLeakB(qb, b, mask);
+        maybeSeepB(qa, b, mask);
+        maybeSeepB(qb, b, mask);
+    }
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::opResetB(int q, int b, uint64_t mask)
+{
+    laneWordRef(x_[q], b) &= ~mask;
+    laneWordRef(z_[q], b) &= ~mask;
+    laneWordRef(leaked_[q], b) &= ~mask;
+    // Initialization error: the qubit comes up in |1> with prob p.
+    const uint64_t d = drawBlockWhere(em_.p, b, mask);
+    if (d)
+        laneWordRef(x_[q], b) |= d & mask;
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::opCnotB(int c, int t, int b, uint64_t mask)
+{
+    const uint64_t lc = laneWord(leaked_[c], b);
+    const uint64_t lt = laneWord(leaked_[t], b);
+    if (!((lc | lt) & mask)) {
+        laneWordRef(x_[t], b) ^= laneWord(x_[c], b) & mask;
+        laneWordRef(z_[c], b) ^= laneWord(z_[t], b) & mask;
+        twoQubitNoiseB(c, t, b, mask);
+        return;
+    }
+    const uint64_t both_clean = (mask & ~lc) & ~lt;
+    laneWordRef(x_[t], b) ^= laneWord(x_[c], b) & both_clean;
+    laneWordRef(z_[c], b) ^= laneWord(z_[t], b) & both_clean;
+
+    // Exactly one operand leaked: the gate is uncalibrated for |L>, so
+    // the unleaked operand receives a uniformly random Pauli, and
+    // leakage may transport.
+    const uint64_t c_only = (mask & lc) & ~lt;
+    const uint64_t t_only = (mask & lt) & ~lc;
+    if (c_only) {
+        laneWordRef(x_[t], b) ^= blockRng_[b].next() & c_only;
+        laneWordRef(z_[t], b) ^= blockRng_[b].next() & c_only;
+    }
+    if (t_only) {
+        laneWordRef(x_[c], b) ^= blockRng_[b].next() & t_only;
+        laneWordRef(z_[c], b) ^= blockRng_[b].next() & t_only;
+    }
+    const uint64_t mixed = c_only | t_only;
+    if (mixed && em_.pTransport > 0.0) {
+        const uint64_t tr =
+            drawBlockWhere(em_.pTransport, b, mixed) & mixed;
+        laneWordRef(leaked_[t], b) |= tr & c_only;
+        laneWordRef(leaked_[c], b) |= tr & t_only;
+        if (em_.transport == TransportModel::Exchange) {
+            const uint64_t src_c = tr & c_only;
+            if (src_c)
+                randomComputationalB(c, b, src_c);
+            const uint64_t src_t = tr & t_only;
+            if (src_t)
+                randomComputationalB(t, b, src_t);
+        }
+    }
+    // Lanes with both operands leaked see no frame action at all.
+    twoQubitNoiseB(c, t, b, mask);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::opLeakageIswapB(int d, int p, int b,
+                                          uint64_t mask)
+{
+    const uint64_t ld = laneWord(leaked_[d], b);
+    const uint64_t lp = laneWord(leaked_[p], b);
+
+    // DQLR moves the data qubit's leakage onto the (just reset) parity
+    // qubit; the data qubit returns to a random computational state.
+    const uint64_t move = (mask & ld) & ~lp;
+    if (move) {
+        laneWordRef(leaked_[p], b) |= move;
+        randomComputationalB(d, b, move);
+    }
+
+    // Reset failure left the parity qubit in |1>: the iSWAP acts in the
+    // |11>/|20> subspace and can excite the data qubit to |L>.
+    const uint64_t excitable =
+        ((mask & ~ld) & ~lp) & laneWord(x_[p], b);
+    if (excitable && em_.leakageEnabled && em_.dqlrExciteProb > 0.0) {
+        laneWordRef(leaked_[d], b) |=
+            drawBlockWhere(em_.dqlrExciteProb, b, excitable) &
+            excitable;
+    }
+    // The op has CNOT-class fidelity (Section A.2.2).
+    twoQubitNoiseB(d, p, b, mask);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::opMeasureB(const Op &op, bool x_basis, int b,
+                                     uint64_t mask)
+{
+    const int q = op.q0;
+    const uint64_t frame =
+        x_basis ? laneWord(z_[q], b) : laneWord(x_[q], b);
+    const uint64_t lw = laneWord(leaked_[q], b);
+    const uint64_t lk = lw & mask;
+
+    // Unleaked lanes report the frame; a two-level discriminator
+    // classifies |L> randomly, and the multi-level discriminator flags
+    // |L> unless it errs.
+    uint64_t flips = (frame & ~lw) & mask;
+    uint64_t labels = 0;
+    if (lk) {
+        flips |= blockRng_[b].next() & lk;
+        labels =
+            lk & ~drawBlockWhere(em_.multiLevelMissProb(), b, lk);
+    }
+    const uint64_t me = drawBlockWhere(em_.p, b, mask);
+    if (me)
+        flips ^= me & mask;
+
+    Record rec;
+    rec.qubit = q;
+    rec.stab = op.stab;
+    rec.round = op.round;
+    rec.finalData = op.finalData;
+    rec.lrcData = op.lrcData;
+    laneWordRef(rec.mask, b) = mask;
+    laneWordRef(rec.flips, b) = flips;
+    laneWordRef(rec.leakedLabels, b) = labels;
+    record_.push_back(rec);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::executeBlock(const Op &op, int block,
+                                       uint64_t mask)
+{
+    if (scalar_ || NW == 1) {
+        Lane m{};
+        laneWordRef(m, block) = mask;
+        execute(op, m);
+        return;
+    }
+    mask &= laneWord(live_, block);
+    if (!mask)
+        return;
+    switch (op.type) {
+      case OpType::Reset:
+        opResetB(op.q0, block, mask);
+        break;
+      case OpType::Cnot:
+        opCnotB(op.q0, op.q1, block, mask);
+        break;
+      case OpType::LeakageIswap:
+        opLeakageIswapB(op.q0, op.q1, block, mask);
+        break;
+      case OpType::Measure:
+        opMeasureB(op, false, block, mask);
+        break;
+      case OpType::MeasureX:
+        opMeasureB(op, true, block, mask);
+        break;
+      default: {
+        // Not part of the tail repertoire: full-width path.
+        Lane m{};
+        laneWordRef(m, block) = mask;
+        execute(op, m);
+        break;
+      }
+    }
 }
 
 template <int NW>

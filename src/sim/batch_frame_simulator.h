@@ -119,6 +119,18 @@ class BatchFrameSimulatorT
     /** Execute one operation on all live lanes. */
     void execute(const Op &op) { execute(op, live_); }
 
+    /**
+     * Execute one operation on lanes of a single 64-lane block — the
+     * fast path for policy-divergent LRC/DQLR tails, whose masks
+     * never span blocks. Operates on plane word `block` only (word
+     * arithmetic at any NW) while consuming exactly the draws the
+     * full-width execute would consume for a mask confined to that
+     * block, so results are bit-identical; record entries still carry
+     * full-width lane sets. Ops outside the tail repertoire fall back
+     * to the full-width path.
+     */
+    void executeBlock(const Op &op, int block, uint64_t mask);
+
     /** Execute a span of operations on a subset of lanes. */
     void executeRange(const Op *begin, const Op *end, const Lane &mask);
     void
@@ -179,6 +191,40 @@ class BatchFrameSimulatorT
     /** Random computational state relative to the reference. */
     void randomComputational(int q, const Lane &mask);
 
+    // Single-block (word-level) op bodies: the divergent-tail images
+    // of the Lane-wide ops above, draw-for-draw identical to running
+    // the Lane op with a mask confined to block `b`.
+    void opResetB(int q, int b, uint64_t mask);
+    void opCnotB(int c, int t, int b, uint64_t mask);
+    void opLeakageIswapB(int d, int p, int b, uint64_t mask);
+    void opMeasureB(const Op &op, bool x_basis, int b, uint64_t mask);
+    void twoQubitNoiseB(int qa, int qb, int b, uint64_t mask);
+    void maybeLeakB(int q, int b, uint64_t mask);
+    void maybeSeepB(int q, int b, uint64_t mask);
+    void depolarizePerLaneB(int q, int b, uint64_t mask);
+    void randomComputationalB(int q, int b, uint64_t mask);
+    /** Bernoulli(p) mask for block b, drawn iff `gate` is nonzero —
+     *  the single-block image of drawWhere. */
+    uint64_t drawBlockWhere(double p, int b, uint64_t gate);
+
+    /**
+     * Per-probability rare-event streams shared across the group's
+     * blocks: one probability lookup per draw call, with each block's
+     * geometric skip counter stored contiguously. Block b's counter
+     * trajectory (and its Rng consumption) is exactly what a
+     * standalone per-block BernoulliMaskSampler would produce — the
+     * layout only removes the per-block stream-list scan from the hot
+     * path, which is what made wide word-groups pay the sampler cost
+     * once per block instead of once per draw.
+     */
+    struct RareStream
+    {
+        double p = 0.0;
+        double log1mp = 0.0;
+        uint64_t skip[NW];
+        uint8_t inited[NW];
+    };
+
     /**
      * Bernoulli(p) lane mask, drawn per 64-lane block and only on
      * blocks where `gate` has a set bit — the width-generic image of
@@ -189,6 +235,12 @@ class BatchFrameSimulatorT
     Lane drawWhere(double p, const Lane &gate);
     /** Raw uniform bits per block, gated like drawWhere. */
     Lane randBitsWhere(const Lane &gate);
+
+    RareStream & rareStreamFor(double p);
+    /** Rare-path mask for block b (cold path: a hit lands in-word). */
+    uint64_t drawRareBlock(RareStream &stream, int b);
+    /** Dense-path mask for block b (digit comparison on its Rng). */
+    uint64_t drawDenseBlock(double p, int b);
 
     /** Mirror any new scalar-mode records into batch records. */
     void syncScalarRecord();
@@ -202,7 +254,7 @@ class BatchFrameSimulatorT
     /** Per-block group streams; block b draws what a 64-lane group at
      *  first_shot + 64*b would draw. */
     std::vector<Rng> blockRng_;
-    std::vector<BernoulliMaskSampler> samplers_;
+    std::vector<RareStream> rareStreams_;
     std::vector<Rng> laneRng_;
     std::vector<Lane> x_;
     std::vector<Lane> z_;

@@ -5,31 +5,15 @@
 namespace qec
 {
 
-BernoulliMaskSampler::Stream &
-BernoulliMaskSampler::streamFor(double p)
-{
-    for (auto &stream : streams_) {
-        if (stream.p == p)
-            return stream;
-    }
-    Stream stream;
-    stream.p = p;
-    stream.log1mp = std::log1p(-p);
-    streams_.push_back(stream);
-    auto &created = streams_.back();
-    created.skip = sampleGap(created);
-    return created;
-}
-
 uint64_t
-BernoulliMaskSampler::sampleGap(const Stream &stream)
+bernoulliGeometricGap(Rng &rng, double log1mp)
 {
     // Number of failures before the next success of a Bernoulli(p)
     // stream: floor(log(U) / log(1-p)) with U uniform on (0, 1].
-    double u = (double)(rng_->next() >> 11) * 0x1.0p-53;
+    double u = (double)(rng.next() >> 11) * 0x1.0p-53;
     if (u <= 0.0)
         u = 0x1.0p-53;
-    const double gap = std::log(u) / stream.log1mp;
+    const double gap = std::log(u) / log1mp;
     // Clamp: a gap beyond any realistic trial horizon means "never".
     if (gap >= 0x1.0p62)
         return uint64_t{1} << 62;
@@ -37,25 +21,25 @@ BernoulliMaskSampler::sampleGap(const Stream &stream)
 }
 
 uint64_t
-BernoulliMaskSampler::drawRare(Stream &stream, int nlanes)
+bernoulliRareMask(Rng &rng, double log1mp, uint64_t &skip, int nlanes)
 {
     const uint64_t n = (uint64_t)nlanes;
-    if (stream.skip >= n) {
-        stream.skip -= n;
+    if (skip >= n) {
+        skip -= n;
         return 0;
     }
     uint64_t mask = 0;
-    uint64_t pos = stream.skip;
+    uint64_t pos = skip;
     while (pos < n) {
         mask |= uint64_t{1} << pos;
-        pos += 1 + sampleGap(stream);
+        pos += 1 + bernoulliGeometricGap(rng, log1mp);
     }
-    stream.skip = pos - n;
+    skip = pos - n;
     return mask;
 }
 
 uint64_t
-BernoulliMaskSampler::drawDense(double p, int nlanes)
+bernoulliDenseMask(Rng &rng, double p, int nlanes)
 {
     // Lane-parallel evaluation of U < p by comparing binary digits of
     // each lane's uniform U against the digits of p, most significant
@@ -68,7 +52,7 @@ BernoulliMaskSampler::drawDense(double p, int nlanes)
         const bool digit = frac >= 1.0;
         if (digit)
             frac -= 1.0;
-        const uint64_t w = rng_->next();
+        const uint64_t w = rng.next();
         if (digit) {
             lt |= eq & ~w;
             eq &= w;
@@ -81,6 +65,35 @@ BernoulliMaskSampler::drawDense(double p, int nlanes)
     // Exhausted digits with lanes still equal: U == p exactly, not
     // less-than; those lanes stay clear.
     return lt;
+}
+
+BernoulliMaskSampler::Stream &
+BernoulliMaskSampler::streamFor(double p)
+{
+    for (auto &stream : streams_) {
+        if (stream.p == p)
+            return stream;
+    }
+    Stream stream;
+    stream.p = p;
+    stream.log1mp = std::log1p(-p);
+    streams_.push_back(stream);
+    auto &created = streams_.back();
+    created.skip = bernoulliGeometricGap(*rng_, created.log1mp);
+    return created;
+}
+
+uint64_t
+BernoulliMaskSampler::drawRare(Stream &stream, int nlanes)
+{
+    return bernoulliRareMask(*rng_, stream.log1mp, stream.skip,
+                             nlanes);
+}
+
+uint64_t
+BernoulliMaskSampler::drawDense(double p, int nlanes)
+{
+    return bernoulliDenseMask(*rng_, p, nlanes);
 }
 
 uint64_t

@@ -32,6 +32,28 @@
 namespace qec
 {
 
+// Shared word-level Bernoulli primitives. Both BernoulliMaskSampler
+// and the batch engine's grouped per-block streams build on these, so
+// there is exactly ONE definition of each RNG-stream-critical
+// algorithm — the cross-width bit-identity invariant depends on every
+// consumer drawing the same sequence.
+
+/** Geometric gap (failures before the next success) of a Bernoulli
+ *  stream with cached log(1-p); consumes one word of `rng`. */
+uint64_t bernoulliGeometricGap(Rng &rng, double log1mp);
+
+/**
+ * Rare-event mask over the low `nlanes` lanes: advance the stream's
+ * persistent `skip` counter, setting a bit for every virtual trial
+ * that lands in this word. The common all-miss case is the inline
+ * compare + subtract the callers fast-path themselves.
+ */
+uint64_t bernoulliRareMask(Rng &rng, double log1mp, uint64_t &skip,
+                           int nlanes);
+
+/** Dense-path mask: lane-parallel digit comparison U < p. */
+uint64_t bernoulliDenseMask(Rng &rng, double p, int nlanes);
+
 class BernoulliMaskSampler
 {
   public:
@@ -81,7 +103,6 @@ class BernoulliMaskSampler
     uint64_t drawSlow(double p, int nlanes);
 
     Stream & streamFor(double p);
-    uint64_t sampleGap(const Stream &stream);
     uint64_t drawRare(Stream &stream, int nlanes);
     uint64_t drawDense(double p, int nlanes);
 

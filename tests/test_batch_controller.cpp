@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Word-parallel adaptive-controller differentials, in three tiers:
+ *
+ *  1. LSB unit level: speculateWords over random event/label/had-LRC
+ *     bit planes reproduces the per-lane speculate byte-array scan for
+ *     every threshold rule (including HalfNeighbors on weight-2
+ *     boundary qubits) and for ERASER+M label marking, at every plane
+ *     depth (uint64_t / WordVec<4> / WordVec<8>).
+ *  2. Controller unit level: BatchEraserController's per-lane LRC
+ *     schedule streams are bit-identical to dedicated per-lane
+ *     EraserPolicy instances across rounds — LTT marks, PUTT
+ *     cooldowns and DLI allocation order included — for both
+ *     allocators and with the PUTT-cooldown ablation.
+ *  3. Experiment level: the word-parallel engine path produces
+ *     bit-identical results (verdicts, speculation quadrants, LRC
+ *     counts, LPR traces) to the per-lane fallback path at W = 64,
+ *     256 and 512 for every lane-parallelizable policy, including
+ *     ragged word-groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/policies.h"
+#include "exp/memory_experiment.h"
+
+namespace qec
+{
+namespace
+{
+
+/** Random lane-set plane with density p over the low `lanes` lanes. */
+template <typename Lane>
+Lane
+randomPlane(Rng &rng, int lanes, double p)
+{
+    Lane out{};
+    for (int l = 0; l < lanes; ++l) {
+        if (rng.bernoulli(p))
+            setLane(out, l);
+    }
+    return out;
+}
+
+/** Materialize lane l of a plane array as the byte array the per-lane
+ *  reference consumes. */
+template <typename Lane>
+std::vector<uint8_t>
+laneSlice(const std::vector<Lane> &planes, int lane)
+{
+    std::vector<uint8_t> out(planes.size(), 0);
+    for (size_t i = 0; i < planes.size(); ++i)
+        out[i] = testLane(planes[i], lane) ? 1 : 0;
+    return out;
+}
+
+// ------------------------------------------------------ LSB unit tier
+
+template <typename Lane>
+void
+speculateWordsMatchesPerLane(int d, LsbThreshold threshold,
+                             bool multi_level, int lanes,
+                             uint64_t seed)
+{
+    RotatedSurfaceCode code(d);
+    LeakageSpeculationBlock lsb(code,
+                                LsbOptions{threshold, multi_level});
+    Rng rng(seed);
+    const int n_stabs = code.numStabilizers();
+    const int n_data = code.numData();
+
+    std::vector<Lane> events(n_stabs, Lane{});
+    std::vector<Lane> labels(n_stabs, Lane{});
+    std::vector<Lane> had_lrc(n_data, Lane{});
+    for (int s = 0; s < n_stabs; ++s) {
+        events[s] = randomPlane<Lane>(rng, lanes, 0.2);
+        labels[s] = randomPlane<Lane>(rng, lanes, 0.05);
+    }
+    for (int q = 0; q < n_data; ++q)
+        had_lrc[q] = randomPlane<Lane>(rng, lanes, 0.1);
+
+    // Pre-existing marks: speculation ORs into surviving state.
+    BatchLeakageTrackingTable<Lane> batch(n_data);
+    for (int q = 0; q < n_data; ++q)
+        batch.mark(q, randomPlane<Lane>(rng, lanes, 0.03));
+
+    std::vector<LeakageTrackingTable> ref;
+    ref.reserve(lanes);
+    for (int l = 0; l < lanes; ++l) {
+        ref.emplace_back(n_data);
+        for (int q = 0; q < n_data; ++q) {
+            if (batch.marked(q, l))
+                ref[l].mark(q);
+        }
+    }
+
+    const Lane live = laneMaskOf<Lane>(lanes);
+    lsb.speculateWords(events, labels, had_lrc, live, batch);
+
+    for (int l = 0; l < lanes; ++l) {
+        lsb.speculate(laneSlice(events, l), laneSlice(labels, l),
+                      laneSlice(had_lrc, l), ref[l]);
+        for (int q = 0; q < n_data; ++q) {
+            ASSERT_EQ(batch.marked(q, l), ref[l].marked(q))
+                << "lane " << l << " qubit " << q;
+        }
+    }
+}
+
+TEST(BatchLsb, WordSpeculationMatchesPerLaneAllThresholds)
+{
+    uint64_t seed = 100;
+    for (LsbThreshold threshold :
+         {LsbThreshold::AtLeastTwo, LsbThreshold::HalfNeighbors,
+          LsbThreshold::AllNeighbors}) {
+        for (bool multi_level : {false, true}) {
+            speculateWordsMatchesPerLane<uint64_t>(
+                5, threshold, multi_level, 64, ++seed);
+            speculateWordsMatchesPerLane<uint64_t>(
+                3, threshold, multi_level, 17, ++seed);
+            speculateWordsMatchesPerLane<WordVec<4>>(
+                5, threshold, multi_level, 256, ++seed);
+            speculateWordsMatchesPerLane<WordVec<4>>(
+                5, threshold, multi_level, 100, ++seed);
+            speculateWordsMatchesPerLane<WordVec<8>>(
+                3, threshold, multi_level, 512, ++seed);
+        }
+    }
+}
+
+TEST(BatchLsb, HalfNeighborsMarksWeightTwoBoundaryQubitOnOneFlip)
+{
+    // The paper-prose rule: ceil(n/2) flips suffice, so a single
+    // flipped neighbor marks a weight-2 boundary data qubit — the
+    // exact case where HalfNeighbors and AtLeastTwo diverge.
+    RotatedSurfaceCode code(5);
+    int boundary_q = -1;
+    for (int q = 0; q < code.numData(); ++q) {
+        if (code.stabilizersOfData(q).size() == 2) {
+            boundary_q = q;
+            break;
+        }
+    }
+    ASSERT_GE(boundary_q, 0);
+    const int stab = code.stabilizersOfData(boundary_q)[0];
+
+    std::vector<uint64_t> events(code.numStabilizers(), 0);
+    std::vector<uint64_t> labels(code.numStabilizers(), 0);
+    std::vector<uint64_t> had_lrc(code.numData(), 0);
+    events[stab] = ~uint64_t{0};
+    const uint64_t live = ~uint64_t{0};
+
+    LeakageSpeculationBlock half(
+        code, LsbOptions{LsbThreshold::HalfNeighbors, false});
+    BatchLeakageTrackingTable<uint64_t> half_ltt(code.numData());
+    half.speculateWords(events, labels, had_lrc, live, half_ltt);
+    EXPECT_EQ(half_ltt.word(boundary_q), ~uint64_t{0});
+
+    LeakageSpeculationBlock two(
+        code, LsbOptions{LsbThreshold::AtLeastTwo, false});
+    BatchLeakageTrackingTable<uint64_t> two_ltt(code.numData());
+    two.speculateWords(events, labels, had_lrc, live, two_ltt);
+    EXPECT_EQ(two_ltt.word(boundary_q), 0u);
+
+    // An LRC on the qubit in the same round suppresses the mark.
+    had_lrc[boundary_q] = 0xFFFF0000FFFF0000ull;
+    BatchLeakageTrackingTable<uint64_t> suppressed(code.numData());
+    half.speculateWords(events, labels, had_lrc, live, suppressed);
+    EXPECT_EQ(suppressed.word(boundary_q), ~0xFFFF0000FFFF0000ull);
+}
+
+// ----------------------------------------------- controller unit tier
+
+template <typename Lane>
+void
+controllerMatchesPerLanePolicies(int d, const BatchPolicySpec &spec,
+                                 int lanes, int rounds, uint64_t seed)
+{
+    RotatedSurfaceCode code(d);
+    SwapLookupTable lookup(code);
+    BatchEraserController<Lane> controller(code, lookup, spec);
+
+    std::vector<std::unique_ptr<EraserPolicy>> ref;
+    ref.reserve(lanes);
+    for (int l = 0; l < lanes; ++l)
+        ref.push_back(std::make_unique<EraserPolicy>(
+            code, lookup, spec.multiLevel, spec.threshold,
+            spec.allocator, spec.puttCooldown));
+
+    const int n_stabs = code.numStabilizers();
+    const int n_data = code.numData();
+    const Lane live = laneMaskOf<Lane>(lanes);
+    Rng rng(seed);
+
+    std::vector<Lane> events(n_stabs, Lane{});
+    std::vector<Lane> labels(n_stabs, Lane{});
+    std::vector<Lane> had_lrc(n_data, Lane{});
+    std::vector<std::vector<LrcPair>> lrcs(lanes);
+
+    RoundObservation obs;
+    obs.leakedLabels.assign(n_stabs, 0);
+
+    for (int r = 0; r < rounds; ++r) {
+        for (int s = 0; s < n_stabs; ++s) {
+            events[s] = randomPlane<Lane>(rng, lanes, 0.15);
+            labels[s] = spec.multiLevel
+                ? randomPlane<Lane>(rng, lanes, 0.04) : Lane{};
+        }
+        // The round's executed LRCs are the previous decisions: that
+        // is exactly the suppression plane the experiment layer hands
+        // the controller.
+        std::fill(had_lrc.begin(), had_lrc.end(), Lane{});
+        for (int l = 0; l < lanes; ++l) {
+            for (const auto &pair : lrcs[l])
+                setLane(had_lrc[pair.data], l);
+        }
+
+        // Per-lane references first (lrcs still holds last round).
+        std::vector<std::vector<LrcPair>> expected(lanes);
+        for (int l = 0; l < lanes; ++l) {
+            obs.round = r;
+            obs.events = laneSlice(events, l);
+            if (spec.multiLevel)
+                obs.leakedLabels = laneSlice(labels, l);
+            obs.hadLrc = laneSlice(had_lrc, l);
+            expected[l] = ref[l]->nextRound(obs);
+        }
+
+        controller.nextRound(events, labels, had_lrc, live, lrcs);
+        for (int l = 0; l < lanes; ++l) {
+            ASSERT_EQ(lrcs[l], expected[l])
+                << "round " << r << " lane " << l;
+        }
+
+        // The tracking tables must agree lane for lane, not just the
+        // emitted schedules.
+        for (int l = 0; l < lanes; ++l) {
+            for (int q = 0; q < n_data; ++q) {
+                ASSERT_EQ(controller.ltt().marked(q, l),
+                          ref[l]->ltt().marked(q))
+                    << "round " << r << " lane " << l << " q " << q;
+            }
+            for (int s = 0; s < n_stabs; ++s) {
+                ASSERT_EQ(controller.putt().used(s, l),
+                          ref[l]->putt().used(s))
+                    << "round " << r << " lane " << l << " s " << s;
+            }
+        }
+    }
+}
+
+TEST(BatchController, MatchesPerLaneEraserAcrossConfigs)
+{
+    uint64_t seed = 9000;
+    for (bool multi_level : {false, true}) {
+        for (LsbThreshold threshold :
+             {LsbThreshold::AtLeastTwo,
+              LsbThreshold::HalfNeighbors}) {
+            BatchPolicySpec spec;
+            spec.kind = BatchPolicyKind::Eraser;
+            spec.multiLevel = multi_level;
+            spec.threshold = threshold;
+            controllerMatchesPerLanePolicies<uint64_t>(3, spec, 64,
+                                                       8, ++seed);
+            controllerMatchesPerLanePolicies<WordVec<4>>(3, spec, 256,
+                                                         6, ++seed);
+            controllerMatchesPerLanePolicies<WordVec<4>>(5, spec, 100,
+                                                         5, ++seed);
+            controllerMatchesPerLanePolicies<WordVec<8>>(3, spec, 512,
+                                                         4, ++seed);
+        }
+    }
+}
+
+TEST(BatchController, MatchesPerLaneExactMatchingAndNoCooldown)
+{
+    BatchPolicySpec spec;
+    spec.kind = BatchPolicyKind::Eraser;
+    spec.allocator = DliAllocator::ExactMatching;
+    controllerMatchesPerLanePolicies<uint64_t>(3, spec, 64, 6, 41);
+    controllerMatchesPerLanePolicies<WordVec<4>>(3, spec, 130, 5, 42);
+
+    spec.allocator = DliAllocator::LookupTable;
+    spec.puttCooldown = false;
+    controllerMatchesPerLanePolicies<uint64_t>(3, spec, 64, 6, 43);
+    controllerMatchesPerLanePolicies<WordVec<8>>(3, spec, 320, 4, 44);
+}
+
+// -------------------------------------------------- experiment tier
+
+/** Forced per-lane variants: identical policies whose batchSpec hides
+ *  the lane-parallel form, driving the fallback path. */
+struct PerLaneEraserPolicy : EraserPolicy
+{
+    using EraserPolicy::EraserPolicy;
+    BatchPolicySpec batchSpec() const override { return {}; }
+};
+struct PerLaneAlwaysPolicy : AlwaysLrcPolicy
+{
+    using AlwaysLrcPolicy::AlwaysLrcPolicy;
+    BatchPolicySpec batchSpec() const override { return {}; }
+};
+struct PerLaneNeverPolicy : NeverLrcPolicy
+{
+    BatchPolicySpec batchSpec() const override { return {}; }
+};
+
+void
+expectResultsIdentical(const ExperimentResult &a,
+                       const ExperimentResult &b, const char *what)
+{
+    EXPECT_EQ(a.logicalErrors, b.logicalErrors) << what;
+    EXPECT_EQ(a.verdictFingerprint, b.verdictFingerprint) << what;
+    EXPECT_EQ(a.tp, b.tp) << what;
+    EXPECT_EQ(a.fp, b.fp) << what;
+    EXPECT_EQ(a.tn, b.tn) << what;
+    EXPECT_EQ(a.fn, b.fn) << what;
+    EXPECT_EQ(a.lrcsScheduled, b.lrcsScheduled) << what;
+    EXPECT_EQ(a.zeroDefectShots, b.zeroDefectShots) << what;
+    ASSERT_EQ(a.lprDataSum.size(), b.lprDataSum.size()) << what;
+    for (size_t r = 0; r < a.lprDataSum.size(); ++r) {
+        EXPECT_DOUBLE_EQ(a.lprDataSum[r], b.lprDataSum[r]) << what;
+        EXPECT_DOUBLE_EQ(a.lprParitySum[r], b.lprParitySum[r]) << what;
+    }
+}
+
+/**
+ * The controller path and the per-lane fallback path must agree bit
+ * for bit at every width. shots = 391 gives ragged tail groups at
+ * every width (64: ...x6 + 7; 256: 256 + 135; 512: 391), so dead
+ * ragged-tail lanes are exercised on both paths too.
+ */
+TEST(BatchControllerExperiment, WordParallelMatchesPerLaneAllWidths)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig base;
+    base.rounds = 5;
+    base.shots = 391;
+    base.seed = 20260726;
+    base.em = ErrorModel::standard(3e-3);
+    base.decoderKind = DecoderKind::UnionFind;
+    base.trackLpr = true;
+
+    struct Variant
+    {
+        const char *name;
+        RemovalProtocol protocol;
+        PolicyFactory wordParallel;
+        PolicyFactory perLane;
+    };
+
+    MemoryExperiment probe(code, base);   // lookup table source
+    const SwapLookupTable &lookup = probe.lookup();
+
+    auto eraser_pair = [&code, &lookup](bool multi,
+                                        LsbThreshold threshold) {
+        return std::make_pair(
+            PolicyFactory([&code, &lookup, multi, threshold]() {
+                return std::make_unique<EraserPolicy>(
+                    code, lookup, multi, threshold);
+            }),
+            PolicyFactory([&code, &lookup, multi, threshold]() {
+                return std::make_unique<PerLaneEraserPolicy>(
+                    code, lookup, multi, threshold);
+            }));
+    };
+
+    std::vector<Variant> variants;
+    {
+        auto [word, lane] =
+            eraser_pair(false, LsbThreshold::AtLeastTwo);
+        variants.push_back(
+            {"ERASER", RemovalProtocol::SwapLrc, word, lane});
+    }
+    {
+        auto [word, lane] = eraser_pair(true, LsbThreshold::AtLeastTwo);
+        variants.push_back(
+            {"ERASER+M", RemovalProtocol::SwapLrc, word, lane});
+    }
+    {
+        auto [word, lane] =
+            eraser_pair(false, LsbThreshold::HalfNeighbors);
+        variants.push_back({"ERASER/half", RemovalProtocol::SwapLrc,
+                            word, lane});
+    }
+    {
+        auto [word, lane] = eraser_pair(false, LsbThreshold::AtLeastTwo);
+        variants.push_back(
+            {"ERASER/dqlr", RemovalProtocol::Dqlr, word, lane});
+    }
+    variants.push_back(
+        {"Always", RemovalProtocol::SwapLrc,
+         [&code]() {
+             return std::make_unique<AlwaysLrcPolicy>(code, false);
+         },
+         [&code]() {
+             return std::make_unique<PerLaneAlwaysPolicy>(code, false);
+         }});
+    variants.push_back(
+        {"DQLR", RemovalProtocol::Dqlr,
+         [&code]() {
+             return std::make_unique<AlwaysLrcPolicy>(code, true);
+         },
+         [&code]() {
+             return std::make_unique<PerLaneAlwaysPolicy>(code, true);
+         }});
+    variants.push_back(
+        {"Never", RemovalProtocol::SwapLrc,
+         []() { return std::make_unique<NeverLrcPolicy>(); },
+         []() { return std::make_unique<PerLaneNeverPolicy>(); }});
+
+    for (const auto &variant : variants) {
+        ExperimentConfig cfg = base;
+        cfg.protocol = variant.protocol;
+        if (variant.protocol == RemovalProtocol::Dqlr)
+            cfg.em.transport = TransportModel::Exchange;
+        for (unsigned width : {64u, 256u, 512u}) {
+            cfg.batchWidth = width;
+            MemoryExperiment exp(code, cfg);
+            auto word = exp.runBatched(variant.wordParallel, "word");
+            auto lane = exp.runBatched(variant.perLane, "lane");
+            expectResultsIdentical(
+                word, lane,
+                (std::string(variant.name) + " W=" +
+                 std::to_string(width))
+                    .c_str());
+        }
+    }
+}
+
+/** Ragged word-group regression: a 100-shot run leaves 156 dead lanes
+ *  in a 256-wide group (and a 28-lane ragged second block); dead
+ *  lanes must contribute no events, LRCs, observations or verdicts,
+ *  i.e. the run must match its own 64-wide decomposition exactly on
+ *  both controller and fallback paths. */
+TEST(BatchControllerExperiment, RaggedGroupsMatchAcrossWidthsAndPaths)
+{
+    RotatedSurfaceCode code(3);
+    ExperimentConfig cfg;
+    cfg.rounds = 5;
+    cfg.shots = 100;
+    cfg.seed = 77;
+    cfg.em = ErrorModel::standard(5e-3);
+    cfg.decoderKind = DecoderKind::UnionFind;
+    cfg.trackLpr = true;
+    MemoryExperiment exp(code, cfg);
+    const SwapLookupTable &lookup = exp.lookup();
+
+    const PolicyFactory word = [&code, &lookup]() {
+        return std::make_unique<EraserPolicy>(code, lookup, true);
+    };
+    const PolicyFactory lane = [&code, &lookup]() {
+        return std::make_unique<PerLaneEraserPolicy>(code, lookup,
+                                                     true);
+    };
+
+    cfg.batchWidth = 64;
+    auto w64 = MemoryExperiment(code, cfg).runBatched(word, "w64");
+    cfg.batchWidth = 256;
+    MemoryExperiment wide(code, cfg);
+    auto w256 = wide.runBatched(word, "w256");
+    auto w256_lane = wide.runBatched(lane, "w256/lane");
+
+    expectResultsIdentical(w64, w256, "ragged W=256 vs W=64");
+    expectResultsIdentical(w64, w256_lane,
+                           "ragged W=256 per-lane vs W=64");
+    // Every (shot, round, data-qubit) decision is accounted exactly
+    // once: dead lanes add nothing to any quadrant.
+    EXPECT_EQ(w256.tp + w256.fp + w256.tn + w256.fn,
+              cfg.shots * (uint64_t)cfg.rounds *
+                  (uint64_t)code.numData());
+    EXPECT_EQ(w256.tp + w256.fp, w256.lrcsScheduled);
+}
+
+} // namespace
+} // namespace qec

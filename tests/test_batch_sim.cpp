@@ -392,6 +392,7 @@ expectResultsIdentical(const ExperimentResult &a,
                        const ExperimentResult &b, const char *what)
 {
     EXPECT_EQ(a.logicalErrors, b.logicalErrors) << what;
+    EXPECT_EQ(a.verdictFingerprint, b.verdictFingerprint) << what;
     EXPECT_EQ(a.tp, b.tp) << what;
     EXPECT_EQ(a.fp, b.fp) << what;
     EXPECT_EQ(a.tn, b.tn) << what;
@@ -516,6 +517,64 @@ TEST(BatchSim, WideEngineMatchesBlockwise64LaneEngines)
             ASSERT_EQ(laneWord(wide.zWord(q), b), narrow.zWord(q));
             ASSERT_EQ(laneWord(wide.leakedWord(q), b),
                       narrow.leakedWord(q));
+        }
+    }
+}
+
+/**
+ * Dead-lane audit pin: a ragged word-group (100 live lanes in a
+ * 256-lane-capable engine, second block only 36 lanes deep) must keep
+ * every record word and every internal plane silent above the live
+ * mask after a full noisy adaptive-shaped circuit — a stray dead-lane
+ * bit here would leak phantom events, observations or LRCs into the
+ * experiment layer's scatter loops.
+ */
+TEST(BatchSim, RaggedGroupKeepsDeadLanesSilent)
+{
+    RotatedSurfaceCode code(3);
+    Circuit circuit = buildMemoryCircuit(code, 6, Basis::Z);
+    ErrorModel em = ErrorModel::standard(8e-3);
+    BatchFrameSimulatorT<4> sim(code.numQubits(), em, 100, 13, 0);
+    const WordVec<4> live = sim.liveMask();
+    ASSERT_EQ(laneWord(live, 0), ~uint64_t{0});
+    ASSERT_EQ(laneWord(live, 1), laneMask64(36));
+    ASSERT_EQ(laneWord(live, 2), 0u);
+
+    sim.executeRange(circuit.ops.data(),
+                     circuit.ops.data() + circuit.ops.size());
+    // Force the leakage-divergent op paths on a masked lane subset
+    // too (the experiment layer's divergent-LRC-tail shape).
+    WordVec<4> half{};
+    laneWordRef(half, 0) = 0xFFFF0000FFFF0000ull;
+    laneWordRef(half, 1) = laneMask64(36) & 0x55555555ull;
+    for (const auto &stab : code.stabilizers()) {
+        sim.execute(op(OpType::Cnot, stab.support[0], stab.ancilla),
+                    half);
+        sim.execute(op(OpType::Measure, stab.support[0]), half);
+        sim.execute(op(OpType::Reset, stab.ancilla), half);
+    }
+
+    for (const auto &rec : sim.record()) {
+        for (int b = 0; b < 4; ++b) {
+            ASSERT_EQ(laneWord(rec.mask, b) & ~laneWord(live, b), 0u);
+            ASSERT_EQ(laneWord(rec.flips, b) & ~laneWord(live, b), 0u);
+            ASSERT_EQ(
+                laneWord(rec.leakedLabels, b) & ~laneWord(live, b),
+                0u);
+        }
+    }
+    for (int q = 0; q < code.numQubits(); ++q) {
+        for (int b = 0; b < 4; ++b) {
+            ASSERT_EQ(laneWord(sim.xWord(q), b) & ~laneWord(live, b),
+                      0u)
+                << "qubit " << q;
+            ASSERT_EQ(laneWord(sim.zWord(q), b) & ~laneWord(live, b),
+                      0u)
+                << "qubit " << q;
+            ASSERT_EQ(
+                laneWord(sim.leakedWord(q), b) & ~laneWord(live, b),
+                0u)
+                << "qubit " << q;
         }
     }
 }

@@ -117,6 +117,27 @@ TEST(SimdWord, LaneBitHelpersAddressTheRightWord)
     EXPECT_EQ(s, 0u);
 }
 
+TEST(SimdWord, ClearLaneDropsExactlyOneLane)
+{
+    // Lane ids are laundered through a volatile: gcc 12's AVX-512
+    // constant folder miscounts a fully compile-time-known
+    // setLane/popcount chain, and this test targets the runtime code
+    // path the engine actually executes.
+    volatile int base = 0;
+    WordVec<4> v;
+    for (int lane : {0, 63, 64, 129, 255})
+        setLane(v, lane + base);
+    clearLane(v, 129 + base);
+    EXPECT_FALSE(testLane(v, 129));
+    EXPECT_EQ(popcountLanes(v), 4);
+    clearLane(v, 200 + base);   // clearing an unset lane is a no-op
+    EXPECT_EQ(popcountLanes(v), 4);
+
+    uint64_t s = (1ull << 9) | (1ull << 30);
+    clearLane(s, 9 + base);
+    EXPECT_EQ(s, 1ull << 30);
+}
+
 TEST(SimdWord, LaneMaskCoversExactlyTheLowLanes)
 {
     EXPECT_EQ(laneMask64(0), 0u);
@@ -184,7 +205,16 @@ TEST(SimdWord, RuntimeDispatchIsConsistent)
 #if defined(QEC_SIMD_FORCE_PORTABLE)
     EXPECT_EQ(compiledSimdBackend(), SimdBackend::Portable);
     EXPECT_STREQ(simdBackendName(), "portable");
+    // Portable WordVec ops are scalar loops: widths above 64 only add
+    // plane-depth overhead, so the recommendation must clamp to 64 no
+    // matter what vector units the host CPU has.
+    EXPECT_EQ(w, 64);
 #endif
+    // Whatever the host, a portable *engine build* never benefits
+    // from wide words; the clamp is keyed on the compiled backend.
+    if (compiledSimdBackend() == SimdBackend::Portable) {
+        EXPECT_EQ(w, 64);
+    }
 }
 
 } // namespace
