@@ -5,11 +5,14 @@
  * Union-Find decoder under identical leakage conditions to quantify
  * what the decoder choice costs each scheduling policy — and to show
  * that ERASER's advantage over Always-LRCs is decoder-independent.
+ * The decoder axis shares the point's derived seed, so both decoders
+ * judge the exact same noise streams.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -19,40 +22,39 @@ main()
     banner("MWPM vs Union-Find under leakage (d = 5, 10 cycles)",
            "Decoder-independence check (Sections 2.2, 5.3)");
 
-    RotatedSurfaceCode code(5);
-    ExperimentConfig cfg;
-    cfg.rounds = 50;
-    cfg.shots = scaledShots(4000);
-    cfg.seed = 55;
-    cfg.batchWidth = 64;   // bit-packed batch engine + decode
+    SweepPlan plan;
+    plan.name = "ablation_decoder";
+    plan.distances = {5};
+    plan.rounds = {SweepRounds::exactly(50)};
+    plan.decoders = {DecoderKind::Mwpm, DecoderKind::UnionFind};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::Optimal};
+    plan.base.batchWidth = 64;   // batch engine + decode pipeline
+    plan.base.shots = scaledShots(4000);
 
-    MemoryExperiment mwpm_exp(code, cfg);
-    cfg.decoderKind = DecoderKind::UnionFind;
-    MemoryExperiment uf_exp(code, cfg);
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(collect);
+    runner.run();
 
-    ShotRateTimer timer;
+    const PointResult &mwpm_pt = collect.points[0];
+    const PointResult &uf_pt = collect.points[1];
+
     std::printf("%-12s %14s %14s %10s\n", "policy", "MWPM LER",
                 "UnionFind LER", "UF/MWPM");
     double gain_mwpm = 0.0;
     double gain_uf = 0.0;
-    ExperimentResult mwpm_always;
-    ExperimentResult uf_always;
-    for (PolicyKind kind : {PolicyKind::Always, PolicyKind::Eraser,
-                            PolicyKind::Optimal}) {
-        auto mwpm = mwpm_exp.run(kind);
-        auto uf = uf_exp.run(kind);
+    for (size_t i = 0; i < mwpm_pt.results.size(); ++i) {
+        const ExperimentResult &mwpm = mwpm_pt.results[i];
+        const ExperimentResult &uf = uf_pt.results[i];
         std::printf("%-12s %14s %14s %9.2fx\n", mwpm.policy.c_str(),
                     lerCell(mwpm).c_str(), lerCell(uf).c_str(),
                     uf.ler() / (mwpm.ler() + 1e-12));
-        if (kind == PolicyKind::Always) {
-            mwpm_always = mwpm;
-            uf_always = uf;
-        } else if (kind == PolicyKind::Eraser) {
-            gain_mwpm = mwpm_always.ler() / (mwpm.ler() + 1e-12);
-            gain_uf = uf_always.ler() / (uf.ler() + 1e-12);
+        if (i == 1) {   // ERASER vs Always
+            gain_mwpm = mwpm_pt.results[0].ler() / (mwpm.ler() + 1e-12);
+            gain_uf = uf_pt.results[0].ler() / (uf.ler() + 1e-12);
         }
     }
-    timer.report(6 * cfg.shots, "ablation_decoder (batched pipeline)");
     std::printf("\nERASER-over-Always gain: %.2fx with MWPM, %.2fx"
                 " with Union-Find\n", gain_mwpm, gain_uf);
     std::printf("Expectation: UF pays a modest accuracy tax on every\n"

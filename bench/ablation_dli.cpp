@@ -11,21 +11,27 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
 namespace
 {
 
-PolicyFactory
-variant(const RotatedSurfaceCode &code, const SwapLookupTable &lookup,
-        DliAllocator allocator, bool cooldown)
+SweepPolicy
+variant(const char *name, DliAllocator allocator, bool cooldown)
 {
-    return [&code, &lookup, allocator, cooldown]() {
-        return std::make_unique<EraserPolicy>(
-            code, lookup, false, LsbThreshold::AtLeastTwo, allocator,
-            cooldown);
-    };
+    return SweepPolicy(
+        name,
+        [allocator, cooldown](const RotatedSurfaceCode &code,
+                              const SwapLookupTable &lookup)
+            -> PolicyFactory {
+            return [&code, &lookup, allocator, cooldown]() {
+                return std::make_unique<EraserPolicy>(
+                    code, lookup, false, LsbThreshold::AtLeastTwo,
+                    allocator, cooldown);
+            };
+        });
 }
 
 } // namespace
@@ -36,41 +42,40 @@ main()
     banner("DLI ablation: allocator and PUTT cooldown",
            "Design-choice ablation (Sections 4.2.2, 4.4)");
 
-    RotatedSurfaceCode code(7);
-    SwapLookupTable lookup(code);
-
-    ExperimentConfig cfg;
-    cfg.rounds = 70;
-    cfg.shots = scaledShots(1200);
-    cfg.seed = 71;
-    cfg.trackLpr = true;
-    MemoryExperiment exp(code, cfg);
-
-    struct Row
-    {
-        const char *name;
-        DliAllocator alloc;
-        bool cooldown;
+    SweepPlan plan;
+    plan.name = "ablation_dli";
+    plan.distances = {7};
+    plan.rounds = {SweepRounds::exactly(70)};
+    plan.policies = {
+        variant("lookup + cooldown (paper)", DliAllocator::LookupTable,
+                true),
+        variant("exact  + cooldown", DliAllocator::ExactMatching,
+                true),
+        variant("lookup, no cooldown", DliAllocator::LookupTable,
+                false),
+        variant("exact,  no cooldown", DliAllocator::ExactMatching,
+                false),
     };
-    const Row rows[] = {
-        {"lookup + cooldown (paper)", DliAllocator::LookupTable, true},
-        {"exact  + cooldown", DliAllocator::ExactMatching, true},
-        {"lookup, no cooldown", DliAllocator::LookupTable, false},
-        {"exact,  no cooldown", DliAllocator::ExactMatching, false},
-    };
+    plan.base.trackLpr = true;
+    plan.base.shots = scaledShots(1200);
 
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(collect);
+    runner.run();
+
+    const PointResult &point = collect.points.front();
+    const int rounds = point.point.rounds;
     std::printf("%-28s %12s %12s %14s %10s\n", "variant", "LER",
                 "LRCs/round", "lateLPR(1e-4)", "FNR");
-    for (const auto &row : rows) {
-        auto result = exp.run(
-            variant(code, lookup, row.alloc, row.cooldown), row.name);
+    for (const ExperimentResult &result : point.results) {
         double late = 0.0;
-        for (int r = cfg.rounds / 2; r < cfg.rounds; ++r)
+        for (int r = rounds / 2; r < rounds; ++r)
             late += result.lprTotal(r);
-        late /= (cfg.rounds - cfg.rounds / 2);
-        std::printf("%-28s %12s %12.3f %14.2f %9.1f%%\n", row.name,
-                    lerCell(result).c_str(), result.avgLrcsPerRound(),
-                    late * 1e4,
+        late /= (rounds - rounds / 2);
+        std::printf("%-28s %12s %12.3f %14.2f %9.1f%%\n",
+                    result.policy.c_str(), lerCell(result).c_str(),
+                    result.avgLrcsPerRound(), late * 1e4,
                     result.falseNegativeRate() * 100.0);
     }
     std::printf("\nExpectation: the lookup allocator gives up almost\n"

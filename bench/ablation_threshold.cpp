@@ -11,45 +11,61 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
+
+namespace
+{
+
+SweepPolicy
+variant(const char *name, LsbThreshold threshold)
+{
+    return SweepPolicy(
+        name,
+        [threshold](const RotatedSurfaceCode &code,
+                    const SwapLookupTable &lookup) -> PolicyFactory {
+            return [&code, &lookup, threshold]() {
+                return std::make_unique<EraserPolicy>(code, lookup,
+                                                      false,
+                                                      threshold);
+            };
+        });
+}
+
+} // namespace
 
 int
 main()
 {
     banner("LSB threshold ablation", "Section 4.1.2, Insight #2");
 
-    RotatedSurfaceCode code(7);
-    SwapLookupTable lookup(code);
-
-    ExperimentConfig cfg;
-    cfg.rounds = 70;
-    cfg.shots = scaledShots(1200);
-    cfg.seed = 72;
-    cfg.trackLpr = true;
-    MemoryExperiment exp(code, cfg);
-
-    struct Row
-    {
-        const char *name;
-        LsbThreshold threshold;
+    SweepPlan plan;
+    plan.name = "ablation_threshold";
+    plan.distances = {7};
+    plan.rounds = {SweepRounds::exactly(70)};
+    plan.policies = {
+        variant("half-neighbours (conservative)",
+                LsbThreshold::HalfNeighbors),
+        variant("at-least-two (paper)", LsbThreshold::AtLeastTwo),
+        variant("all-neighbours (aggressive)",
+                LsbThreshold::AllNeighbors),
     };
-    const Row rows[] = {
-        {"half-neighbours (conservative)", LsbThreshold::HalfNeighbors},
-        {"at-least-two (paper)", LsbThreshold::AtLeastTwo},
-        {"all-neighbours (aggressive)", LsbThreshold::AllNeighbors},
-    };
+    plan.base.trackLpr = true;
+    plan.base.shots = scaledShots(1200);
+
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(collect);
+    runner.run();
 
     std::printf("%-32s %12s %12s %9s %9s\n", "threshold", "LER",
                 "LRCs/round", "FPR", "FNR");
-    for (const auto &row : rows) {
-        auto factory = [&code, &lookup, &row]() {
-            return std::make_unique<EraserPolicy>(
-                code, lookup, false, row.threshold);
-        };
-        auto result = exp.run(factory, row.name);
-        std::printf("%-32s %12s %12.3f %8.2f%% %8.1f%%\n", row.name,
-                    lerCell(result).c_str(), result.avgLrcsPerRound(),
+    for (const ExperimentResult &result :
+         collect.points.front().results) {
+        std::printf("%-32s %12s %12.3f %8.2f%% %8.1f%%\n",
+                    result.policy.c_str(), lerCell(result).c_str(),
+                    result.avgLrcsPerRound(),
                     result.falsePositiveRate() * 100.0,
                     result.falseNegativeRate() * 100.0);
     }

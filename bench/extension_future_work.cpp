@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "core/evidence_policy.h"
 #include "exp/postselection.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -28,33 +29,40 @@ main()
     banner("Future-work extensions: evidence LSB and post-selection",
            "Sections 6.4.2, 7.1 and 8 (future work)");
 
-    RotatedSurfaceCode code(7);
-    SwapLookupTable lookup(code);
+    SweepPlan plan;
+    plan.name = "extension_speculation";
+    plan.distances = {7};
+    plan.rounds = {SweepRounds::exactly(70)};
+    plan.policies = {
+        SweepPolicy(PolicyKind::Eraser),
+        SweepPolicy("ERASER+EV",
+                    [](const RotatedSurfaceCode &code,
+                       const SwapLookupTable &lookup) -> PolicyFactory {
+                        return [&code, &lookup]() {
+                            return std::make_unique<
+                                EvidenceEraserPolicy>(code, lookup);
+                        };
+                    }),
+        SweepPolicy(PolicyKind::EraserM),
+    };
+    plan.base.trackLpr = true;
+    plan.base.shots = scaledShots(1500);
 
-    ExperimentConfig cfg;
-    cfg.rounds = 70;
-    cfg.shots = scaledShots(1500);
-    cfg.seed = 99;
-    cfg.trackLpr = true;
-    MemoryExperiment exp(code, cfg);
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(collect);
+    runner.run();
 
     std::printf("Speculation strategies (d = 7, 10 cycles):\n");
     std::printf("%-12s %12s %12s %9s %9s\n", "policy", "LER",
                 "LRCs/round", "FNR", "FPR");
-    auto eraser = exp.run(PolicyKind::Eraser);
-    auto evidence = exp.run(
-        [&]() {
-            return std::make_unique<EvidenceEraserPolicy>(code,
-                                                          lookup);
-        },
-        "ERASER+EV");
-    auto eraser_m = exp.run(PolicyKind::EraserM);
-    for (const auto *r : {&eraser, &evidence, &eraser_m}) {
+    for (const ExperimentResult &r :
+         collect.points.front().results) {
         std::printf("%-12s %12s %12.3f %8.1f%% %8.2f%%\n",
-                    r->policy.c_str(), lerCell(*r).c_str(),
-                    r->avgLrcsPerRound(),
-                    r->falseNegativeRate() * 100.0,
-                    r->falsePositiveRate() * 100.0);
+                    r.policy.c_str(), lerCell(r).c_str(),
+                    r.avgLrcsPerRound(),
+                    r.falseNegativeRate() * 100.0,
+                    r.falsePositiveRate() * 100.0);
     }
     std::printf("\nEvidence accumulation attacks the same FNR that\n"
                 "ERASER+M needs multi-level readout for — with zero\n"
@@ -66,7 +74,10 @@ main()
     ExperimentConfig ps_cfg;
     ps_cfg.rounds = 50;
     ps_cfg.shots = scaledShots(3000);
-    ps_cfg.seed = 100;
+    // Post-selection shares the sweep seed contract: same physical
+    // tuple, same streams as any sweep over this scenario.
+    ps_cfg.seed = sweepPointSeed(5, ps_cfg.rounds, ps_cfg.basis,
+                                 ps_cfg.protocol, ps_cfg.em);
     ps_cfg.batchWidth = 64;   // batched sim + decode pipeline
     ShotRateTimer ps_timer;
     auto ps = runPostSelectedExperiment(small, ps_cfg);

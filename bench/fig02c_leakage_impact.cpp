@@ -9,9 +9,10 @@
  */
 
 #include <cstdio>
-#include <vector>
+#include <string>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -21,44 +22,64 @@ main()
     banner("Logical error rate vs QEC cycles (d = 7, p = 1e-3)",
            "Fig. 1(c) and Fig. 2(c), Section 2.3");
 
-    const int d = 7;
-    RotatedSurfaceCode code(d);
-    const std::vector<int> cycles = {1, 2, 3, 5, 7, 10};
     const uint64_t base_shots = 1000;
+    const std::vector<SweepRounds> cycle_axis = {
+        SweepRounds::cycles(1), SweepRounds::cycles(2),
+        SweepRounds::cycles(3), SweepRounds::cycles(5),
+        SweepRounds::cycles(7), SweepRounds::cycles(10)};
 
+    // Leak-free baseline: needs far more shots to resolve; its decode
+    // load is tiny, so give it 10x.
+    SweepPlan clean_plan;
+    clean_plan.name = "fig02c_no_leakage";
+    clean_plan.distances = {7};
+    clean_plan.rounds = cycle_axis;
+    clean_plan.policies = {PolicyKind::Never};
+    clean_plan.base.em = ErrorModel::withoutLeakage(1e-3);
+    clean_plan.base.batchWidth = 64;
+    clean_plan.base.shots = scaledShots(base_shots * 10);
+
+    // The leaky scenarios share one plan (and so one experiment,
+    // detector model and noise streams per cycle count).
+    SweepPlan plan;
+    plan.name = "fig02c_leakage";
+    plan.distances = {7};
+    plan.rounds = cycle_axis;
+    plan.policies = {PolicyKind::Never, PolicyKind::Always,
+                     PolicyKind::Optimal};
+    plan.base.batchWidth = 64;   // bit-packed batch engine + decode
+    plan.base.shots = scaledShots(base_shots);
+
+    CollectSink clean;
+    {
+        SweepRunner runner(clean_plan);
+        runner.addSink(clean);
+        runner.run();
+    }
+    CollectSink leaky;
+    {
+        SweepRunner runner(plan);
+        runner.addSink(leaky);
+        runner.run();
+    }
+
+    auto cell = [](const ExperimentResult &r) {
+        return lerCell(r);
+    };
     std::printf("%6s %12s %12s %12s %12s %10s\n", "cycle", "no-leak",
                 "no-LRC", "Always", "Optimal", "leak-blowup");
-
-    ShotRateTimer timer;
-    uint64_t shots_run = 0;
-    for (int c : cycles) {
-        ExperimentConfig cfg;
-        cfg.rounds = c * d;
-        cfg.shots = scaledShots(base_shots);
-        cfg.seed = 1000 + c;
-        cfg.batchWidth = 64;   // bit-packed batch engine + decode
-
-        // The leak-free baseline needs far more shots to resolve;
-        // its decode load is tiny, so give it 10x.
-        cfg.em = ErrorModel::withoutLeakage(1e-3);
-        cfg.shots = scaledShots(base_shots * 10);
-        MemoryExperiment clean_exp(code, cfg);
-        auto clean = clean_exp.run(PolicyKind::Never);
-        cfg.shots = scaledShots(base_shots);
-
-        cfg.em = ErrorModel::standard(1e-3);
-        MemoryExperiment exp(code, cfg);
-        auto never = exp.run(PolicyKind::Never);
-        auto always = exp.run(PolicyKind::Always);
-        auto optimal = exp.run(PolicyKind::Optimal);
-
-        std::printf("%6d %12s %12s %12s %12s %10s\n", c,
-                    lerCell(clean).c_str(), lerCell(never).c_str(),
-                    lerCell(always).c_str(), lerCell(optimal).c_str(),
-                    ratioCell(never, clean).c_str());
-        shots_run += scaledShots(base_shots * 10) + 3 * cfg.shots;
+    for (size_t i = 0; i < leaky.points.size(); ++i) {
+        const ExperimentResult &no_leak =
+            clean.points[i].results[0];
+        const ExperimentResult &never = leaky.points[i].results[0];
+        const ExperimentResult &always = leaky.points[i].results[1];
+        const ExperimentResult &optimal = leaky.points[i].results[2];
+        std::printf("%6d %12s %12s %12s %12s %10s\n",
+                    leaky.points[i].point.rounds / 7,
+                    cell(no_leak).c_str(), cell(never).c_str(),
+                    cell(always).c_str(), cell(optimal).c_str(),
+                    ratioCell(never, no_leak).c_str());
     }
-    timer.report(shots_run, "fig02c sweep (batched sim+decode)");
     std::printf("\nPaper shape: no-LRC blows up with cycles (27x at 1\n"
                 "cycle, 467x at 5); Always-LRCs recovers ~4x of it and\n"
                 "Optimal ~10x at 10 cycles.\n");

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -19,22 +20,28 @@ main()
     banner("Leakage population ratio under Always-LRCs (d = 7)",
            "Fig. 5, Section 3.1.3");
 
-    RotatedSurfaceCode code(7);
-    ExperimentConfig cfg;
-    cfg.rounds = 70;
-    cfg.shots = scaledShots(4000);
-    cfg.seed = 5;
-    cfg.decode = false;
-    cfg.trackLpr = true;
-    cfg.batchWidth = 64;   // bit-packed batch engine
-    MemoryExperiment exp(code, cfg);
-    ShotRateTimer timer;
-    auto result = exp.run(PolicyKind::Always);
-    timer.report(cfg.shots, "fig05 (batched engine)");
+    SweepPlan plan;
+    plan.name = "fig05_lpr_always";
+    plan.distances = {7};
+    plan.rounds = {SweepRounds::exactly(70)};
+    plan.policies = {PolicyKind::Always};
+    plan.base.decode = false;
+    plan.base.trackLpr = true;
+    plan.base.batchWidth = 64;   // bit-packed batch engine
+    plan.base.shots = scaledShots(4000);
+
+    SweepRunner runner(plan);
+    CollectSink collect;
+    runner.addSink(collect);
+    runner.run();
+
+    const ExperimentResult &result =
+        collect.points.front().results.front();
+    const int rounds = collect.points.front().point.rounds;
 
     std::printf("%6s %12s %12s %12s\n", "round", "total(1e-4)",
                 "data(1e-4)", "parity(1e-4)");
-    for (int r = 0; r < cfg.rounds; ++r) {
+    for (int r = 0; r < rounds; ++r) {
         std::printf("%6d %12.2f %12.2f %12.2f\n", r,
                     result.lprTotal(r) * 1e4, result.lprData(r) * 1e4,
                     result.lprParity(r) * 1e4);

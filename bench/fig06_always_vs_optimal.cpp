@@ -8,9 +8,9 @@
  */
 
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -20,27 +20,30 @@ main()
     banner("Always-LRCs vs idealized LRC scheduling (d = 7)",
            "Fig. 6 and Section 3.2");
 
-    const int d = 7;
-    RotatedSurfaceCode code(d);
-
     // Top panel: LPR over 10 cycles.
     {
-        ExperimentConfig cfg;
-        cfg.rounds = 70;
-        cfg.shots = scaledShots(3000);
-        cfg.seed = 6;
-        cfg.decode = false;
-        cfg.trackLpr = true;
-        cfg.batchWidth = 64;   // bit-packed batch engine
-        MemoryExperiment exp(code, cfg);
-        ShotRateTimer timer;
-        auto always = exp.run(PolicyKind::Always);
-        auto optimal = exp.run(PolicyKind::Optimal);
-        timer.report(2 * cfg.shots, "fig06 LPR panel (batched engine)");
+        SweepPlan plan;
+        plan.name = "fig06_lpr_panel";
+        plan.distances = {7};
+        plan.rounds = {SweepRounds::exactly(70)};
+        plan.policies = {PolicyKind::Always, PolicyKind::Optimal};
+        plan.base.decode = false;
+        plan.base.trackLpr = true;
+        plan.base.batchWidth = 64;   // bit-packed batch engine
+        plan.base.shots = scaledShots(3000);
+
+        SweepRunner runner(plan);
+        CollectSink collect;
+        runner.addSink(collect);
+        runner.run();
+
+        const PointResult &point = collect.points.front();
+        const ExperimentResult &always = point.results[0];
+        const ExperimentResult &optimal = point.results[1];
 
         std::printf("%6s %16s %16s\n", "round", "Always(1e-4)",
                     "Optimal(1e-4)");
-        for (int r = 0; r < cfg.rounds; r += 7) {
+        for (int r = 0; r < point.point.rounds; r += 7) {
             std::printf("%6d %16.2f %16.2f\n", r,
                         always.lprTotal(r) * 1e4,
                         optimal.lprTotal(r) * 1e4);
@@ -51,22 +54,26 @@ main()
                     optimal.avgLrcsPerRound());
     }
 
-    // Bottom panel: LER vs cycles.
-    std::printf("%6s %14s %14s %10s\n", "cycle", "Always", "Optimal",
-                "gap");
-    for (int c : std::vector<int>{2, 4, 6, 8, 10}) {
-        ExperimentConfig cfg;
-        cfg.rounds = c * d;
-        cfg.shots = scaledShots(1500);
-        cfg.seed = 60 + c;
-        cfg.batchWidth = 64;   // bit-packed batch engine
-        MemoryExperiment exp(code, cfg);
-        auto always = exp.run(PolicyKind::Always);
-        auto optimal = exp.run(PolicyKind::Optimal);
-        std::printf("%6d %14s %14s %10s\n", c, lerCell(always).c_str(),
-                    lerCell(optimal).c_str(),
-                    ratioCell(always, optimal).c_str());
-    }
+    // Bottom panel: LER vs cycles (rounds = cycle * d at d = 7).
+    SweepPlan plan;
+    plan.name = "fig06_ler_panel";
+    plan.distances = {7};
+    plan.rounds = {SweepRounds::cycles(2), SweepRounds::cycles(4),
+                   SweepRounds::cycles(6), SweepRounds::cycles(8),
+                   SweepRounds::cycles(10)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Optimal};
+    plan.base.batchWidth = 64;   // bit-packed batch engine + decode
+    plan.base.shots = scaledShots(1500);
+
+    TableSink::Options options;
+    options.gainNum = 0;   // Always
+    options.gainDen = 1;   // Optimal
+    options.gainHeader = "gap";
+    TableSink table(options);
+    SweepRunner runner(plan);
+    runner.addSink(table);
+    runner.run();
+
     std::printf("\nPaper shape: the idealized policy wins by ~10x at\n"
                 "10 cycles and its LPR stays flat.\n");
     return 0;

@@ -2,7 +2,7 @@
  * @file
  * Reproduces Fig. 14: logical error rate vs code distance (3..11) for
  * Always-LRCs, ERASER, ERASER+M and Optimal scheduling over 10 QEC
- * cycles, at p = 1e-3 (top) and p = 1e-4 (bottom).
+ * cycles, at p = 1e-3 and p = 1e-4.
  *
  * Paper shape: ERASER beats Always-LRCs by 3.3x on average (up to
  * 4.3x); ERASER+M approaches Optimal (8.6x average, up to 26x). At
@@ -15,61 +15,41 @@
  */
 
 #include <cstdio>
-#include <vector>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
-
-namespace
-{
-
-void
-sweep(double p)
-{
-    std::printf("---- p = %.0e, 10 QEC cycles ----\n", p);
-    std::printf("%4s %8s %12s %12s %12s %12s %18s\n", "d", "shots",
-                "Always", "ERASER", "ERASER+M", "Optimal",
-                "ERASER/Always gain");
-    ShotRateTimer timer;
-    uint64_t shots_run = 0;
-    for (int d : {3, 5, 7, 9, 11}) {
-        RotatedSurfaceCode code(d);
-        ExperimentConfig cfg;
-        cfg.rounds = 10 * d;
-        cfg.em = ErrorModel::standard(p);
-        cfg.shots = scaledShots(90000 / (uint64_t)(d * d));
-        cfg.seed = 14000 + d + (p < 5e-4 ? 100 : 0);
-        cfg.batchWidth = 64;   // bit-packed batch engine
-        MemoryExperiment exp(code, cfg);
-
-        auto always = exp.run(PolicyKind::Always);
-        auto eraser = exp.run(PolicyKind::Eraser);
-        auto eraser_m = exp.run(PolicyKind::EraserM);
-        auto optimal = exp.run(PolicyKind::Optimal);
-
-        std::printf("%4d %8llu %12s %12s %12s %12s %18s\n", d,
-                    (unsigned long long)cfg.shots,
-                    lerCell(always).c_str(), lerCell(eraser).c_str(),
-                    lerCell(eraser_m).c_str(),
-                    lerCell(optimal).c_str(),
-                    ratioCell(always, eraser).c_str());
-        shots_run += 4 * cfg.shots;
-    }
-    timer.report(shots_run, "fig14 sweep (batched engine)");
-    std::printf("\n");
-}
-
-} // namespace
 
 int
 main()
 {
     banner("LER vs code distance for all scheduling policies",
            "Fig. 14, Section 6.1");
-    sweep(1e-3);
-    sweep(1e-4);
-    std::printf("Paper shape: ERASER ~3.3x below Always-LRCs;\n"
+
+    SweepPlan plan;
+    plan.name = "fig14_ler_vs_distance";
+    plan.distances = {3, 5, 7, 9, 11};
+    plan.ps = {1e-3, 1e-4};
+    plan.rounds = {SweepRounds::cycles(10)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::EraserM, PolicyKind::Optimal};
+    plan.base.batchWidth = 64;   // bit-packed batch engine + decode
+    plan.shotsFor = [](int d, double) {
+        return scaledShots(90000 / (uint64_t)(d * d));
+    };
+
+    TableSink::Options options;
+    options.gainNum = 0;   // Always
+    options.gainDen = 1;   // ERASER
+    options.gainHeader = "Always/ERASER";
+    TableSink table(options);
+
+    SweepRunner runner(plan);
+    runner.addSink(table);
+    runner.run();
+
+    std::printf("\nPaper shape: ERASER ~3.3x below Always-LRCs;\n"
                 "ERASER+M near Optimal; gains grow at p = 1e-4 where\n"
                 "many cells drop below the measurable floor.\n");
     return 0;

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -19,26 +20,35 @@ main()
     banner("LPR per round, d = 11, all policies",
            "Fig. 15, Section 6.2");
 
-    RotatedSurfaceCode code(11);
-    ExperimentConfig cfg;
-    cfg.rounds = 110;
-    cfg.shots = scaledShots(1200);
-    cfg.seed = 15;
-    cfg.decode = false;
-    cfg.trackLpr = true;
-    cfg.batchWidth = 64;   // bit-packed batch engine
-    MemoryExperiment exp(code, cfg);
+    SweepPlan plan;
+    plan.name = "fig15_lpr_policies";
+    plan.distances = {11};
+    plan.rounds = {SweepRounds::exactly(110)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::EraserM, PolicyKind::Optimal};
+    plan.base.decode = false;
+    plan.base.trackLpr = true;
+    plan.base.batchWidth = 64;   // bit-packed batch engine
+    plan.base.shots = scaledShots(1200);
 
-    ShotRateTimer timer;
-    auto always = exp.run(PolicyKind::Always);
-    auto eraser = exp.run(PolicyKind::Eraser);
-    auto eraser_m = exp.run(PolicyKind::EraserM);
-    auto optimal = exp.run(PolicyKind::Optimal);
-    timer.report(4 * cfg.shots, "fig15 (batched engine)");
+    SweepRunner runner(plan);
+    CollectSink collect;
+    TableSink rate;   // header + rate line; the LPR series follows
+    runner.addSink(rate);
+    runner.addSink(collect);
+    runner.run();
 
-    std::printf("%6s %14s %12s %12s %12s   (LPR in 1e-4)\n", "round",
-                "Always-LRCs", "ERASER", "ERASER+M", "Optimal");
-    for (int r = 0; r < cfg.rounds; r += 11) {
+    const PointResult &point = collect.points.front();
+    const ExperimentResult &always = point.results[0];
+    const ExperimentResult &eraser = point.results[1];
+    const ExperimentResult &eraser_m = point.results[2];
+    const ExperimentResult &optimal = point.results[3];
+    const int rounds = point.point.rounds;
+
+    std::printf("\n%6s %14s %12s %12s %12s   (LPR in 1e-4)\n",
+                "round", "Always-LRCs", "ERASER", "ERASER+M",
+                "Optimal");
+    for (int r = 0; r < rounds; r += 11) {
         std::printf("%6d %14.2f %12.2f %12.2f %12.2f\n", r,
                     always.lprTotal(r) * 1e4, eraser.lprTotal(r) * 1e4,
                     eraser_m.lprTotal(r) * 1e4,
@@ -47,9 +57,9 @@ main()
 
     auto late = [&](const ExperimentResult &res) {
         double total = 0.0;
-        for (int r = cfg.rounds / 2; r < cfg.rounds; ++r)
+        for (int r = rounds / 2; r < rounds; ++r)
             total += res.lprTotal(r);
-        return total / (cfg.rounds - cfg.rounds / 2);
+        return total / (rounds - rounds / 2);
     };
     const double a = late(always);
     const double e = late(eraser);

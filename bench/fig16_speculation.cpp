@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -20,53 +21,36 @@ main()
     banner("Speculation accuracy and FPR/FNR",
            "Fig. 16, Section 6.4");
 
-    std::printf("%4s %14s %10s %10s %10s\n", "d", "Always-LRCs",
-                "ERASER", "ERASER+M", "Optimal");
-    ExperimentResult d11_always;
-    ExperimentResult d11_eraser;
-    ExperimentResult d11_eraser_m;
-    ShotRateTimer timer;
-    uint64_t shots_run = 0;
-    for (int d : {3, 5, 7, 9, 11}) {
-        RotatedSurfaceCode code(d);
-        ExperimentConfig cfg;
-        cfg.rounds = 10 * d;
-        cfg.shots = scaledShots(4000 / (uint64_t)d);
-        cfg.seed = 16000 + d;
-        cfg.decode = false;
-        cfg.batchWidth = 64;   // bit-packed batch engine
-        MemoryExperiment exp(code, cfg);
-        shots_run += 4 * cfg.shots;
+    SweepPlan plan;
+    plan.name = "fig16_speculation";
+    plan.distances = {3, 5, 7, 9, 11};
+    plan.rounds = {SweepRounds::cycles(10)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::EraserM, PolicyKind::Optimal};
+    plan.base.decode = false;
+    plan.base.batchWidth = 64;   // bit-packed batch engine
+    plan.shotsFor = [](int d, double) {
+        return scaledShots(4000 / (uint64_t)d);
+    };
 
-        auto always = exp.run(PolicyKind::Always);
-        auto eraser = exp.run(PolicyKind::Eraser);
-        auto eraser_m = exp.run(PolicyKind::EraserM);
-        auto optimal = exp.run(PolicyKind::Optimal);
-        std::printf("%4d %13.1f%% %9.1f%% %9.1f%% %9.1f%%\n", d,
-                    always.speculationAccuracy() * 100.0,
-                    eraser.speculationAccuracy() * 100.0,
-                    eraser_m.speculationAccuracy() * 100.0,
-                    optimal.speculationAccuracy() * 100.0);
-        if (d == 11) {
-            d11_always = always;
-            d11_eraser = eraser;
-            d11_eraser_m = eraser_m;
-        }
-    }
+    TableSink::Options options;
+    options.metric = TableSink::Metric::Accuracy;
+    TableSink table(options);
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(table);
+    runner.addSink(collect);
+    runner.run();
 
-    timer.report(shots_run, "fig16 sweep (batched engine)");
-
+    const PointResult &d11 = collect.points.back();
     std::printf("\nFPR / FNR at d = 11 over 10 QEC cycles:\n");
     std::printf("%14s %10s %10s\n", "policy", "FPR", "FNR");
-    std::printf("%14s %9.1f%% %9.1f%%\n", "Always-LRCs",
-                d11_always.falsePositiveRate() * 100.0,
-                d11_always.falseNegativeRate() * 100.0);
-    std::printf("%14s %9.1f%% %9.1f%%\n", "ERASER",
-                d11_eraser.falsePositiveRate() * 100.0,
-                d11_eraser.falseNegativeRate() * 100.0);
-    std::printf("%14s %9.1f%% %9.1f%%\n", "ERASER+M",
-                d11_eraser_m.falsePositiveRate() * 100.0,
-                d11_eraser_m.falseNegativeRate() * 100.0);
+    const char *names[] = {"Always-LRCs", "ERASER", "ERASER+M"};
+    for (int i = 0; i < 3; ++i) {
+        std::printf("%14s %9.1f%% %9.1f%%\n", names[i],
+                    d11.results[i].falsePositiveRate() * 100.0,
+                    d11.results[i].falseNegativeRate() * 100.0);
+    }
     std::printf("\nPaper shape: ERASER ~97%% accurate (Always ~50%%);\n"
                 "tiny FPR; FNR ~50%% falling to ~40%% with ERASER+M.\n");
     return 0;

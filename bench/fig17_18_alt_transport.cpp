@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -20,61 +21,57 @@ main()
            "Figs. 17-18, Appendix A.1");
 
     // Fig. 17: LER vs distance under the exchange model.
-    std::printf("%4s %8s %12s %12s %12s %12s %18s\n", "d", "shots",
-                "Always", "ERASER", "ERASER+M", "Optimal",
-                "ERASER/Always gain");
-    ShotRateTimer fig17_timer;
-    uint64_t fig17_shots = 0;
-    for (int d : {3, 5, 7, 9, 11}) {
-        RotatedSurfaceCode code(d);
-        ExperimentConfig cfg;
-        cfg.rounds = 10 * d;
-        cfg.em = ErrorModel::standard(1e-3);
-        cfg.em.transport = TransportModel::Exchange;
-        cfg.shots = scaledShots(90000 / (uint64_t)(d * d));
-        cfg.seed = 17000 + d;
-        cfg.batchWidth = 64;   // bit-packed batch engine + decode
-        MemoryExperiment exp(code, cfg);
-        fig17_shots += 4 * cfg.shots;
+    {
+        SweepPlan plan;
+        plan.name = "fig17_ler_vs_distance_exchange";
+        plan.distances = {3, 5, 7, 9, 11};
+        plan.rounds = {SweepRounds::cycles(10)};
+        plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                         PolicyKind::EraserM, PolicyKind::Optimal};
+        plan.base.em.transport = TransportModel::Exchange;
+        plan.base.batchWidth = 64;   // batch engine + decode
+        plan.shotsFor = [](int d, double) {
+            return scaledShots(90000 / (uint64_t)(d * d));
+        };
 
-        auto always = exp.run(PolicyKind::Always);
-        auto eraser = exp.run(PolicyKind::Eraser);
-        auto eraser_m = exp.run(PolicyKind::EraserM);
-        auto optimal = exp.run(PolicyKind::Optimal);
-        std::printf("%4d %8llu %12s %12s %12s %12s %18s\n", d,
-                    (unsigned long long)cfg.shots,
-                    lerCell(always).c_str(), lerCell(eraser).c_str(),
-                    lerCell(eraser_m).c_str(),
-                    lerCell(optimal).c_str(),
-                    ratioCell(always, eraser).c_str());
+        TableSink::Options options;
+        options.gainNum = 0;   // Always
+        options.gainDen = 1;   // ERASER
+        options.gainHeader = "Always/ERASER";
+        TableSink table(options);
+        SweepRunner runner(plan);
+        runner.addSink(table);
+        runner.run();
     }
 
-    fig17_timer.report(fig17_shots, "fig17 sweep (batched sim+decode)");
-
     // Fig. 18: LPR over 110 rounds, d=11.
-    RotatedSurfaceCode code(11);
-    ExperimentConfig cfg;
-    cfg.rounds = 110;
-    cfg.shots = scaledShots(1000);
-    cfg.seed = 18;
-    cfg.decode = false;
-    cfg.trackLpr = true;
-    cfg.em.transport = TransportModel::Exchange;
-    cfg.batchWidth = 64;
-    MemoryExperiment exp(code, cfg);
-    auto always = exp.run(PolicyKind::Always);
-    auto eraser = exp.run(PolicyKind::Eraser);
-    auto eraser_m = exp.run(PolicyKind::EraserM);
-    auto optimal = exp.run(PolicyKind::Optimal);
+    SweepPlan plan;
+    plan.name = "fig18_lpr_exchange";
+    plan.distances = {11};
+    plan.rounds = {SweepRounds::exactly(110)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::EraserM, PolicyKind::Optimal};
+    plan.base.decode = false;
+    plan.base.trackLpr = true;
+    plan.base.em.transport = TransportModel::Exchange;
+    plan.base.batchWidth = 64;
+    plan.base.shots = scaledShots(1000);
 
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(collect);
+    runner.run();
+
+    const PointResult &point = collect.points.front();
     std::printf("\nLPR (1e-4), d = 11, exchange transport:\n");
     std::printf("%6s %14s %12s %12s %12s\n", "round", "Always-LRCs",
                 "ERASER", "ERASER+M", "Optimal");
-    for (int r = 0; r < cfg.rounds; r += 11) {
+    for (int r = 0; r < point.point.rounds; r += 11) {
         std::printf("%6d %14.2f %12.2f %12.2f %12.2f\n", r,
-                    always.lprTotal(r) * 1e4, eraser.lprTotal(r) * 1e4,
-                    eraser_m.lprTotal(r) * 1e4,
-                    optimal.lprTotal(r) * 1e4);
+                    point.results[0].lprTotal(r) * 1e4,
+                    point.results[1].lprTotal(r) * 1e4,
+                    point.results[2].lprTotal(r) * 1e4,
+                    point.results[3].lprTotal(r) * 1e4);
     }
     std::printf("\nPaper shape: lower LPR everywhere; non-Always\n"
                 "curves stabilize; ERASER's LER gain over Always\n"

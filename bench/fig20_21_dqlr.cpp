@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -20,64 +21,62 @@ main()
     banner("Adaptive scheduling of the DQLR protocol",
            "Figs. 20-21, Appendix A.2");
 
-    // Fig. 20: LER vs distance with the DQLR protocol.
-    std::printf("%4s %8s %12s %12s %12s %12s %16s\n", "d", "shots",
-                "DQLR", "ERASER", "ERASER+M", "Optimal",
-                "DQLR/ERASER gain");
-    ShotRateTimer fig20_timer;
-    uint64_t fig20_shots = 0;
-    for (int d : {3, 5, 7, 9, 11}) {
-        RotatedSurfaceCode code(d);
-        ExperimentConfig cfg;
-        cfg.rounds = 10 * d;
-        cfg.protocol = RemovalProtocol::Dqlr;
-        cfg.em = ErrorModel::standard(1e-3);
-        cfg.em.transport = TransportModel::Exchange;
-        cfg.shots = scaledShots(90000 / (uint64_t)(d * d));
-        cfg.seed = 20000 + d;
-        cfg.batchWidth = 64;   // bit-packed batch engine + decode
-        MemoryExperiment exp(code, cfg);
-        fig20_shots += 4 * cfg.shots;
+    // Fig. 20: LER vs distance with the DQLR protocol (the Always
+    // policy under DQLR schedules removal every round — the paper's
+    // baseline DQLR).
+    {
+        SweepPlan plan;
+        plan.name = "fig20_ler_vs_distance_dqlr";
+        plan.distances = {3, 5, 7, 9, 11};
+        plan.rounds = {SweepRounds::cycles(10)};
+        plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                         PolicyKind::EraserM, PolicyKind::Optimal};
+        plan.base.protocol = RemovalProtocol::Dqlr;
+        plan.base.em.transport = TransportModel::Exchange;
+        plan.base.batchWidth = 64;   // batch engine + decode
+        plan.shotsFor = [](int d, double) {
+            return scaledShots(90000 / (uint64_t)(d * d));
+        };
 
-        auto dqlr = exp.run(PolicyKind::Always);     // every round
-        auto eraser = exp.run(PolicyKind::Eraser);
-        auto eraser_m = exp.run(PolicyKind::EraserM);
-        auto optimal = exp.run(PolicyKind::Optimal);
-        std::printf("%4d %8llu %12s %12s %12s %12s %16s\n", d,
-                    (unsigned long long)cfg.shots,
-                    lerCell(dqlr).c_str(), lerCell(eraser).c_str(),
-                    lerCell(eraser_m).c_str(),
-                    lerCell(optimal).c_str(),
-                    ratioCell(dqlr, eraser).c_str());
+        TableSink::Options options;
+        options.gainNum = 0;   // baseline DQLR (Always, every round)
+        options.gainDen = 1;   // ERASER
+        options.gainHeader = "DQLR/ERASER";
+        TableSink table(options);
+        SweepRunner runner(plan);
+        runner.addSink(table);
+        runner.run();
     }
 
-    fig20_timer.report(fig20_shots, "fig20 sweep (batched sim+decode)");
-
     // Fig. 21: LPR over 110 rounds at d=11.
-    RotatedSurfaceCode code(11);
-    ExperimentConfig cfg;
-    cfg.rounds = 110;
-    cfg.shots = scaledShots(1000);
-    cfg.seed = 21;
-    cfg.decode = false;
-    cfg.trackLpr = true;
-    cfg.protocol = RemovalProtocol::Dqlr;
-    cfg.em.transport = TransportModel::Exchange;
-    cfg.batchWidth = 64;
-    MemoryExperiment exp(code, cfg);
-    auto dqlr = exp.run(PolicyKind::Always);
-    auto eraser = exp.run(PolicyKind::Eraser);
-    auto eraser_m = exp.run(PolicyKind::EraserM);
-    auto optimal = exp.run(PolicyKind::Optimal);
+    SweepPlan plan;
+    plan.name = "fig21_lpr_dqlr";
+    plan.distances = {11};
+    plan.rounds = {SweepRounds::exactly(110)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::EraserM, PolicyKind::Optimal};
+    plan.base.decode = false;
+    plan.base.trackLpr = true;
+    plan.base.protocol = RemovalProtocol::Dqlr;
+    plan.base.em.transport = TransportModel::Exchange;
+    plan.base.batchWidth = 64;
+    plan.base.shots = scaledShots(1000);
 
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(collect);
+    runner.run();
+
+    const PointResult &point = collect.points.front();
     std::printf("\nLPR (1e-4), d = 11, DQLR protocol:\n");
     std::printf("%6s %10s %12s %12s %12s\n", "round", "DQLR",
                 "ERASER", "ERASER+M", "Optimal");
-    for (int r = 0; r < cfg.rounds; r += 11) {
+    for (int r = 0; r < point.point.rounds; r += 11) {
         std::printf("%6d %10.2f %12.2f %12.2f %12.2f\n", r,
-                    dqlr.lprTotal(r) * 1e4, eraser.lprTotal(r) * 1e4,
-                    eraser_m.lprTotal(r) * 1e4,
-                    optimal.lprTotal(r) * 1e4);
+                    point.results[0].lprTotal(r) * 1e4,
+                    point.results[1].lprTotal(r) * 1e4,
+                    point.results[2].lprTotal(r) * 1e4,
+                    point.results[3].lprTotal(r) * 1e4);
     }
     std::printf("\nPaper shape: DQLR's LPR plateaus quickly; adaptive\n"
                 "scheduling still reduces both LPR (~1.4-1.5x) and\n"

@@ -25,6 +25,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,7 @@
 #include "decoder/mwpm_decoder.h"
 #include "decoder/union_find_decoder.h"
 #include "exp/memory_experiment.h"
+#include "exp/sweep_plan.h"
 #include "legacy_decoders.h"
 #include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
@@ -453,8 +456,30 @@ emitDecodeJson()
                  "rounds=3d, batchWidth=64; scalar = frozen PR1 "
                  "decoders + decode-per-shot loop\",\n"
                  "  \"entries\": [\n");
+
+    // The grid (and each point's seed) is a SweepPlan; the scalar vs
+    // pipeline pairing below is this bench's own instrumentation on
+    // top of it, which is why it does not go through SweepRunner.
+    SweepPlan plan;
+    plan.name = "decode_pipeline_tracking";
+    plan.distances = {7, 9, 11};
+    plan.ps = {1e-3, 1e-4};
+    plan.rounds = {SweepRounds::cycles(3)};
+    plan.decoders = {DecoderKind::Mwpm, DecoderKind::UnionFind};
+    plan.base.batchWidth = 64;
+    plan.shotsFor = [](int d, double) -> uint64_t {
+        return d >= 11 ? 192 : (d >= 9 ? 320 : 512);
+    };
+
     bool first = true;
-    for (bool union_find : {false, true}) {
+    std::map<int, std::unique_ptr<RotatedSurfaceCode>> codes;
+    for (const SweepPoint &point : plan.points()) {
+        auto &code = codes[point.distance];
+        if (!code)
+            code = std::make_unique<RotatedSurfaceCode>(
+                point.distance);
+        const bool union_find =
+            point.decoderKind == DecoderKind::UnionFind;
         const DecoderFactory legacy_factory =
             [union_find](const DetectorModel &dem,
                          double p) -> std::unique_ptr<Decoder> {
@@ -463,57 +488,44 @@ emitDecodeJson()
                                                                 p);
             return std::make_unique<LegacyMwpmDecoder>(dem, p);
         };
-        for (double p : {1e-3, 1e-4}) {
-            for (int d : {7, 9, 11}) {
-                RotatedSurfaceCode code(d);
-                ExperimentConfig cfg;
-                cfg.rounds = 3 * d;
-                cfg.shots = d >= 11 ? 192 : (d >= 9 ? 320 : 512);
-                cfg.seed = 4000 + d;
-                cfg.em = ErrorModel::standard(p);
-                cfg.decode = true;
-                cfg.decoderKind = union_find
-                    ? DecoderKind::UnionFind : DecoderKind::Mwpm;
-                cfg.batchWidth = 64;
 
-                cfg.batchDecode = false;
-                const double scalar_rate = shots_per_sec(
-                    code, cfg, &legacy_factory, nullptr);
-                cfg.batchDecode = true;
-                ExperimentResult batched;
-                const double batched_rate =
-                    shots_per_sec(code, cfg, nullptr, &batched);
-                // Approximate round-truncated prefix keying: the knob
-                // that makes dedup fire at p = 1e-3 (exact keys
-                // almost never repeat there). Reported side by side
-                // with the exact hit rate.
-                cfg.syndromeCache.truncateRounds = 2;
-                ExperimentResult truncated;
-                shots_per_sec(code, cfg, nullptr, &truncated);
-                cfg.syndromeCache.truncateRounds = 0;
+        ExperimentConfig cfg = point.config;
+        cfg.batchDecode = false;
+        const double scalar_rate =
+            shots_per_sec(*code, cfg, &legacy_factory, nullptr);
+        cfg.batchDecode = true;
+        ExperimentResult batched;
+        const double batched_rate =
+            shots_per_sec(*code, cfg, nullptr, &batched);
+        // Approximate round-truncated prefix keying: the knob that
+        // makes dedup fire at p = 1e-3 (exact keys almost never
+        // repeat there). Reported side by side with the exact hit
+        // rate.
+        cfg.syndromeCache.truncateRounds = 2;
+        ExperimentResult truncated;
+        shots_per_sec(*code, cfg, nullptr, &truncated);
 
-                std::fprintf(
-                    out,
-                    "%s    {\"decoder\": \"%s\", \"p\": %.0e, "
-                    "\"d\": %d, \"rounds\": %d, \"shots\": %llu, "
-                    "\"scalar_shots_per_s\": %.1f, "
-                    "\"batched_shots_per_s\": %.1f, "
-                    "\"speedup\": %.2f, "
-                    "\"cache_hit_rate\": %.4f, "
-                    "\"cache_hit_rate_trunc2\": %.4f, "
-                    "\"zero_defect_frac\": %.4f}",
-                    first ? "" : ",\n",
-                    union_find ? "union_find" : "mwpm", p, d,
-                    cfg.rounds, (unsigned long long)cfg.shots,
-                    scalar_rate, batched_rate,
-                    batched_rate / scalar_rate,
-                    batched.syndromeCacheHitRate(),
-                    truncated.syndromeCacheHitRate(),
-                    (double)batched.zeroDefectShots /
-                        (double)batched.shots);
-                first = false;
-            }
-        }
+        std::fprintf(
+            out,
+            "%s    {\"decoder\": \"%s\", \"p\": %.0e, "
+            "\"d\": %d, \"rounds\": %d, \"shots\": %llu, "
+            "\"seed\": %llu, "
+            "\"scalar_shots_per_s\": %.1f, "
+            "\"batched_shots_per_s\": %.1f, "
+            "\"speedup\": %.2f, "
+            "\"cache_hit_rate\": %.4f, "
+            "\"cache_hit_rate_trunc2\": %.4f, "
+            "\"zero_defect_frac\": %.4f}",
+            first ? "" : ",\n", decoderKindName(point.decoderKind),
+            point.p, point.distance, point.rounds,
+            (unsigned long long)point.shots,
+            (unsigned long long)point.seed, scalar_rate,
+            batched_rate, batched_rate / scalar_rate,
+            batched.syndromeCacheHitRate(),
+            truncated.syndromeCacheHitRate(),
+            (double)batched.zeroDefectShots /
+                (double)batched.shots);
+        first = false;
     }
     std::fprintf(out, "\n  ]\n}\n");
     std::fclose(out);
@@ -557,78 +569,82 @@ emitSimdJson()
         "  \"entries\": [\n",
         simdBackendName(), recommendedBatchWidth());
 
-    const int d = 11;
-    RotatedSurfaceCode code(d);
+    // Width sweep as a SweepPlan: the width axis is excluded from the
+    // derived per-point seed, so all widths of one p decode the same
+    // shots by construction — exactly what verdicts_match_64 pins.
+    SweepPlan plan;
+    plan.name = "simd_width_tracking";
+    plan.distances = {11};
+    plan.ps = {1e-3, 1e-4};
+    plan.rounds = {SweepRounds::cycles(3)};
+    plan.widths = {64, 256, 512};
+    plan.base.decoderKind = DecoderKind::UnionFind;
+    plan.base.threads = 1;
+    plan.shotsFor = [](int, double p) -> uint64_t {
+        return p < 5e-4 ? 3072 : 1536;
+    };
+
+    RotatedSurfaceCode code(11);
     bool first = true;
     double scale_256 = 0.0, scale_512 = 0.0;
     bool warmed = false;
-    for (double p : {1e-3, 1e-4}) {
-        double base_rate = 0.0;
-        uint64_t base_errors = 0;
-        uint64_t base_fingerprint = 0;
-        for (unsigned width : {64u, 256u, 512u}) {
-            ExperimentConfig cfg;
-            cfg.rounds = 3 * d;
-            cfg.shots = p < 5e-4 ? 3072 : 1536;
-            cfg.seed = 5000;
-            cfg.em = ErrorModel::standard(p);
-            cfg.decode = true;
-            cfg.decoderKind = DecoderKind::UnionFind;
-            cfg.batchWidth = width;
-            cfg.threads = 1;
-            MemoryExperiment exp(code, cfg);
-            // Best-of-3 (after one warm-up for the whole sweep):
-            // single-run wall times on shared hosts carry enough
-            // scheduler noise to swamp the width ratios this artifact
-            // exists to track.
-            if (!warmed) {
-                exp.run(PolicyKind::Eraser);
-                warmed = true;
-            }
-            double rate = 0.0;
-            ExperimentResult result;
-            for (int rep = 0; rep < 3; ++rep) {
-                const auto start = std::chrono::steady_clock::now();
-                result = exp.run(PolicyKind::Eraser);
-                const double secs =
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-                rate = std::max(rate, (double)result.shots /
-                                          (secs > 0.0 ? secs : 1e-9));
-            }
-            if (width == 64) {
-                base_rate = rate;
-                base_errors = result.logicalErrors;
-                base_fingerprint = result.verdictFingerprint;
-            }
-            const double speedup =
-                base_rate > 0.0 ? rate / base_rate : 1.0;
-            if (p == 1e-3 && width == 256)
-                scale_256 = speedup;
-            if (p == 1e-3 && width == 512)
-                scale_512 = speedup;
-            // Per-shot identity, not just equal error counts: the
-            // fingerprint is an order-independent XOR over every
-            // (shot, verdict) pair, so compensating flips cannot fake
-            // a match.
-            const bool verdicts_match =
-                result.logicalErrors == base_errors &&
-                result.verdictFingerprint == base_fingerprint;
-            std::fprintf(out,
-                         "%s    {\"p\": %.0e, \"width\": %u, "
-                         "\"shots\": %llu, "
-                         "\"logical_errors\": %llu, "
-                         "\"verdicts_match_64\": %s, "
-                         "\"shots_per_s\": %.1f, "
-                         "\"speedup_vs_64\": %.3f}",
-                         first ? "" : ",\n", p, width,
-                         (unsigned long long)result.shots,
-                         (unsigned long long)result.logicalErrors,
-                         verdicts_match ? "true" : "false",
-                         rate, speedup);
-            first = false;
+    double base_rate = 0.0;
+    uint64_t base_errors = 0;
+    uint64_t base_fingerprint = 0;
+    for (const SweepPoint &point : plan.points()) {
+        MemoryExperiment exp(code, point.config);
+        // Best-of-3 (after one warm-up for the whole sweep):
+        // single-run wall times on shared hosts carry enough
+        // scheduler noise to swamp the width ratios this artifact
+        // exists to track.
+        if (!warmed) {
+            exp.run(PolicyKind::Eraser);
+            warmed = true;
         }
+        double rate = 0.0;
+        ExperimentResult result;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            result = exp.run(PolicyKind::Eraser);
+            const double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            rate = std::max(rate, (double)result.shots /
+                                      (secs > 0.0 ? secs : 1e-9));
+        }
+        if (point.batchWidth == 64) {
+            base_rate = rate;
+            base_errors = result.logicalErrors;
+            base_fingerprint = result.verdictFingerprint;
+        }
+        const double speedup =
+            base_rate > 0.0 ? rate / base_rate : 1.0;
+        if (point.p == 1e-3 && point.batchWidth == 256)
+            scale_256 = speedup;
+        if (point.p == 1e-3 && point.batchWidth == 512)
+            scale_512 = speedup;
+        // Per-shot identity, not just equal error counts: the
+        // fingerprint is an order-independent XOR over every
+        // (shot, verdict) pair, so compensating flips cannot fake
+        // a match.
+        const bool verdicts_match =
+            result.logicalErrors == base_errors &&
+            result.verdictFingerprint == base_fingerprint;
+        std::fprintf(out,
+                     "%s    {\"p\": %.0e, \"width\": %u, "
+                     "\"shots\": %llu, \"seed\": %llu, "
+                     "\"logical_errors\": %llu, "
+                     "\"verdicts_match_64\": %s, "
+                     "\"shots_per_s\": %.1f, "
+                     "\"speedup_vs_64\": %.3f}",
+                     first ? "" : ",\n", point.p, point.batchWidth,
+                     (unsigned long long)result.shots,
+                     (unsigned long long)point.seed,
+                     (unsigned long long)result.logicalErrors,
+                     verdicts_match ? "true" : "false", rate,
+                     speedup);
+        first = false;
     }
     std::fprintf(out,
                  "\n  ],\n"

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -17,26 +18,32 @@ main()
 {
     banner("Average LRCs per round (Table 4)", "Table 4, Section 6.4");
 
+    SweepPlan plan;
+    plan.name = "table4_lrc_rate";
+    plan.distances = {3, 5, 7, 9, 11};
+    plan.rounds = {SweepRounds::cycles(10)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::EraserM, PolicyKind::Optimal};
+    plan.base.decode = false;
+    plan.shotsFor = [](int d, double) {
+        return scaledShots(4000 / (uint64_t)d);
+    };
+
+    CollectSink collect;
+    SweepRunner runner(plan);
+    runner.addSink(collect);
+    runner.run();
+
     std::printf("%4s %14s %10s %10s %10s %16s\n", "d", "Always-LRCs",
                 "ERASER", "ERASER+M", "Optimal", "Always/ERASER");
-    for (int d : {3, 5, 7, 9, 11}) {
-        RotatedSurfaceCode code(d);
-        ExperimentConfig cfg;
-        cfg.rounds = 10 * d;
-        cfg.shots = scaledShots(4000 / (uint64_t)d);
-        cfg.seed = 40 + d;
-        cfg.decode = false;
-        MemoryExperiment exp(code, cfg);
-
-        auto always = exp.run(PolicyKind::Always);
-        auto eraser = exp.run(PolicyKind::Eraser);
-        auto eraser_m = exp.run(PolicyKind::EraserM);
-        auto optimal = exp.run(PolicyKind::Optimal);
-
-        std::printf("%4d %14.2f %10.3f %10.3f %10.4f %15.1fx\n", d,
-                    always.avgLrcsPerRound(), eraser.avgLrcsPerRound(),
-                    eraser_m.avgLrcsPerRound(),
-                    optimal.avgLrcsPerRound(),
+    for (const PointResult &pr : collect.points) {
+        const ExperimentResult &always = pr.results[0];
+        const ExperimentResult &eraser = pr.results[1];
+        std::printf("%4d %14.2f %10.3f %10.3f %10.4f %15.1fx\n",
+                    pr.point.distance, always.avgLrcsPerRound(),
+                    eraser.avgLrcsPerRound(),
+                    pr.results[2].avgLrcsPerRound(),
+                    pr.results[3].avgLrcsPerRound(),
                     always.avgLrcsPerRound() /
                         (eraser.avgLrcsPerRound() + 1e-12));
     }

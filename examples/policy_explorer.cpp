@@ -1,30 +1,40 @@
 /**
  * @file
- * Policy explorer: a small CLI over the experiment harness for
+ * Policy explorer: a small sweep CLI over the experiment harness for
  * interactive what-if studies, e.g.
  *
- *   policy_explorer --distance 7 --rounds 70 --p 1e-3 \
- *                   --policy eraser --transport exchange
+ *   policy_explorer --distance 3,5,7 --p 1e-3,1e-4 \
+ *                   --policy eraser --transport exchange \
+ *                   --json sweep.json
+ *
+ * Axis options take comma-separated lists and expand into a full
+ * SweepPlan grid; each point gets a deterministic seed derived from
+ * its physical axis tuple (override with --seed).
  *
  * Options:
- *   --distance D     odd code distance (default 5)
- *   --rounds R       syndrome extraction rounds (default 10*D)
- *   --p P            physical error rate (default 1e-3)
- *   --shots N        shots (default 2000)
- *   --policy NAME    never|always|eraser|eraser_m|optimal|all
- *   --protocol NAME  swap|dqlr (default swap)
- *   --transport NAME conservative|exchange (default conservative)
- *   --no-leakage     disable leakage entirely
- *   --seed S         RNG seed
+ *   --distance D[,D...]  odd code distances (default 5)
+ *   --rounds R           syndrome extraction rounds (default 10*D)
+ *   --p P[,P...]         physical error rates (default 1e-3)
+ *   --shots N            shots per point (default 2000)
+ *   --policy NAME        never|always|eraser|eraser_m|optimal|all
+ *                        (or a comma-separated subset)
+ *   --protocol NAME      swap|dqlr (default swap)
+ *   --transport NAME     conservative|exchange (default conservative)
+ *   --width W            simulator word-group width (default 1)
+ *   --no-leakage         disable leakage entirely
+ *   --seed S             fixed RNG seed override for every point
+ *   --precision F        early-stop at Wilson rel. precision F
+ *   --json PATH          also write the unified sweep JSON artifact
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "exp/memory_experiment.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
@@ -35,13 +45,32 @@ namespace
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--distance D] [--rounds R] [--p P]\n"
-                 "          [--shots N] [--policy NAME]"
+                 "usage: %s [--distance D[,D..]] [--rounds R]"
+                 " [--p P[,P..]]\n"
+                 "          [--shots N] [--policy NAME[,NAME..]]"
                  " [--protocol swap|dqlr]\n"
                  "          [--transport conservative|exchange]"
-                 " [--no-leakage] [--seed S]\n",
+                 " [--width W] [--no-leakage]\n"
+                 "          [--seed S] [--precision F] [--json PATH]\n",
                  argv0);
     std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t begin = 0;
+    while (begin <= arg.size()) {
+        const size_t comma = arg.find(',', begin);
+        if (comma == std::string::npos) {
+            out.push_back(arg.substr(begin));
+            break;
+        }
+        out.push_back(arg.substr(begin, comma - begin));
+        begin = comma + 1;
+    }
+    return out;
 }
 
 void
@@ -62,15 +91,19 @@ report(const ExperimentResult &r, int rounds)
 int
 main(int argc, char **argv)
 {
-    int distance = 5;
+    std::vector<int> distances = {5};
+    std::vector<double> ps = {1e-3};
     int rounds = -1;
-    double p = 1e-3;
     uint64_t shots = 2000;
-    uint64_t seed = 1;
     std::string policy = "all";
+    std::string json_path;
     RemovalProtocol protocol = RemovalProtocol::SwapLrc;
     TransportModel transport = TransportModel::Conservative;
+    unsigned width = 1;
     bool leakage = true;
+    bool seed_override = false;
+    uint64_t seed = 0;
+    double precision = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -80,17 +113,28 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--distance") {
-            distance = std::atoi(next());
+            distances.clear();
+            for (const std::string &v : splitList(next()))
+                distances.push_back(std::atoi(v.c_str()));
         } else if (arg == "--rounds") {
             rounds = std::atoi(next());
         } else if (arg == "--p") {
-            p = std::atof(next());
+            ps.clear();
+            for (const std::string &v : splitList(next()))
+                ps.push_back(std::atof(v.c_str()));
         } else if (arg == "--shots") {
             shots = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
+            seed_override = true;
         } else if (arg == "--policy") {
             policy = next();
+        } else if (arg == "--precision") {
+            precision = std::atof(next());
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--width") {
+            width = (unsigned)std::atoi(next());
         } else if (arg == "--protocol") {
             const std::string v = next();
             if (v == "dqlr")
@@ -109,42 +153,77 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (rounds <= 0)
-        rounds = 10 * distance;
 
-    RotatedSurfaceCode code(distance);
-    ExperimentConfig cfg;
-    cfg.rounds = rounds;
-    cfg.shots = shots;
-    cfg.seed = seed;
-    cfg.protocol = protocol;
-    cfg.trackLpr = true;
-    cfg.em = leakage ? ErrorModel::standard(p)
-                     : ErrorModel::withoutLeakage(p);
-    cfg.em.transport = transport;
-    MemoryExperiment experiment(code, cfg);
+    SweepPlan plan;
+    plan.name = "policy_explorer";
+    plan.distances = distances;
+    plan.ps = ps;
+    plan.rounds = {rounds > 0 ? SweepRounds::exactly(rounds)
+                              : SweepRounds::cycles(10)};
+    plan.base.shots = shots;
+    plan.base.protocol = protocol;
+    plan.base.trackLpr = true;
+    plan.base.batchWidth = width;
+    plan.base.em =
+        leakage ? ErrorModel::standard(1e-3)
+                : ErrorModel::withoutLeakage(1e-3);
+    plan.base.em.transport = transport;
+    if (seed_override)
+        plan.fixedSeed = seed;
+    if (precision > 0.0)
+        plan.earlyStop.targetRelPrecision = precision;
 
-    std::printf("d=%d rounds=%d p=%g shots=%llu protocol=%s"
-                " transport=%s leakage=%s\n\n",
-                distance, rounds, p, (unsigned long long)shots,
-                protocol == RemovalProtocol::Dqlr ? "dqlr" : "swap",
-                transport == TransportModel::Exchange ? "exchange"
-                                                      : "conservative",
-                leakage ? "on" : "off");
-
-    std::vector<std::pair<std::string, PolicyKind>> kinds = {
+    const std::vector<std::pair<std::string, PolicyKind>> kinds = {
         {"never", PolicyKind::Never},     {"always", PolicyKind::Always},
         {"eraser", PolicyKind::Eraser},   {"eraser_m", PolicyKind::EraserM},
         {"optimal", PolicyKind::Optimal},
     };
-    bool matched = false;
-    for (const auto &[name, kind] : kinds) {
-        if (policy == "all" || policy == name) {
-            report(experiment.run(kind), rounds);
-            matched = true;
+    plan.policies.clear();
+    for (const std::string &wanted : splitList(policy)) {
+        bool matched = false;
+        for (const auto &[name, kind] : kinds) {
+            if (wanted == "all" || wanted == name) {
+                plan.policies.push_back(SweepPolicy(kind));
+                matched = true;
+            }
         }
+        if (!matched)
+            usage(argv[0]);
     }
-    if (!matched)
-        usage(argv[0]);
+
+    SweepRunner runner(plan);
+    CollectSink results;
+    runner.addSink(results);
+    std::unique_ptr<JsonSink> json;
+    if (!json_path.empty()) {
+        json = std::make_unique<JsonSink>(json_path);
+        if (!json->ok())
+            return 1;
+        runner.addSink(*json);
+    }
+    runner.run();
+
+    for (const PointResult &point : results.points) {
+        std::printf("d=%d rounds=%d p=%g shots=%llu protocol=%s"
+                    " transport=%s leakage=%s seed=%llu\n",
+                    point.point.distance, point.point.rounds,
+                    point.point.p,
+                    (unsigned long long)point.results[0].shots,
+                    protocolName(point.point.protocol),
+                    transport == TransportModel::Exchange
+                        ? "exchange" : "conservative",
+                    leakage ? "on" : "off",
+                    (unsigned long long)point.point.seed);
+        for (size_t i = 0; i < point.results.size(); ++i) {
+            report(point.results[i], point.point.rounds);
+            if (point.stoppedEarly[i])
+                std::printf("%-12s  (stopped early at %llu shots)\n",
+                            "", (unsigned long long)
+                                point.results[i].shots);
+        }
+        std::printf("\n");
+    }
+    if (json)
+        std::printf("wrote %s\n", json_path.c_str());
     return 0;
 }

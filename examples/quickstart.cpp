@@ -1,55 +1,65 @@
 /**
  * @file
- * Quickstart: run a distance-5 memory experiment with the ERASER
- * controller and print the headline metrics. This is the smallest
- * end-to-end use of the library:
+ * Quickstart: declare a one-point sweep over the scheduling policies
+ * of a distance-5 memory experiment and print the headline metrics.
+ * This is the smallest end-to-end use of the library:
  *
- *   code  -> lattice + syndrome extraction schedule
- *   exp   -> drives rounds, feeds syndromes to the policy, decodes
- *   policy-> ERASER (speculates leakage, inserts LRCs on demand)
+ *   code   -> lattice + syndrome extraction schedule
+ *   sweep  -> SweepPlan (axes + policies) run by SweepRunner
+ *   policy -> ERASER (speculates leakage, inserts LRCs on demand)
+ *
+ * The plan derives a deterministic seed for the point from its
+ * physical axis tuple (sweepPointSeed), builds the experiment and
+ * decoder once, and runs every policy on the same noise streams.
  */
 
 #include <cstdio>
 
 #include "base/simd_word.h"
-#include "exp/memory_experiment.h"
+#include "exp/sweep_runner.h"
 
 using namespace qec;
 
 int
 main()
 {
-    // A distance-5 rotated surface code: 25 data + 24 parity qubits.
-    RotatedSurfaceCode code(5);
-
-    ExperimentConfig cfg;
-    cfg.rounds = 50;                      // 10 QEC cycles
-    cfg.em = ErrorModel::standard(1e-3);  // the paper's noise model
-    cfg.shots = 2000;
-    cfg.seed = 7;
-    cfg.trackLpr = true;
+    SweepPlan plan;
+    plan.name = "quickstart";
+    // A distance-5 rotated surface code (25 data + 24 parity qubits),
+    // 10 QEC cycles at the paper's noise model.
+    plan.distances = {5};
+    plan.ps = {1e-3};
+    plan.rounds = {SweepRounds::cycles(10)};
+    plan.policies = {PolicyKind::Always, PolicyKind::Eraser,
+                     PolicyKind::EraserM, PolicyKind::Optimal};
+    plan.base.shots = 2000;
+    plan.base.trackLpr = true;
     // Shots per simulator word-group: 1 = scalar reference path,
     // 2..64 = one 64-bit word per bit-plane, 256/512 = the 4-/8-word
     // SIMD engine. Results are bit-identical across 64/256/512 (each
     // 64-lane block keeps its own noise streams);
     // recommendedBatchWidth() picks the host's throughput sweet spot.
-    cfg.batchWidth = (unsigned)recommendedBatchWidth();
+    plan.base.batchWidth = (unsigned)recommendedBatchWidth();
 
-    MemoryExperiment experiment(code, cfg);
+    SweepRunner runner(plan);
+    CollectSink results;
+    runner.addSink(results);
+    runner.run();
 
+    const PointResult &point = results.points.front();
     std::printf("distance-5 memory experiment, %llu shots, %d rounds,"
-                " p = %.0e\n\n",
-                (unsigned long long)cfg.shots, cfg.rounds, cfg.em.p);
+                " p = %.0e, seed %llu\n\n",
+                (unsigned long long)point.point.shots,
+                point.point.rounds, point.point.p,
+                (unsigned long long)point.point.seed);
     std::printf("%-12s %12s %12s %12s %10s\n", "policy", "LER",
                 "LRCs/round", "accuracy", "LPR(end)");
-    for (PolicyKind kind : {PolicyKind::Always, PolicyKind::Eraser,
-                            PolicyKind::EraserM, PolicyKind::Optimal}) {
-        ExperimentResult r = experiment.run(kind);
+    for (const ExperimentResult &r : point.results) {
         std::printf("%-12s %12s %12.2f %11.1f%% %10.5f\n",
                     r.policy.c_str(), r.lerString().c_str(),
                     r.avgLrcsPerRound(),
                     r.speculationAccuracy() * 100.0,
-                    r.lprTotal(cfg.rounds - 1));
+                    r.lprTotal(point.point.rounds - 1));
     }
 
     std::printf("\nERASER removes leakage with a fraction of"

@@ -1,0 +1,317 @@
+#include "exp/experiment_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/parallel.h"
+#include "exp/experiment_internal.h"
+#include "sim/batch_frame_simulator.h"
+
+namespace qec
+{
+
+double
+wilsonRelHalfWidth(uint64_t k, uint64_t n, double z)
+{
+    if (n == 0 || k > n)
+        return 1e301;
+    const double nn = (double)n;
+    const double p = (double)k / nn;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double center = (p + z2 / (2.0 * nn)) / denom;
+    const double half =
+        z *
+        std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+    return center > 0.0 ? half / center : 1e301;
+}
+
+struct ExperimentSession::Impl
+{
+    const MemoryExperiment *exp = nullptr;
+    PolicyFactory factory;
+    std::string name;
+    SessionOptions options;
+
+    /** Word-group width (>= 1); 0 selects the scalar per-shot path. */
+    unsigned width = 0;
+    /** Global word-group decomposition of the full run; chunks only
+     *  ever cut between spans, the bit-identity anchor. */
+    std::vector<std::pair<uint64_t, int>> spans;
+    size_t nextSpan = 0;
+    /** Scalar-path shot cursor. */
+    uint64_t scalarNext = 0;
+
+    /** Per-worker decode pipelines, persistent across chunks. */
+    std::vector<ExperimentDecodeContext> contexts;
+    /** Pipeline totals already attributed to earlier chunks. */
+    BatchDecodeStats attributed;
+
+    ExperimentResult total;
+    bool stopped = false;
+};
+
+ExperimentSession::ExperimentSession(const MemoryExperiment &exp,
+                                     PolicyKind kind,
+                                     SessionOptions options)
+    : ExperimentSession(
+          exp,
+          makePolicyFactory(
+              kind, exp.code(), exp.lookup(),
+              exp.config().protocol == RemovalProtocol::Dqlr),
+          policyKindName(kind, exp.config().protocol ==
+                                   RemovalProtocol::Dqlr),
+          options)
+{
+}
+
+ExperimentSession::ExperimentSession(const MemoryExperiment &exp,
+                                     PolicyFactory factory,
+                                     std::string name,
+                                     SessionOptions options)
+    : impl_(std::make_unique<Impl>())
+{
+    fatalIf(!factory, "session needs a policy factory");
+    Impl &im = *impl_;
+    im.exp = &exp;
+    im.factory = std::move(factory);
+    im.name = std::move(name);
+    im.options = options;
+
+    const ExperimentConfig &cfg = exp.config();
+    const bool batched = options.forceBatched || cfg.batchWidth > 1;
+    if (batched) {
+        im.width = std::min<unsigned>(
+            std::max<unsigned>(cfg.batchWidth, 1),
+            (unsigned)kMaxBatchLanes);
+        im.spans = batchGroupSpans(cfg.shots, im.width);
+        im.contexts = std::vector<ExperimentDecodeContext>(
+            resolveThreadCount(std::max<uint64_t>(im.spans.size(), 1),
+                               cfg.threads));
+        if (cfg.decode) {
+            const SyndromeCacheOptions cache_opts =
+                exp.resolvedCacheOptions();
+            for (auto &ctx : im.contexts)
+                ctx.pipeline = std::make_unique<BatchDecoder>(
+                    *exp.decoder(), cache_opts);
+        }
+    }
+    im.total = newPartial();
+}
+
+ExperimentSession::~ExperimentSession() = default;
+ExperimentSession::ExperimentSession(ExperimentSession &&) noexcept =
+    default;
+ExperimentSession &
+ExperimentSession::operator=(ExperimentSession &&) noexcept = default;
+
+ExperimentResult
+ExperimentSession::newPartial() const
+{
+    ExperimentResult partial =
+        impl_->exp->resultHeader(impl_->name);
+    partial.shots = 0;
+    partial.roundsTotal = 0;
+    return partial;
+}
+
+bool
+ExperimentSession::done() const
+{
+    const Impl &im = *impl_;
+    if (im.stopped)
+        return true;
+    if (im.width > 0)
+        return im.nextSpan >= im.spans.size();
+    return im.scalarNext >= im.exp->config().shots;
+}
+
+bool
+ExperimentSession::stoppedEarly() const
+{
+    return impl_->stopped &&
+           impl_->total.shots < impl_->exp->config().shots;
+}
+
+uint64_t
+ExperimentSession::shotsRun() const
+{
+    return impl_->total.shots;
+}
+
+uint64_t
+ExperimentSession::shotsPlanned() const
+{
+    const uint64_t cap = impl_->options.earlyStop.maxShots;
+    const uint64_t shots = impl_->exp->config().shots;
+    return cap > 0 ? std::min(cap, shots) : shots;
+}
+
+const ExperimentResult &
+ExperimentSession::result() const
+{
+    return impl_->total;
+}
+
+ExperimentResult
+ExperimentSession::runScalarChunk(uint64_t n)
+{
+    Impl &im = *impl_;
+    const MemoryExperiment &exp = *im.exp;
+    const ExperimentConfig &cfg = exp.config();
+    const uint64_t remaining = cfg.shots - im.scalarNext;
+    const uint64_t take =
+        std::min(remaining, std::max<uint64_t>(n, 1));
+    const uint64_t first = im.scalarNext;
+
+    ExperimentResult partial = newPartial();
+    std::mutex merge_mutex;
+    parallelFor(
+        take,
+        [&](uint64_t i) {
+            ExperimentShotStats stats;
+            if (cfg.trackLpr) {
+                stats.lprData.assign(cfg.rounds, 0.0);
+                stats.lprParity.assign(cfg.rounds, 0.0);
+            }
+            exp.runShot(first + i, im.factory, stats);
+
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            exp.mergeStats(partial, stats);
+        },
+        cfg.threads);
+    im.scalarNext += take;
+    partial.shots = take;
+    partial.roundsTotal = take * (uint64_t)cfg.rounds;
+    return partial;
+}
+
+ExperimentResult
+ExperimentSession::runBatchedChunk(uint64_t n)
+{
+    Impl &im = *impl_;
+    const MemoryExperiment &exp = *im.exp;
+    const ExperimentConfig &cfg = exp.config();
+
+    // Round the request up to word-group boundaries: groups are the
+    // unit of execution (and of the bit-identity guarantee).
+    const size_t begin = im.nextSpan;
+    const uint64_t want = std::max<uint64_t>(n, 1);
+    size_t end = begin;
+    uint64_t chunk_shots = 0;
+    while (end < im.spans.size() && chunk_shots < want) {
+        chunk_shots += (uint64_t)im.spans[end].second;
+        ++end;
+    }
+
+    ExperimentResult partial = newPartial();
+    if (end == begin)
+        return partial;
+
+    std::mutex merge_mutex;
+    parallelForWorkers(
+        end - begin,
+        [&](unsigned worker, uint64_t i) {
+            ExperimentShotStats stats;
+            if (cfg.trackLpr) {
+                stats.lprData.assign(cfg.rounds, 0.0);
+                stats.lprParity.assign(cfg.rounds, 0.0);
+            }
+            const auto [first, lanes] = im.spans[begin + i];
+            ExperimentDecodeContext *ctx = &im.contexts[worker];
+            // Plane depth (1/4/8 words) follows the group width.
+            if (im.width <= 64)
+                exp.runGroupT<1>(first, lanes, im.factory, stats, ctx);
+            else if (im.width <= 256)
+                exp.runGroupT<4>(first, lanes, im.factory, stats, ctx);
+            else
+                exp.runGroupT<8>(first, lanes, im.factory, stats, ctx);
+
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            exp.mergeStats(partial, stats);
+        },
+        cfg.threads);
+    im.nextSpan = end;
+    partial.shots = chunk_shots;
+    partial.roundsTotal = chunk_shots * (uint64_t)cfg.rounds;
+
+    // Attribute this chunk's share of the (cumulative) per-worker
+    // pipeline counters.
+    BatchDecodeStats now;
+    for (const auto &ctx : im.contexts) {
+        if (ctx.pipeline)
+            now.merge(ctx.pipeline->stats());
+    }
+    partial.decodedShots = now.decoded - im.attributed.decoded;
+    partial.zeroDefectShots = now.zeroDefect - im.attributed.zeroDefect;
+    partial.syndromeCacheHits = now.cacheHits - im.attributed.cacheHits;
+    im.attributed = now;
+    return partial;
+}
+
+void
+ExperimentSession::evaluateStop()
+{
+    Impl &im = *impl_;
+    const EarlyStopRule &rule = im.options.earlyStop;
+    if (!rule.enabled() || im.stopped)
+        return;
+    if (rule.maxShots > 0 && im.total.shots >= rule.maxShots) {
+        im.stopped = true;
+        return;
+    }
+    if (rule.targetRelPrecision > 0.0 &&
+        im.total.logicalErrors >= rule.minErrors &&
+        wilsonRelHalfWidth(im.total.logicalErrors, im.total.shots,
+                           rule.z) <= rule.targetRelPrecision)
+        im.stopped = true;
+}
+
+uint64_t
+ExperimentSession::defaultChunk() const
+{
+    const Impl &im = *impl_;
+    if (!im.options.earlyStop.enabled())
+        return ~uint64_t{0};
+    uint64_t chunk;
+    if (im.options.earlyStop.checkEvery > 0) {
+        chunk = im.options.earlyStop.checkEvery;
+    } else {
+        const uint64_t width = std::max<unsigned>(im.width, 1);
+        chunk = std::max<uint64_t>(4 * width,
+                                   im.exp->config().shots / 64);
+    }
+    // A shot cap bounds the chunk too: overshoot past maxShots is at
+    // most one word-group, not a whole evaluation interval.
+    const uint64_t cap = im.options.earlyStop.maxShots;
+    if (cap > 0 && im.total.shots < cap)
+        chunk = std::min(chunk, cap - im.total.shots);
+    return chunk;
+}
+
+ExperimentResult
+ExperimentSession::runChunk(uint64_t max_shots)
+{
+    if (done())
+        return newPartial();
+    ExperimentResult partial = impl_->width > 0
+        ? runBatchedChunk(max_shots)
+        : runScalarChunk(max_shots);
+    impl_->total.merge(partial);
+    evaluateStop();
+    return partial;
+}
+
+const ExperimentResult &
+ExperimentSession::runToCompletion()
+{
+    while (!done())
+        runChunk(defaultChunk());
+    return impl_->total;
+}
+
+} // namespace qec

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Streaming, resumable execution of one experiment point.
+ *
+ * An ExperimentSession runs the shots of one (experiment, policy)
+ * pair in caller-sized chunks instead of one blocking call. Each
+ * runChunk() returns a mergeable partial ExperimentResult (see
+ * ExperimentResult::merge), and the accumulated result is available
+ * at any time — so sweep orchestration can interleave points, stream
+ * rows to sinks, and stop early once a target precision is reached.
+ *
+ * Bit-identity guarantee: on the batched engine, chunk boundaries are
+ * aligned to the word-group decomposition of the full run
+ * (batchGroupSpans), and every group's noise streams are seeded by
+ * (config.seed, first shot) alone — so a chunked session is
+ * bit-identical (equal verdict fingerprint, counters, and LPR sums)
+ * to a single MemoryExperiment::runBatched call at every width, for
+ * any sequence of chunk sizes. On the scalar path (batchWidth <= 1)
+ * shots are seeded individually (Rng::forShot), so any chunking is
+ * bit-identical there too.
+ */
+
+#ifndef QEC_EXP_EXPERIMENT_SESSION_H
+#define QEC_EXP_EXPERIMENT_SESSION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "exp/memory_experiment.h"
+
+namespace qec
+{
+
+/**
+ * Early-stop rule evaluated between chunks on the accumulated result.
+ * Stopping depends only on the cumulative counters at deterministic
+ * chunk boundaries, so the same plan always stops at the same shot
+ * count, at any thread count.
+ */
+struct EarlyStopRule
+{
+    /**
+     * Stop once the Wilson score interval for the logical error rate
+     * is relatively tight: half-width / center <= this value
+     * (e.g. 0.1 for +-10%). 0 disables precision-based stopping.
+     * Never fires before at least `minErrors` logical errors have
+     * been observed (a zero-error LER has no meaningful interval).
+     */
+    double targetRelPrecision = 0.0;
+    /** Normal quantile of the Wilson interval (1.96 ~ 95%). */
+    double z = 1.96;
+    /** Minimum observed logical errors before precision can stop. */
+    uint64_t minErrors = 8;
+    /** Hard shot cap (0 = config.shots is the only cap). */
+    uint64_t maxShots = 0;
+    /**
+     * Shots between rule evaluations in runToCompletion (rounded up
+     * to word-group boundaries). 0 derives a deterministic default
+     * from the plan: max(4 * width, shots / 64).
+     */
+    uint64_t checkEvery = 0;
+
+    bool
+    enabled() const
+    {
+        return targetRelPrecision > 0.0 || maxShots > 0;
+    }
+};
+
+/** Wilson-interval relative half-width (half-width / center) for k
+ *  errors in n shots at normal quantile z; >1e300 when undefined. */
+double wilsonRelHalfWidth(uint64_t k, uint64_t n, double z);
+
+/** Construction options for ExperimentSession. */
+struct SessionOptions
+{
+    EarlyStopRule earlyStop;
+    /** Run the bit-packed batch engine even when
+     *  config.batchWidth <= 1 (MemoryExperiment::runBatched). */
+    bool forceBatched = false;
+};
+
+class ExperimentSession
+{
+  public:
+    /** Session over one policy kind (every_round follows the
+     *  protocol, as MemoryExperiment::run(PolicyKind) does). */
+    ExperimentSession(const MemoryExperiment &exp, PolicyKind kind,
+                      SessionOptions options = SessionOptions());
+    ExperimentSession(const MemoryExperiment &exp,
+                      PolicyFactory factory, std::string name,
+                      SessionOptions options = SessionOptions());
+    ~ExperimentSession();
+    ExperimentSession(ExperimentSession &&) noexcept;
+    ExperimentSession &operator=(ExperimentSession &&) noexcept;
+
+    /**
+     * Run up to `max_shots` more shots and return that chunk's partial
+     * result (also merged into result()). On the batched engine the
+     * chunk is rounded up to the next word-group boundary — the unit
+     * of execution — so the shots actually run (`partial.shots`) may
+     * exceed the request; a zero request still runs one group. Returns
+     * an empty partial once the session is done. Evaluates the
+     * early-stop rule on the accumulated result before returning.
+     */
+    ExperimentResult runChunk(uint64_t max_shots);
+
+    /** Run chunks until done() (all shots, or early stop). */
+    const ExperimentResult &runToCompletion();
+
+    /** All planned shots executed, or the early-stop rule fired. */
+    bool done() const;
+    /** The early-stop rule ended the session before config.shots. */
+    bool stoppedEarly() const;
+    uint64_t shotsRun() const;
+    /** config.shots, capped by EarlyStopRule::maxShots if set. */
+    uint64_t shotsPlanned() const;
+    /** Accumulated result over every chunk so far. */
+    const ExperimentResult &result() const;
+
+  private:
+    struct Impl;
+
+    ExperimentResult newPartial() const;
+    ExperimentResult runScalarChunk(uint64_t n);
+    ExperimentResult runBatchedChunk(uint64_t n);
+    void evaluateStop();
+    uint64_t defaultChunk() const;
+
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace qec
+
+#endif // QEC_EXP_EXPERIMENT_SESSION_H

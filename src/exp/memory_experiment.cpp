@@ -9,6 +9,8 @@
 #include "decoder/batch_decoder.h"
 #include "decoder/defects.h"
 #include "decoder/sparse_syndrome.h"
+#include "exp/experiment_internal.h"
+#include "exp/experiment_session.h"
 #include "sim/batch_frame_simulator.h"
 #include "sim/frame_simulator.h"
 
@@ -94,16 +96,37 @@ ExperimentResult::lprTotal(int round) const
            ((double)shots * (numDataQubits + numParityQubits));
 }
 
-/** Per-shot counters merged under a mutex after each shot. */
-struct MemoryExperiment::ShotStats
+ExperimentResult &
+ExperimentResult::merge(const ExperimentResult &other)
 {
-    uint64_t logicalErrors = 0;
-    uint64_t verdictHash = 0;
-    uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
-    uint64_t lrcsScheduled = 0;
-    std::vector<double> lprData;
-    std::vector<double> lprParity;
-};
+    if (policy.empty())
+        policy = other.policy;
+    shots += other.shots;
+    logicalErrors += other.logicalErrors;
+    verdictFingerprint ^= other.verdictFingerprint;
+    tp += other.tp;
+    fp += other.fp;
+    tn += other.tn;
+    fn += other.fn;
+    lrcsScheduled += other.lrcsScheduled;
+    roundsTotal += other.roundsTotal;
+    decodedShots += other.decodedShots;
+    zeroDefectShots += other.zeroDefectShots;
+    syndromeCacheHits += other.syndromeCacheHits;
+    if (lprDataSum.size() < other.lprDataSum.size())
+        lprDataSum.resize(other.lprDataSum.size(), 0.0);
+    for (size_t r = 0; r < other.lprDataSum.size(); ++r)
+        lprDataSum[r] += other.lprDataSum[r];
+    if (lprParitySum.size() < other.lprParitySum.size())
+        lprParitySum.resize(other.lprParitySum.size(), 0.0);
+    for (size_t r = 0; r < other.lprParitySum.size(); ++r)
+        lprParitySum[r] += other.lprParitySum[r];
+    if (numDataQubits == 0)
+        numDataQubits = other.numDataQubits;
+    if (numParityQubits == 0)
+        numParityQubits = other.numParityQubits;
+    return *this;
+}
 
 namespace
 {
@@ -124,19 +147,6 @@ verdictMix(uint64_t shot, bool error)
 }
 
 } // namespace
-
-/**
- * One worker thread's decode pipeline: the extractor's bit-plane
- * scratch, the flat sparse-syndrome buffers, and the BatchDecoder
- * (workspace + dedup cache) all persist across that worker's
- * word-groups, so steady-state decoding allocates nothing.
- */
-struct MemoryExperiment::DecodeContext
-{
-    SparseSyndromeExtractor extractor;
-    BatchSyndrome syndrome;
-    std::unique_ptr<BatchDecoder> pipeline;
-};
 
 MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
                                    ExperimentConfig config)
@@ -159,11 +169,23 @@ MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
 {
     fatalIf(config_.rounds < 1, "experiment needs at least one round");
     if (config_.decode) {
-        dem_ = std::make_unique<DetectorModel>(
+        dem_ = std::make_shared<DetectorModel>(
             buildDetectorModel(code_, config_.rounds, config_.basis));
         decoder_ = decoder_factory(*dem_, config_.em.p);
         fatalIf(!decoder_, "decoder factory returned null");
     }
+}
+
+MemoryExperiment::MemoryExperiment(
+    const RotatedSurfaceCode &code, ExperimentConfig config,
+    std::shared_ptr<const DetectorModel> dem,
+    std::shared_ptr<const Decoder> decoder)
+    : code_(code), config_(config), lookup_(code),
+      dem_(std::move(dem)), decoder_(std::move(decoder))
+{
+    fatalIf(config_.rounds < 1, "experiment needs at least one round");
+    fatalIf(config_.decode && (!dem_ || !decoder_),
+            "decoding experiment needs a detector model and decoder");
 }
 
 MemoryExperiment::~MemoryExperiment() = default;
@@ -193,21 +215,26 @@ MemoryExperiment::resultHeader(const std::string &name) const
     return result;
 }
 
+// The chunk partials ExperimentSession produces carry the same fields
+// as per-group ShotStats, so stats merging is one merge() away: every
+// counter path in the harness funnels through ExperimentResult::merge.
+// Runs under the callers' merge mutex: the LPR vectors are moved, not
+// copied, so the critical section stays allocation-free.
 void
 MemoryExperiment::mergeStats(ExperimentResult &result,
-                             const ShotStats &stats) const
+                             ExperimentShotStats &stats) const
 {
-    result.logicalErrors += stats.logicalErrors;
-    result.verdictFingerprint ^= stats.verdictHash;
-    result.tp += stats.tp;
-    result.fp += stats.fp;
-    result.tn += stats.tn;
-    result.fn += stats.fn;
-    result.lrcsScheduled += stats.lrcsScheduled;
-    for (int r = 0; r < (int)result.lprDataSum.size(); ++r) {
-        result.lprDataSum[r] += stats.lprData[r];
-        result.lprParitySum[r] += stats.lprParity[r];
-    }
+    ExperimentResult partial;
+    partial.logicalErrors = stats.logicalErrors;
+    partial.verdictFingerprint = stats.verdictHash;
+    partial.tp = stats.tp;
+    partial.fp = stats.fp;
+    partial.tn = stats.tn;
+    partial.fn = stats.fn;
+    partial.lrcsScheduled = stats.lrcsScheduled;
+    partial.lprDataSum = std::move(stats.lprData);
+    partial.lprParitySum = std::move(stats.lprParity);
+    result.merge(partial);
 }
 
 ExperimentResult
@@ -216,24 +243,8 @@ MemoryExperiment::run(const PolicyFactory &factory,
 {
     if (config_.batchWidth > 1)
         return runBatched(factory, name);
-
-    ExperimentResult result = resultHeader(name);
-    std::mutex merge_mutex;
-    parallelFor(
-        config_.shots,
-        [&](uint64_t shot) {
-            ShotStats stats;
-            if (config_.trackLpr) {
-                stats.lprData.assign(config_.rounds, 0.0);
-                stats.lprParity.assign(config_.rounds, 0.0);
-            }
-            runShot(shot, factory, stats);
-
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            mergeStats(result, stats);
-        },
-        config_.threads);
-    return result;
+    ExperimentSession session(*this, factory, name);
+    return session.runToCompletion();
 }
 
 SyndromeCacheOptions
@@ -267,61 +278,10 @@ ExperimentResult
 MemoryExperiment::runBatched(const PolicyFactory &factory,
                              const std::string &name) const
 {
-    const uint64_t width = std::min<uint64_t>(
-        std::max<unsigned>(config_.batchWidth, 1),
-        (unsigned)kMaxBatchLanes);
-    const auto spans = batchGroupSpans(config_.shots, width);
-
-    ExperimentResult result = resultHeader(name);
-
-    // One decode pipeline per worker: workspaces and caches are
-    // mutable, but verdicts are pure functions of the defect list, so
-    // results stay identical across any thread count.
-    const unsigned workers =
-        resolveThreadCount(spans.size(), config_.threads);
-    std::vector<DecodeContext> contexts(workers);
-    if (config_.decode) {
-        const SyndromeCacheOptions cache_opts = resolvedCacheOptions();
-        for (auto &ctx : contexts)
-            ctx.pipeline = std::make_unique<BatchDecoder>(
-                *decoder_, cache_opts);
-    }
-
-    std::mutex merge_mutex;
-    parallelForWorkers(
-        spans.size(),
-        [&](unsigned worker, uint64_t group) {
-            ShotStats stats;
-            if (config_.trackLpr) {
-                stats.lprData.assign(config_.rounds, 0.0);
-                stats.lprParity.assign(config_.rounds, 0.0);
-            }
-            const auto [first, lanes] = spans[group];
-            // Plane depth (1/4/8 words) follows the group width.
-            if (width <= 64)
-                runGroupT<1>(first, lanes, factory, stats,
-                             &contexts[worker]);
-            else if (width <= 256)
-                runGroupT<4>(first, lanes, factory, stats,
-                             &contexts[worker]);
-            else
-                runGroupT<8>(first, lanes, factory, stats,
-                             &contexts[worker]);
-
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            mergeStats(result, stats);
-        },
-        config_.threads);
-
-    for (const auto &ctx : contexts) {
-        if (!ctx.pipeline)
-            continue;
-        const BatchDecodeStats &ds = ctx.pipeline->stats();
-        result.decodedShots += ds.decoded;
-        result.zeroDefectShots += ds.zeroDefect;
-        result.syndromeCacheHits += ds.cacheHits;
-    }
-    return result;
+    SessionOptions options;
+    options.forceBatched = true;
+    ExperimentSession session(*this, factory, name, options);
+    return session.runToCompletion();
 }
 
 namespace
@@ -393,7 +353,7 @@ executeRound(FrameSimulator &sim, const RoundSchedule &sched,
 
 void
 MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
-                          ShotStats &stats) const
+                          ExperimentShotStats &stats) const
 {
     const int n_stabs = code_.numStabilizers();
     const int n_data = code_.numData();
@@ -505,7 +465,8 @@ template <int NW>
 void
 MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                             const PolicyFactory &factory,
-                            ShotStats &stats, DecodeContext *ctx) const
+                            ExperimentShotStats &stats,
+                            ExperimentDecodeContext *ctx) const
 {
     using Lane = LaneWord<NW>;
     const uint64_t first = first_shot;
@@ -935,13 +896,13 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
 }
 
 template void MemoryExperiment::runGroupT<1>(
-    uint64_t, int, const PolicyFactory &, ShotStats &,
-    DecodeContext *) const;
+    uint64_t, int, const PolicyFactory &, ExperimentShotStats &,
+    ExperimentDecodeContext *) const;
 template void MemoryExperiment::runGroupT<4>(
-    uint64_t, int, const PolicyFactory &, ShotStats &,
-    DecodeContext *) const;
+    uint64_t, int, const PolicyFactory &, ExperimentShotStats &,
+    ExperimentDecodeContext *) const;
 template void MemoryExperiment::runGroupT<8>(
-    uint64_t, int, const PolicyFactory &, ShotStats &,
-    DecodeContext *) const;
+    uint64_t, int, const PolicyFactory &, ExperimentShotStats &,
+    ExperimentDecodeContext *) const;
 
 } // namespace qec

@@ -136,6 +136,19 @@ struct ExperimentResult
     double lprTotal(int round) const;
     double lprData(int round) const;
     double lprParity(int round) const;
+
+    /**
+     * Accumulate another (partial) result of the same experiment into
+     * this one. Counters and LPR sums add, the verdict fingerprint
+     * XORs, and the LPR series is widened to the longer of the two —
+     * so merging is commutative and associative over any partition of
+     * a shot set: LPR sums are integer-valued counts (exact in double
+     * up to 2^53) and everything else is integer adds or XOR.
+     * The policy name and lattice dimensions are adopted from the
+     * first non-empty operand. ExperimentSession::runChunk returns
+     * partials designed to be combined with this.
+     */
+    ExperimentResult &merge(const ExperimentResult &other);
 };
 
 /**
@@ -157,9 +170,19 @@ std::vector<std::pair<uint64_t, int>> batchGroupSpans(uint64_t shots,
 using DecoderFactory = std::function<std::unique_ptr<Decoder>(
     const DetectorModel &, double p)>;
 
+/** Internal per-worker state (exp/experiment_internal.h). */
+struct ExperimentShotStats;
+struct ExperimentDecodeContext;
+class ExperimentSession;
+
 /**
  * One experiment configuration bound to a code; the detector model and
  * decoder are built once and shared by all policies and shots.
+ *
+ * The run entry points are thin wrappers over a one-chunk
+ * ExperimentSession (exp/experiment_session.h); streaming consumers
+ * (chunked execution, early stopping, sweep orchestration) construct
+ * sessions directly.
  */
 class MemoryExperiment
 {
@@ -171,6 +194,18 @@ class MemoryExperiment
     MemoryExperiment(const RotatedSurfaceCode &code,
                      ExperimentConfig config,
                      const DecoderFactory &decoder_factory);
+    /**
+     * As above, but with a pre-built detector model and decoder shared
+     * with other experiments of the same (distance, rounds, basis, p)
+     * — the SweepRunner's cross-point cache. Decoders are stateless
+     * (all mutable decode state lives in caller workspaces), so
+     * sharing is safe across experiments and threads. Both may be
+     * null when `config.decode` is false.
+     */
+    MemoryExperiment(const RotatedSurfaceCode &code,
+                     ExperimentConfig config,
+                     std::shared_ptr<const DetectorModel> dem,
+                     std::shared_ptr<const Decoder> decoder);
     ~MemoryExperiment();
 
     /** Run all shots under a policy kind. */
@@ -199,30 +234,41 @@ class MemoryExperiment
     const SwapLookupTable & lookup() const { return lookup_; }
     /** Decoder (null when config.decode is false). */
     const Decoder * decoder() const { return decoder_.get(); }
+    /** Detector model (null when config.decode is false). */
+    std::shared_ptr<const DetectorModel> detectorModel() const
+    {
+        return dem_;
+    }
+    /** The decoder handle, for sharing with sibling experiments. */
+    std::shared_ptr<const Decoder> sharedDecoder() const
+    {
+        return decoder_;
+    }
 
   private:
-    struct ShotStats;
-    /** Per-worker decode pipeline state (defined in the .cpp). */
-    struct DecodeContext;
+    friend class ExperimentSession;
+
     void runShot(uint64_t shot, const PolicyFactory &factory,
-                 ShotStats &stats) const;
+                 ExperimentShotStats &stats) const;
     /** One word-group of `lanes` shots starting at `first_shot`, on
      *  the NW-plane-word engine (NW = 1/4/8). */
     template <int NW>
     void runGroupT(uint64_t first_shot, int lanes,
-                   const PolicyFactory &factory, ShotStats &stats,
-                   DecodeContext *ctx) const;
+                   const PolicyFactory &factory,
+                   ExperimentShotStats &stats,
+                   ExperimentDecodeContext *ctx) const;
     /** Dedup-cache options with the derived truncated-key cutoff. */
     SyndromeCacheOptions resolvedCacheOptions() const;
     ExperimentResult resultHeader(const std::string &name) const;
+    /** Consumes `stats` (LPR vectors are moved out). */
     void mergeStats(ExperimentResult &result,
-                    const ShotStats &stats) const;
+                    ExperimentShotStats &stats) const;
 
     const RotatedSurfaceCode &code_;
     ExperimentConfig config_;
     SwapLookupTable lookup_;
-    std::unique_ptr<DetectorModel> dem_;
-    std::unique_ptr<Decoder> decoder_;
+    std::shared_ptr<const DetectorModel> dem_;
+    std::shared_ptr<const Decoder> decoder_;
 };
 
 } // namespace qec

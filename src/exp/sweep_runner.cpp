@@ -1,0 +1,387 @@
+#include "exp/sweep_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "base/simd_word.h"
+#include "code/builder.h"
+
+namespace qec
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+uint64_t
+doubleKeyBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+std::string
+metricCell(TableSink::Metric metric, const ExperimentResult &r)
+{
+    char buf[48];
+    switch (metric) {
+    case TableSink::Metric::Ler:
+        if (r.logicalErrors == 0)
+            std::snprintf(buf, sizeof(buf), "<%.1e",
+                          r.shots ? 1.0 / (double)r.shots : 0.0);
+        else
+            std::snprintf(buf, sizeof(buf), "%.3e", r.ler());
+        break;
+    case TableSink::Metric::Accuracy:
+        std::snprintf(buf, sizeof(buf), "%.1f%%",
+                      r.speculationAccuracy() * 100.0);
+        break;
+    case TableSink::Metric::LrcsPerRound:
+        std::snprintf(buf, sizeof(buf), "%.3f", r.avgLrcsPerRound());
+        break;
+    }
+    return buf;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ TableSink
+
+FILE *
+TableSink::out() const
+{
+    return options_.out ? options_.out : stdout;
+}
+
+void
+TableSink::beginSweep(const SweepPlan &plan,
+                      const std::vector<SweepPoint> &points)
+{
+    showP_ = plan.ps.size() > 1;
+    showRounds_ = plan.rounds.size() > 1;
+    showProtocol_ = plan.protocols.size() > 1;
+    showDecoder_ = plan.decoders.size() > 1;
+    showWidth_ = plan.widths.size() > 1;
+    (void)points;
+
+    const RemovalProtocol proto =
+        plan.protocols.empty() ? plan.base.protocol
+                               : plan.protocols.front();
+    policyNames_.clear();
+    for (const SweepPolicy &policy : plan.policies)
+        policyNames_.push_back(policy.displayName(proto));
+
+    std::fprintf(out(), "%4s", "d");
+    if (showP_)
+        std::fprintf(out(), " %8s", "p");
+    if (showRounds_)
+        std::fprintf(out(), " %7s", "rounds");
+    if (showProtocol_)
+        std::fprintf(out(), " %5s", "proto");
+    if (showDecoder_)
+        std::fprintf(out(), " %10s", "decoder");
+    if (showWidth_)
+        std::fprintf(out(), " %6s", "width");
+    std::fprintf(out(), " %9s", "shots");
+    for (const std::string &name : policyNames_)
+        std::fprintf(out(), " %12s", name.c_str());
+    if (options_.gainNum >= 0 && options_.gainDen >= 0)
+        std::fprintf(out(), " %14s", options_.gainHeader.c_str());
+    std::fprintf(out(), "\n");
+}
+
+void
+TableSink::onPoint(const PointResult &pr)
+{
+    std::fprintf(out(), "%4d", pr.point.distance);
+    if (showP_)
+        std::fprintf(out(), " %8.0e", pr.point.p);
+    if (showRounds_)
+        std::fprintf(out(), " %7d", pr.point.rounds);
+    if (showProtocol_)
+        std::fprintf(out(), " %5s", protocolName(pr.point.protocol));
+    if (showDecoder_)
+        std::fprintf(out(), " %10s",
+                     decoderKindName(pr.point.decoderKind));
+    if (showWidth_)
+        std::fprintf(out(), " %6u", pr.point.batchWidth);
+    // Shots actually run, not planned: with early stopping, policies
+    // can finish at different counts (the per-policy exact numbers
+    // are in the JSON artifact); report the largest so the column
+    // never overstates a cell's sample size by more than its own
+    // early stop did.
+    uint64_t shots_run = 0;
+    for (const ExperimentResult &r : pr.results)
+        shots_run = std::max(shots_run, r.shots);
+    std::fprintf(out(), " %9llu", (unsigned long long)shots_run);
+    for (const ExperimentResult &r : pr.results)
+        std::fprintf(out(), " %12s",
+                     metricCell(options_.metric, r).c_str());
+    if (options_.gainNum >= 0 && options_.gainDen >= 0) {
+        const ExperimentResult &num = pr.results[options_.gainNum];
+        const ExperimentResult &den = pr.results[options_.gainDen];
+        if (num.logicalErrors == 0 || den.logicalErrors == 0)
+            std::fprintf(out(), " %14s", "-");
+        else
+            std::fprintf(out(), " %13.2fx", num.ler() / den.ler());
+    }
+    std::fprintf(out(), "\n");
+}
+
+void
+TableSink::endSweep(const SweepSummary &summary)
+{
+    std::fprintf(
+        out(),
+        "[sweep] %zu points, %llu shots in %.2fs (%.0f shots/s); "
+        "reuse: codes %zu/%zu, dems %zu/%zu, decoders %zu/%zu\n",
+        summary.points, (unsigned long long)summary.shotsRun,
+        summary.seconds,
+        (double)summary.shotsRun /
+            (summary.seconds > 0.0 ? summary.seconds : 1.0),
+        summary.codesReused, summary.codesBuilt + summary.codesReused,
+        summary.demsReused, summary.demsBuilt + summary.demsReused,
+        summary.decodersReused,
+        summary.decodersBuilt + summary.decodersReused);
+}
+
+// ------------------------------------------------------------- JsonSink
+
+JsonSink::JsonSink(std::string path) : path_(std::move(path))
+{
+    out_ = std::fopen(path_.c_str(), "w");
+    owned_ = true;
+    if (!out_)
+        std::fprintf(stderr, "JsonSink: cannot write %s\n",
+                     path_.c_str());
+}
+
+JsonSink::JsonSink(FILE *out) : out_(out), owned_(false) {}
+
+JsonSink::~JsonSink()
+{
+    if (out_ && owned_)
+        std::fclose(out_);
+}
+
+void
+JsonSink::beginSweep(const SweepPlan &plan,
+                     const std::vector<SweepPoint> &points)
+{
+    if (!out_)
+        return;
+    std::fprintf(out_,
+                 "{\n"
+                 "  \"schema\": \"qec.sweep.v1\",\n"
+                 "  \"sweep\": \"%s\",\n"
+                 "  \"engine_backend\": \"%s\",\n"
+                 "  \"recommended_width\": %d,\n"
+                 "  \"early_stop\": %s,\n"
+                 "  \"planned_points\": %zu,\n"
+                 "  \"points\": [",
+                 plan.name.c_str(), simdBackendName(),
+                 recommendedBatchWidth(),
+                 plan.earlyStop.enabled() ? "true" : "false",
+                 points.size());
+    firstPoint_ = true;
+}
+
+void
+JsonSink::onPoint(const PointResult &pr)
+{
+    if (!out_)
+        return;
+    std::fprintf(
+        out_,
+        "%s\n    {\"index\": %zu, \"d\": %d, \"p\": %.6g, "
+        "\"rounds\": %d, \"protocol\": \"%s\", \"decoder\": \"%s\", "
+        "\"width\": %u, \"shots\": %llu, \"seed\": %llu,\n"
+        "     \"results\": [",
+        firstPoint_ ? "" : ",", pr.point.index, pr.point.distance,
+        pr.point.p, pr.point.rounds, protocolName(pr.point.protocol),
+        decoderKindName(pr.point.decoderKind), pr.point.batchWidth,
+        (unsigned long long)pr.point.shots,
+        (unsigned long long)pr.point.seed);
+    firstPoint_ = false;
+    for (size_t i = 0; i < pr.results.size(); ++i) {
+        const ExperimentResult &r = pr.results[i];
+        std::fprintf(
+            out_,
+            "%s\n      {\"policy\": \"%s\", \"shots\": %llu, "
+            "\"logical_errors\": %llu, \"ler\": %.8g, "
+            "\"fingerprint\": \"0x%016llx\", "
+            "\"lrcs_per_round\": %.6g, \"accuracy\": %.6g, "
+            "\"fpr\": %.6g, \"fnr\": %.6g, "
+            "\"decoded_shots\": %llu, \"zero_defect_shots\": %llu, "
+            "\"cache_hits\": %llu, \"stopped_early\": %s, "
+            "\"seconds\": %.6g, \"shots_per_s\": %.1f}",
+            i == 0 ? "" : ",", r.policy.c_str(),
+            (unsigned long long)r.shots,
+            (unsigned long long)r.logicalErrors, r.ler(),
+            (unsigned long long)r.verdictFingerprint,
+            r.avgLrcsPerRound(), r.speculationAccuracy(),
+            r.falsePositiveRate(), r.falseNegativeRate(),
+            (unsigned long long)r.decodedShots,
+            (unsigned long long)r.zeroDefectShots,
+            (unsigned long long)r.syndromeCacheHits,
+            pr.stoppedEarly[i] ? "true" : "false", pr.seconds[i],
+            pr.shotsPerSec(i));
+    }
+    std::fprintf(out_, "]}");
+}
+
+void
+JsonSink::endSweep(const SweepSummary &summary)
+{
+    if (!out_ || closed_)
+        return;
+    std::fprintf(
+        out_,
+        "\n  ],\n"
+        "  \"summary\": {\"points\": %zu, \"shots\": %llu, "
+        "\"seconds\": %.3f, \"codes_built\": %zu, "
+        "\"codes_reused\": %zu, \"dems_built\": %zu, "
+        "\"dems_reused\": %zu, \"decoders_built\": %zu, "
+        "\"decoders_reused\": %zu}\n}\n",
+        summary.points, (unsigned long long)summary.shotsRun,
+        summary.seconds, summary.codesBuilt, summary.codesReused,
+        summary.demsBuilt, summary.demsReused, summary.decodersBuilt,
+        summary.decodersReused);
+    std::fflush(out_);
+    closed_ = true;
+}
+
+// ---------------------------------------------------------- SweepRunner
+
+SweepRunner::SweepRunner(SweepPlan plan) : plan_(std::move(plan)) {}
+
+void
+SweepRunner::addSink(SweepSink &sink)
+{
+    sinks_.push_back(&sink);
+}
+
+SweepSummary
+SweepRunner::run()
+{
+    const std::vector<SweepPoint> points = plan_.points();
+    SweepSummary summary;
+    for (SweepSink *sink : sinks_)
+        sink->beginSweep(plan_, points);
+
+    // Cross-point component caches: the expensive builds (lattice,
+    // detector model, decoder structure) are keyed by exactly what
+    // they depend on, so a grid that revisits them pays once.
+    std::map<int, std::unique_ptr<RotatedSurfaceCode>> codes;
+    using DemKey = std::tuple<int, int, int>;
+    std::map<DemKey, std::shared_ptr<const DetectorModel>> dems;
+    using DecoderKey = std::tuple<int, int, int, int, uint64_t>;
+    std::map<DecoderKey, std::shared_ptr<const Decoder>> decoders;
+
+    const auto sweep_start = Clock::now();
+    for (const SweepPoint &point : points) {
+        auto code_it = codes.find(point.distance);
+        if (code_it == codes.end()) {
+            code_it = codes
+                          .emplace(point.distance,
+                                   std::make_unique<
+                                       RotatedSurfaceCode>(
+                                       point.distance))
+                          .first;
+            ++summary.codesBuilt;
+        } else {
+            ++summary.codesReused;
+        }
+        const RotatedSurfaceCode &code = *code_it->second;
+
+        std::shared_ptr<const DetectorModel> dem;
+        std::shared_ptr<const Decoder> decoder;
+        if (point.config.decode) {
+            const DemKey dem_key{point.distance, point.rounds,
+                                 (int)point.config.basis};
+            auto dem_it = dems.find(dem_key);
+            if (dem_it == dems.end()) {
+                dem_it = dems.emplace(
+                                 dem_key,
+                                 std::make_shared<DetectorModel>(
+                                     buildDetectorModel(
+                                         code, point.rounds,
+                                         point.config.basis)))
+                             .first;
+                ++summary.demsBuilt;
+            } else {
+                ++summary.demsReused;
+            }
+            dem = dem_it->second;
+
+            const DecoderKey dec_key{
+                point.distance, point.rounds,
+                (int)point.config.basis, (int)point.decoderKind,
+                doubleKeyBits(point.p)};
+            auto dec_it = decoders.find(dec_key);
+            if (dec_it == decoders.end()) {
+                std::shared_ptr<const Decoder> built;
+                if (point.decoderKind == DecoderKind::Mwpm)
+                    built = std::make_shared<MwpmDecoder>(
+                        *dem, point.p, plan_.base.decoderOptions);
+                else
+                    built = std::make_shared<UnionFindDecoder>(
+                        *dem, point.p);
+                dec_it = decoders.emplace(dec_key, std::move(built))
+                             .first;
+                ++summary.decodersBuilt;
+            } else {
+                ++summary.decodersReused;
+            }
+            decoder = dec_it->second;
+        }
+
+        MemoryExperiment exp(code, point.config, dem, decoder);
+
+        PointResult pr;
+        pr.point = point;
+        pr.results.reserve(plan_.policies.size());
+        for (const SweepPolicy &policy : plan_.policies) {
+            PolicyFactory factory = policy.custom
+                ? policy.custom(code, exp.lookup())
+                : makePolicyFactory(
+                      policy.kind, code, exp.lookup(),
+                      point.protocol == RemovalProtocol::Dqlr);
+            SessionOptions session_options;
+            session_options.earlyStop = plan_.earlyStop;
+            ExperimentSession session(
+                exp, std::move(factory),
+                policy.displayName(point.protocol), session_options);
+            const auto start = Clock::now();
+            session.runToCompletion();
+            pr.seconds.push_back(secondsSince(start));
+            pr.results.push_back(session.result());
+            pr.stoppedEarly.push_back(session.stoppedEarly());
+            summary.shotsRun += session.result().shots;
+        }
+        ++summary.points;
+        summary.seconds = secondsSince(sweep_start);
+        for (SweepSink *sink : sinks_)
+            sink->onPoint(pr);
+    }
+
+    summary.seconds = secondsSince(sweep_start);
+    for (SweepSink *sink : sinks_)
+        sink->endSweep(summary);
+    return summary;
+}
+
+} // namespace qec

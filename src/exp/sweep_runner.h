@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Sweep execution: the `qec::sweep` back half.
+ *
+ * SweepRunner executes a SweepPlan point by point, building each
+ * point's MemoryExperiment from cross-point caches (codes per
+ * distance, detector models per (d, rounds, basis), decoders per
+ * (model, kind, p)) so grids that revisit a lattice or a detector
+ * model never rebuild them. Every policy of a point runs through an
+ * ExperimentSession (honoring the plan's early-stop rule), and the
+ * finished PointResult streams to the attached sinks: a bench_util
+ * style table printer, the unified JSON emitter, or a plain
+ * collector for benches with bespoke presentation.
+ */
+
+#ifndef QEC_EXP_SWEEP_RUNNER_H
+#define QEC_EXP_SWEEP_RUNNER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/sweep_plan.h"
+
+namespace qec
+{
+
+/** Everything produced at one grid point. */
+struct PointResult
+{
+    SweepPoint point;
+    /** One result per plan policy, in plan order. */
+    std::vector<ExperimentResult> results;
+    /** Wall-clock seconds per policy. */
+    std::vector<double> seconds;
+    std::vector<bool> stoppedEarly;
+
+    double
+    shotsPerSec(size_t policy) const
+    {
+        return seconds[policy] > 0.0
+            ? (double)results[policy].shots / seconds[policy]
+            : 0.0;
+    }
+};
+
+/** Aggregate accounting for a finished sweep. */
+struct SweepSummary
+{
+    size_t points = 0;
+    uint64_t shotsRun = 0;
+    double seconds = 0.0;
+    /** Cross-point component-cache accounting. */
+    size_t codesBuilt = 0;
+    size_t codesReused = 0;
+    size_t demsBuilt = 0;
+    size_t demsReused = 0;
+    size_t decodersBuilt = 0;
+    size_t decodersReused = 0;
+};
+
+/** Streaming consumer of sweep results. */
+class SweepSink
+{
+  public:
+    virtual ~SweepSink() = default;
+    virtual void
+    beginSweep(const SweepPlan &plan,
+               const std::vector<SweepPoint> &points)
+    {
+        (void)plan;
+        (void)points;
+    }
+    virtual void onPoint(const PointResult &result) = 0;
+    virtual void
+    endSweep(const SweepSummary &summary)
+    {
+        (void)summary;
+    }
+};
+
+/** Buffers every PointResult for bench-specific presentation. */
+class CollectSink : public SweepSink
+{
+  public:
+    std::vector<PointResult> points;
+
+    void
+    onPoint(const PointResult &result) override
+    {
+        points.push_back(result);
+    }
+};
+
+/**
+ * bench_util-style table: one row per point, one metric cell per
+ * policy, with the varying axes as leading columns and a closing
+ * throughput line — the uniform replacement for the hand-rolled
+ * printf tables of the figure benches.
+ */
+class TableSink : public SweepSink
+{
+  public:
+    enum class Metric
+    {
+        Ler,           ///< lerCell: value or <1/shots bound.
+        Accuracy,      ///< Speculation accuracy, percent.
+        LrcsPerRound,  ///< Average LRCs per round.
+    };
+
+    struct Options
+    {
+        Metric metric = Metric::Ler;
+        /** Print results[gainNum].ler() / results[gainDen].ler() as a
+         *  trailing ratio column (both >= 0 enables it). */
+        int gainNum = -1;
+        int gainDen = -1;
+        std::string gainHeader = "gain";
+        FILE *out = nullptr;   ///< Defaults to stdout.
+    };
+
+    TableSink() = default;
+    explicit TableSink(Options options) : options_(options) {}
+
+    void beginSweep(const SweepPlan &plan,
+                    const std::vector<SweepPoint> &points) override;
+    void onPoint(const PointResult &result) override;
+    void endSweep(const SweepSummary &summary) override;
+
+  private:
+    FILE *out() const;
+    Options options_;
+    bool showP_ = false, showRounds_ = false, showProtocol_ = false,
+         showDecoder_ = false, showWidth_ = false;
+    std::vector<std::string> policyNames_;
+};
+
+/**
+ * The unified machine-readable sweep artifact (schema
+ * "qec.sweep.v1"): per point the resolved axes, derived seed and
+ * shot count, and per policy the full counter set — logical errors,
+ * LER, the order-independent verdict fingerprint, LRC/speculation
+ * rates, decode-pipeline counters, early-stop state and throughput.
+ * One emitter for every bench, replacing the bespoke
+ * BENCH_decode.json / BENCH_simd.json printf code.
+ */
+class JsonSink : public SweepSink
+{
+  public:
+    /** Writes to `path`; ok() reports whether the open succeeded. */
+    explicit JsonSink(std::string path);
+    /** Writes to an already-open stream (not closed on destruction). */
+    explicit JsonSink(FILE *out);
+    ~JsonSink() override;
+
+    bool
+    ok() const
+    {
+        return out_ != nullptr;
+    }
+
+    void beginSweep(const SweepPlan &plan,
+                    const std::vector<SweepPoint> &points) override;
+    void onPoint(const PointResult &result) override;
+    void endSweep(const SweepSummary &summary) override;
+
+  private:
+    std::string path_;
+    FILE *out_ = nullptr;
+    bool owned_ = false;
+    bool firstPoint_ = true;
+    bool closed_ = false;
+};
+
+/** Executes a plan, streaming each point to the attached sinks. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepPlan plan);
+
+    /** Attach a (non-owned) sink; call before run(). */
+    void addSink(SweepSink &sink);
+
+    const SweepPlan &
+    plan() const
+    {
+        return plan_;
+    }
+
+    /** Run every point; returns the accounting summary. */
+    SweepSummary run();
+
+  private:
+    SweepPlan plan_;
+    std::vector<SweepSink *> sinks_;
+};
+
+} // namespace qec
+
+#endif // QEC_EXP_SWEEP_RUNNER_H
