@@ -318,6 +318,67 @@ BENCHMARK(BM_UnionFindDecodeShot)
     ->Args({7, 0})->Args({7, 1})->Args({11, 0})->Args({11, 1})
     ->Unit(benchmark::kMicrosecond);
 
+void
+BM_ComponentPipelineDecode(benchmark::State &state)
+{
+    // Component-granular / sliding-window pipeline with honest work
+    // accounting: the rates are defects/s and components/s (windows/s
+    // in windowed mode) over the work actually dispatched — NOT
+    // shots/s over lanes that were mostly zero-defect fast-path skips,
+    // which is what the old per-shot counters amounted to at p = 1e-3.
+    const int d = (int)state.range(0);
+    const bool windowed = state.range(1) != 0;
+    const int rounds = 3 * d;
+    RotatedSurfaceCode code(d);
+    DetectorModel dem = buildDetectorModel(code, rounds, Basis::Z);
+    UnionFindDecoder decoder(dem, 1e-3);
+    auto graph = std::make_shared<const ComponentGraph>(dem, 1e-3);
+
+    BatchDecodeOptions options;
+    options.cache.enabled = false; // measure decode, not dedup replay
+    if (windowed) {
+        options.windowLength = 2 * d;
+        options.windowSlideLength = d;
+    } else {
+        options.components.enabled = true;
+    }
+    BatchDecoder pipeline(decoder, options, graph);
+    auto shots = sampleShots(code, rounds, 64);
+
+    uint64_t defects = 0;
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &s = shots[i & 63];
+        benchmark::DoNotOptimize(
+            pipeline.decodeOne(s.data(), s.size()));
+        defects += s.size();
+        ++i;
+    }
+    state.counters["defects/s"] = benchmark::Counter(
+        (double)defects, benchmark::Counter::kIsRate);
+    const BatchDecodeStats &st = pipeline.stats();
+    if (windowed) {
+        state.counters["windows/s"] = benchmark::Counter(
+            (double)st.windows, benchmark::Counter::kIsRate);
+        state.counters["commit_frac"] = benchmark::Counter(
+            st.windowCommits + st.windowDeferrals == 0
+                ? 0.0
+                : (double)st.windowCommits /
+                      (double)(st.windowCommits +
+                               st.windowDeferrals));
+    } else {
+        state.counters["components/s"] = benchmark::Counter(
+            (double)st.componentsTotal,
+            benchmark::Counter::kIsRate);
+        state.counters["component_cache_hit_rate"] =
+            benchmark::Counter(st.componentCacheHitRate());
+    }
+}
+BENCHMARK(BM_ComponentPipelineDecode)
+    ->ArgNames({"d", "win"})
+    ->Args({7, 0})->Args({7, 1})->Args({11, 0})->Args({11, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 /**
  * End-to-end decoded throughput of the paper's headline d=11 ERASER
  * memory experiment. mode 0: all-scalar (PR 0 baseline); mode 1:
@@ -417,7 +478,11 @@ BENCHMARK(BM_DemBuildTiled)->Arg(3)->Arg(5)
  * PR 1 decoders in the scalar decode-per-shot loop (the PR 1
  * baseline, re-measured on the current machine) and once with the
  * batch-aware pipeline, and write shots/s, speedup, cache hit rate
- * and zero-defect fraction as JSON.
+ * and zero-defect fraction as JSON. Each entry also runs the
+ * component-granular stage and the 2d-row sliding window against an
+ * all-caches-off reference and records the component-cache hit rate
+ * plus verdicts_match_uncached / verdicts_match_windowed fingerprint
+ * pins, so CI can assert both stages stayed exactness-preserving.
  */
 void
 emitDecodeJson()
@@ -504,6 +569,36 @@ emitDecodeJson()
         cfg.syndromeCache.truncateRounds = 2;
         ExperimentResult truncated;
         shots_per_sec(*code, cfg, nullptr, &truncated);
+        cfg.syndromeCache.truncateRounds = 0;
+
+        // Exactness pins, recorded in the artifact itself: every
+        // pipeline stage must reproduce one verdict fingerprint.
+        // Reference run: all caches off, no components, no window.
+        cfg.syndromeCache.enabled = false;
+        ExperimentResult uncached;
+        shots_per_sec(*code, cfg, nullptr, &uncached);
+        // Component-granular dispatch on (dedup still off, so the
+        // component cache sees every nonzero lane).
+        cfg.componentDecode.enabled = true;
+        ExperimentResult components;
+        shots_per_sec(*code, cfg, nullptr, &components);
+        cfg.componentDecode.enabled = false;
+        // Sliding-window streaming decode (2d-row window, d-row
+        // slide).
+        cfg.windowLength = 2 * point.distance;
+        cfg.windowSlideLength = point.distance;
+        ExperimentResult windowed;
+        shots_per_sec(*code, cfg, nullptr, &windowed);
+
+        const bool match_uncached =
+            batched.verdictFingerprint ==
+                uncached.verdictFingerprint &&
+            components.verdictFingerprint ==
+                uncached.verdictFingerprint;
+        const bool match_windowed =
+            windowed.verdictFingerprint ==
+                uncached.verdictFingerprint &&
+            windowed.windowsDecoded > 0;
 
         std::fprintf(
             out,
@@ -515,6 +610,9 @@ emitDecodeJson()
             "\"speedup\": %.2f, "
             "\"cache_hit_rate\": %.4f, "
             "\"cache_hit_rate_trunc2\": %.4f, "
+            "\"component_cache_hit_rate\": %.4f, "
+            "\"verdicts_match_uncached\": %s, "
+            "\"verdicts_match_windowed\": %s, "
             "\"zero_defect_frac\": %.4f}",
             first ? "" : ",\n", decoderKindName(point.decoderKind),
             point.p, point.distance, point.rounds,
@@ -523,6 +621,9 @@ emitDecodeJson()
             batched_rate, batched_rate / scalar_rate,
             batched.syndromeCacheHitRate(),
             truncated.syndromeCacheHitRate(),
+            components.componentCacheHitRate(),
+            match_uncached ? "true" : "false",
+            match_windowed ? "true" : "false",
             (double)batched.zeroDefectShots /
                 (double)batched.shots);
         first = false;

@@ -1,14 +1,63 @@
 #include "decoder/batch_decoder.h"
 
+#include <algorithm>
+#include <climits>
+
 #include "base/logging.h"
 
 namespace qec
 {
 
+namespace
+{
+
+/** Shrink the component cache to nothing when the stage is off, so
+ *  legacy (cache-only) pipelines don't pay for its table. */
+ComponentDecodeOptions
+effectiveComponentOptions(const ComponentDecodeOptions &options,
+                          bool has_graph)
+{
+    ComponentDecodeOptions c = options;
+    if (!has_graph || !c.enabled) {
+        c.enabled = false;
+        c.tableLog2 = 0;
+        c.arenaCapacity = 0;
+    }
+    return c;
+}
+
+} // namespace
+
 BatchDecoder::BatchDecoder(const Decoder &decoder,
                            SyndromeCacheOptions cache_options)
-    : decoder_(decoder), cache_(cache_options)
+    : decoder_(decoder), cache_(cache_options),
+      componentCache_(effectiveComponentOptions({}, false))
 {
+    options_.cache = cache_options;
+    options_.components.enabled = false;
+}
+
+BatchDecoder::BatchDecoder(const Decoder &decoder,
+                           const BatchDecodeOptions &options,
+                           std::shared_ptr<const ComponentGraph> graph)
+    : decoder_(decoder), options_(options), graph_(std::move(graph)),
+      cache_(options.cache),
+      componentCache_(effectiveComponentOptions(options.components,
+                                                graph_ != nullptr))
+{
+    options_.components =
+        effectiveComponentOptions(options.components,
+                                  graph_ != nullptr);
+    if (options_.windowLength > 0) {
+        panicIf(!graph_, "sliding-window decode needs a "
+                         "ComponentGraph for the row geometry");
+        windowed_ = options_.windowLength < graph_->rows();
+        panicIf(windowed_ &&
+                    (options_.windowSlideLength < 1 ||
+                     options_.windowSlideLength >
+                         options_.windowLength),
+                "windowSlideLength must be in [1, windowLength]");
+    }
 }
 
 bool
@@ -20,9 +69,357 @@ BatchDecoder::decodeCached(uint64_t hash, const int *defects,
         ++stats_.cacheHits;
         return verdict;
     }
-    verdict = decoder_.decodeSparse(defects, count, workspace_);
+    verdict = decodeLane(defects, count);
     ++stats_.decoded;
     cache_.insert(hash, defects, count, verdict);
+    return verdict;
+}
+
+bool
+BatchDecoder::decodeLane(const int *defects, size_t count)
+{
+    if (windowed_)
+        return decodeWindowed(defects, count);
+    if (options_.components.enabled) {
+        // Negative slack = the decoder does not certify component
+        // composition; stay on the (always-exact) whole-shot path.
+        // Oversized slack = certified but pointless: most lanes would
+        // fail the exactness guard after paying for the split.
+        const int slack = decoder_.componentSlackHops(defects, count);
+        if (slack >= 0 && slack <= options_.components.maxShotSlack)
+            return decodeComponents(defects, count, slack);
+    }
+    return decoder_.decodeSparse(defects, count, workspace_);
+}
+
+bool
+BatchDecoder::decodeComponents(const int *defects, size_t count,
+                               int shot_slack)
+{
+    DecodeWorkspace &ws = workspace_;
+    const int h = options_.components.hopRadius;
+    const int m = graph_->split(defects, count, h, ws);
+    ++stats_.componentLanes;
+    stats_.componentsTotal += (uint64_t)m;
+    if ((size_t)m > ws.compReach.size()) {
+        ws.compReach.resize((size_t)m);
+        ws.compVerdict.resize((size_t)m);
+        ws.compGroup.resize((size_t)m);
+    }
+
+    // Decode one (possibly merged) component group: component cache
+    // first — canonical (time-translated) keying when the group sits
+    // in the bulk with margin, absolute ids otherwise — then the real
+    // decoder on a miss.
+    auto decodeGroup = [&](const int *sub, size_t cnt, int min_row,
+                           int max_row, int &reach) {
+        const int limit =
+            options_.components.canonicalKeys
+                ? graph_->canonicalReachLimit(min_row, max_row)
+                : -1;
+        const int shift =
+            limit >= 0 ? graph_->canonicalShift(min_row) : 0;
+        bool verdict = false;
+        reach = 0;
+        bool hit = false;
+        if (limit >= 0)
+            hit = componentCache_.lookup(sub, cnt, shift, true, limit,
+                                         verdict, reach);
+        if (!hit)
+            hit = componentCache_.lookup(sub, cnt, 0, false, 0,
+                                         verdict, reach);
+        if (hit) {
+            ++stats_.componentCacheHits;
+            return verdict;
+        }
+        verdict = decoder_.decodeSparse(sub, cnt, ws);
+        // The stored certificate must bound the component-ALONE
+        // decode's touched ball: the decoder's reach report plus its
+        // slack for this component decoded as its own shot.
+        const int own_slack = decoder_.componentSlackHops(sub, cnt);
+        reach = ws.lastReachHops + (own_slack > 0 ? own_slack : 0);
+        ++stats_.componentsDecoded;
+        if (limit >= 0 && reach <= limit)
+            componentCache_.insert(sub, cnt, shift, true, verdict,
+                                   reach);
+        else
+            componentCache_.insert(sub, cnt, 0, false, verdict,
+                                   reach);
+        return verdict;
+    };
+
+    for (int c = 0; c < m; ++c) {
+        ws.compGroup[c] = c;
+        const int *sub = ws.compDefects.data() + ws.compOffsets[c];
+        const size_t cnt =
+            (size_t)(ws.compOffsets[(size_t)c + 1] -
+                     ws.compOffsets[c]);
+        int reach = 0;
+        const bool verdict = decodeGroup(sub, cnt, ws.compMinRow[c],
+                                         ws.compMaxRow[c], reach);
+        ws.compVerdict[c] = verdict ? 1 : 0;
+        ws.compReach[c] = reach;
+    }
+
+    // Composition guard: the XOR composition is exactly the joint
+    // decode when every pair of groups is separated by more hops than
+    // the sum of its effective reaches (stored certificate + this
+    // shot's slack) — the touched regions are then disjoint balls
+    // with no connecting edge. The split certifies dist >= 2h+1 for
+    // every pair, which settles the common case in O(1) via the two
+    // largest reaches; pairs that outrun it are re-checked against
+    // the row-gap / stab-quotient distance bounds, and a pair
+    // failing both is MERGED and re-decoded as one group
+    // — far cheaper than re-decoding the whole lane. Merging repeats
+    // until the guard holds, so composition is exact by construction;
+    // the degenerate end state (everything merged) IS the whole-lane
+    // decode.
+    if (m >= 2) {
+        auto findGroup = [&](int c) {
+            while (ws.compGroup[c] != c) {
+                ws.compGroup[c] = ws.compGroup[ws.compGroup[c]];
+                c = ws.compGroup[c];
+            }
+            return c;
+        };
+        auto findComp = [&](int i) {
+            while (ws.cgParent[i] != i) {
+                ws.cgParent[i] = ws.cgParent[ws.cgParent[i]];
+                i = ws.cgParent[i];
+            }
+            return ws.cgLabel[i];
+        };
+        // Group set-distance guard: a set distance is the min over
+        // its parts, so two groups are proven > `need` apart iff
+        // every original-component cross pair is (the split sublists
+        // stay tight through merging; only the row boxes widen, and
+        // those now serve canonical keying alone).
+        auto groupsProvenApart = [&](int gi, int gj, int need) {
+            for (int a = 0; a < m; ++a) {
+                if (findGroup(a) != gi)
+                    continue;
+                for (int b = 0; b < m; ++b) {
+                    if (findGroup(b) != gj)
+                        continue;
+                    if (graph_->pairDistanceLowerBound(ws, a, b) <=
+                        need)
+                        return false;
+                }
+            }
+            return true;
+        };
+        for (bool changed = true; changed;) {
+            changed = false;
+            int top1 = 0;
+            int top2 = 0;   // two largest group reach certificates
+            for (int c = 0; c < m; ++c) {
+                if (findGroup(c) != c)
+                    continue;
+                const int reach = ws.compReach[c];
+                if (reach > top1) {
+                    top2 = top1;
+                    top1 = reach;
+                } else if (reach > top2) {
+                    top2 = reach;
+                }
+            }
+            if (top1 + top2 + 2 * shot_slack <= 2 * h)
+                break;
+            for (int i = 0; i < m; ++i) {
+                if (findGroup(i) != i)
+                    continue;
+                for (int j = i + 1; j < m; ++j) {
+                    if (findGroup(j) != j)
+                        continue;
+                    const int need = ws.compReach[i] +
+                                     ws.compReach[j] +
+                                     2 * shot_slack;
+                    if (need <= 2 * h ||
+                        groupsProvenApart(i, j, need))
+                        continue;
+                    // Merge j into i; the row box widens to the
+                    // union so canonical keying of the merged list
+                    // stays sound.
+                    ws.compGroup[j] = i;
+                    ws.compMinRow[i] = std::min(ws.compMinRow[i],
+                                                ws.compMinRow[j]);
+                    ws.compMaxRow[i] = std::max(ws.compMaxRow[i],
+                                                ws.compMaxRow[j]);
+                    ws.compReach[i] = -1;   // dirty: re-decode below
+                    ++stats_.guardFallbacks;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+            // Re-decode every group that absorbed a neighbour, on its
+            // union defect list rebuilt in ORIGINAL order (verdict
+            // composition is bit-identical to the joint decode only
+            // because every sublist preserves it).
+            for (int g = 0; g < m; ++g) {
+                if (findGroup(g) != g || ws.compReach[g] >= 0)
+                    continue;
+                ws.compMerged.clear();
+                for (size_t k = 0; k < count; ++k)
+                    if (findGroup(findComp((int)k)) == g)
+                        ws.compMerged.push_back(defects[k]);
+                int reach = 0;
+                const bool verdict = decodeGroup(
+                    ws.compMerged.data(), ws.compMerged.size(),
+                    ws.compMinRow[g], ws.compMaxRow[g], reach);
+                ws.compVerdict[g] = verdict ? 1 : 0;
+                ws.compReach[g] = reach;
+            }
+        }
+    }
+
+    bool lane_verdict = false;
+    for (int c = 0; c < m; ++c)
+        if (ws.compGroup[c] == c)
+            lane_verdict ^= (ws.compVerdict[c] != 0);
+    return lane_verdict;
+}
+
+bool
+BatchDecoder::decodeWindowed(const int *defects, size_t count)
+{
+    DecodeWorkspace &ws = workspace_;
+    const int rows = graph_->rows();
+    const int L = options_.windowLength;
+    const int S = options_.windowSlideLength;
+    const int span = graph_->maxRowSpan();
+    const int bound = decoder_.windowCommitBound();
+
+    // Cluster-complete streaming commits. Each window decodes every
+    // not-yet-committed defect whose row the run has seen, then
+    // commits whole grown clusters — never parts of one. A cluster
+    // commits only when it is PROVABLY beyond the decoder's growth
+    // bound `bound` from (a) every row the run has not seen yet and
+    // (b) every defect of a cluster that is itself deferred: any
+    // unseen or deferred defect's full-history cluster stays inside
+    // ball(defect, bound), so a committed cluster's region can never
+    // share an edge with it, the full-history decode evolves as the
+    // disjoint union, and the committed cluster (and its observable
+    // parity) is exactly a full-history cluster. Everything else is
+    // deferred — regathered into the next window — and the final
+    // window commits unconditionally (nothing is unseen).
+    //
+    // decodeSparse is a pure function of the defect SEQUENCE (growth
+    // seeds its layer-1 active list in input order), so each window's
+    // input is built as a SUBSEQUENCE of the caller's list, in the
+    // caller's order: any subset's relative order is then identical
+    // to the full-history call, which (with the disjointness
+    // certificates) makes a committed cluster's evolution — grown
+    // edges, peel forest, observable parity — exactly the one the
+    // full-history decode runs, and makes a no-commit run's final
+    // window the full-history call verbatim. Verdicts are therefore
+    // bit-identical to the full-history decode for every defect set
+    // and every (L, S); window sizing only trades deferral rate
+    // against peak decoder state.
+    // No certified growth bound (MWPM): no cluster can ever commit
+    // early and the final window would decode the caller's list
+    // verbatim — do exactly that, without asking the decoder for a
+    // cluster export it does not implement.
+    if (bound < 0) {
+        ++stats_.windows;
+        ++stats_.windowCommits;
+        return decoder_.decodeSparse(defects, count, ws);
+    }
+
+    winDone_.assign(count, 0);
+    bool verdict = false;
+    int prev_end = 0;
+    for (int w0 = 0; prev_end < rows; w0 += S) {
+        const int w_end = std::min(w0 + L, rows);
+        const bool final_window = w_end >= rows;
+
+        // Uncommitted defects in seen rows, in caller order.
+        winDefects_.clear();
+        for (size_t k = 0; k < count; ++k) {
+            if (!winDone_[k] &&
+                graph_->rowOf(defects[k]) < w_end)
+                winDefects_.push_back(defects[k]);
+        }
+        prev_end = w_end;
+        if (winDefects_.empty())
+            continue;
+
+        ws.recordClusters = true;
+        decoder_.decodeSparse(winDefects_.data(), winDefects_.size(),
+                              ws);
+        ws.recordClusters = false;
+        ++stats_.windows;
+        if ((uint64_t)winDefects_.size() > stats_.windowPeakDefects)
+            stats_.windowPeakDefects = (uint64_t)winDefects_.size();
+        const int m = (int)ws.clusters.size();
+
+        // Separation needed between a committed cluster's defects and
+        // any other defect: both sides' full-history regions live in
+        // radius-`bound` balls around their own defects, and two such
+        // balls share no edge once the defect sets are more than
+        // 2*bound + 1 hops apart (ball-vs-ball, not point-vs-ball).
+        const int sep = 2 * bound + 1;
+        winCommit_.assign((size_t)m, 1);
+        if (!final_window) {
+            // (a) Unseen-row separation: rows >= w_end are unseen, so
+            // commit needs ceil((w_end - maxRow) / span) > sep.
+            for (int c = 0; c < m; ++c) {
+                const int max_row =
+                    graph_->rowOf(ws.clusters[(size_t)c].maxVertex);
+                if (w_end - max_row <= sep * span)
+                    winCommit_[(size_t)c] = 0;
+            }
+            // (b) Deferred-defect separation, to a fixpoint: demote a
+            // candidate when some deferred defect is not provably >
+            // sep hops from its region (region extents give the exact
+            // row-gap bound; the per-defect-pair bound covers the
+            // space axis).
+            bool changed = true;
+            while (changed) {
+                changed = false;
+                for (size_t i = 0; i < winDefects_.size(); ++i) {
+                    for (size_t j = 0; j < winDefects_.size(); ++j) {
+                        const int ci = ws.clusterOf[winDefects_[i]];
+                        const int cj = ws.clusterOf[winDefects_[j]];
+                        if (!winCommit_[(size_t)ci] ||
+                            winCommit_[(size_t)cj])
+                            continue;
+                        const auto &k = ws.clusters[(size_t)ci];
+                        const int row_j =
+                            graph_->rowOf(winDefects_[j]);
+                        const int gap = std::max(
+                            {graph_->rowOf(k.minVertex) - row_j,
+                             row_j - graph_->rowOf(k.maxVertex), 0});
+                        const int lb = std::max(
+                            (gap + span - 1) / span,
+                            graph_->defectDistanceLowerBound(
+                                winDefects_[i], winDefects_[j]));
+                        if (lb <= sep) {
+                            winCommit_[(size_t)ci] = 0;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        for (int c = 0; c < m; ++c) {
+            if (winCommit_[(size_t)c]) {
+                verdict ^= ws.clusters[(size_t)c].obsParity != 0;
+                ++stats_.windowCommits;
+            } else {
+                ++stats_.windowDeferrals;
+            }
+        }
+        for (size_t k = 0; k < count; ++k) {
+            if (!winDone_[k] &&
+                graph_->rowOf(defects[k]) < w_end &&
+                winCommit_[(size_t)ws.clusterOf[defects[k]]])
+                winDone_[k] = 1;
+        }
+        if (final_window)
+            break;
+    }
     return verdict;
 }
 

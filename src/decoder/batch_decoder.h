@@ -10,21 +10,53 @@
  *     decode is skipped outright (the dominant case at low p).
  *  2. Syndrome dedup cache — identical sparse syndromes replay the
  *     first decode's observable-flip verdict (see SyndromeCache).
- *  3. Workspace decode — decodeSparse() on the wrapped decoder with
+ *  3. Component-granular dispatch — when a ComponentGraph is attached
+ *     and the decoder certifies composition support, the lane's
+ *     defects are split into far-apart connected components; each
+ *     component is answered from the exact per-component cache or
+ *     decoded alone, and the lane verdict is the XOR of the component
+ *     verdicts. A reach-certificate guard falls back to a whole-shot
+ *     decode whenever disjointness cannot be certified, so verdicts
+ *     stay bit-identical to the uncached path (see component_decoder.h
+ *     for the exactness contract).
+ *  4. Workspace decode — decodeSparse() on the wrapped decoder with
  *     this pipeline's persistent DecodeWorkspace, so steady-state
  *     decoding is allocation-free.
  *
- * One BatchDecoder per thread: the workspace and cache are mutable
- * state. Verdicts are bit-exact with per-shot Decoder::decode calls —
- * decoding is a pure function of the defect list, which the
- * differential tests pin.
+ * Sliding-window streaming mode (opt-in via BatchDecodeOptions
+ * windowLength / windowSlideLength): instead of one whole-history
+ * decode per lane, the lane's rounds are decoded in windows of
+ * `windowLength` detector rows advanced `windowSlideLength` rows at a
+ * time, with cluster-complete commits: each window decodes its fresh
+ * defects plus every deferred cluster, then commits whole grown
+ * clusters whose regions are provably beyond the decoder's certified
+ * growth bound (Decoder::windowCommitBound) from every unseen row and
+ * every deferred defect — such a cluster is exactly a full-history
+ * cluster by the same disjoint-evolution argument the component stage
+ * uses, so its observable parity is committed for good. Clusters that
+ * cannot be certified are deferred (their defects carried verbatim)
+ * and the final window commits unconditionally. Windowed verdicts are
+ * therefore bit-identical to the full-history decode for EVERY defect
+ * set and window shape; the window sizing only trades the deferral
+ * rate against peak decoder state, which is bounded by the window
+ * content plus deferrals rather than the run length. A decoder
+ * without a certified growth bound (MWPM) defers everything — still
+ * exact, but degenerating to one full-history decode per lane.
+ *
+ * One BatchDecoder per thread: the workspace and caches are mutable
+ * state. Non-windowed verdicts are bit-exact with per-shot
+ * Decoder::decode calls — decoding is a pure function of the defect
+ * list, which the differential tests pin.
  */
 
 #ifndef QEC_DECODER_BATCH_DECODER_H
 #define QEC_DECODER_BATCH_DECODER_H
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "decoder/component_decoder.h"
 #include "decoder/decoder_base.h"
 #include "decoder/sparse_syndrome.h"
 #include "decoder/syndrome_cache.h"
@@ -32,13 +64,48 @@
 namespace qec
 {
 
+/** Full pipeline configuration (one per BatchDecoder). */
+struct BatchDecodeOptions
+{
+    SyndromeCacheOptions cache;
+    ComponentDecodeOptions components;
+    /**
+     * Sliding-window streaming decode: decode each lane in windows of
+     * this many detector rows (0 = whole-history decode). Requires an
+     * attached ComponentGraph for the row geometry. Ignored when the
+     * window covers the whole history.
+     */
+    int windowLength = 0;
+    /** Rows the window advances per step (1 .. windowLength). */
+    int windowSlideLength = 0;
+};
+
 /** Counters for one pipeline instance (mergeable across threads). */
 struct BatchDecodeStats
 {
     uint64_t shots = 0;          ///< Lanes fed into the pipeline.
     uint64_t zeroDefect = 0;     ///< Lanes skipped by the fast path.
     uint64_t cacheHits = 0;      ///< Lanes answered by the dedup cache.
-    uint64_t decoded = 0;        ///< Lanes that ran a real decode.
+    uint64_t decoded = 0;        ///< Lanes that went past both caches.
+
+    // Component-granular dispatch (subset of `decoded` lanes).
+    uint64_t componentLanes = 0;     ///< Lanes split into components.
+    uint64_t componentsTotal = 0;    ///< Components those splits made.
+    uint64_t componentCacheHits = 0; ///< Components replayed from cache.
+    uint64_t componentsDecoded = 0;  ///< Components decoded for real.
+    /** Component groups merged (and re-decoded merged) because the
+     *  reach-certificate guard could not prove them apart. */
+    uint64_t guardFallbacks = 0;
+
+    // Sliding-window streaming mode.
+    uint64_t windows = 0;          ///< Non-empty windows decoded.
+    uint64_t windowCommits = 0;    ///< Clusters committed early/final.
+    uint64_t windowDeferrals = 0;  ///< Clusters deferred to later
+                                   ///< windows (uncertified commits).
+    /** Most defects any single window decode was handed — the peak
+     *  live decoder state of a streaming run (vs the whole shot's
+     *  defect count for a full-history decode). */
+    uint64_t windowPeakDefects = 0;
 
     void
     merge(const BatchDecodeStats &other)
@@ -47,6 +114,16 @@ struct BatchDecodeStats
         zeroDefect += other.zeroDefect;
         cacheHits += other.cacheHits;
         decoded += other.decoded;
+        componentLanes += other.componentLanes;
+        componentsTotal += other.componentsTotal;
+        componentCacheHits += other.componentCacheHits;
+        componentsDecoded += other.componentsDecoded;
+        guardFallbacks += other.guardFallbacks;
+        windows += other.windows;
+        windowCommits += other.windowCommits;
+        windowDeferrals += other.windowDeferrals;
+        if (other.windowPeakDefects > windowPeakDefects)
+            windowPeakDefects = other.windowPeakDefects;
     }
 
     /** Cache hits over cache-eligible (nonzero-defect) lanes. */
@@ -57,14 +134,35 @@ struct BatchDecodeStats
         return eligible == 0 ? 0.0
                              : (double)cacheHits / (double)eligible;
     }
+
+    /** Component-cache hits over all components dispatched. */
+    double
+    componentCacheHitRate() const
+    {
+        const uint64_t total = componentCacheHits + componentsDecoded;
+        return total == 0 ? 0.0
+                          : (double)componentCacheHits / (double)total;
+    }
 };
 
 class BatchDecoder
 {
   public:
-    /** Wrap a decoder; the decoder must outlive the pipeline. */
+    /** Wrap a decoder; the decoder must outlive the pipeline.
+     *  Legacy form: dedup cache only, no component dispatch. */
     explicit BatchDecoder(const Decoder &decoder,
                           SyndromeCacheOptions cache_options = {});
+
+    /**
+     * Full pipeline: dedup cache + component-granular dispatch (+
+     * sliding-window mode when configured). `graph` may be null,
+     * which disables the component and window stages; it must
+     * otherwise be built from the same DetectorModel and error rate
+     * as `decoder` and outlive the pipeline (shared across threads).
+     */
+    BatchDecoder(const Decoder &decoder,
+                 const BatchDecodeOptions &options,
+                 std::shared_ptr<const ComponentGraph> graph);
 
     /**
      * Decode every lane of a (possibly >64-lane) word-group, writing
@@ -88,19 +186,38 @@ class BatchDecoder
     {
         return cache_.stats();
     }
+    const ComponentCacheStats & componentCacheStats() const
+    {
+        return componentCache_.stats();
+    }
+    bool windowed() const { return windowed_; }
     void resetStats()
     {
         stats_ = {};
         cache_.resetStats();
+        componentCache_.resetStats();
     }
 
   private:
     bool decodeCached(uint64_t hash, const int *defects, size_t count);
+    /** Post-cache lane decode: windowed / component / plain. */
+    bool decodeLane(const int *defects, size_t count);
+    bool decodeComponents(const int *defects, size_t count,
+                          int shot_slack);
+    bool decodeWindowed(const int *defects, size_t count);
 
     const Decoder &decoder_;
+    BatchDecodeOptions options_;
+    std::shared_ptr<const ComponentGraph> graph_;
+    bool windowed_ = false;
     DecodeWorkspace workspace_;
     SyndromeCache cache_;
+    ComponentCache componentCache_;
     BatchDecodeStats stats_;
+    // Sliding-window scratch (steady-state allocation-free).
+    std::vector<int> winDefects_;     ///< Current window's decode input.
+    std::vector<uint8_t> winDone_;    ///< Per-input-defect committed flag.
+    std::vector<uint8_t> winCommit_;  ///< Per-cluster commit flags.
 };
 
 } // namespace qec

@@ -44,16 +44,89 @@ struct DecodeWorkspace
     uint64_t statMatchedVerts = 0;   ///< Blossom vertices solved.
     uint64_t statComponents = 0;     ///< Matching components seen.
 
+    /**
+     * Hop-reach certificate of the last decodeSparse call: every
+     * vertex that decode — or its restriction inside a larger shot
+     * (MWPM adds Decoder::componentSlackHops for the enclosing shot)
+     * — can touch lies within this many hops of the call's defects.
+     * The component composition guard sums certificates pairwise.
+     */
+    int lastReachHops = 0;
+
+    /**
+     * When set, decodeSparse additionally appends its chosen
+     * correction elements to `corrections`: per element the two
+     * detector endpoints (-1 = the boundary) and whether it flips the
+     * logical observable. The union-find decoder records each peeled
+     * edge; the MWPM decoder records each matched pair / boundary
+     * match. Consumed by the sliding-window driver's commit/carry
+     * bookkeeping.
+     */
+    bool recordCorrections = false;
+    struct CorrectionEdge
+    {
+        int a;         ///< Detector id or -1 (boundary).
+        int b;         ///< Detector id or -1 (boundary).
+        uint8_t obs;   ///< Logical-observable flip parity.
+    };
+    std::vector<CorrectionEdge> corrections;
+
+    /**
+     * When set, decodeSparse additionally reports the decode's grown
+     * clusters: `clusters[i]` holds cluster i's touched-vertex id
+     * extents and the XOR of the observable flips of its correction
+     * edges, and `clusterOf[v]` maps every touched vertex to its
+     * cluster index (clusters that interact only through the shared
+     * boundary vertex are reported separately — their evolutions are
+     * independent). The sliding-window driver commits whole clusters
+     * at a time with this. Off by default: the label pass costs one
+     * extra sweep over the touched vertices.
+     */
+    bool recordClusters = false;
+    struct ClusterInfo
+    {
+        int minVertex;      ///< Smallest touched detector id.
+        int maxVertex;      ///< Largest touched detector id.
+        uint8_t obsParity;  ///< XOR of the cluster's correction obs.
+    };
+    std::vector<ClusterInfo> clusters;
+    /** Per-vertex cluster index (valid for vertices touched by the
+     *  last recordClusters decode; -1 on the boundary vertex). */
+    std::vector<int> clusterOf;
+
+    // ----------------------------------------- component-split state
+    // ComponentGraph::split scratch: the by-id defect permutation, the
+    // defect-index union-find, and the grouped per-component output
+    // consumed by BatchDecoder.
+    std::vector<int> cgQueue;
+    std::vector<int> cgParent;
+    std::vector<int> cgLabel;
+    /** Component c's defects (original list order) live at
+     *  compDefects[compOffsets[c] .. compOffsets[c+1]). */
+    std::vector<int> compOffsets;
+    std::vector<int> compDefects;
+    std::vector<int> compCursor;
+    std::vector<int> compMinRow;
+    std::vector<int> compMaxRow;
+    /** Per-component decode outputs (BatchDecoder scratch). */
+    std::vector<int> compReach;
+    std::vector<uint8_t> compVerdict;
+    /** Component-level union-find for guard-driven pair merging. */
+    std::vector<int> compGroup;
+    /** Merged-group defect list scratch (original defect order). */
+    std::vector<int> compMerged;
+
     // ------------------------------------------------ union-find state
-    // Per-vertex entries are valid only when node.stamp == epoch; a
-    // vertex is lazily initialized the first time a decode touches it.
-    // One struct per vertex (not struct-of-arrays): lazy-touching a
-    // vertex then costs one cache line instead of eleven, and the
+    // Per-vertex entries are valid only when ufNodeStamp[v] ==
+    // ufEpoch8; a vertex is lazily initialized the first time a decode
+    // touches it. One 24-byte struct per vertex (not struct-of-arrays):
+    // lazy-touching a vertex then costs one cache line, and the
     // growth/merge walks are cache-miss-bound on exactly these
-    // accesses.
+    // accesses. Flags are packed into one byte so the struct stays at
+    // 24 bytes; the validity stamp lives in the separate byte array
+    // below, keeping it out of every touch's write traffic.
     struct UfNode
     {
-        uint64_t stamp;
         int parent;
         // Cluster frontiers as intrusive singly-linked lists: O(1)
         // concat on merge, no per-cluster vectors.
@@ -61,31 +134,54 @@ struct DecodeWorkspace
         int fTail;
         int fSize;
         int fNext;
-        uint8_t odd;
-        uint8_t onBoundary;
-        uint8_t inCluster;
-        uint8_t expanded;
-        uint8_t isDefect;
+        uint8_t flags;
     };
+    static constexpr uint8_t kUfOdd = 1;
+    static constexpr uint8_t kUfBoundary = 2;
+    static constexpr uint8_t kUfInCluster = 4;
+    static constexpr uint8_t kUfExpanded = 8;
     std::vector<UfNode> ufNode;
-    /** Edge e is "grown" this call iff ufEdgeStamp[e] == epoch. */
-    std::vector<uint64_t> ufEdgeStamp;
+    /**
+     * Byte-epoch validity stamps: vertex v's UfNode (and peel arrays)
+     * are valid iff ufNodeStamp[v] == ufEpoch8, edge e is grown this
+     * call iff ufEdgeStamp[e] == ufEpoch8. One BYTE per entry — both
+     * arrays stay L1-resident, and the growth/peel passes are bound by
+     * exactly these random loads. The epoch wraps at 255: the wrap
+     * clears both arrays once, so stale bytes can never alias a live
+     * epoch.
+     */
+    std::vector<uint8_t> ufNodeStamp;
+    std::vector<uint8_t> ufEdgeStamp;
+    uint8_t ufEpoch8 = 0;
     std::vector<int> ufActive;
     std::vector<int> ufNextActive;
-    /** Grown edges incident to the virtual boundary vertex, so the
-     *  peeling pass never scans the boundary's full adjacency row. */
-    std::vector<int> ufBoundaryGrown;
-    // Peeling pass scratch (visited iff node.stamp == epoch), one
-    // line per vertex for the same reason as UfNode.
-    struct PeelNode
+    /** Every edge grown this call with its endpoints and packed
+     *  (edge id << 1 | obs) word, recorded while they are hot in
+     *  growth's registers — the peel pass builds its compact adjacency
+     *  from this list instead of re-walking CSR rows (whose
+     *  mostly-ungrown slots dominated peel time). */
+    struct GrownEdge
     {
-        uint64_t stamp;
-        int parentEdge;
-        uint8_t charge;
+        int u;
+        int v;
+        int eo;
     };
-    std::vector<PeelNode> peelNode;
+    std::vector<GrownEdge> ufGrown;
+    // Peeling state (valid for vertices touched this call; initialized
+    // by touch(), peelDeg maintained inline by growth). Parallel small
+    // arrays instead of a struct: each stays L1-resident.
+    std::vector<int> peelDeg;      ///< Grown degree; <0 = BFS-visited.
+    std::vector<int> peelCursor;   ///< Compact-adjacency fill cursor.
+    /** BFS parent: (parent vertex << 32) | packed parent-edge word;
+     *  -1 = tree root. */
+    std::vector<int64_t> peelParent;
+    std::vector<uint8_t> peelCharge;
+    /** Vertices touched this call (the grown region), in touch order. */
     std::vector<int> peelOrder;
     std::vector<int> peelQueue;
+    /** Compact grown-edge adjacency: (neighbor vertex, packed edge
+     *  word). */
+    std::vector<std::pair<int, int>> peelAdj;
 
     // ------------------------------------------------------ MWPM state
     // Per-detector multi-source Dijkstra state, valid iff
@@ -133,13 +229,34 @@ struct DecodeWorkspace
             ufEdgeStamp.size() >= num_edges)
             return;
         ufNode.resize(num_vertices, UfNode{});
-        ufEdgeStamp.resize(num_edges, 0);
+        // Byte-epoch restart: clear BOTH stamp arrays (a resize keeps
+        // old bytes, which could alias the restarted epoch sequence).
+        ufNodeStamp.assign(num_vertices, 0);
+        ufEdgeStamp.assign(num_edges, 0);
+        ufEpoch8 = 0;
         ufActive.reserve(num_vertices);
         ufNextActive.reserve(num_vertices);
-        ufBoundaryGrown.reserve(num_edges);
-        peelNode.resize(num_vertices, PeelNode{});
+        ufGrown.reserve(num_edges);
+        peelDeg.resize(num_vertices, 0);
+        peelCursor.resize(num_vertices, 0);
+        peelParent.resize(num_vertices, 0);
+        peelCharge.resize(num_vertices, 0);
         peelOrder.reserve(num_vertices);
         peelQueue.reserve(num_vertices);
+        peelAdj.reserve(2 * num_edges);
+        clusterOf.resize(num_vertices, -1);
+    }
+
+    /** Size the component-split arrays for a defect list of
+     *  `num_defects`. */
+    void
+    ensureComponents(size_t num_defects)
+    {
+        if (cgParent.size() < num_defects) {
+            cgParent.resize(num_defects);
+            cgLabel.resize(num_defects);
+            cgQueue.reserve(num_defects);
+        }
     }
 
     /** Size the MWPM arrays for `num_detectors` detectors. */
@@ -166,10 +283,19 @@ struct DecodeWorkspace
                    sizeof(typename std::remove_reference_t<
                           decltype(v)>::value_type);
         };
-        return bytes(ufNode) + bytes(ufEdgeStamp) + bytes(ufActive) +
-               bytes(ufNextActive) + bytes(ufBoundaryGrown) +
-               bytes(peelNode) + bytes(peelOrder) +
-               bytes(peelQueue) + bytes(mwStamp) + bytes(mwDist) +
+        return bytes(ufNode) + bytes(ufNodeStamp) +
+               bytes(ufEdgeStamp) + bytes(ufActive) +
+               bytes(ufNextActive) + bytes(ufGrown) +
+               bytes(peelDeg) + bytes(peelCursor) + bytes(peelParent) +
+               bytes(peelCharge) + bytes(peelAdj) +
+               bytes(peelOrder) + bytes(peelQueue) + bytes(corrections) +
+               bytes(clusters) + bytes(clusterOf) +
+               bytes(cgQueue) + bytes(cgParent) + bytes(cgLabel) +
+               bytes(compOffsets) + bytes(compDefects) +
+               bytes(compCursor) + bytes(compMinRow) +
+               bytes(compMaxRow) + bytes(compGroup) +
+               bytes(compMerged) + bytes(compReach) +
+               bytes(compVerdict) + bytes(mwStamp) + bytes(mwDist) +
                bytes(mwObs) + bytes(mwSettled) + bytes(mwOwner) +
                bytes(mwHeap) + bytes(mwCands) +
                bytes(mwEdges) + bytes(mwBDist) + bytes(mwBObs) +

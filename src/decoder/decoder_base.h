@@ -44,6 +44,47 @@ class Decoder
                               DecodeWorkspace &workspace) const = 0;
 
     /**
+     * Component-composition support probe and shot-level hop slack.
+     *
+     * A decoder that supports exact per-component composition returns
+     * the extra hop margin that must be added to every component's
+     * stored reach certificate (DecodeWorkspace::lastReachHops) when
+     * those components are composed inside the shot described by
+     * `defects`/`count`: the union-find decoder's growth depends only
+     * on the component itself (slack 0), while the MWPM decoder's
+     * Dijkstra pruning radius grows with the shot's largest
+     * defect-to-boundary distance, so its slack is that distance in
+     * hops. Returning a negative value (the default) declares
+     * component decode unsupported and keeps the pipeline on the
+     * whole-shot path — custom decoders stay exact without opting in.
+     */
+    virtual int
+    componentSlackHops(const int *defects, size_t count) const
+    {
+        (void)defects;
+        (void)count;
+        return -1;
+    }
+
+    /**
+     * Streaming-commit growth bound. A decoder that certifies "every
+     * vertex a decode can touch lies within this many hops of some
+     * defect of its own connected decode cluster — for ANY defect
+     * set" returns that bound. The sliding-window driver uses it to
+     * prove a finished cluster cannot be influenced by defects in
+     * rows the window has not seen yet, and commits the cluster's
+     * verdict early. Negative (the default): no bound certified —
+     * the window driver defers every cluster to the final window,
+     * which degenerates to one full-history decode (still exact,
+     * but without the streaming memory bound).
+     */
+    virtual int
+    windowCommitBound() const
+    {
+        return -1;
+    }
+
+    /**
      * Decode one shot with a throwaway workspace. Thread-safe;
      * allocates, so hot loops should hold a workspace and call
      * decodeSparse instead.

@@ -62,6 +62,7 @@ MwpmDecoder::MwpmDecoder(const DetectorModel &dem, double p,
     }
 
     // Pass 2: flat CSR adjacency (counting sort keeps edge order).
+    minEdgeW_ = (double)kInf;
     nbrOffsets_.assign((size_t)numDets_ + 1, 0);
     for (int d = 0; d < numDets_; ++d)
         nbrOffsets_[(size_t)d + 1] = nbrOffsets_[d] + degree[d];
@@ -75,6 +76,7 @@ MwpmDecoder::MwpmDecoder(const DetectorModel &dem, double p,
         const uint8_t obs = edge.obsFlip ? 1 : 0;
         nbrs_[(size_t)cursor[edge.a]++] = {edge.b, w, obs};
         nbrs_[(size_t)cursor[edge.b]++] = {edge.a, w, obs};
+        minEdgeW_ = std::min(minEdgeW_, (double)w);
     }
 
     // Persistent defect-to-boundary distance cache: one multi-source
@@ -112,11 +114,26 @@ MwpmDecoder::MwpmDecoder(const DetectorModel &dem, double p,
     }
 }
 
+int
+MwpmDecoder::componentSlackHops(const int *defects, size_t count) const
+{
+    if (count == 0)
+        return 0;
+    if (!(minEdgeW_ > 0.0) || minEdgeW_ >= kMaxWeight)
+        return 0;   // no detector-detector edges: regions never grow
+    double bmax = 0.0;
+    for (size_t i = 0; i < count; ++i)
+        bmax = std::max(bmax,
+                        std::min(boundaryDist_[defects[i]], kMaxWeight));
+    return (int)std::ceil(bmax / minEdgeW_);
+}
+
 bool
 MwpmDecoder::decodeSparse(const int *defects, size_t count,
                           DecodeWorkspace &ws) const
 {
     const int n = (int)count;
+    ws.lastReachHops = 0;
     if (n == 0)
         return false;
 
@@ -142,6 +159,19 @@ MwpmDecoder::decodeSparse(const int *defects, size_t count,
             bmax_shot, std::min(boundaryDist_[defects[i]],
                                 kMaxWeight));
     }
+
+    // Reach certificate: every settle obeys nd <= bdist_i + bmax_shot.
+    // The certificate stores ceil(bmax_shot / minEdgeW_) + 1 (the +1
+    // covers the meeting edge a candidate probe crosses past a settled
+    // frontier); the bdist_i term — bounded by the enclosing shot's
+    // bmax — is supplied separately by componentSlackHops, so the
+    // composition guard's cert + slack sum bounds the true radius
+    // both when the component is decoded alone and when it would be
+    // decoded inside the full shot.
+    ws.lastReachHops =
+        (minEdgeW_ > 0.0 && minEdgeW_ < kMaxWeight)
+            ? (int)std::ceil(bmax_shot / minEdgeW_) + 1
+            : 0;
 
     for (int i = 0; i < n; ++i) {
         ws.mwBDist[i] =
@@ -350,7 +380,11 @@ MwpmDecoder::decodeSparse(const int *defects, size_t count,
 
         // Trivial component: one defect, matched to its boundary twin.
         if (k == 1) {
-            obs ^= (ws.mwBObs[ws.mwCompKeys[group].second] != 0);
+            const int gi = ws.mwCompKeys[group].second;
+            obs ^= (ws.mwBObs[gi] != 0);
+            if (ws.recordCorrections)
+                ws.corrections.push_back(
+                    {defects[gi], -1, ws.mwBObs[gi]});
             group = group_end;
             continue;
         }
@@ -394,6 +428,9 @@ MwpmDecoder::decodeSparse(const int *defects, size_t count,
             const int gi = ws.mwCompKeys[group + li].second;
             if (m == k + li) {
                 obs ^= (ws.mwBObs[gi] != 0);
+                if (ws.recordCorrections)
+                    ws.corrections.push_back(
+                        {defects[gi], -1, ws.mwBObs[gi]});
             } else if (m > li && m < k) {
                 const int gj = ws.mwCompKeys[group + m].second;
                 // Binary search the deduped candidate list.
@@ -406,9 +443,14 @@ MwpmDecoder::decodeSparse(const int *defects, size_t count,
                             return c.i < key.first;
                         return c.j < key.second;
                     });
+                uint8_t pair_obs = 0;
                 if (it != ws.mwCands.end() && it->i == gi &&
                     it->j == gj)
-                    obs ^= (it->obs != 0);
+                    pair_obs = it->obs;
+                obs ^= (pair_obs != 0);
+                if (ws.recordCorrections)
+                    ws.corrections.push_back(
+                        {defects[gi], defects[gj], pair_obs});
             }
         }
         group = group_end;

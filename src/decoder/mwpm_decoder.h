@@ -72,6 +72,18 @@ class MwpmDecoder : public Decoder
     bool decodeSparse(const int *defects, size_t count,
                       DecodeWorkspace &workspace) const override;
 
+    /**
+     * Shot-level slack for component composition: the Dijkstra
+     * pruning radius is each defect's boundary distance plus the
+     * shot's largest boundary distance, so a component decoded alone
+     * certifies only its own radius (lastReachHops) and composing it
+     * inside a larger shot can extend the reach by at most the shot's
+     * largest boundary distance, converted to hops via the minimum
+     * detector-detector edge weight.
+     */
+    int componentSlackHops(const int *defects,
+                           size_t count) const override;
+
     int numDetectors() const { return numDets_; }
 
     /** Total decoding-graph edges (diagnostics/tests). */
@@ -100,6 +112,10 @@ class MwpmDecoder : public Decoder
     int numDets_ = 0;
     size_t numEdges_ = 0;
     DecoderOptions options_;
+    /** Minimum detector-detector edge weight: converts weight radii
+     *  into hop bounds for the reach certificates (+inf if the graph
+     *  has no detector-detector edges, i.e. regions never grow). */
+    double minEdgeW_ = 0.0;
     /** CSR adjacency: neighbours of detector d live at
      *  nbrs_[nbrOffsets_[d] .. nbrOffsets_[d + 1]). */
     std::vector<int> nbrOffsets_;

@@ -115,6 +115,13 @@ SyndromeCache::insert(uint64_t hash, const int *defects, size_t count,
     // needs headroom for probing, the arena for the incoming list.
     if (used_ + 1 > slots_.size() - slots_.size() / 4 ||
         arena_.size() + count > options_.arenaCapacity) {
+        stats_.lastFlush = {stats_.hits - hitsAtFlush_,
+                            stats_.misses - missesAtFlush_,
+                            (uint64_t)used_,
+                            (double)used_ / (double)slots_.size()};
+        hitsAtFlush_ = stats_.hits;
+        missesAtFlush_ = stats_.misses;
+        stats_.evictions += used_;
         flush();
         ++stats_.flushes;
     }

@@ -65,11 +65,22 @@ struct SyndromeCacheOptions
 SyndromeCacheOptions resolveSyndromeCacheOptions(
     SyndromeCacheOptions options, int rounds, int basis_stabilizers);
 
+/** One wholesale flush of the cache, for occupancy diagnostics. */
+struct SyndromeCacheFlush
+{
+    uint64_t hits = 0;       ///< Hits since the previous flush.
+    uint64_t misses = 0;     ///< Misses since the previous flush.
+    uint64_t evicted = 0;    ///< Entries dropped by this flush.
+    double occupancy = 0.0;  ///< Slot occupancy when flushed.
+};
+
 struct SyndromeCacheStats
 {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t flushes = 0;
+    uint64_t evictions = 0;        ///< Total entries dropped by flushes.
+    SyndromeCacheFlush lastFlush;  ///< Most recent flush snapshot.
 
     double
     hitRate() const
@@ -124,6 +135,8 @@ class SyndromeCache
 
     SyndromeCacheOptions options_;
     SyndromeCacheStats stats_;
+    uint64_t hitsAtFlush_ = 0;
+    uint64_t missesAtFlush_ = 0;
     std::vector<Slot> slots_;
     std::vector<int> arena_;
     // A miss is followed by insert() on the same list (the pipeline's

@@ -43,6 +43,32 @@ class UnionFindDecoder : public Decoder
     bool decodeSparse(const int *defects, size_t count,
                       DecodeWorkspace &workspace) const override;
 
+    /**
+     * Component composition is exact with zero shot slack: cluster
+     * growth is a pure function of the defect list, and decodeSparse
+     * reports its growth-layer count as the reach certificate (every
+     * touched vertex is within that many hops of a defect).
+     */
+    int
+    componentSlackHops(const int *, size_t) const override
+    {
+        return 0;
+    }
+
+    /**
+     * Growth bound for streaming commits: every decode's touched
+     * region stays within this many hops of its clusters' defects,
+     * for any defect set — a cluster is permanently neutralized by
+     * the time its grown ball reaches the boundary vertex, so the
+     * graph's max distance-to-boundary (computed once at
+     * construction) bounds every cluster's radius.
+     */
+    int
+    windowCommitBound() const override
+    {
+        return commitBound_;
+    }
+
     int numDetectors() const { return numDets_; }
     /** Total decoding-graph edges (diagnostics/tests). */
     size_t numGraphEdges() const { return edges_.size(); }
@@ -55,13 +81,24 @@ class UnionFindDecoder : public Decoder
         uint8_t obs;
     };
 
+    /** Packed CSR adjacency slot: the far endpoint plus the edge id
+     *  and observable-flip bit in one word ((id << 1) | obs), so the
+     *  growth scan resolves an edge with a single 8-byte load instead
+     *  of chasing an edge-id indirection into the edge table. */
+    struct Adj
+    {
+        int other;
+        int eo;
+    };
+
     int numDets_ = 0;
     int boundaryVertex_ = 0;   ///< Single virtual boundary vertex id.
+    int commitBound_ = 0;      ///< Max hops to boundary (-1: none).
     std::vector<Edge> edges_;
-    /** CSR adjacency: incident edge ids of vertex v live at
-     *  csrEdges_[csrOffsets_[v] .. csrOffsets_[v + 1]). */
+    /** CSR adjacency: incident slots of vertex v live at
+     *  csrAdj_[csrOffsets_[v] .. csrOffsets_[v + 1]). */
     std::vector<int> csrOffsets_;
-    std::vector<int> csrEdges_;
+    std::vector<Adj> csrAdj_;
 };
 
 } // namespace qec

@@ -93,11 +93,12 @@ ExperimentSession::ExperimentSession(const MemoryExperiment &exp,
             resolveThreadCount(std::max<uint64_t>(im.spans.size(), 1),
                                cfg.threads));
         if (cfg.decode) {
-            const SyndromeCacheOptions cache_opts =
-                exp.resolvedCacheOptions();
+            const BatchDecodeOptions batch_opts =
+                exp.resolvedBatchOptions();
             for (auto &ctx : im.contexts)
                 ctx.pipeline = std::make_unique<BatchDecoder>(
-                    *exp.decoder(), cache_opts);
+                    *exp.decoder(), batch_opts,
+                    exp.componentGraph());
         }
     }
     im.total = newPartial();
@@ -249,6 +250,15 @@ ExperimentSession::runBatchedChunk(uint64_t n)
     partial.decodedShots = now.decoded - im.attributed.decoded;
     partial.zeroDefectShots = now.zeroDefect - im.attributed.zeroDefect;
     partial.syndromeCacheHits = now.cacheHits - im.attributed.cacheHits;
+    partial.componentsTotal =
+        now.componentsTotal - im.attributed.componentsTotal;
+    partial.componentCacheHits =
+        now.componentCacheHits - im.attributed.componentCacheHits;
+    partial.componentsDecoded =
+        now.componentsDecoded - im.attributed.componentsDecoded;
+    partial.guardFallbackShots =
+        now.guardFallbacks - im.attributed.guardFallbacks;
+    partial.windowsDecoded = now.windows - im.attributed.windows;
     im.attributed = now;
     return partial;
 }

@@ -72,6 +72,14 @@ ExperimentResult::syndromeCacheHitRate() const
 }
 
 double
+ExperimentResult::componentCacheHitRate() const
+{
+    const uint64_t total = componentCacheHits + componentsDecoded;
+    return total == 0 ? 0.0
+                      : (double)componentCacheHits / (double)total;
+}
+
+double
 ExperimentResult::lprData(int round) const
 {
     if (shots == 0 || round >= (int)lprDataSum.size())
@@ -113,6 +121,11 @@ ExperimentResult::merge(const ExperimentResult &other)
     decodedShots += other.decodedShots;
     zeroDefectShots += other.zeroDefectShots;
     syndromeCacheHits += other.syndromeCacheHits;
+    componentsTotal += other.componentsTotal;
+    componentCacheHits += other.componentCacheHits;
+    componentsDecoded += other.componentsDecoded;
+    guardFallbackShots += other.guardFallbackShots;
+    windowsDecoded += other.windowsDecoded;
     if (lprDataSum.size() < other.lprDataSum.size())
         lprDataSum.resize(other.lprDataSum.size(), 0.0);
     for (size_t r = 0; r < other.lprDataSum.size(); ++r)
@@ -173,6 +186,8 @@ MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
             buildDetectorModel(code_, config_.rounds, config_.basis));
         decoder_ = decoder_factory(*dem_, config_.em.p);
         fatalIf(!decoder_, "decoder factory returned null");
+        componentGraph_ = std::make_shared<ComponentGraph>(
+            *dem_, config_.em.p);
     }
 }
 
@@ -186,6 +201,9 @@ MemoryExperiment::MemoryExperiment(
     fatalIf(config_.rounds < 1, "experiment needs at least one round");
     fatalIf(config_.decode && (!dem_ || !decoder_),
             "decoding experiment needs a detector model and decoder");
+    if (config_.decode)
+        componentGraph_ = std::make_shared<ComponentGraph>(
+            *dem_, config_.em.p);
 }
 
 MemoryExperiment::~MemoryExperiment() = default;
@@ -253,6 +271,17 @@ MemoryExperiment::resolvedCacheOptions() const
     return resolveSyndromeCacheOptions(
         config_.syndromeCache, config_.rounds,
         code_.numBasisStabilizers(config_.basis));
+}
+
+BatchDecodeOptions
+MemoryExperiment::resolvedBatchOptions() const
+{
+    BatchDecodeOptions options;
+    options.cache = resolvedCacheOptions();
+    options.components = config_.componentDecode;
+    options.windowLength = config_.windowLength;
+    options.windowSlideLength = config_.windowSlideLength;
+    return options;
 }
 
 // A 1-lane group delegates to the scalar reference simulator at every

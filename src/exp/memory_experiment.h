@@ -25,6 +25,8 @@
 #include "core/policies.h"
 #include "core/qsg.h"
 #include "core/swap_lookup.h"
+#include "decoder/batch_decoder.h"
+#include "decoder/component_decoder.h"
 #include "decoder/mwpm_decoder.h"
 #include "decoder/syndrome_cache.h"
 #include "decoder/union_find_decoder.h"
@@ -82,6 +84,23 @@ struct ExperimentConfig
     bool batchDecode = true;
     /** Dedup-cache sizing for the batched decode pipeline. */
     SyndromeCacheOptions syndromeCache;
+    /** Component-granular dispatch + exact per-component cache for
+     *  the batched decode pipeline (see component_decoder.h). */
+    ComponentDecodeOptions componentDecode;
+    /**
+     * Sliding-window streaming decode on the batched pipeline: decode
+     * each shot's rounds in windows of this many detector rows
+     * (0 = whole-history decode, the default), committing whole grown
+     * clusters once they are provably beyond the decoder's certified
+     * growth bound from every unseen row, and deferring the rest
+     * (see batch_decoder.h). Verdicts are bit-identical to the
+     * full-history decode at every window shape; sizing only trades
+     * the deferral rate against peak decoder state, which is bounded
+     * by the window content rather than the run length.
+     */
+    int windowLength = 0;
+    /** Rows the window advances per step (1..windowLength). */
+    int windowSlideLength = 0;
 };
 
 /** Aggregated outcome of an experiment. */
@@ -111,6 +130,11 @@ struct ExperimentResult
     uint64_t decodedShots = 0;        ///< Shots that ran a real decode.
     uint64_t zeroDefectShots = 0;     ///< Shots skipped (no defects).
     uint64_t syndromeCacheHits = 0;   ///< Shots replayed from cache.
+    uint64_t componentsTotal = 0;     ///< Components split off shots.
+    uint64_t componentCacheHits = 0;  ///< Components replayed (exact).
+    uint64_t componentsDecoded = 0;   ///< Components decoded for real.
+    uint64_t guardFallbackShots = 0;  ///< Shots re-decoded whole-shot.
+    uint64_t windowsDecoded = 0;      ///< Sliding windows decoded.
 
     /**
      * Order-independent XOR of a per-(shot id, logical-error bit)
@@ -132,6 +156,8 @@ struct ExperimentResult
     double avgLrcsPerRound() const;
     /** Dedup-cache hit rate over cache-eligible (nonzero) shots. */
     double syndromeCacheHitRate() const;
+    /** Component-cache hit rate over all dispatched components. */
+    double componentCacheHitRate() const;
     /** Leakage population ratio at round r (Eq. 5). */
     double lprTotal(int round) const;
     double lprData(int round) const;
@@ -244,6 +270,12 @@ class MemoryExperiment
     {
         return decoder_;
     }
+    /** Component graph for the batched decode pipeline (null when
+     *  config.decode is false). Stateless; shared across threads. */
+    std::shared_ptr<const ComponentGraph> componentGraph() const
+    {
+        return componentGraph_;
+    }
 
   private:
     friend class ExperimentSession;
@@ -259,6 +291,8 @@ class MemoryExperiment
                    ExperimentDecodeContext *ctx) const;
     /** Dedup-cache options with the derived truncated-key cutoff. */
     SyndromeCacheOptions resolvedCacheOptions() const;
+    /** Full pipeline options for per-worker BatchDecoders. */
+    BatchDecodeOptions resolvedBatchOptions() const;
     ExperimentResult resultHeader(const std::string &name) const;
     /** Consumes `stats` (LPR vectors are moved out). */
     void mergeStats(ExperimentResult &result,
@@ -269,6 +303,7 @@ class MemoryExperiment
     SwapLookupTable lookup_;
     std::shared_ptr<const DetectorModel> dem_;
     std::shared_ptr<const Decoder> decoder_;
+    std::shared_ptr<const ComponentGraph> componentGraph_;
 };
 
 } // namespace qec
