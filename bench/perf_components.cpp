@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "base/atomic_file.h"
 #include "base/rng.h"
 #include "base/simd_word.h"
 #include "code/builder.h"
@@ -492,11 +493,16 @@ emitDecodeJson()
     const char *path_env = std::getenv("ERASER_BENCH_JSON");
     const std::string path =
         path_env ? path_env : "BENCH_decode.json";
-    FILE *out = std::fopen(path.c_str(), "w");
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    // temp + fsync + rename: a bench killed mid-emit leaves the
+    // previous artifact, never a truncated JSON CI would then parse.
+    AtomicFileWriter writer;
+    Status open_status = writer.open(path);
+    if (!open_status.isOk()) {
+        std::fprintf(stderr, "cannot write %s (%s)\n", path.c_str(),
+                     open_status.toString().c_str());
         return;
     }
+    FILE *out = writer.stream();
 
     auto shots_per_sec = [](const RotatedSurfaceCode &code,
                             const ExperimentConfig &cfg,
@@ -629,7 +635,12 @@ emitDecodeJson()
         first = false;
     }
     std::fprintf(out, "\n  ]\n}\n");
-    std::fclose(out);
+    Status commit_status = writer.commit();
+    if (!commit_status.isOk()) {
+        std::fprintf(stderr, "cannot write %s (%s)\n", path.c_str(),
+                     commit_status.toString().c_str());
+        return;
+    }
     std::printf("wrote %s\n", path.c_str());
 }
 
@@ -653,11 +664,14 @@ emitSimdJson()
         return;
     const char *path_env = std::getenv("ERASER_SIMD_JSON");
     const std::string path = path_env ? path_env : "BENCH_simd.json";
-    FILE *out = std::fopen(path.c_str(), "w");
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    AtomicFileWriter writer;
+    Status open_status = writer.open(path);
+    if (!open_status.isOk()) {
+        std::fprintf(stderr, "cannot write %s (%s)\n", path.c_str(),
+                     open_status.toString().c_str());
         return;
     }
+    FILE *out = writer.stream();
 
     std::fprintf(
         out,
@@ -753,7 +767,12 @@ emitSimdJson()
                  "\"speedup_256_vs_64\": %.3f, "
                  "\"speedup_512_vs_64\": %.3f}\n}\n",
                  scale_256, scale_512);
-    std::fclose(out);
+    Status commit_status = writer.commit();
+    if (!commit_status.isOk()) {
+        std::fprintf(stderr, "cannot write %s (%s)\n", path.c_str(),
+                     commit_status.toString().c_str());
+        return;
+    }
     std::printf("wrote %s\n", path.c_str());
 }
 

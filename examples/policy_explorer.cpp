@@ -25,6 +25,12 @@
  *   --seed S             fixed RNG seed override for every point
  *   --precision F        early-stop at Wilson rel. precision F
  *   --json PATH          also write the unified sweep JSON artifact
+ *   --checkpoint PATH    checkpoint to PATH and resume from it when
+ *                        it exists (kill-safe; results bit-identical
+ *                        to an uninterrupted run)
+ *   --checkpoint-every N save every N session chunks (default 1)
+ *   --deadline SECONDS   stop cleanly after this wall-clock budget,
+ *                        checkpointing the in-flight point
  */
 
 #include <cstdio>
@@ -51,7 +57,9 @@ usage(const char *argv0)
                  " [--protocol swap|dqlr]\n"
                  "          [--transport conservative|exchange]"
                  " [--width W] [--no-leakage]\n"
-                 "          [--seed S] [--precision F] [--json PATH]\n",
+                 "          [--seed S] [--precision F] [--json PATH]\n"
+                 "          [--checkpoint PATH] [--checkpoint-every N]"
+                 " [--deadline SECS]\n",
                  argv0);
     std::exit(2);
 }
@@ -104,6 +112,9 @@ main(int argc, char **argv)
     bool seed_override = false;
     uint64_t seed = 0;
     double precision = 0.0;
+    std::string checkpoint_path;
+    uint64_t checkpoint_every = 1;
+    double deadline = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -133,6 +144,14 @@ main(int argc, char **argv)
             precision = std::atof(next());
         } else if (arg == "--json") {
             json_path = next();
+        } else if (arg == "--checkpoint") {
+            checkpoint_path = next();
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every = std::strtoull(next(), nullptr, 10);
+            if (checkpoint_every == 0)
+                usage(argv[0]);
+        } else if (arg == "--deadline") {
+            deadline = std::atof(next());
         } else if (arg == "--width") {
             width = (unsigned)std::atoi(next());
         } else if (arg == "--protocol") {
@@ -201,7 +220,21 @@ main(int argc, char **argv)
             return 1;
         runner.addSink(*json);
     }
-    runner.run();
+
+    SweepRunOptions run_options;
+    run_options.checkpoint.path = checkpoint_path;
+    run_options.checkpoint.everyChunks = checkpoint_every;
+    run_options.deadlineSeconds = deadline;
+    const SweepSummary summary = runner.run(run_options);
+    if (!summary.status.isOk()) {
+        std::fprintf(stderr, "sweep failed: %s\n",
+                     summary.status.toString().c_str());
+        return 1;
+    }
+    if (summary.resumed)
+        std::printf("[resumed from %s: %zu point(s) already "
+                    "complete]\n\n",
+                    checkpoint_path.c_str(), summary.pointsResumed);
 
     for (const PointResult &point : results.points) {
         std::printf("d=%d rounds=%d p=%g shots=%llu protocol=%s"
@@ -223,7 +256,20 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
+    for (const SweepPointError &err : summary.errors)
+        std::fprintf(stderr,
+                     "point %llu (d=%d, p=%g) failed after %d "
+                     "attempt(s): %s\n",
+                     (unsigned long long)err.pointIndex, err.distance,
+                     err.p, err.attempts,
+                     err.status.toString().c_str());
+    if (summary.truncated)
+        std::printf("[deadline reached after %.1fs; progress saved"
+                    "%s%s — rerun to continue]\n",
+                    summary.seconds,
+                    checkpoint_path.empty() ? "" : " to ",
+                    checkpoint_path.c_str());
     if (json)
         std::printf("wrote %s\n", json_path.c_str());
-    return 0;
+    return summary.pointsFailed > 0 ? 1 : 0;
 }

@@ -1,0 +1,186 @@
+#include "base/atomic_file.h"
+
+#include <cerrno>
+#include <cstdarg>
+
+#include <unistd.h>
+
+#include "base/fault_injection.h"
+
+namespace qec
+{
+
+namespace
+{
+
+/** Reflected CRC-32 table for polynomial 0xEDB88320. */
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+std::string
+errnoMessage(const std::string &what, const std::string &path)
+{
+    return what + " " + path + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size, uint32_t prev)
+{
+    const uint32_t *table = crcTable();
+    const unsigned char *p = (const unsigned char *)data;
+    uint32_t c = prev ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+AtomicFileWriter::~AtomicFileWriter()
+{
+    abandon();
+}
+
+Status
+AtomicFileWriter::open(const std::string &path)
+{
+    panicIf(stream_ != nullptr,
+            "AtomicFileWriter::open on an already-open writer");
+    if (QEC_FAULT_POINT("atomic_file.open"))
+        return unavailableError("injected open failure for " + path);
+    path_ = path;
+    tempPath_ = path + ".tmp." + std::to_string((long)::getpid());
+    stream_ = std::fopen(tempPath_.c_str(), "wb");
+    if (!stream_)
+        return unavailableError(errnoMessage("cannot open", tempPath_));
+    return okStatus();
+}
+
+Status
+AtomicFileWriter::write(const void *data, size_t size)
+{
+    panicIf(stream_ == nullptr,
+            "AtomicFileWriter::write before open");
+    if (QEC_FAULT_POINT("atomic_file.write")) {
+        abandon();
+        return unavailableError("injected write failure for " + path_);
+    }
+    if (size > 0 && std::fwrite(data, 1, size, stream_) != size) {
+        const Status st =
+            unavailableError(errnoMessage("short write to", tempPath_));
+        abandon();
+        return st;
+    }
+    return okStatus();
+}
+
+Status
+AtomicFileWriter::printf(const char *fmt, ...)
+{
+    panicIf(stream_ == nullptr,
+            "AtomicFileWriter::printf before open");
+    if (QEC_FAULT_POINT("atomic_file.write")) {
+        abandon();
+        return unavailableError("injected write failure for " + path_);
+    }
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vfprintf(stream_, fmt, args);
+    va_end(args);
+    if (n < 0) {
+        const Status st =
+            unavailableError(errnoMessage("short write to", tempPath_));
+        abandon();
+        return st;
+    }
+    return okStatus();
+}
+
+Status
+AtomicFileWriter::commit()
+{
+    panicIf(stream_ == nullptr,
+            "AtomicFileWriter::commit before open");
+    Status st;
+    if (QEC_FAULT_POINT("atomic_file.commit"))
+        st = unavailableError("injected commit failure for " + path_);
+    // Flush userspace buffers, then force the bytes to storage before
+    // the rename publishes the name: rename-before-fsync can publish
+    // an empty file across a power cut.
+    if (st.isOk() && std::fflush(stream_) != 0)
+        st = unavailableError(errnoMessage("cannot flush", tempPath_));
+    if (st.isOk() && ::fsync(::fileno(stream_)) != 0)
+        st = unavailableError(errnoMessage("cannot fsync", tempPath_));
+    if (!st.isOk()) {
+        abandon();
+        return st;
+    }
+    std::fclose(stream_);
+    stream_ = nullptr;
+    if (std::rename(tempPath_.c_str(), path_.c_str()) != 0) {
+        const Status rename_st =
+            unavailableError(errnoMessage("cannot rename", tempPath_));
+        std::remove(tempPath_.c_str());
+        return rename_st;
+    }
+    return okStatus();
+}
+
+void
+AtomicFileWriter::abandon()
+{
+    if (!stream_)
+        return;
+    std::fclose(stream_);
+    stream_ = nullptr;
+    std::remove(tempPath_.c_str());
+}
+
+Status
+writeFileAtomic(const std::string &path, const void *data, size_t size)
+{
+    AtomicFileWriter writer;
+    Status st = writer.open(path);
+    if (!st.isOk())
+        return st;
+    st = writer.write(data, size);
+    if (!st.isOk())
+        return st;
+    return writer.commit();
+}
+
+Status
+readFile(const std::string &path, std::string &out)
+{
+    FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in)
+        return errno == ENOENT
+            ? notFoundError("no such file: " + path)
+            : unavailableError(errnoMessage("cannot open", path));
+    out.clear();
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        out.append(buf, n);
+    const bool failed = std::ferror(in);
+    std::fclose(in);
+    if (failed)
+        return unavailableError(errnoMessage("cannot read", path));
+    return okStatus();
+}
+
+} // namespace qec

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Crash-safe file emission.
+ *
+ * Every artifact the harness leaves behind (qec.sweep.v1 JSON,
+ * BENCH_*.json perf trajectories, qec.ckpt.v1 checkpoints) is written
+ * through AtomicFileWriter: the bytes go to a sibling temp file, are
+ * fsync'd, and only then atomically rename(2)'d over the destination.
+ * A crash at any instant therefore leaves either the previous
+ * complete artifact or no artifact — never a truncated file that is
+ * indistinguishable from a complete one.
+ *
+ * crc32() is the shared integrity checksum for binary artifacts that
+ * are re-read later (checkpoints): rename atomicity protects against
+ * our own crashes, the CRC against torn storage and foreign bytes.
+ */
+
+#ifndef QEC_BASE_ATOMIC_FILE_H
+#define QEC_BASE_ATOMIC_FILE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/status.h"
+
+namespace qec
+{
+
+/** CRC-32 (IEEE 802.3, reflected) of `size` bytes, seeded so that
+ *  crc32(crc32(a), b) == crc32(a ++ b) with `prev` defaulted. */
+uint32_t crc32(const void *data, size_t size, uint32_t prev = 0);
+
+/**
+ * Writes `<path>.tmp.<pid>` and renames it onto `path` in commit().
+ * Destruction without commit() unlinks the temp file, so error paths
+ * and crashes cannot leave partial artifacts with the final name.
+ */
+class AtomicFileWriter
+{
+  public:
+    AtomicFileWriter() = default;
+    ~AtomicFileWriter();
+    AtomicFileWriter(const AtomicFileWriter &) = delete;
+    AtomicFileWriter &operator=(const AtomicFileWriter &) = delete;
+
+    /** Open the temp file for writing (binary). */
+    Status open(const std::string &path);
+
+    /** The temp-file stream; null before open() / after commit(). */
+    FILE *
+    stream() const
+    {
+        return stream_;
+    }
+
+    bool
+    isOpen() const
+    {
+        return stream_ != nullptr;
+    }
+
+    /** Append raw bytes (convenience over fwrite on stream()). */
+    Status write(const void *data, size_t size);
+
+    /** printf into the temp file. */
+    Status printf(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Flush + fsync + close + atomic rename onto the destination. */
+    Status commit();
+
+    /** Close and delete the temp file without touching `path`. */
+    void abandon();
+
+  private:
+    std::string path_;
+    std::string tempPath_;
+    FILE *stream_ = nullptr;
+};
+
+/** One-shot helper: atomically replace `path` with `size` bytes. */
+Status writeFileAtomic(const std::string &path, const void *data,
+                       size_t size);
+
+/** Read a whole file into `out` (binary). */
+Status readFile(const std::string &path, std::string &out);
+
+} // namespace qec
+
+#endif // QEC_BASE_ATOMIC_FILE_H

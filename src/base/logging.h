@@ -2,8 +2,15 @@
  * @file
  * Error-reporting helpers in the gem5 idiom.
  *
- * panic() is for conditions that indicate a bug in this library itself;
- * fatal() is for user errors (bad configuration, invalid arguments).
+ * panic() is for conditions that indicate a bug in this library itself
+ * — including callers that skip a documented Status-returning
+ * validator (validateExperimentConfig, SweepPlan::validate,
+ * RotatedSurfaceCode::validateDistance) and then construct with the
+ * very input the validator rejects. fatal() exits over a user error
+ * and is reserved for CLI mains; *library* code must never call it —
+ * recoverable conditions (bad configuration, failed I/O, corrupt
+ * artifacts) are returned as qec::Status (base/status.h) so a
+ * long-lived sweep can retry or quarantine instead of dying.
  */
 
 #ifndef QEC_BASE_LOGGING_H

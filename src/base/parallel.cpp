@@ -1,6 +1,8 @@
 #include "base/parallel.h"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 
 namespace qec
 {
@@ -43,21 +45,40 @@ parallelForWorkers(
         return;
     }
 
+    // An exception escaping a worker thread would std::terminate the
+    // process; capture the first one and rethrow it on the joining
+    // thread instead, so recoverable failures inside chunk execution
+    // (std::bad_alloc from an arena, injected faults) surface to the
+    // orchestration layer's retry/quarantine logic. Later workers
+    // drain the remaining iterations once `failed` is set.
     std::atomic<uint64_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
     std::vector<std::thread> workers;
     workers.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t) {
         workers.emplace_back([&, t]() {
             while (true) {
                 uint64_t i = cursor.fetch_add(1);
-                if (i >= count)
+                if (i >= count || failed.load(std::memory_order_relaxed))
                     return;
-                body(t, i);
+                try {
+                    body(t, i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         });
     }
     for (auto &w : workers)
         w.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace qec

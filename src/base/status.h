@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Recoverable error reporting: qec::Status and qec::StatusOr<T>.
+ *
+ * The library's error policy (see also base/logging.h):
+ *
+ *  - panic()   — a violated *library invariant*: a bug in this code,
+ *                or a caller ignoring a documented precondition that
+ *                the library offers a Status-returning validator for.
+ *                Aborts the process; never use it for conditions a
+ *                long-lived sweep service should survive.
+ *  - Status    — everything a caller can cause or the environment can
+ *                inflict: bad configuration, malformed artifacts,
+ *                failed I/O, exhausted budgets. These are returned,
+ *                never thrown and never fatal, so an orchestration
+ *                layer (SweepRunner) can retry, quarantine the failing
+ *                unit of work, and keep the rest of the sweep alive.
+ *
+ * Status is a small value type: a code plus a human-readable message.
+ * StatusOr<T> carries either a value or a non-OK Status, for factory
+ * functions that used to fatal() on invalid input.
+ */
+
+#ifndef QEC_BASE_STATUS_H
+#define QEC_BASE_STATUS_H
+
+#include <string>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace qec
+{
+
+/** Canonical error space (a deliberate subset of absl's). */
+enum class StatusCode : int
+{
+    Ok = 0,
+    InvalidArgument,    ///< Caller-supplied configuration is unusable.
+    FailedPrecondition, ///< System state does not admit the operation.
+    NotFound,           ///< A named artifact does not exist.
+    DataLoss,           ///< An artifact exists but is corrupt/truncated.
+    Unavailable,        ///< Transient environment failure (I/O); retryable.
+    DeadlineExceeded,   ///< A wall-clock budget ran out.
+    ResourceExhausted,  ///< An allocation or capacity limit failed.
+    Internal,           ///< Invariant failure surfaced as a value.
+};
+
+/** Stable display name of a status code. */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return "ok";
+    case StatusCode::InvalidArgument:
+        return "invalid_argument";
+    case StatusCode::FailedPrecondition:
+        return "failed_precondition";
+    case StatusCode::NotFound:
+        return "not_found";
+    case StatusCode::DataLoss:
+        return "data_loss";
+    case StatusCode::Unavailable:
+        return "unavailable";
+    case StatusCode::DeadlineExceeded:
+        return "deadline_exceeded";
+    case StatusCode::ResourceExhausted:
+        return "resource_exhausted";
+    case StatusCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+class Status
+{
+  public:
+    /** OK by default, so `Status st;` + early returns read naturally. */
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status
+    ok()
+    {
+        return Status();
+    }
+
+    bool
+    isOk() const
+    {
+        return code_ == StatusCode::Ok;
+    }
+
+    StatusCode
+    code() const
+    {
+        return code_;
+    }
+
+    const std::string &
+    message() const
+    {
+        return message_;
+    }
+
+    /** "code: message" for logs and sink artifacts. */
+    std::string
+    toString() const
+    {
+        if (isOk())
+            return "ok";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+    /** Transient failures worth a bounded-backoff retry. */
+    bool
+    isRetryable() const
+    {
+        return code_ == StatusCode::Unavailable ||
+               code_ == StatusCode::ResourceExhausted;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+inline Status
+okStatus()
+{
+    return Status();
+}
+
+inline Status
+invalidArgument(std::string message)
+{
+    return Status(StatusCode::InvalidArgument, std::move(message));
+}
+
+inline Status
+failedPrecondition(std::string message)
+{
+    return Status(StatusCode::FailedPrecondition, std::move(message));
+}
+
+inline Status
+notFoundError(std::string message)
+{
+    return Status(StatusCode::NotFound, std::move(message));
+}
+
+inline Status
+dataLossError(std::string message)
+{
+    return Status(StatusCode::DataLoss, std::move(message));
+}
+
+inline Status
+unavailableError(std::string message)
+{
+    return Status(StatusCode::Unavailable, std::move(message));
+}
+
+inline Status
+deadlineExceededError(std::string message)
+{
+    return Status(StatusCode::DeadlineExceeded, std::move(message));
+}
+
+inline Status
+resourceExhaustedError(std::string message)
+{
+    return Status(StatusCode::ResourceExhausted, std::move(message));
+}
+
+inline Status
+internalError(std::string message)
+{
+    return Status(StatusCode::Internal, std::move(message));
+}
+
+/**
+ * A value or the Status explaining its absence. value() on a non-OK
+ * StatusOr is a caller bug (check ok() first) and panics.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    StatusOr(T value) : value_(std::move(value)) {}
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        panicIf(status_.isOk(),
+                "StatusOr constructed from an OK status without a "
+                "value");
+    }
+
+    bool
+    ok() const
+    {
+        return status_.isOk();
+    }
+
+    const Status &
+    status() const
+    {
+        return status_;
+    }
+
+    const T &
+    value() const &
+    {
+        panicIf(!ok(), "StatusOr::value() on error status");
+        return value_;
+    }
+
+    T &
+    value() &
+    {
+        panicIf(!ok(), "StatusOr::value() on error status");
+        return value_;
+    }
+
+    T &&
+    value() &&
+    {
+        panicIf(!ok(), "StatusOr::value() on error status");
+        return std::move(value_);
+    }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+} // namespace qec
+
+#endif // QEC_BASE_STATUS_H

@@ -84,14 +84,14 @@ buildRoundSchedule(const RotatedSurfaceCode &code, int round,
     std::vector<int> lrc_of_stab(code.numStabilizers(), -1);
     for (size_t i = 0; i < lrcs.size(); ++i) {
         const auto &pair = lrcs[i];
-        fatalIf(pair.stab < 0 || pair.stab >= code.numStabilizers(),
+        panicIf(pair.stab < 0 || pair.stab >= code.numStabilizers(),
                 "LRC references an invalid stabilizer");
-        fatalIf(stab_used[pair.stab]++,
+        panicIf(stab_used[pair.stab]++,
                 "two LRCs share one parity qubit in the same round");
-        fatalIf(data_used[pair.data]++,
+        panicIf(data_used[pair.data]++,
                 "one data qubit has two LRCs in the same round");
         const auto &support = code.stabilizer(pair.stab).support;
-        fatalIf(std::find(support.begin(), support.end(), pair.data)
+        panicIf(std::find(support.begin(), support.end(), pair.data)
                     == support.end(),
                 "LRC data qubit is not adjacent to its parity qubit");
         lrc_of_stab[pair.stab] = (int)i;
@@ -174,7 +174,7 @@ Circuit
 buildMemoryCircuit(const RotatedSurfaceCode &code, int rounds,
                    Basis basis)
 {
-    fatalIf(rounds < 1, "memory circuit needs at least one round");
+    panicIf(rounds < 1, "memory circuit needs at least one round");
 
     Circuit circuit;
     circuit.numQubits = code.numQubits();

@@ -20,10 +20,20 @@ constexpr int kZOrder[4][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
 
 } // namespace
 
+Status
+RotatedSurfaceCode::validateDistance(int distance)
+{
+    if (distance < 3 || distance % 2 == 0)
+        return invalidArgument(
+            "rotated surface code distance must be odd and >= 3, got " +
+            std::to_string(distance));
+    return okStatus();
+}
+
 RotatedSurfaceCode::RotatedSurfaceCode(int distance)
     : distance_(distance)
 {
-    fatalIf(distance < 3 || distance % 2 == 0,
+    panicIf(!validateDistance(distance).isOk(),
             "rotated surface code distance must be odd and >= 3");
 
     const int d = distance_;

@@ -18,6 +18,7 @@
 #include <array>
 #include <vector>
 
+#include "base/status.h"
 #include "code/types.h"
 
 namespace qec
@@ -49,7 +50,16 @@ struct Stabilizer
 class RotatedSurfaceCode
 {
   public:
-    /** Build the lattice. @param distance Odd code distance >= 3. */
+    /**
+     * Recoverable pre-check of a code distance (odd, >= 3). The
+     * constructor panics on a distance this rejects, so callers that
+     * take distances from users (SweepRunner, CLIs) validate first
+     * and surface the Status instead of dying.
+     */
+    static Status validateDistance(int distance);
+
+    /** Build the lattice. @param distance Odd code distance >= 3
+     *  (precondition; see validateDistance). */
     explicit RotatedSurfaceCode(int distance);
 
     int distance() const { return distance_; }

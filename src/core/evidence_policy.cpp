@@ -14,7 +14,7 @@ EvidenceEraserPolicy::EvidenceEraserPolicy(
       ltt_(code.numData()), putt_(code.numStabilizers()),
       evidence_(code.numData(), 0)
 {
-    fatalIf(options_.fireThreshold < 1, "fire threshold must be >= 1");
+    panicIf(options_.fireThreshold < 1, "fire threshold must be >= 1");
 }
 
 std::vector<LrcPair>

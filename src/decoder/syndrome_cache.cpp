@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "base/fault_injection.h"
+
 namespace qec
 {
 
@@ -35,6 +37,10 @@ SyndromeCache::SyndromeCache(SyndromeCacheOptions options)
 {
     if (!options_.enabled)
         return;
+    // Armed with Kind::ThrowBadAlloc, this simulates the slot-table
+    // or arena allocation failing — the recoverable-allocation path
+    // the SweepRunner retry tests exercise.
+    (void)QEC_FAULT_POINT("cache.alloc");
     options_.tableLog2 = std::min(options_.tableLog2, 24u);
     slots_.resize(size_t{1} << options_.tableLog2);
     mask_ = slots_.size() - 1;

@@ -1,6 +1,7 @@
 #include "exp/experiment_session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <utility>
@@ -53,6 +54,7 @@ struct ExperimentSession::Impl
 
     ExperimentResult total;
     bool stopped = false;
+    bool truncated = false;
 };
 
 ExperimentSession::ExperimentSession(const MemoryExperiment &exp,
@@ -75,7 +77,7 @@ ExperimentSession::ExperimentSession(const MemoryExperiment &exp,
                                      SessionOptions options)
     : impl_(std::make_unique<Impl>())
 {
-    fatalIf(!factory, "session needs a policy factory");
+    panicIf(!factory, "session needs a policy factory");
     Impl &im = *impl_;
     im.exp = &exp;
     im.factory = std::move(factory);
@@ -136,6 +138,74 @@ ExperimentSession::stoppedEarly() const
 {
     return impl_->stopped &&
            impl_->total.shots < impl_->exp->config().shots;
+}
+
+bool
+ExperimentSession::truncated() const
+{
+    return impl_->truncated;
+}
+
+SessionProgress
+ExperimentSession::progress() const
+{
+    const Impl &im = *impl_;
+    SessionProgress progress;
+    progress.total = im.total;
+    progress.nextSpan = im.nextSpan;
+    progress.scalarNext = im.scalarNext;
+    progress.stopped = im.stopped;
+    return progress;
+}
+
+Status
+ExperimentSession::restore(const SessionProgress &progress)
+{
+    Impl &im = *impl_;
+    if (im.total.shots != 0 || im.nextSpan != 0 ||
+        im.scalarNext != 0)
+        return failedPrecondition(
+            "session restore requires a fresh session");
+    if (im.width > 0) {
+        if (progress.nextSpan > im.spans.size())
+            return dataLossError(
+                "restored span cursor " +
+                std::to_string(progress.nextSpan) +
+                " exceeds the plan's " +
+                std::to_string(im.spans.size()) + " word-groups");
+        // The shot total must be exactly the lanes of the consumed
+        // spans: anything else means the snapshot was taken against a
+        // different (shots, width) decomposition and resuming it
+        // would silently rerun or skip shots.
+        uint64_t expected = 0;
+        for (uint64_t s = 0; s < progress.nextSpan; ++s)
+            expected += (uint64_t)im.spans[s].second;
+        if (progress.total.shots != expected ||
+            progress.scalarNext != 0)
+            return dataLossError(
+                "restored progress is inconsistent with this "
+                "session's word-group decomposition");
+    } else {
+        if (progress.scalarNext > im.exp->config().shots ||
+            progress.total.shots != progress.scalarNext ||
+            progress.nextSpan != 0)
+            return dataLossError(
+                "restored progress is inconsistent with this "
+                "session's shot count");
+    }
+    im.total = progress.total;
+    if (im.total.policy.empty())
+        im.total.policy = im.name;
+    im.nextSpan = progress.nextSpan;
+    im.scalarNext = progress.scalarNext;
+    im.stopped = progress.stopped;
+    return okStatus();
+}
+
+uint64_t
+ExperimentSession::totalSpans() const
+{
+    return impl_->spans.size();
 }
 
 uint64_t
@@ -282,7 +352,7 @@ ExperimentSession::evaluateStop()
 }
 
 uint64_t
-ExperimentSession::defaultChunk() const
+ExperimentSession::defaultChunkShots() const
 {
     const Impl &im = *impl_;
     if (!im.options.earlyStop.enabled())
@@ -319,8 +389,18 @@ ExperimentSession::runChunk(uint64_t max_shots)
 const ExperimentResult &
 ExperimentSession::runToCompletion()
 {
-    while (!done())
-        runChunk(defaultChunk());
+    const double deadline = impl_->options.deadlineSeconds;
+    const auto start = std::chrono::steady_clock::now();
+    while (!done()) {
+        runChunk(defaultChunkShots());
+        if (deadline > 0.0 && !done() &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                    .count() >= deadline) {
+            impl_->truncated = true;
+            break;
+        }
+    }
     return impl_->total;
 }
 

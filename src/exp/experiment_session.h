@@ -79,6 +79,37 @@ struct SessionOptions
     /** Run the bit-packed batch engine even when
      *  config.batchWidth <= 1 (MemoryExperiment::runBatched). */
     bool forceBatched = false;
+    /**
+     * Wall-clock budget for runToCompletion, checked between chunks
+     * (0 = none). When it expires the session stops cleanly at the
+     * chunk boundary and reports truncated(); the accumulated result
+     * is a valid partial that a later session can resume from via
+     * progress()/restore(). Truncation is wall-clock-dependent and so
+     * never bit-reproducible; the *resume* contract is — a resumed
+     * session replays the remaining chunks exactly.
+     */
+    double deadlineSeconds = 0.0;
+};
+
+/**
+ * Everything needed to continue a session in another process: the
+ * accumulated result plus the execution cursors at a chunk boundary.
+ * Captured by progress(), persisted in qec.ckpt.v1 checkpoints
+ * (exp/checkpoint.h), and reinstated with restore() — after which the
+ * session runs the remaining chunks bit-identically to a session that
+ * was never interrupted (group seeds depend only on (seed, first
+ * shot), and early-stop decisions only on cumulative counters at
+ * deterministic chunk boundaries).
+ */
+struct SessionProgress
+{
+    ExperimentResult total;
+    /** Word-groups already executed (batched path cursor). */
+    uint64_t nextSpan = 0;
+    /** Shots already executed (scalar path cursor). */
+    uint64_t scalarNext = 0;
+    /** The early-stop rule had already ended the session. */
+    bool stopped = false;
 };
 
 class ExperimentSession
@@ -106,18 +137,47 @@ class ExperimentSession
      */
     ExperimentResult runChunk(uint64_t max_shots);
 
-    /** Run chunks until done() (all shots, or early stop). */
+    /** Run chunks until done(), the early stop, or the deadline. */
     const ExperimentResult &runToCompletion();
 
     /** All planned shots executed, or the early-stop rule fired. */
     bool done() const;
     /** The early-stop rule ended the session before config.shots. */
     bool stoppedEarly() const;
+    /** runToCompletion stopped at the wall-clock deadline with the
+     *  session unfinished (resumable via progress()). */
+    bool truncated() const;
     uint64_t shotsRun() const;
     /** config.shots, capped by EarlyStopRule::maxShots if set. */
     uint64_t shotsPlanned() const;
     /** Accumulated result over every chunk so far. */
     const ExperimentResult &result() const;
+
+    /** Resumable snapshot at the current chunk boundary. */
+    SessionProgress progress() const;
+
+    /**
+     * Reinstate a progress snapshot into a freshly-constructed
+     * session of the same (experiment, policy). Rejects snapshots
+     * whose cursors are inconsistent with this session's word-group
+     * decomposition (or shot count) — the defense against resuming a
+     * checkpoint against the wrong plan. FailedPrecondition if this
+     * session has already run chunks.
+     */
+    Status restore(const SessionProgress &progress);
+
+    /**
+     * The chunk size runToCompletion uses between early-stop
+     * evaluations — deterministic for a given (plan, rule), which
+     * makes externally-driven chunk loops (SweepRunner checkpointing)
+     * hit the same boundaries as an uninterrupted runToCompletion.
+     * ~0 when no early-stop rule is active (one maximal chunk).
+     */
+    uint64_t defaultChunkShots() const;
+
+    /** Total word-group chunks available on the batched path (0 on
+     *  the scalar path); progress().nextSpan ranges over [0, this]. */
+    uint64_t totalSpans() const;
 
   private:
     struct Impl;
@@ -126,7 +186,6 @@ class ExperimentSession
     ExperimentResult runScalarChunk(uint64_t n);
     ExperimentResult runBatchedChunk(uint64_t n);
     void evaluateStop();
-    uint64_t defaultChunk() const;
 
     std::unique_ptr<Impl> impl_;
 };

@@ -161,6 +161,62 @@ verdictMix(uint64_t shot, bool error)
 
 } // namespace
 
+Status
+validateExperimentConfig(const ExperimentConfig &config)
+{
+    if (config.rounds < 1)
+        return invalidArgument(
+            "experiment needs at least one round, got " +
+            std::to_string(config.rounds));
+    if (config.batchWidth > (unsigned)kMaxBatchLanes)
+        return invalidArgument(
+            "batchWidth " + std::to_string(config.batchWidth) +
+            " exceeds the engine maximum of " +
+            std::to_string(kMaxBatchLanes));
+    if (!(config.em.p >= 0.0) || config.em.p > 1.0)
+        return invalidArgument(
+            "physical error rate must be in [0, 1]");
+    if (config.windowLength < 0 || config.windowSlideLength < 0)
+        return invalidArgument(
+            "window lengths must be non-negative");
+    if (config.windowLength > 0) {
+        // One detector row is the smallest decodable window slice;
+        // a zero slide never advances and a slide past the window
+        // length skips rows — both corrupt decodeWindowed's commit
+        // reasoning, so they are rejected here, recoverably.
+        if (config.windowSlideLength < 1)
+            return invalidArgument(
+                "windowed decode needs windowSlideLength >= 1 "
+                "(rows per window advance)");
+        if (config.windowSlideLength > config.windowLength)
+            return invalidArgument(
+                "windowSlideLength " +
+                std::to_string(config.windowSlideLength) +
+                " exceeds windowLength " +
+                std::to_string(config.windowLength));
+        if (config.windowLength < 1)
+            return invalidArgument(
+                "windowLength must cover at least one detector row");
+    }
+    return okStatus();
+}
+
+namespace
+{
+
+/** Constructor-precondition form of validateExperimentConfig. */
+void
+panicOnInvalidConfig(const ExperimentConfig &config)
+{
+    const Status st = validateExperimentConfig(config);
+    panicIf(!st.isOk(),
+            "invalid ExperimentConfig (validate with "
+            "validateExperimentConfig to handle this recoverably): " +
+                st.toString());
+}
+
+} // namespace
+
 MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
                                    ExperimentConfig config)
     : MemoryExperiment(
@@ -180,12 +236,12 @@ MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
                                    const DecoderFactory &decoder_factory)
     : code_(code), config_(config), lookup_(code)
 {
-    fatalIf(config_.rounds < 1, "experiment needs at least one round");
+    panicOnInvalidConfig(config_);
     if (config_.decode) {
         dem_ = std::make_shared<DetectorModel>(
             buildDetectorModel(code_, config_.rounds, config_.basis));
         decoder_ = decoder_factory(*dem_, config_.em.p);
-        fatalIf(!decoder_, "decoder factory returned null");
+        panicIf(!decoder_, "decoder factory returned null");
         componentGraph_ = std::make_shared<ComponentGraph>(
             *dem_, config_.em.p);
     }
@@ -198,8 +254,8 @@ MemoryExperiment::MemoryExperiment(
     : code_(code), config_(config), lookup_(code),
       dem_(std::move(dem)), decoder_(std::move(decoder))
 {
-    fatalIf(config_.rounds < 1, "experiment needs at least one round");
-    fatalIf(config_.decode && (!dem_ || !decoder_),
+    panicOnInvalidConfig(config_);
+    panicIf(config_.decode && (!dem_ || !decoder_),
             "decoding experiment needs a detector model and decoder");
     if (config_.decode)
         componentGraph_ = std::make_shared<ComponentGraph>(
@@ -601,9 +657,9 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
             // Uniform capability is claimable by arbitrary policy
             // subclasses, so the pairs are still bounds-checked.
             for (const auto &pair : lrcs[0]) {
-                fatalIf(pair.stab < 0 || pair.stab >= n_stabs,
+                panicIf(pair.stab < 0 || pair.stab >= n_stabs,
                         "LRC references an invalid stabilizer");
-                fatalIf(pair.data < 0 || pair.data >= n_data,
+                panicIf(pair.data < 0 || pair.data >= n_data,
                         "LRC references an invalid data qubit");
                 sched_mask[pair.data] = live;
                 lrc_on_stab[pair.stab] = live;
@@ -620,21 +676,21 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                 const uint64_t bit = uint64_t{1} << (l & 63);
                 for (const auto &pair : lrcs[l]) {
                     if (per_lane) {
-                        fatalIf(pair.stab < 0 || pair.stab >= n_stabs,
+                        panicIf(pair.stab < 0 || pair.stab >= n_stabs,
                                 "LRC references an invalid stabilizer");
-                        fatalIf(pair.data < 0 || pair.data >= n_data,
+                        panicIf(pair.data < 0 || pair.data >= n_data,
                                 "LRC references an invalid data qubit");
-                        fatalIf(stab_epoch[pair.stab] == epoch,
+                        panicIf(stab_epoch[pair.stab] == epoch,
                                 "two LRCs share one parity qubit in "
                                 "the same round");
-                        fatalIf(data_epoch[pair.data] == epoch,
+                        panicIf(data_epoch[pair.data] == epoch,
                                 "one data qubit has two LRCs in the "
                                 "same round");
                         stab_epoch[pair.stab] = epoch;
                         data_epoch[pair.data] = epoch;
                         const auto &support =
                             code_.stabilizer(pair.stab).support;
-                        fatalIf(std::find(support.begin(),
+                        panicIf(std::find(support.begin(),
                                           support.end(),
                                           pair.data) == support.end(),
                                 "LRC data qubit is not adjacent to "

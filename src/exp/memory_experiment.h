@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/status.h"
 #include "code/rotated_surface_code.h"
 #include "core/policies.h"
 #include "core/qsg.h"
@@ -176,6 +177,19 @@ struct ExperimentResult
      */
     ExperimentResult &merge(const ExperimentResult &other);
 };
+
+/**
+ * Recoverable validation of everything in an ExperimentConfig that
+ * the harness can reject up front: round count, batch width range,
+ * and the sliding-window shape (windowSlideLength must be in
+ * [1, windowLength] whenever windowing is enabled — a zero slide or a
+ * slide longer than the window would otherwise misbehave deep inside
+ * decodeWindowed). The MemoryExperiment and ExperimentSession
+ * constructors panic on a config this rejects (documented
+ * precondition), so recoverable callers — SweepRunner, services,
+ * CLIs — validate first and surface the Status.
+ */
+Status validateExperimentConfig(const ExperimentConfig &config);
 
 /**
  * Word-group decomposition shared by every batched driver: (first

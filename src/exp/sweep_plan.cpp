@@ -74,12 +74,33 @@ sweepPointSeed(int distance, int rounds, Basis basis,
     return h;
 }
 
+Status
+SweepPlan::validate() const
+{
+    if (distances.empty() || ps.empty() || rounds.empty())
+        return invalidArgument("sweep plan has an empty axis");
+    if (policies.empty())
+        return invalidArgument("sweep plan has no policies");
+    for (const SweepPoint &point : points()) {
+        Status st = RotatedSurfaceCode::validateDistance(
+            point.distance);
+        if (st.isOk())
+            st = validateExperimentConfig(point.config);
+        if (!st.isOk())
+            return Status(st.code(),
+                          "point " + std::to_string(point.index) +
+                              " (d=" + std::to_string(point.distance) +
+                              "): " + st.message());
+    }
+    return okStatus();
+}
+
 std::vector<SweepPoint>
 SweepPlan::points() const
 {
-    fatalIf(distances.empty() || ps.empty() || rounds.empty(),
+    panicIf(distances.empty() || ps.empty() || rounds.empty(),
             "sweep plan has an empty axis");
-    fatalIf(policies.empty(), "sweep plan has no policies");
+    panicIf(policies.empty(), "sweep plan has no policies");
 
     const std::vector<RemovalProtocol> protocol_axis =
         protocols.empty()

@@ -151,6 +151,16 @@ struct SweepPlan
     EarlyStopRule earlyStop;
 
     /**
+     * Recoverable whole-plan validation: non-empty axes and policy
+     * set, valid code distances, engine-supported widths, and every
+     * expanded point's config accepted by validateExperimentConfig.
+     * SweepRunner::run validates before executing and surfaces the
+     * Status in its summary instead of dying; points() panics on a
+     * plan this rejects (documented precondition).
+     */
+    Status validate() const;
+
+    /**
      * Expand the grid (point order: p, protocol, decoder, width,
      * rounds, distance — distance innermost, so LER-vs-d tables read
      * in row order grouped by everything else).

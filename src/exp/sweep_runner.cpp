@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <new>
+#include <thread>
 #include <tuple>
 
+#include "base/atomic_file.h"
+#include "base/fault_injection.h"
 #include "base/simd_word.h"
 #include "code/builder.h"
+#include "exp/checkpoint.h"
 
 namespace qec
 {
@@ -162,19 +168,35 @@ TableSink::endSweep(const SweepSummary &summary)
 
 JsonSink::JsonSink(std::string path) : path_(std::move(path))
 {
-    out_ = std::fopen(path_.c_str(), "w");
     owned_ = true;
+    // Probe the destination before a potentially hours-long sweep:
+    // an unwritable path should fail ok() now, not at endSweep.
+    AtomicFileWriter probe;
+    status_ = probe.open(path_);
+    if (!status_.isOk()) {
+        std::fprintf(stderr, "JsonSink: cannot write %s (%s)\n",
+                     path_.c_str(), status_.toString().c_str());
+        return;
+    }
+    probe.abandon();
+    // Compose the artifact in memory; endSweep publishes it with one
+    // atomic rename, so a crash mid-sweep can never leave a torn
+    // half-JSON under the final name.
+    out_ = open_memstream(&memBuf_, &memLen_);
     if (!out_)
-        std::fprintf(stderr, "JsonSink: cannot write %s\n",
-                     path_.c_str());
+        status_ = resourceExhaustedError(
+            "JsonSink: open_memstream failed");
 }
 
 JsonSink::JsonSink(FILE *out) : out_(out), owned_(false) {}
 
 JsonSink::~JsonSink()
 {
-    if (out_ && owned_)
-        std::fclose(out_);
+    if (owned_) {
+        if (out_)
+            std::fclose(out_);
+        std::free(memBuf_);
+    }
 }
 
 void
@@ -227,6 +249,7 @@ JsonSink::onPoint(const PointResult &pr)
             "\"fpr\": %.6g, \"fnr\": %.6g, "
             "\"decoded_shots\": %llu, \"zero_defect_shots\": %llu, "
             "\"cache_hits\": %llu, \"stopped_early\": %s, "
+            "\"truncated\": %s, "
             "\"seconds\": %.6g, \"shots_per_s\": %.1f}",
             i == 0 ? "" : ",", r.policy.c_str(),
             (unsigned long long)r.shots,
@@ -237,8 +260,12 @@ JsonSink::onPoint(const PointResult &pr)
             (unsigned long long)r.decodedShots,
             (unsigned long long)r.zeroDefectShots,
             (unsigned long long)r.syndromeCacheHits,
-            pr.stoppedEarly[i] ? "true" : "false", pr.seconds[i],
-            pr.shotsPerSec(i));
+            pr.stoppedEarly[i] ? "true" : "false",
+            // Benches that hand-build PointResults predate the
+            // truncated column; treat a missing entry as false.
+            (i < pr.truncated.size() && pr.truncated[i]) ? "true"
+                                                         : "false",
+            pr.seconds[i], pr.shotsPerSec(i));
     }
     std::fprintf(out_, "]}");
 }
@@ -255,13 +282,36 @@ JsonSink::endSweep(const SweepSummary &summary)
         "\"seconds\": %.3f, \"codes_built\": %zu, "
         "\"codes_reused\": %zu, \"dems_built\": %zu, "
         "\"dems_reused\": %zu, \"decoders_built\": %zu, "
-        "\"decoders_reused\": %zu}\n}\n",
+        "\"decoders_reused\": %zu, \"status\": \"%s\", "
+        "\"resumed\": %s, \"truncated\": %s, "
+        "\"points_resumed\": %zu, \"points_failed\": %zu, "
+        "\"retries\": %zu}\n}\n",
         summary.points, (unsigned long long)summary.shotsRun,
         summary.seconds, summary.codesBuilt, summary.codesReused,
         summary.demsBuilt, summary.demsReused, summary.decodersBuilt,
-        summary.decodersReused);
+        summary.decodersReused, statusCodeName(summary.status.code()),
+        summary.resumed ? "true" : "false",
+        summary.truncated ? "true" : "false", summary.pointsResumed,
+        summary.pointsFailed, summary.retries);
     std::fflush(out_);
     closed_ = true;
+    if (!owned_)
+        return;
+
+    // Path mode: publish the buffered artifact atomically, with a
+    // short bounded-backoff retry on transient I/O failures.
+    constexpr int kAttempts = 3;
+    for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+        status_ = writeFileAtomic(path_, memBuf_, memLen_);
+        if (status_.isOk() || !status_.isRetryable() ||
+            attempt == kAttempts)
+            break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            0.05 * (double)(1 << (attempt - 1))));
+    }
+    if (!status_.isOk())
+        std::fprintf(stderr, "JsonSink: writing %s failed (%s)\n",
+                     path_.c_str(), status_.toString().c_str());
 }
 
 // ---------------------------------------------------------- SweepRunner
@@ -277,8 +327,50 @@ SweepRunner::addSink(SweepSink &sink)
 SweepSummary
 SweepRunner::run()
 {
-    const std::vector<SweepPoint> points = plan_.points();
+    return run(SweepRunOptions());
+}
+
+SweepSummary
+SweepRunner::run(const SweepRunOptions &options)
+{
     SweepSummary summary;
+    // Recoverable up-front validation: a bad plan is reported in the
+    // summary instead of aborting the process (the sinks are never
+    // started, so no artifact is touched).
+    summary.status = plan_.validate();
+    if (!summary.status.isOk())
+        return summary;
+
+    const std::vector<SweepPoint> points = plan_.points();
+    const uint64_t fingerprint =
+        SweepCheckpoint::fingerprintPlan(plan_, points);
+
+    SweepCheckpoint ckpt;
+    ckpt.planFingerprint = fingerprint;
+    if (options.checkpoint.enabled() && options.checkpoint.resume) {
+        StatusOr<SweepCheckpoint> loaded =
+            SweepCheckpoint::load(options.checkpoint.path);
+        if (loaded.ok()) {
+            if (loaded.value().planFingerprint != fingerprint) {
+                summary.resumeStatus = failedPrecondition(
+                    "checkpoint " + options.checkpoint.path +
+                    " was written by a different sweep plan "
+                    "(fingerprint mismatch); delete it or point this "
+                    "sweep at a fresh checkpoint path");
+                summary.status = summary.resumeStatus;
+                return summary;
+            }
+            ckpt = std::move(loaded).value();
+            summary.resumed = !ckpt.points.empty();
+        } else if (loaded.status().code() != StatusCode::NotFound) {
+            // A corrupt or version-skewed checkpoint is evidence of
+            // real progress; refuse to clobber it silently.
+            summary.resumeStatus = loaded.status();
+            summary.status = loaded.status();
+            return summary;
+        }
+    }
+
     for (SweepSink *sink : sinks_)
         sink->beginSweep(plan_, points);
 
@@ -292,91 +384,309 @@ SweepRunner::run()
     std::map<DecoderKey, std::shared_ptr<const Decoder>> decoders;
 
     const auto sweep_start = Clock::now();
+    double last_save = 0.0;
+    uint64_t chunks_since_save = 0;
+
+    const auto deadlineExpired = [&]() {
+        return options.deadlineSeconds > 0.0 &&
+               secondsSince(sweep_start) >= options.deadlineSeconds;
+    };
+    // A failing save is recorded but does not stop the sweep: losing
+    // checkpoint durability is strictly better than losing the run.
+    const auto saveCheckpoint = [&]() {
+        if (!options.checkpoint.enabled())
+            return;
+        Status st = ckpt.save(options.checkpoint.path);
+        if (st.isOk())
+            ++summary.checkpointSaves;
+        else
+            summary.checkpointStatus = st;
+        chunks_since_save = 0;
+        last_save = secondsSince(sweep_start);
+    };
+
     for (const SweepPoint &point : points) {
-        auto code_it = codes.find(point.distance);
-        if (code_it == codes.end()) {
-            code_it = codes
-                          .emplace(point.distance,
-                                   std::make_unique<
-                                       RotatedSurfaceCode>(
-                                       point.distance))
-                          .first;
-            ++summary.codesBuilt;
-        } else {
-            ++summary.codesReused;
-        }
-        const RotatedSurfaceCode &code = *code_it->second;
-
-        std::shared_ptr<const DetectorModel> dem;
-        std::shared_ptr<const Decoder> decoder;
-        if (point.config.decode) {
-            const DemKey dem_key{point.distance, point.rounds,
-                                 (int)point.config.basis};
-            auto dem_it = dems.find(dem_key);
-            if (dem_it == dems.end()) {
-                dem_it = dems.emplace(
-                                 dem_key,
-                                 std::make_shared<DetectorModel>(
-                                     buildDetectorModel(
-                                         code, point.rounds,
-                                         point.config.basis)))
-                             .first;
-                ++summary.demsBuilt;
-            } else {
-                ++summary.demsReused;
+        PointCheckpoint *saved = nullptr;
+        auto saved_it = ckpt.points.find(point.index);
+        if (saved_it != ckpt.points.end()) {
+            if (saved_it->second.seed != point.seed) {
+                // The plan fingerprint already covers every derived
+                // seed; a mismatch here means the file was doctored
+                // around the CRC. Refuse rather than resume garbage.
+                summary.status = dataLossError(
+                    "checkpoint point " +
+                    std::to_string(point.index) +
+                    " carries a different derived seed than the plan");
+                break;
             }
-            dem = dem_it->second;
-
-            const DecoderKey dec_key{
-                point.distance, point.rounds,
-                (int)point.config.basis, (int)point.decoderKind,
-                doubleKeyBits(point.p)};
-            auto dec_it = decoders.find(dec_key);
-            if (dec_it == decoders.end()) {
-                std::shared_ptr<const Decoder> built;
-                if (point.decoderKind == DecoderKind::Mwpm)
-                    built = std::make_shared<MwpmDecoder>(
-                        *dem, point.p, plan_.base.decoderOptions);
-                else
-                    built = std::make_shared<UnionFindDecoder>(
-                        *dem, point.p);
-                dec_it = decoders.emplace(dec_key, std::move(built))
-                             .first;
-                ++summary.decodersBuilt;
-            } else {
-                ++summary.decodersReused;
-            }
-            decoder = dec_it->second;
+            saved = &saved_it->second;
         }
 
-        MemoryExperiment exp(code, point.config, dem, decoder);
+        // Completed in a previous incarnation: re-emit the stored
+        // result so the sink artifact of the resumed run is complete.
+        if (saved && saved->finished) {
+            PointResult pr;
+            pr.point = point;
+            for (const PolicyCheckpoint &pc : saved->policies) {
+                pr.results.push_back(pc.progress.total);
+                pr.seconds.push_back(pc.seconds);
+                pr.stoppedEarly.push_back(pc.stoppedEarly);
+                pr.truncated.push_back(false);
+                summary.shotsRun += pc.progress.total.shots;
+            }
+            ++summary.points;
+            ++summary.pointsResumed;
+            for (SweepSink *sink : sinks_)
+                sink->onPoint(pr);
+            continue;
+        }
+
+        if (deadlineExpired()) {
+            summary.truncated = true;
+            break;
+        }
+
+        // Working progress record for this point: adopted from the
+        // checkpoint partial when there is one, widened to the full
+        // policy set (records past the crashed policy are fresh).
+        PointCheckpoint working;
+        if (saved)
+            working = *saved;
+        working.pointIndex = point.index;
+        working.seed = point.seed;
+        working.policies.resize(plan_.policies.size());
 
         PointResult pr;
-        pr.point = point;
-        pr.results.reserve(plan_.policies.size());
-        for (const SweepPolicy &policy : plan_.policies) {
-            PolicyFactory factory = policy.custom
-                ? policy.custom(code, exp.lookup())
-                : makePolicyFactory(
-                      policy.kind, code, exp.lookup(),
-                      point.protocol == RemovalProtocol::Dqlr);
-            SessionOptions session_options;
-            session_options.earlyStop = plan_.earlyStop;
-            ExperimentSession session(
-                exp, std::move(factory),
-                policy.displayName(point.protocol), session_options);
-            const auto start = Clock::now();
-            session.runToCompletion();
-            pr.seconds.push_back(secondsSince(start));
-            pr.results.push_back(session.result());
-            pr.stoppedEarly.push_back(session.stoppedEarly());
-            summary.shotsRun += session.result().shots;
+        bool point_truncated = false;
+
+        const auto executePoint = [&]() -> Status {
+            pr = PointResult();
+            pr.point = point;
+            point_truncated = false;
+            try {
+                auto code_it = codes.find(point.distance);
+                if (code_it == codes.end()) {
+                    code_it =
+                        codes
+                            .emplace(point.distance,
+                                     std::make_unique<
+                                         RotatedSurfaceCode>(
+                                         point.distance))
+                            .first;
+                    ++summary.codesBuilt;
+                } else {
+                    ++summary.codesReused;
+                }
+                const RotatedSurfaceCode &code = *code_it->second;
+
+                std::shared_ptr<const DetectorModel> dem;
+                std::shared_ptr<const Decoder> decoder;
+                if (point.config.decode) {
+                    const DemKey dem_key{point.distance, point.rounds,
+                                         (int)point.config.basis};
+                    auto dem_it = dems.find(dem_key);
+                    if (dem_it == dems.end()) {
+                        dem_it =
+                            dems.emplace(
+                                    dem_key,
+                                    std::make_shared<DetectorModel>(
+                                        buildDetectorModel(
+                                            code, point.rounds,
+                                            point.config.basis)))
+                                .first;
+                        ++summary.demsBuilt;
+                    } else {
+                        ++summary.demsReused;
+                    }
+                    dem = dem_it->second;
+
+                    const DecoderKey dec_key{
+                        point.distance, point.rounds,
+                        (int)point.config.basis,
+                        (int)point.decoderKind,
+                        doubleKeyBits(point.p)};
+                    auto dec_it = decoders.find(dec_key);
+                    if (dec_it == decoders.end()) {
+                        std::shared_ptr<const Decoder> built;
+                        if (point.decoderKind == DecoderKind::Mwpm)
+                            built = std::make_shared<MwpmDecoder>(
+                                *dem, point.p,
+                                plan_.base.decoderOptions);
+                        else
+                            built =
+                                std::make_shared<UnionFindDecoder>(
+                                    *dem, point.p);
+                        dec_it =
+                            decoders.emplace(dec_key, std::move(built))
+                                .first;
+                        ++summary.decodersBuilt;
+                    } else {
+                        ++summary.decodersReused;
+                    }
+                    decoder = dec_it->second;
+                }
+
+                MemoryExperiment exp(code, point.config, dem,
+                                     decoder);
+
+                for (size_t pi = 0; pi < plan_.policies.size();
+                     ++pi) {
+                    PolicyCheckpoint &pc = working.policies[pi];
+                    const SweepPolicy &policy = plan_.policies[pi];
+
+                    // Finished policies (checkpoint, or an earlier
+                    // attempt of this incarnation) are not re-run.
+                    if (pc.finished) {
+                        pr.results.push_back(pc.progress.total);
+                        pr.seconds.push_back(pc.seconds);
+                        pr.stoppedEarly.push_back(pc.stoppedEarly);
+                        pr.truncated.push_back(false);
+                        continue;
+                    }
+
+                    PolicyFactory factory = policy.custom
+                        ? policy.custom(code, exp.lookup())
+                        : makePolicyFactory(
+                              policy.kind, code, exp.lookup(),
+                              point.protocol ==
+                                  RemovalProtocol::Dqlr);
+                    SessionOptions session_options;
+                    session_options.earlyStop = plan_.earlyStop;
+                    ExperimentSession session(
+                        exp, std::move(factory),
+                        policy.displayName(point.protocol),
+                        session_options);
+
+                    const bool has_partial =
+                        pc.progress.total.shots > 0 ||
+                        pc.progress.nextSpan > 0 ||
+                        pc.progress.scalarNext > 0 ||
+                        pc.progress.stopped;
+                    if (has_partial) {
+                        Status st = session.restore(pc.progress);
+                        if (!st.isOk())
+                            return st;
+                    }
+
+                    const double base_seconds = pc.seconds;
+                    const auto policy_start = Clock::now();
+                    while (!session.done()) {
+                        if (deadlineExpired()) {
+                            point_truncated = true;
+                            break;
+                        }
+                        // The in-process SIGKILL stand-in: armed with
+                        // Kind::Crash this throws SimulatedCrash out
+                        // of run() (nothing below catches it), and
+                        // the checkpoint saved at the previous
+                        // boundary is what a rerun resumes from.
+                        if (QEC_FAULT_POINT("sweep.chunk"))
+                            return unavailableError(
+                                "injected fault: sweep.chunk");
+                        // Recomputed every iteration, exactly as
+                        // runToCompletion does: the default shrinks
+                        // near a shot cap, and a resumed session must
+                        // hit the same boundaries an uninterrupted
+                        // one would.
+                        session.runChunk(session.defaultChunkShots());
+                        pc.progress = session.progress();
+                        pc.seconds =
+                            base_seconds + secondsSince(policy_start);
+                        pc.stoppedEarly = session.stoppedEarly();
+                        ++chunks_since_save;
+                        if (options.checkpoint.enabled() &&
+                            (chunks_since_save >=
+                                 options.checkpoint.everyChunks ||
+                             (options.checkpoint.everySeconds > 0.0 &&
+                              secondsSince(sweep_start) - last_save >=
+                                  options.checkpoint.everySeconds))) {
+                            ckpt.points[point.index] = working;
+                            saveCheckpoint();
+                        }
+                    }
+
+                    pc.progress = session.progress();
+                    pc.seconds =
+                        base_seconds + secondsSince(policy_start);
+                    pc.finished = session.done();
+                    pc.stoppedEarly = session.stoppedEarly();
+                    pc.truncated = point_truncated && !pc.finished;
+                    pr.results.push_back(session.result());
+                    pr.seconds.push_back(pc.seconds);
+                    pr.stoppedEarly.push_back(pc.stoppedEarly);
+                    pr.truncated.push_back(pc.truncated);
+                    if (point_truncated)
+                        break;
+                }
+            } catch (const std::bad_alloc &) {
+                return resourceExhaustedError(
+                    "allocation failed while executing sweep point " +
+                    std::to_string(point.index));
+            }
+            return okStatus();
+        };
+
+        // Bounded-backoff retry on transient failures; anything else
+        // (or exhausted attempts) quarantines the point and the sweep
+        // moves on. Retries resume from the policy's last completed
+        // chunk (`working` keeps the partial), not from shot zero.
+        const int max_attempts = std::max(1, options.maxPointAttempts);
+        Status point_status;
+        int attempts = 0;
+        while (true) {
+            ++attempts;
+            point_status = executePoint();
+            if (point_status.isOk() ||
+                !point_status.isRetryable() ||
+                attempts >= max_attempts)
+                break;
+            ++summary.retries;
+            const double backoff = options.retryBackoffSeconds *
+                (double)(1ull << (attempts - 1));
+            if (backoff > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
         }
-        ++summary.points;
-        summary.seconds = secondsSince(sweep_start);
-        for (SweepSink *sink : sinks_)
-            sink->onPoint(pr);
+
+        if (point_status.isOk() && !point_truncated) {
+            working.finished = true;
+            ckpt.points[point.index] = working;
+            ++summary.points;
+            for (const ExperimentResult &r : pr.results)
+                summary.shotsRun += r.shots;
+            summary.seconds = secondsSince(sweep_start);
+            for (SweepSink *sink : sinks_)
+                sink->onPoint(pr);
+            // Completion is a durability milestone even when the
+            // chunk cadence did not line up.
+            saveCheckpoint();
+        } else if (point_status.isOk()) {
+            // Deadline hit mid-point: checkpoint the partial and stop.
+            // The incomplete point is not emitted; the resumed run
+            // emits it once it finishes.
+            ckpt.points[point.index] = working;
+            summary.truncated = true;
+            saveCheckpoint();
+            break;
+        } else {
+            ++summary.pointsFailed;
+            SweepPointError err;
+            err.pointIndex = point.index;
+            err.distance = point.distance;
+            err.p = point.p;
+            err.attempts = attempts;
+            err.status = point_status;
+            summary.errors.push_back(std::move(err));
+            // Keep the partial: a later resume retries the point
+            // from its last checkpointed boundary.
+            ckpt.points[point.index] = working;
+            saveCheckpoint();
+        }
     }
+
+    if (summary.status.isOk() && summary.pointsFailed > 0 &&
+        summary.points == 0)
+        summary.status = summary.errors.front().status;
 
     summary.seconds = secondsSince(sweep_start);
     for (SweepSink *sink : sinks_)

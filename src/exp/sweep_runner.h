@@ -11,6 +11,25 @@
  * finished PointResult streams to the attached sinks: a bench_util
  * style table printer, the unified JSON emitter, or a plain
  * collector for benches with bespoke presentation.
+ *
+ * Fault tolerance (SweepRunOptions):
+ *
+ *  - Checkpoint/resume. With CheckpointOptions::path set, the runner
+ *    persists a qec.ckpt.v1 artifact (exp/checkpoint.h) at chunk
+ *    boundaries — atomically, so a kill at any instant leaves a
+ *    loadable checkpoint — and a rerun against the same plan skips
+ *    completed points (re-emitting them to the sinks, so the final
+ *    artifact is complete), restores the in-flight point's partial at
+ *    its exact chunk boundary, and finishes bit-identically to a run
+ *    that was never interrupted.
+ *  - Recoverable point failures. A point that fails with a retryable
+ *    Status (transient I/O, allocation failure) is retried with
+ *    bounded backoff; a point that keeps failing is quarantined —
+ *    recorded in SweepSummary::errors, not emitted — and the sweep
+ *    continues.
+ *  - Deadlines. A wall-clock budget stops the sweep cleanly at a
+ *    chunk boundary, checkpointing the partial so a later run can
+ *    pick up where it stopped.
  */
 
 #ifndef QEC_EXP_SWEEP_RUNNER_H
@@ -20,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "exp/sweep_plan.h"
 
 namespace qec
@@ -34,6 +54,9 @@ struct PointResult
     /** Wall-clock seconds per policy. */
     std::vector<double> seconds;
     std::vector<bool> stoppedEarly;
+    /** Policy stopped at a deadline with shots remaining (the result
+     *  is a valid, checkpoint-resumable partial). */
+    std::vector<bool> truncated;
 
     double
     shotsPerSec(size_t policy) const
@@ -42,6 +65,17 @@ struct PointResult
             ? (double)results[policy].shots / seconds[policy]
             : 0.0;
     }
+};
+
+/** One quarantined grid point: what failed, and how it failed. */
+struct SweepPointError
+{
+    uint64_t pointIndex = 0;
+    int distance = 0;
+    double p = 0.0;
+    /** Execution attempts spent (1 + retries). */
+    int attempts = 0;
+    Status status;
 };
 
 /** Aggregate accounting for a finished sweep. */
@@ -57,6 +91,36 @@ struct SweepSummary
     size_t demsReused = 0;
     size_t decodersBuilt = 0;
     size_t decodersReused = 0;
+
+    // ------------------------------------------- fault tolerance
+    /**
+     * Overall outcome. Non-OK when the sweep could not run at all
+     * (plan validation failure, unusable checkpoint) — the sinks are
+     * never started in that case — or when every executed point
+     * failed. Individual quarantined points do NOT make this non-OK;
+     * they are listed in `errors`.
+     */
+    Status status;
+    /** Outcome of the checkpoint load when resume was requested
+     *  (OK also covers "no checkpoint yet"). */
+    Status resumeStatus;
+    /** Last checkpoint-save failure, if any (the sweep continues
+     *  without durability rather than dying). */
+    Status checkpointStatus;
+    /** A checkpoint was loaded and at least one point was skipped
+     *  or restored from it. */
+    bool resumed = false;
+    /** The wall-clock deadline stopped the sweep before the last
+     *  point (resumable from the checkpoint). */
+    bool truncated = false;
+    /** Points skipped as already complete in the checkpoint. */
+    size_t pointsResumed = 0;
+    /** Points quarantined after exhausting retries (see errors). */
+    size_t pointsFailed = 0;
+    /** Point execution retries after retryable failures. */
+    size_t retries = 0;
+    size_t checkpointSaves = 0;
+    std::vector<SweepPointError> errors;
 };
 
 /** Streaming consumer of sweep results. */
@@ -143,11 +207,19 @@ class TableSink : public SweepSink
  * rates, decode-pipeline counters, early-stop state and throughput.
  * One emitter for every bench, replacing the bespoke
  * BENCH_decode.json / BENCH_simd.json printf code.
+ *
+ * In path mode the JSON is composed in memory and the file appears
+ * atomically (temp + fsync + rename, with a bounded retry on
+ * transient failures) in endSweep — a kill mid-sweep leaves the
+ * previous artifact or none, never a syntactically-torn one. status()
+ * reports the final write outcome. Stream mode (an already-open
+ * FILE*, e.g. stdout) writes through unchanged.
  */
 class JsonSink : public SweepSink
 {
   public:
-    /** Writes to `path`; ok() reports whether the open succeeded. */
+    /** Writes `path` atomically in endSweep; ok() reports whether
+     *  the destination was probed writable. */
     explicit JsonSink(std::string path);
     /** Writes to an already-open stream (not closed on destruction). */
     explicit JsonSink(FILE *out);
@@ -156,7 +228,15 @@ class JsonSink : public SweepSink
     bool
     ok() const
     {
-        return out_ != nullptr;
+        return out_ != nullptr && status_.isOk();
+    }
+
+    /** Outcome of the artifact write (OK until endSweep in path
+     *  mode, unless the writability probe already failed). */
+    const Status &
+    status() const
+    {
+        return status_;
     }
 
     void beginSweep(const SweepPlan &plan,
@@ -170,6 +250,49 @@ class JsonSink : public SweepSink
     bool owned_ = false;
     bool firstPoint_ = true;
     bool closed_ = false;
+    /** Path mode: open_memstream buffer behind out_. */
+    char *memBuf_ = nullptr;
+    size_t memLen_ = 0;
+    Status status_;
+};
+
+/** Checkpoint policy for SweepRunner::run. */
+struct CheckpointOptions
+{
+    /** qec.ckpt.v1 artifact path; empty disables checkpointing. */
+    std::string path;
+    /** Save every N session chunks (1 = every chunk boundary). */
+    uint64_t everyChunks = 1;
+    /** Also save when this much wall time passed since the last
+     *  save, checked at chunk boundaries (0 = chunk cadence only). */
+    double everySeconds = 0.0;
+    /** Load an existing checkpoint and resume from it; with this off
+     *  an existing file is overwritten as the sweep progresses. */
+    bool resume = true;
+
+    bool
+    enabled() const
+    {
+        return !path.empty();
+    }
+};
+
+/** Fault-tolerance policy for one SweepRunner::run invocation. */
+struct SweepRunOptions
+{
+    CheckpointOptions checkpoint;
+    /**
+     * Wall-clock budget for the whole sweep, checked at chunk
+     * boundaries (0 = none). On expiry the in-flight point is
+     * checkpointed and the sweep stops with summary.truncated set;
+     * finished points keep their sink rows, the partial point is not
+     * emitted (a resumed run emits it when it completes).
+     */
+    double deadlineSeconds = 0.0;
+    /** Execution attempts per point before quarantine (>= 1). */
+    int maxPointAttempts = 3;
+    /** Backoff before retry k is 2^(k-1) times this (bounded). */
+    double retryBackoffSeconds = 0.05;
 };
 
 /** Executes a plan, streaming each point to the attached sinks. */
@@ -189,6 +312,10 @@ class SweepRunner
 
     /** Run every point; returns the accounting summary. */
     SweepSummary run();
+
+    /** As run(), with checkpointing, retry/quarantine, and deadline
+     *  behavior per `options` (see SweepRunOptions). */
+    SweepSummary run(const SweepRunOptions &options);
 
   private:
     SweepPlan plan_;

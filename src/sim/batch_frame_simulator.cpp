@@ -25,7 +25,7 @@ BatchFrameSimulatorT<NW>::BatchFrameSimulatorT(int num_qubits,
       numBlocks_((num_lanes + 63) / 64),
       live_(laneMaskOf<Lane>(num_lanes)), em_(em)
 {
-    fatalIf(num_lanes < 1 || num_lanes > kMaxLanes,
+    panicIf(num_lanes < 1 || num_lanes > kMaxLanes,
             "batch simulator lane count out of range for this width");
     if (numLanes_ == 1) {
         // W=1 reference mode at every plane depth: the scalar
