@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "base/atomic_file.h"
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "base/simd_word.h"
 #include "code/builder.h"
@@ -226,6 +227,49 @@ BM_MemoryExperimentEraser(benchmark::State &state)
 }
 BENCHMARK(BM_MemoryExperimentEraser)
     ->ArgName("width")->Arg(1)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Worker scaling of the threaded experiment path. The region runs on
+ * the process-wide persistent WorkerPool, grown to the target size
+ * BEFORE the timed loop — repetitions reuse the same threads, so the
+ * counters measure scaling, not thread spawn + join per measurement.
+ */
+void
+BM_MemoryExperimentEraserWorkers(benchmark::State &state)
+{
+    const int d = 11;
+    const unsigned workers = (unsigned)state.range(0);
+    sharedWorkerPool().ensureWorkers(workers);
+    RotatedSurfaceCode code(d);
+    ExperimentConfig cfg;
+    cfg.rounds = d;
+    cfg.shots = 1024;
+    cfg.seed = 11;
+    cfg.em = ErrorModel::standard(1e-3);
+    cfg.decode = false;
+    cfg.batchWidth = 64;
+    cfg.threads = workers;
+    MemoryExperiment exp(code, cfg);
+
+    const WorkerPool::Stats before = sharedWorkerPool().stats();
+    uint64_t shots = 0;
+    for (auto _ : state) {
+        auto result = exp.run(PolicyKind::Eraser);
+        benchmark::DoNotOptimize(result.lrcsScheduled);
+        shots += result.shots;
+    }
+    const WorkerPool::Stats after = sharedWorkerPool().stats();
+    state.counters["shots/s"] = benchmark::Counter(
+        (double)shots, benchmark::Counter::kIsRate);
+    state.counters["pool_regions"] =
+        benchmark::Counter((double)(after.regions - before.regions));
+}
+BENCHMARK(BM_MemoryExperimentEraserWorkers)
+    ->ArgName("workers")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    // Pool threads do the work while the caller waits, so rate
+    // counters must be against wall time, not main-thread CPU.
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /** Pre-sampled realistic defect sets at p=1e-3. */

@@ -31,6 +31,20 @@
  *   --checkpoint-every N save every N session chunks (default 1)
  *   --deadline SECONDS   stop cleanly after this wall-clock budget,
  *                        checkpointing the in-flight point
+ *   --schedule           execute with the cross-point chunk scheduler
+ *                        (exp/sweep_scheduler.h): chunks from many
+ *                        live points share one worker pool, shots flow
+ *                        to the widest Wilson intervals; results are
+ *                        bit-identical to sequential execution
+ *   --workers N          worker count: the scheduler pool size with
+ *                        --schedule, the per-point simulator thread
+ *                        count without it — so the two modes compare
+ *                        fairly at equal N (default: hardware
+ *                        concurrency)
+ *   --max-total-shots N  global shot budget across all points;
+ *                        truncates deterministically on exhaustion
+ *   --max-live-points N  scheduler admission window (default
+ *                        max(8, workers))
  */
 
 #include <cstdio>
@@ -59,7 +73,9 @@ usage(const char *argv0)
                  " [--width W] [--no-leakage]\n"
                  "          [--seed S] [--precision F] [--json PATH]\n"
                  "          [--checkpoint PATH] [--checkpoint-every N]"
-                 " [--deadline SECS]\n",
+                 " [--deadline SECS]\n"
+                 "          [--schedule] [--workers N]"
+                 " [--max-total-shots N] [--max-live-points N]\n",
                  argv0);
     std::exit(2);
 }
@@ -115,6 +131,10 @@ main(int argc, char **argv)
     std::string checkpoint_path;
     uint64_t checkpoint_every = 1;
     double deadline = 0.0;
+    bool schedule = false;
+    unsigned workers = 0;
+    uint64_t max_total_shots = 0;
+    size_t max_live_points = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -152,6 +172,14 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--deadline") {
             deadline = std::atof(next());
+        } else if (arg == "--schedule") {
+            schedule = true;
+        } else if (arg == "--workers") {
+            workers = (unsigned)std::atoi(next());
+        } else if (arg == "--max-total-shots") {
+            max_total_shots = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-live-points") {
+            max_live_points = (size_t)std::strtoull(next(), nullptr, 10);
         } else if (arg == "--width") {
             width = (unsigned)std::atoi(next());
         } else if (arg == "--protocol") {
@@ -191,6 +219,10 @@ main(int argc, char **argv)
         plan.fixedSeed = seed;
     if (precision > 0.0)
         plan.earlyStop.targetRelPrecision = precision;
+    // Same worker budget either way: the scheduler gets a pool of N,
+    // the sequential runner simulates each point with N threads.
+    if (workers > 0 && !schedule)
+        plan.base.threads = workers;
 
     const std::vector<std::pair<std::string, PolicyKind>> kinds = {
         {"never", PolicyKind::Never},     {"always", PolicyKind::Always},
@@ -225,6 +257,10 @@ main(int argc, char **argv)
     run_options.checkpoint.path = checkpoint_path;
     run_options.checkpoint.everyChunks = checkpoint_every;
     run_options.deadlineSeconds = deadline;
+    run_options.schedule = schedule;
+    run_options.workers = workers;
+    run_options.maxTotalShots = max_total_shots;
+    run_options.maxLivePoints = max_live_points;
     const SweepSummary summary = runner.run(run_options);
     if (!summary.status.isOk()) {
         std::fprintf(stderr, "sweep failed: %s\n",
@@ -238,7 +274,7 @@ main(int argc, char **argv)
 
     for (const PointResult &point : results.points) {
         std::printf("d=%d rounds=%d p=%g shots=%llu protocol=%s"
-                    " transport=%s leakage=%s seed=%llu\n",
+                    " transport=%s leakage=%s seed=%llu wall=%.2fs\n",
                     point.point.distance, point.point.rounds,
                     point.point.p,
                     (unsigned long long)point.results[0].shots,
@@ -246,7 +282,8 @@ main(int argc, char **argv)
                     transport == TransportModel::Exchange
                         ? "exchange" : "conservative",
                     leakage ? "on" : "off",
-                    (unsigned long long)point.point.seed);
+                    (unsigned long long)point.point.seed,
+                    point.wallSeconds);
         for (size_t i = 0; i < point.results.size(); ++i) {
             report(point.results[i], point.point.rounds);
             if (point.stoppedEarly[i])
@@ -263,9 +300,25 @@ main(int argc, char **argv)
                      (unsigned long long)err.pointIndex, err.distance,
                      err.p, err.attempts,
                      err.status.toString().c_str());
+    if (summary.scheduled)
+        std::printf("[scheduler: %u workers, %llu rounds, %llu chunks"
+                    " dispatched, %llu shots reallocated, %llu"
+                    " discarded, pool %.0f%% busy]\n",
+                    summary.workersUsed,
+                    (unsigned long long)summary.schedulerRounds,
+                    (unsigned long long)summary.chunksDispatched,
+                    (unsigned long long)summary.shotsReallocated,
+                    (unsigned long long)summary.shotsDiscarded,
+                    summary.poolUtilization * 100.0);
+    std::printf("[%zu point(s), %llu shots in %.2fs]\n",
+                summary.points,
+                (unsigned long long)summary.shotsRun,
+                summary.seconds);
     if (summary.truncated)
-        std::printf("[deadline reached after %.1fs; progress saved"
+        std::printf("[%s after %.1fs; progress saved"
                     "%s%s — rerun to continue]\n",
+                    summary.budgetExhausted ? "shot budget exhausted"
+                                            : "deadline reached",
                     summary.seconds,
                     checkpoint_path.empty() ? "" : " to ",
                     checkpoint_path.c_str());

@@ -49,8 +49,6 @@ struct ExperimentSession::Impl
 
     /** Per-worker decode pipelines, persistent across chunks. */
     std::vector<ExperimentDecodeContext> contexts;
-    /** Pipeline totals already attributed to earlier chunks. */
-    BatchDecodeStats attributed;
 
     ExperimentResult total;
     bool stopped = false;
@@ -209,6 +207,150 @@ ExperimentSession::totalSpans() const
 }
 
 uint64_t
+ExperimentSession::totalUnits() const
+{
+    const Impl &im = *impl_;
+    return im.width > 0 ? im.spans.size() : im.exp->config().shots;
+}
+
+uint64_t
+ExperimentSession::nextUnit() const
+{
+    const Impl &im = *impl_;
+    return im.width > 0 ? im.nextSpan : im.scalarNext;
+}
+
+SessionChunkPlan
+ExperimentSession::planChunkAt(uint64_t begin_unit,
+                               uint64_t max_shots) const
+{
+    const Impl &im = *impl_;
+    SessionChunkPlan plan;
+    plan.beginUnit = plan.endUnit = begin_unit;
+    const uint64_t want = std::max<uint64_t>(max_shots, 1);
+    if (im.width > 0) {
+        // Round the request up to word-group boundaries: groups are
+        // the unit of execution (and of the bit-identity guarantee).
+        while (plan.endUnit < im.spans.size() && plan.shots < want) {
+            plan.shots += (uint64_t)im.spans[plan.endUnit].second;
+            ++plan.endUnit;
+        }
+    } else {
+        const uint64_t shots = im.exp->config().shots;
+        const uint64_t begin = std::min(begin_unit, shots);
+        plan.endUnit = begin + std::min(shots - begin, want);
+        plan.shots = plan.endUnit - begin;
+    }
+    return plan;
+}
+
+void
+ExperimentSession::ensureWorkerSlots(unsigned n)
+{
+    Impl &im = *impl_;
+    if (im.width == 0 || im.contexts.size() >= n)
+        return;
+    const MemoryExperiment &exp = *im.exp;
+    if (exp.config().decode) {
+        const BatchDecodeOptions batch_opts =
+            exp.resolvedBatchOptions();
+        while (im.contexts.size() < n) {
+            im.contexts.emplace_back();
+            im.contexts.back().pipeline =
+                std::make_unique<BatchDecoder>(*exp.decoder(),
+                                               batch_opts,
+                                               exp.componentGraph());
+        }
+    } else {
+        im.contexts.resize(n);
+    }
+}
+
+ExperimentResult
+ExperimentSession::runPlannedUnit(uint64_t unit, unsigned slot)
+{
+    Impl &im = *impl_;
+    const MemoryExperiment &exp = *im.exp;
+    const ExperimentConfig &cfg = exp.config();
+
+    ExperimentResult partial = newPartial();
+    ExperimentShotStats stats;
+    if (cfg.trackLpr) {
+        stats.lprData.assign(cfg.rounds, 0.0);
+        stats.lprParity.assign(cfg.rounds, 0.0);
+    }
+
+    if (im.width == 0) {
+        panicIf(unit >= cfg.shots, "scalar unit out of range");
+        exp.runShot(unit, im.factory, stats);
+        exp.mergeStats(partial, stats);
+        partial.shots = 1;
+        partial.roundsTotal = (uint64_t)cfg.rounds;
+        return partial;
+    }
+
+    panicIf(unit >= im.spans.size(), "span unit out of range");
+    panicIf(slot >= im.contexts.size(),
+            "worker slot exceeds session contexts "
+            "(ensureWorkerSlots)");
+    const auto [first, lanes] = im.spans[unit];
+    ExperimentDecodeContext *ctx = &im.contexts[slot];
+    // Snapshot the slot's cumulative pipeline counters around the
+    // group so this unit's exact share can be attributed to its
+    // partial — a chunk's counters are then the sum of its units'
+    // deltas, independent of slot assignment, and a unit discarded by
+    // the scheduler never leaks counters into a committed result.
+    BatchDecodeStats before;
+    if (ctx->pipeline)
+        before = ctx->pipeline->stats();
+    // Plane depth (1/4/8 words) follows the group width.
+    if (im.width <= 64)
+        exp.runGroupT<1>(first, lanes, im.factory, stats, ctx);
+    else if (im.width <= 256)
+        exp.runGroupT<4>(first, lanes, im.factory, stats, ctx);
+    else
+        exp.runGroupT<8>(first, lanes, im.factory, stats, ctx);
+    exp.mergeStats(partial, stats);
+    partial.shots = (uint64_t)lanes;
+    partial.roundsTotal = (uint64_t)lanes * (uint64_t)cfg.rounds;
+    if (ctx->pipeline) {
+        const BatchDecodeStats &now = ctx->pipeline->stats();
+        partial.decodedShots = now.decoded - before.decoded;
+        partial.zeroDefectShots = now.zeroDefect - before.zeroDefect;
+        partial.syndromeCacheHits = now.cacheHits - before.cacheHits;
+        partial.componentsTotal =
+            now.componentsTotal - before.componentsTotal;
+        partial.componentCacheHits =
+            now.componentCacheHits - before.componentCacheHits;
+        partial.componentsDecoded =
+            now.componentsDecoded - before.componentsDecoded;
+        partial.guardFallbackShots =
+            now.guardFallbacks - before.guardFallbacks;
+        partial.windowsDecoded = now.windows - before.windows;
+    }
+    return partial;
+}
+
+void
+ExperimentSession::commitChunk(const SessionChunkPlan &plan,
+                               const ExperimentResult &merged)
+{
+    Impl &im = *impl_;
+    panicIf(plan.beginUnit != nextUnit(),
+            "chunk committed out of order");
+    panicIf(plan.endUnit > totalUnits(), "chunk exceeds the plan");
+    panicIf(im.stopped,
+            "chunk committed after the early stop (speculative "
+            "chunks must be discarded)");
+    if (im.width > 0)
+        im.nextSpan = plan.endUnit;
+    else
+        im.scalarNext = plan.endUnit;
+    im.total.merge(merged);
+    evaluateStop();
+}
+
+uint64_t
 ExperimentSession::shotsRun() const
 {
     return impl_->total.shots;
@@ -226,111 +368,6 @@ const ExperimentResult &
 ExperimentSession::result() const
 {
     return impl_->total;
-}
-
-ExperimentResult
-ExperimentSession::runScalarChunk(uint64_t n)
-{
-    Impl &im = *impl_;
-    const MemoryExperiment &exp = *im.exp;
-    const ExperimentConfig &cfg = exp.config();
-    const uint64_t remaining = cfg.shots - im.scalarNext;
-    const uint64_t take =
-        std::min(remaining, std::max<uint64_t>(n, 1));
-    const uint64_t first = im.scalarNext;
-
-    ExperimentResult partial = newPartial();
-    std::mutex merge_mutex;
-    parallelFor(
-        take,
-        [&](uint64_t i) {
-            ExperimentShotStats stats;
-            if (cfg.trackLpr) {
-                stats.lprData.assign(cfg.rounds, 0.0);
-                stats.lprParity.assign(cfg.rounds, 0.0);
-            }
-            exp.runShot(first + i, im.factory, stats);
-
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            exp.mergeStats(partial, stats);
-        },
-        cfg.threads);
-    im.scalarNext += take;
-    partial.shots = take;
-    partial.roundsTotal = take * (uint64_t)cfg.rounds;
-    return partial;
-}
-
-ExperimentResult
-ExperimentSession::runBatchedChunk(uint64_t n)
-{
-    Impl &im = *impl_;
-    const MemoryExperiment &exp = *im.exp;
-    const ExperimentConfig &cfg = exp.config();
-
-    // Round the request up to word-group boundaries: groups are the
-    // unit of execution (and of the bit-identity guarantee).
-    const size_t begin = im.nextSpan;
-    const uint64_t want = std::max<uint64_t>(n, 1);
-    size_t end = begin;
-    uint64_t chunk_shots = 0;
-    while (end < im.spans.size() && chunk_shots < want) {
-        chunk_shots += (uint64_t)im.spans[end].second;
-        ++end;
-    }
-
-    ExperimentResult partial = newPartial();
-    if (end == begin)
-        return partial;
-
-    std::mutex merge_mutex;
-    parallelForWorkers(
-        end - begin,
-        [&](unsigned worker, uint64_t i) {
-            ExperimentShotStats stats;
-            if (cfg.trackLpr) {
-                stats.lprData.assign(cfg.rounds, 0.0);
-                stats.lprParity.assign(cfg.rounds, 0.0);
-            }
-            const auto [first, lanes] = im.spans[begin + i];
-            ExperimentDecodeContext *ctx = &im.contexts[worker];
-            // Plane depth (1/4/8 words) follows the group width.
-            if (im.width <= 64)
-                exp.runGroupT<1>(first, lanes, im.factory, stats, ctx);
-            else if (im.width <= 256)
-                exp.runGroupT<4>(first, lanes, im.factory, stats, ctx);
-            else
-                exp.runGroupT<8>(first, lanes, im.factory, stats, ctx);
-
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            exp.mergeStats(partial, stats);
-        },
-        cfg.threads);
-    im.nextSpan = end;
-    partial.shots = chunk_shots;
-    partial.roundsTotal = chunk_shots * (uint64_t)cfg.rounds;
-
-    // Attribute this chunk's share of the (cumulative) per-worker
-    // pipeline counters.
-    BatchDecodeStats now;
-    for (const auto &ctx : im.contexts) {
-        if (ctx.pipeline)
-            now.merge(ctx.pipeline->stats());
-    }
-    partial.decodedShots = now.decoded - im.attributed.decoded;
-    partial.zeroDefectShots = now.zeroDefect - im.attributed.zeroDefect;
-    partial.syndromeCacheHits = now.cacheHits - im.attributed.cacheHits;
-    partial.componentsTotal =
-        now.componentsTotal - im.attributed.componentsTotal;
-    partial.componentCacheHits =
-        now.componentCacheHits - im.attributed.componentCacheHits;
-    partial.componentsDecoded =
-        now.componentsDecoded - im.attributed.componentsDecoded;
-    partial.guardFallbackShots =
-        now.guardFallbacks - im.attributed.guardFallbacks;
-    partial.windowsDecoded = now.windows - im.attributed.windows;
-    im.attributed = now;
-    return partial;
 }
 
 void
@@ -352,7 +389,7 @@ ExperimentSession::evaluateStop()
 }
 
 uint64_t
-ExperimentSession::defaultChunkShots() const
+ExperimentSession::defaultChunkShotsAt(uint64_t shots_done) const
 {
     const Impl &im = *impl_;
     if (!im.options.earlyStop.enabled())
@@ -368,9 +405,15 @@ ExperimentSession::defaultChunkShots() const
     // A shot cap bounds the chunk too: overshoot past maxShots is at
     // most one word-group, not a whole evaluation interval.
     const uint64_t cap = im.options.earlyStop.maxShots;
-    if (cap > 0 && im.total.shots < cap)
-        chunk = std::min(chunk, cap - im.total.shots);
+    if (cap > 0 && shots_done < cap)
+        chunk = std::min(chunk, cap - shots_done);
     return chunk;
+}
+
+uint64_t
+ExperimentSession::defaultChunkShots() const
+{
+    return defaultChunkShotsAt(impl_->total.shots);
 }
 
 ExperimentResult
@@ -378,12 +421,23 @@ ExperimentSession::runChunk(uint64_t max_shots)
 {
     if (done())
         return newPartial();
-    ExperimentResult partial = impl_->width > 0
-        ? runBatchedChunk(max_shots)
-        : runScalarChunk(max_shots);
-    impl_->total.merge(partial);
-    evaluateStop();
-    return partial;
+    Impl &im = *impl_;
+    const SessionChunkPlan plan = planChunkAt(nextUnit(), max_shots);
+    ExperimentResult acc = newPartial();
+    if (plan.empty())
+        return acc;
+    std::mutex merge_mutex;
+    parallelForWorkers(
+        plan.units(),
+        [&](unsigned worker, uint64_t i) {
+            ExperimentResult part =
+                runPlannedUnit(plan.beginUnit + i, worker);
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            acc.merge(part);
+        },
+        im.exp->config().threads);
+    commitChunk(plan, acc);
+    return acc;
 }
 
 const ExperimentResult &

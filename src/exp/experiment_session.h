@@ -72,6 +72,34 @@ struct EarlyStopRule
  *  errors in n shots at normal quantile z; >1e300 when undefined. */
 double wilsonRelHalfWidth(uint64_t k, uint64_t n, double z);
 
+/**
+ * One planned, not-yet-committed chunk: the half-open range of
+ * execution units [beginUnit, endUnit) a chunk covers, aligned exactly
+ * as runChunk would align it. A unit is one word-group span on the
+ * batched path and one shot on the scalar path — the grain at which a
+ * scheduler may execute a session's work concurrently (see
+ * ExperimentSession::runPlannedUnit / commitChunk).
+ */
+struct SessionChunkPlan
+{
+    uint64_t beginUnit = 0;
+    uint64_t endUnit = 0;
+    /** Shots the units cover (the chunk's partial.shots). */
+    uint64_t shots = 0;
+
+    bool
+    empty() const
+    {
+        return beginUnit >= endUnit;
+    }
+
+    uint64_t
+    units() const
+    {
+        return endUnit - beginUnit;
+    }
+};
+
 /** Construction options for ExperimentSession. */
 struct SessionOptions
 {
@@ -179,12 +207,70 @@ class ExperimentSession
      *  the scalar path); progress().nextSpan ranges over [0, this]. */
     uint64_t totalSpans() const;
 
+    // ------------------------------------------ scheduler interface
+    //
+    // A cross-point scheduler (exp/sweep_scheduler.h) splits chunks
+    // into units, executes the units of *many* sessions concurrently
+    // on one worker pool, and commits each chunk at a barrier — in the
+    // session's own chunk order, so the committed sequence of chunk
+    // boundaries (and therefore every early-stop decision) is exactly
+    // the sequence runChunk/runToCompletion would have produced.
+
+    /** Execution units in the whole session: word-group spans on the
+     *  batched path, shots on the scalar path. */
+    uint64_t totalUnits() const;
+    /** Cursor of the next unexecuted unit. */
+    uint64_t nextUnit() const;
+
+    /**
+     * Plan the chunk that a runChunk(max_shots) issued at cursor
+     * `begin_unit` would execute: units accumulated until their shots
+     * reach max(max_shots, 1), rounded up to unit boundaries. Pure —
+     * does not advance the session — so a scheduler can plan several
+     * consecutive chunks ahead (chain begin_unit = previous endUnit).
+     */
+    SessionChunkPlan planChunkAt(uint64_t begin_unit,
+                                 uint64_t max_shots) const;
+
+    /**
+     * defaultChunkShots() as a pure function of the cumulative shot
+     * count, for planning chunks ahead of commit: the default shrinks
+     * near a maxShots cap, and a chunk planned k chunks ahead must be
+     * sized as if the preceding k had already been committed.
+     */
+    uint64_t defaultChunkShotsAt(uint64_t shots_done) const;
+
+    /** Grow the per-worker decode contexts to at least `n` slots, so
+     *  units may run with worker indices in [0, n). Must not be
+     *  called while units are in flight. */
+    void ensureWorkerSlots(unsigned n);
+
+    /**
+     * Execute one unit on worker slot `slot` and return its partial
+     * result (decode-pipeline counters attributed per unit, so a
+     * chunk's partial is the merge of its units' partials no matter
+     * which slots ran them). Thread-safe for concurrent calls with
+     * distinct (unit, slot) pairs; does not advance the session.
+     */
+    ExperimentResult runPlannedUnit(uint64_t unit, unsigned slot);
+
+    /**
+     * Commit a fully-executed chunk: `merged` must be the merge of
+     * runPlannedUnit partials for exactly plan's units. Advances the
+     * cursor, folds `merged` into result(), and evaluates the
+     * early-stop rule — equivalent to runChunk having executed the
+     * chunk itself. Chunks must be committed in order from the
+     * current cursor; a chunk planned past a boundary where the rule
+     * fired must be discarded, not committed (the scheduler's
+     * speculative-execution contract).
+     */
+    void commitChunk(const SessionChunkPlan &plan,
+                     const ExperimentResult &merged);
+
   private:
     struct Impl;
 
     ExperimentResult newPartial() const;
-    ExperimentResult runScalarChunk(uint64_t n);
-    ExperimentResult runBatchedChunk(uint64_t n);
     void evaluateStop();
 
     std::unique_ptr<Impl> impl_;

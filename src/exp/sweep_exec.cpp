@@ -1,0 +1,116 @@
+#include "exp/sweep_exec.h"
+
+#include <cstring>
+#include <utility>
+
+#include "code/builder.h"
+
+namespace qec
+{
+
+namespace
+{
+
+uint64_t
+doubleKeyBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+SweepBuildCache::Components
+SweepBuildCache::build(const SweepPoint &point,
+                       const DecoderOptions &decoder_options,
+                       SweepSummary &summary)
+{
+    Components out;
+
+    auto code_it = codes_.find(point.distance);
+    if (code_it == codes_.end()) {
+        code_it = codes_
+                      .emplace(point.distance,
+                               std::make_unique<RotatedSurfaceCode>(
+                                   point.distance))
+                      .first;
+        ++summary.codesBuilt;
+    } else {
+        ++summary.codesReused;
+    }
+    out.code = code_it->second.get();
+
+    if (!point.config.decode)
+        return out;
+
+    const DemKey dem_key{point.distance, point.rounds,
+                         (int)point.config.basis};
+    auto dem_it = dems_.find(dem_key);
+    if (dem_it == dems_.end()) {
+        dem_it = dems_
+                     .emplace(dem_key,
+                              std::make_shared<DetectorModel>(
+                                  buildDetectorModel(
+                                      *out.code, point.rounds,
+                                      point.config.basis)))
+                     .first;
+        ++summary.demsBuilt;
+    } else {
+        ++summary.demsReused;
+    }
+    out.dem = dem_it->second;
+
+    const DecoderKey dec_key{point.distance, point.rounds,
+                             (int)point.config.basis,
+                             (int)point.decoderKind,
+                             doubleKeyBits(point.p)};
+    auto dec_it = decoders_.find(dec_key);
+    if (dec_it == decoders_.end()) {
+        std::shared_ptr<const Decoder> built;
+        if (point.decoderKind == DecoderKind::Mwpm)
+            built = std::make_shared<MwpmDecoder>(*out.dem, point.p,
+                                                  decoder_options);
+        else
+            built = std::make_shared<UnionFindDecoder>(*out.dem,
+                                                       point.p);
+        dec_it = decoders_.emplace(dec_key, std::move(built)).first;
+        ++summary.decodersBuilt;
+    } else {
+        ++summary.decodersReused;
+    }
+    out.decoder = dec_it->second;
+    return out;
+}
+
+bool
+prepareSweepCheckpoint(const CheckpointOptions &options,
+                       SweepCheckpoint &ckpt, SweepSummary &summary)
+{
+    if (!options.enabled() || !options.resume)
+        return true;
+    StatusOr<SweepCheckpoint> loaded =
+        SweepCheckpoint::load(options.path);
+    if (loaded.ok()) {
+        if (loaded.value().planFingerprint != ckpt.planFingerprint) {
+            summary.resumeStatus = failedPrecondition(
+                "checkpoint " + options.path +
+                " was written by a different sweep plan "
+                "(fingerprint mismatch); delete it or point this "
+                "sweep at a fresh checkpoint path");
+            summary.status = summary.resumeStatus;
+            return false;
+        }
+        ckpt = std::move(loaded).value();
+        summary.resumed = !ckpt.points.empty();
+    } else if (loaded.status().code() != StatusCode::NotFound) {
+        // A corrupt or version-skewed checkpoint is evidence of
+        // real progress; refuse to clobber it silently.
+        summary.resumeStatus = loaded.status();
+        summary.status = loaded.status();
+        return false;
+    }
+    return true;
+}
+
+} // namespace qec

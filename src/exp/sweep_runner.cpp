@@ -3,18 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
-#include <map>
-#include <memory>
 #include <new>
 #include <thread>
-#include <tuple>
 
 #include "base/atomic_file.h"
 #include "base/fault_injection.h"
 #include "base/simd_word.h"
-#include "code/builder.h"
-#include "exp/checkpoint.h"
+#include "exp/sweep_exec.h"
+#include "exp/sweep_scheduler.h"
 
 namespace qec
 {
@@ -29,14 +25,6 @@ secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start)
         .count();
-}
-
-uint64_t
-doubleKeyBits(double v)
-{
-    uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    return bits;
 }
 
 std::string
@@ -162,6 +150,18 @@ TableSink::endSweep(const SweepSummary &summary)
         summary.demsReused, summary.demsBuilt + summary.demsReused,
         summary.decodersReused,
         summary.decodersBuilt + summary.decodersReused);
+    if (summary.scheduled)
+        std::fprintf(
+            out(),
+            "[sched] %u workers, %llu rounds, %llu chunks, "
+            "%llu shots reallocated, %llu discarded, "
+            "pool %.0f%% busy\n",
+            summary.workersUsed,
+            (unsigned long long)summary.schedulerRounds,
+            (unsigned long long)summary.chunksDispatched,
+            (unsigned long long)summary.shotsReallocated,
+            (unsigned long long)summary.shotsDiscarded,
+            summary.poolUtilization * 100.0);
 }
 
 // ------------------------------------------------------------- JsonSink
@@ -230,13 +230,14 @@ JsonSink::onPoint(const PointResult &pr)
         out_,
         "%s\n    {\"index\": %zu, \"d\": %d, \"p\": %.6g, "
         "\"rounds\": %d, \"protocol\": \"%s\", \"decoder\": \"%s\", "
-        "\"width\": %u, \"shots\": %llu, \"seed\": %llu,\n"
+        "\"width\": %u, \"shots\": %llu, \"seed\": %llu, "
+        "\"wall_seconds\": %.6g,\n"
         "     \"results\": [",
         firstPoint_ ? "" : ",", pr.point.index, pr.point.distance,
         pr.point.p, pr.point.rounds, protocolName(pr.point.protocol),
         decoderKindName(pr.point.decoderKind), pr.point.batchWidth,
         (unsigned long long)pr.point.shots,
-        (unsigned long long)pr.point.seed);
+        (unsigned long long)pr.point.seed, pr.wallSeconds);
     firstPoint_ = false;
     for (size_t i = 0; i < pr.results.size(); ++i) {
         const ExperimentResult &r = pr.results[i];
@@ -285,14 +286,24 @@ JsonSink::endSweep(const SweepSummary &summary)
         "\"decoders_reused\": %zu, \"status\": \"%s\", "
         "\"resumed\": %s, \"truncated\": %s, "
         "\"points_resumed\": %zu, \"points_failed\": %zu, "
-        "\"retries\": %zu}\n}\n",
+        "\"retries\": %zu, \"scheduled\": %s, \"workers\": %u, "
+        "\"scheduler_rounds\": %llu, \"chunks_dispatched\": %llu, "
+        "\"shots_reallocated\": %llu, \"shots_discarded\": %llu, "
+        "\"pool_utilization\": %.4f, \"budget_exhausted\": %s}\n}\n",
         summary.points, (unsigned long long)summary.shotsRun,
         summary.seconds, summary.codesBuilt, summary.codesReused,
         summary.demsBuilt, summary.demsReused, summary.decodersBuilt,
         summary.decodersReused, statusCodeName(summary.status.code()),
         summary.resumed ? "true" : "false",
         summary.truncated ? "true" : "false", summary.pointsResumed,
-        summary.pointsFailed, summary.retries);
+        summary.pointsFailed, summary.retries,
+        summary.scheduled ? "true" : "false", summary.workersUsed,
+        (unsigned long long)summary.schedulerRounds,
+        (unsigned long long)summary.chunksDispatched,
+        (unsigned long long)summary.shotsReallocated,
+        (unsigned long long)summary.shotsDiscarded,
+        summary.poolUtilization,
+        summary.budgetExhausted ? "true" : "false");
     std::fflush(out_);
     closed_ = true;
     if (!owned_)
@@ -333,6 +344,11 @@ SweepRunner::run()
 SweepSummary
 SweepRunner::run(const SweepRunOptions &options)
 {
+    if (options.schedule) {
+        SweepScheduler scheduler(plan_, sinks_);
+        return scheduler.run(options);
+    }
+
     SweepSummary summary;
     // Recoverable up-front validation: a bad plan is reported in the
     // summary instead of aborting the process (the sinks are never
@@ -342,54 +358,32 @@ SweepRunner::run(const SweepRunOptions &options)
         return summary;
 
     const std::vector<SweepPoint> points = plan_.points();
-    const uint64_t fingerprint =
-        SweepCheckpoint::fingerprintPlan(plan_, points);
-
     SweepCheckpoint ckpt;
-    ckpt.planFingerprint = fingerprint;
-    if (options.checkpoint.enabled() && options.checkpoint.resume) {
-        StatusOr<SweepCheckpoint> loaded =
-            SweepCheckpoint::load(options.checkpoint.path);
-        if (loaded.ok()) {
-            if (loaded.value().planFingerprint != fingerprint) {
-                summary.resumeStatus = failedPrecondition(
-                    "checkpoint " + options.checkpoint.path +
-                    " was written by a different sweep plan "
-                    "(fingerprint mismatch); delete it or point this "
-                    "sweep at a fresh checkpoint path");
-                summary.status = summary.resumeStatus;
-                return summary;
-            }
-            ckpt = std::move(loaded).value();
-            summary.resumed = !ckpt.points.empty();
-        } else if (loaded.status().code() != StatusCode::NotFound) {
-            // A corrupt or version-skewed checkpoint is evidence of
-            // real progress; refuse to clobber it silently.
-            summary.resumeStatus = loaded.status();
-            summary.status = loaded.status();
-            return summary;
-        }
-    }
+    ckpt.planFingerprint =
+        SweepCheckpoint::fingerprintPlan(plan_, points);
+    if (!prepareSweepCheckpoint(options.checkpoint, ckpt, summary))
+        return summary;
 
     for (SweepSink *sink : sinks_)
         sink->beginSweep(plan_, points);
 
-    // Cross-point component caches: the expensive builds (lattice,
-    // detector model, decoder structure) are keyed by exactly what
-    // they depend on, so a grid that revisits them pays once.
-    std::map<int, std::unique_ptr<RotatedSurfaceCode>> codes;
-    using DemKey = std::tuple<int, int, int>;
-    std::map<DemKey, std::shared_ptr<const DetectorModel>> dems;
-    using DecoderKey = std::tuple<int, int, int, int, uint64_t>;
-    std::map<DecoderKey, std::shared_ptr<const Decoder>> decoders;
+    SweepBuildCache cache;
 
     const auto sweep_start = Clock::now();
     double last_save = 0.0;
     uint64_t chunks_since_save = 0;
+    uint64_t budget_used = 0;
 
     const auto deadlineExpired = [&]() {
         return options.deadlineSeconds > 0.0 &&
                secondsSince(sweep_start) >= options.deadlineSeconds;
+    };
+    const auto budgetLeft = [&]() -> uint64_t {
+        if (options.maxTotalShots == 0)
+            return UINT64_MAX;
+        return options.maxTotalShots > budget_used
+            ? options.maxTotalShots - budget_used
+            : 0;
     };
     // A failing save is recorded but does not stop the sweep: losing
     // checkpoint durability is strictly better than losing the run.
@@ -445,6 +439,14 @@ SweepRunner::run(const SweepRunOptions &options)
             summary.truncated = true;
             break;
         }
+        if (budgetLeft() == 0) {
+            // The global shot budget is spent with points remaining:
+            // truncate exactly like a deadline, but deterministically
+            // (accounting is in committed shots, not wall-clock).
+            summary.truncated = true;
+            summary.budgetExhausted = true;
+            break;
+        }
 
         // Working progress record for this point: adopted from the
         // checkpoint partial when there is one, widened to the full
@@ -458,76 +460,18 @@ SweepRunner::run(const SweepRunOptions &options)
 
         PointResult pr;
         bool point_truncated = false;
+        const auto point_start = Clock::now();
 
         const auto executePoint = [&]() -> Status {
             pr = PointResult();
             pr.point = point;
             point_truncated = false;
             try {
-                auto code_it = codes.find(point.distance);
-                if (code_it == codes.end()) {
-                    code_it =
-                        codes
-                            .emplace(point.distance,
-                                     std::make_unique<
-                                         RotatedSurfaceCode>(
-                                         point.distance))
-                            .first;
-                    ++summary.codesBuilt;
-                } else {
-                    ++summary.codesReused;
-                }
-                const RotatedSurfaceCode &code = *code_it->second;
+                SweepBuildCache::Components comp = cache.build(
+                    point, plan_.base.decoderOptions, summary);
 
-                std::shared_ptr<const DetectorModel> dem;
-                std::shared_ptr<const Decoder> decoder;
-                if (point.config.decode) {
-                    const DemKey dem_key{point.distance, point.rounds,
-                                         (int)point.config.basis};
-                    auto dem_it = dems.find(dem_key);
-                    if (dem_it == dems.end()) {
-                        dem_it =
-                            dems.emplace(
-                                    dem_key,
-                                    std::make_shared<DetectorModel>(
-                                        buildDetectorModel(
-                                            code, point.rounds,
-                                            point.config.basis)))
-                                .first;
-                        ++summary.demsBuilt;
-                    } else {
-                        ++summary.demsReused;
-                    }
-                    dem = dem_it->second;
-
-                    const DecoderKey dec_key{
-                        point.distance, point.rounds,
-                        (int)point.config.basis,
-                        (int)point.decoderKind,
-                        doubleKeyBits(point.p)};
-                    auto dec_it = decoders.find(dec_key);
-                    if (dec_it == decoders.end()) {
-                        std::shared_ptr<const Decoder> built;
-                        if (point.decoderKind == DecoderKind::Mwpm)
-                            built = std::make_shared<MwpmDecoder>(
-                                *dem, point.p,
-                                plan_.base.decoderOptions);
-                        else
-                            built =
-                                std::make_shared<UnionFindDecoder>(
-                                    *dem, point.p);
-                        dec_it =
-                            decoders.emplace(dec_key, std::move(built))
-                                .first;
-                        ++summary.decodersBuilt;
-                    } else {
-                        ++summary.decodersReused;
-                    }
-                    decoder = dec_it->second;
-                }
-
-                MemoryExperiment exp(code, point.config, dem,
-                                     decoder);
+                MemoryExperiment exp(*comp.code, point.config,
+                                     comp.dem, comp.decoder);
 
                 for (size_t pi = 0; pi < plan_.policies.size();
                      ++pi) {
@@ -545,9 +489,9 @@ SweepRunner::run(const SweepRunOptions &options)
                     }
 
                     PolicyFactory factory = policy.custom
-                        ? policy.custom(code, exp.lookup())
+                        ? policy.custom(*comp.code, exp.lookup())
                         : makePolicyFactory(
-                              policy.kind, code, exp.lookup(),
+                              policy.kind, *comp.code, exp.lookup(),
                               point.protocol ==
                                   RemovalProtocol::Dqlr);
                     SessionOptions session_options;
@@ -575,6 +519,11 @@ SweepRunner::run(const SweepRunOptions &options)
                             point_truncated = true;
                             break;
                         }
+                        if (budgetLeft() == 0) {
+                            point_truncated = true;
+                            summary.budgetExhausted = true;
+                            break;
+                        }
                         // The in-process SIGKILL stand-in: armed with
                         // Kind::Crash this throws SimulatedCrash out
                         // of run() (nothing below catches it), and
@@ -587,8 +536,13 @@ SweepRunner::run(const SweepRunOptions &options)
                         // runToCompletion does: the default shrinks
                         // near a shot cap, and a resumed session must
                         // hit the same boundaries an uninterrupted
-                        // one would.
-                        session.runChunk(session.defaultChunkShots());
+                        // one would. The budget caps the request the
+                        // same way maxShots does (overshoot at most
+                        // one word-group).
+                        const ExperimentResult chunk = session.runChunk(
+                            std::min(session.defaultChunkShots(),
+                                     budgetLeft()));
+                        budget_used += chunk.shots;
                         pc.progress = session.progress();
                         pc.seconds =
                             base_seconds + secondsSince(policy_start);
@@ -654,6 +608,7 @@ SweepRunner::run(const SweepRunOptions &options)
             ++summary.points;
             for (const ExperimentResult &r : pr.results)
                 summary.shotsRun += r.shots;
+            pr.wallSeconds = secondsSince(point_start);
             summary.seconds = secondsSince(sweep_start);
             for (SweepSink *sink : sinks_)
                 sink->onPoint(pr);

@@ -57,6 +57,10 @@ struct PointResult
     /** Policy stopped at a deadline with shots remaining (the result
      *  is a valid, checkpoint-resumable partial). */
     std::vector<bool> truncated;
+    /** Wall-clock seconds from the point entering execution to its
+     *  completion (spans concurrent points under the scheduler; 0 for
+     *  points re-emitted from a checkpoint). */
+    double wallSeconds = 0.0;
 
     double
     shotsPerSec(size_t policy) const
@@ -121,6 +125,27 @@ struct SweepSummary
     size_t retries = 0;
     size_t checkpointSaves = 0;
     std::vector<SweepPointError> errors;
+
+    // ----------------------------------------- scheduled execution
+    /** The cross-point scheduler executed this sweep. */
+    bool scheduled = false;
+    /** Worker-pool threads the scheduler dispatched onto. */
+    unsigned workersUsed = 0;
+    /** Allocation rounds the scheduler ran. */
+    uint64_t schedulerRounds = 0;
+    /** Session chunks dispatched (committed + discarded). */
+    uint64_t chunksDispatched = 0;
+    /** Shots granted beyond the fair one-chunk-per-session baseline
+     *  by the Wilson-need ranking (adaptive reallocation). */
+    uint64_t shotsReallocated = 0;
+    /** Speculative shots executed but discarded because the early
+     *  stop fired at an earlier committed boundary. */
+    uint64_t shotsDiscarded = 0;
+    /** Busy worker-seconds / (workers * sweep wall seconds). */
+    double poolUtilization = 0.0;
+    /** SweepRunOptions::maxTotalShots stopped the sweep with work
+     *  remaining (truncated is set too; resumable). */
+    bool budgetExhausted = false;
 };
 
 /** Streaming consumer of sweep results. */
@@ -293,6 +318,39 @@ struct SweepRunOptions
     int maxPointAttempts = 3;
     /** Backoff before retry k is 2^(k-1) times this (bounded). */
     double retryBackoffSeconds = 0.05;
+
+    // ----------------------------------------- scheduled execution
+    /**
+     * Execute the plan with the cross-point chunk scheduler
+     * (exp/sweep_scheduler.h) instead of the sequential point loop:
+     * chunks from many live points dispatch onto one worker pool,
+     * with shots flowing to the sessions whose Wilson intervals are
+     * widest relative to the precision target. Results are
+     * bit-identical to the sequential runner at any worker count
+     * (fingerprints, counters, early-stop shots); only wall-clock
+     * fields and, when maxTotalShots binds, the budget's distribution
+     * across points differ.
+     */
+    bool schedule = false;
+    /** Scheduler worker-pool size (0 = defaultThreadCount()). */
+    unsigned workers = 0;
+    /**
+     * Global shot budget across every point and policy, accounted at
+     * chunk boundaries (0 = none; overshoot is at most one chunk).
+     * On exhaustion the sweep truncates exactly like a deadline —
+     * partials checkpointed, summary.budgetExhausted set — but,
+     * unlike a deadline, deterministically: the same budget truncates
+     * at the same boundaries at any worker count.
+     */
+    uint64_t maxTotalShots = 0;
+    /**
+     * Scheduler admission window: how many points may be live (built,
+     * sessions in memory) at once. 0 derives max(8, workers). Wider
+     * admits more cross-point parallelism; narrower bounds memory.
+     * Does not affect results unless maxTotalShots binds (admission
+     * order decides who competes for the remaining budget).
+     */
+    size_t maxLivePoints = 0;
 };
 
 /** Executes a plan, streaming each point to the attached sinks. */

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cross-point chunk scheduler: parallel sweep execution with adaptive
+ * Wilson-driven shot allocation.
+ *
+ * The sequential SweepRunner drives one point to completion before
+ * touching the next, so a point's tail (few word-groups left, early
+ * stop pending) strands most of the worker pool. The SweepScheduler
+ * instead keeps a window of points *live* at once and feeds ONE shared
+ * WorkerPool (base/parallel.h) from all of their sessions: each
+ * allocation round plans the next chunks of every live session, splits
+ * them into word-group units, dispatches the whole unit bag to the
+ * pool, and then commits the finished chunks session by session.
+ *
+ * Adaptive allocation: beyond a fair one-chunk-per-live-session
+ * baseline, extra chunks of the round go to the sessions whose Wilson
+ * confidence intervals are widest relative to the plan's precision
+ * target — shots flow to the points that are furthest from stopping,
+ * under the global SweepRunOptions::maxTotalShots budget.
+ *
+ * Determinism contract (the reason this file is small and the session
+ * owns the execution grain): results are bit-identical to the
+ * sequential runner at ANY worker count —
+ *
+ *  - chunk boundaries are the session's own (planChunkAt /
+ *    defaultChunkShotsAt reproduce exactly the sizes runChunk would
+ *    have used, including the shrink near a shot cap);
+ *  - chunk merges are unit-partial merges, commutative by
+ *    ExperimentResult::merge's construction;
+ *  - early stop is evaluated at commitChunk time on cumulative
+ *    counters, in fixed session order — chunks planned past a
+ *    boundary where the rule fires are executed speculatively and
+ *    *discarded*, never committed, so every session stops at exactly
+ *    the shot the sequential runner stops at;
+ *  - allocation decisions read only committed state at round
+ *    barriers, never in-flight partials or wall-clock, so the round
+ *    structure itself is worker-count-independent (the wall-clock
+ *    deadline is the one documented exception, exactly as it is for
+ *    the sequential runner).
+ *
+ * Fault tolerance mirrors the sequential runner: qec.ckpt.v1
+ * checkpoints written at the chunk cadence now carry the working
+ * records of EVERY live point (the format always supported a set); a
+ * faulting point is retried with bounded backoff — its uncommitted
+ * round chunks discarded, committed progress kept — while the other
+ * points keep running, and quarantined after maxPointAttempts.
+ */
+
+#ifndef QEC_EXP_SWEEP_SCHEDULER_H
+#define QEC_EXP_SWEEP_SCHEDULER_H
+
+#include <vector>
+
+#include "exp/sweep_runner.h"
+
+namespace qec
+{
+
+/**
+ * Executes a SweepPlan by interleaving chunks of many live points on
+ * the shared worker pool. Construct with the plan and the sinks to
+ * stream to (points are emitted in plan order; out-of-order
+ * completions buffer until their turn), then call run(). SweepRunner
+ * routes here when SweepRunOptions::schedule is set — that is the
+ * intended entry point; the plan reference must outlive the scheduler.
+ */
+class SweepScheduler
+{
+  public:
+    SweepScheduler(const SweepPlan &plan,
+                   std::vector<SweepSink *> sinks);
+
+    /** Run the whole plan; same summary semantics as
+     *  SweepRunner::run(options), plus the scheduler stats block. */
+    SweepSummary run(const SweepRunOptions &options);
+
+  private:
+    const SweepPlan &plan_;
+    std::vector<SweepSink *> sinks_;
+};
+
+} // namespace qec
+
+#endif // QEC_EXP_SWEEP_SCHEDULER_H

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "base/parallel.h"
@@ -154,6 +155,110 @@ TEST(Parallel, ZeroItems)
 TEST(Parallel, DefaultThreadCountPositive)
 {
     EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(WorkerPool, ReusesThreadsAcrossRegions)
+{
+    WorkerPool pool(2);
+    EXPECT_EQ(pool.workers(), 2u);
+    for (int region = 0; region < 50; ++region) {
+        std::vector<std::atomic<int>> hits(64);
+        pool.run(64, [&](unsigned, uint64_t i) { hits[i].fetch_add(1); });
+        for (auto &h : hits)
+            ASSERT_EQ(h.load(), 1);
+    }
+    const WorkerPool::Stats st = pool.stats();
+    EXPECT_EQ(st.regions, 50u);
+    EXPECT_EQ(st.tasks, 50u * 64u);
+}
+
+TEST(WorkerPool, WorkerIndicesAreWithinBounds)
+{
+    WorkerPool pool(4);
+    std::atomic<bool> bad{false};
+    pool.run(1000, [&](unsigned worker, uint64_t) {
+        if (worker >= 4)
+            bad.store(true);
+    });
+    EXPECT_FALSE(bad.load());
+    // A capped region must not hand out indices beyond the cap.
+    pool.run(
+        1000,
+        [&](unsigned worker, uint64_t) {
+            if (worker >= 2)
+                bad.store(true);
+        },
+        2);
+    EXPECT_FALSE(bad.load());
+}
+
+TEST(WorkerPool, EnsureWorkersGrowsButNeverShrinks)
+{
+    WorkerPool pool(1);
+    pool.ensureWorkers(3);
+    EXPECT_EQ(pool.workers(), 3u);
+    pool.ensureWorkers(2);
+    EXPECT_EQ(pool.workers(), 3u);
+    std::atomic<uint64_t> sum{0};
+    pool.run(100, [&](unsigned, uint64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+}
+
+TEST(WorkerPool, RethrowsFirstBodyException)
+{
+    WorkerPool pool(2);
+    EXPECT_THROW(pool.run(16,
+                          [&](unsigned, uint64_t i) {
+                              if (i == 7)
+                                  throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+    // The pool survives a throwing region.
+    std::atomic<int> ran{0};
+    pool.run(8, [&](unsigned, uint64_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPool, NestedRunExecutesInline)
+{
+    WorkerPool pool(2);
+    std::atomic<int> inner_total{0};
+    pool.run(4, [&](unsigned, uint64_t) {
+        // Re-entering run() from a pool thread must not deadlock.
+        pool.run(8, [&](unsigned worker, uint64_t) {
+            EXPECT_EQ(worker, 0u);
+            inner_total.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(WorkerPool, StatsAccumulateBusyTime)
+{
+    WorkerPool pool(2);
+    const WorkerPool::Stats before = pool.stats();
+    pool.run(32, [&](unsigned, uint64_t) {
+        volatile double x = 0;
+        for (int k = 0; k < 10000; ++k)
+            x += k;
+        (void)x;
+    });
+    const WorkerPool::Stats after = pool.stats();
+    EXPECT_EQ(after.regions, before.regions + 1);
+    EXPECT_EQ(after.tasks, before.tasks + 32);
+    EXPECT_GE(after.busySeconds, before.busySeconds);
+}
+
+TEST(WorkerPool, SharedPoolBacksParallelFor)
+{
+    WorkerPool &shared = sharedWorkerPool();
+    const WorkerPool::Stats before = shared.stats();
+    std::atomic<int> ran{0};
+    parallelForWorkers(
+        64, [&](unsigned, uint64_t) { ran.fetch_add(1); }, 2);
+    EXPECT_EQ(ran.load(), 64);
+    const WorkerPool::Stats after = shared.stats();
+    EXPECT_GT(after.tasks, before.tasks);
 }
 
 } // namespace
