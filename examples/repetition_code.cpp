@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Repetition-code memory quickstart: the circuit-IR front end's
+ * "new protocol with zero engine edits" demonstration.
+ *
+ * Setting `base.family = CircuitFamily::RepetitionMemory` swaps the
+ * compiler path: CircuitCompiler::repetitionMemory emits the d-qubit
+ * bit-flip code (d data qubits in a line, d-1 ZZ checks) as a
+ * replayable instruction stream, the detector model and syndrome
+ * extraction read the program's measure -> detector map, and the
+ * unchanged batch engine replays it. Everything else — the sweep
+ * grid, deterministic per-point seeds, the decode pipeline, the JSON
+ * sink — is the same machinery the surface-code studies use.
+ *
+ * The printed table shows the textbook signature: below threshold the
+ * logical error rate falls steeply with distance.
+ */
+
+#include <cstdio>
+
+#include "exp/sweep_runner.h"
+
+using namespace qec;
+
+int
+main()
+{
+    SweepPlan plan;
+    plan.name = "repetition-memory";
+    plan.distances = {3, 5, 7};
+    plan.ps = {2e-3, 5e-3};
+    plan.rounds = {SweepRounds::exactly(5)};
+    // The repetition compiler path has no LRC scheduling; Never keeps
+    // the LRC-slot branch empty every round.
+    plan.policies = {PolicyKind::Never};
+    plan.base.family = CircuitFamily::RepetitionMemory;
+    plan.base.basis = Basis::Z; // the only basis the code protects
+    plan.base.em = ErrorModel::withoutLeakage(1e-3);
+    plan.base.decoderKind = DecoderKind::UnionFind;
+    plan.base.shots = 20000;
+    plan.base.batchWidth = 256;
+
+    SweepRunner runner(plan);
+    CollectSink results;
+    JsonSink json(stdout);
+    runner.addSink(results);
+    runner.addSink(json);
+    const SweepSummary summary = runner.run();
+    if (!summary.status.isOk()) {
+        std::fprintf(stderr, "sweep failed: %s\n",
+                     summary.status.toString().c_str());
+        return 1;
+    }
+
+    std::printf("\nrepetition-code memory, 5 rounds, %d points\n\n",
+                (int)results.points.size());
+    std::printf("%-10s %-6s %12s %14s\n", "p", "d", "LER",
+                "logical errs");
+    for (const PointResult &point : results.points) {
+        const ExperimentResult &r = point.results.front();
+        std::printf("%-10.0e %-6d %12s %14llu\n", point.point.p,
+                    point.point.distance, r.lerString().c_str(),
+                    (unsigned long long)r.logicalErrors);
+    }
+    std::printf("\nLER falls with distance at fixed p: the compiled\n"
+                "program replays on the same engine and decode\n"
+                "pipeline as the surface-code studies.\n");
+    return 0;
+}

@@ -1,0 +1,179 @@
+#pragma once
+
+/** Circuit IR: a flat, replayable instruction stream compiled from a
+ *  protocol description and executed by the batch frame simulator.
+ *
+ *  The IR decouples "what circuit" from "how fast": a CircuitProgram
+ *  holds one round body plus the final transversal readout as indices
+ *  into an op pool, and the engine replays that body `rounds` times
+ *  with the same word-level op/noise helpers the hand-wired driver
+ *  used. Divergent adaptive-LRC tails are IR branch points (LrcSlot
+ *  instructions) that the controller fills per lane/word at replay
+ *  time, so adding a protocol means adding a compiler path — not an
+ *  engine edit.
+ *
+ *  Instruction set:
+ *
+ *  | opcode     | a                  | b              | effect at replay |
+ *  |------------|--------------------|----------------|------------------|
+ *  | Gate       | op-pool index      | —              | execute pool[a] verbatim on the masked lanes (gates carry their own noise channels; each channel resolves to a per-probability RareStream id in the engine) |
+ *  | Readout    | stabilizer index   | op-pool index  | stamp pool[b] (Measure) with the current round, mask out LRC'd lanes when the protocol replaces the plain readout, measure + reset |
+ *  | LrcSlot    | slot id (== round-relative slot) | — | branch point: the controller supplies per-64-lane-block divergent tails (swap-LRC or DQLR) that the engine expands with block-local masks |
+ *  | RoundBegin | trip count (rounds)| —              | marks the start of the replayed round body |
+ *  | RoundEnd   | —                  | —              | marks the end of the round body; instructions after it are the final transversal measurement |
+ *
+ *  Draw-order contract: replaying a compiled program must consume the
+ *  per-64-lane-block noise streams in exactly the order the hand-wired
+ *  driver did, so per-shot verdicts stay bit-identical at every batch
+ *  width. The compiler guarantees this by emitting the round body in
+ *  schedule order and the engine by reusing execute()/executeBlock()
+ *  unchanged.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "code/circuit.h"
+#include "code/rotated_surface_code.h"
+#include "code/types.h"
+
+namespace qec
+{
+
+/** Which protocol family a program encodes. Families other than the
+ *  rotated-surface-code memory experiment exist purely as compiler
+ *  paths over the same engine. */
+enum class CircuitFamily : uint8_t
+{
+    SurfaceMemory,
+    RepetitionMemory,
+};
+
+/** How an LrcSlot branch removes leakage when the controller fills it. */
+enum class IrTailKind : uint8_t
+{
+    SwapLrc, ///< swap-based LRC: 3 CNOTs + multi-level readout + resets
+    Dqlr,    ///< iSWAP-in-|2> DQLR: LeakageIswap + parity reset
+};
+
+enum class IrOpcode : uint8_t
+{
+    Gate,
+    Readout,
+    LrcSlot,
+    RoundBegin,
+    RoundEnd,
+};
+
+struct IrInst
+{
+    IrOpcode op;
+    int32_t a = -1;
+    int32_t b = -1;
+};
+
+/** One divergent LRC tail the controller scheduled for a 64-lane block:
+ *  stabilizer `stab` redirects its readout through data qubit `data` on
+ *  the lanes in `mask` (a block-local 64-bit lane mask). */
+struct IrLrcTail
+{
+    int stab = -1;
+    int data = -1;
+    uint64_t mask = 0;
+};
+
+/** The measure→detector/observable binding the extractor reads instead
+ *  of lattice-walking the code. Columns index detectors within one
+ *  round (detector id = round * cols + column). */
+struct IrDetectorMap
+{
+    int cols = 0;
+    int numData = 0;
+    /** Per stabilizer: detector column, or -1 when the stabilizer's
+     *  basis does not produce detectors for this memory basis. */
+    std::vector<int> stabColumn;
+    /** CSR over columns -> data-qubit support, used to reconstruct the
+     *  final detector row from the transversal data readout. */
+    std::vector<int> colSupportOffset;
+    std::vector<int> colSupportData;
+    /** Data qubits whose final readouts XOR into the logical observable. */
+    std::vector<int> observable;
+};
+
+struct CircuitProgram
+{
+    CircuitFamily family = CircuitFamily::SurfaceMemory;
+    IrTailKind tail = IrTailKind::SwapLrc;
+    Basis basis = Basis::Z;
+    int distance = 0;
+    int rounds = 0;
+    int numQubits = 0;
+    int numData = 0;
+    int numStabs = 0;
+    /** True when a filled LrcSlot replaces the plain readout of its
+     *  stabilizer (swap-LRC); false when the tail is purely additive
+     *  (DQLR measures through the normal ancilla readout). */
+    bool maskReadoutOnLrc = false;
+
+    /** Op pool referenced by Gate/Readout instructions. Pool ops are
+     *  executed verbatim (rounds are NOT restamped for body gates —
+     *  the engine's gate/noise helpers ignore Op::round); Readout
+     *  measurement ops are copied and stamped per round. */
+    std::vector<Op> pool;
+    /** [RoundBegin, body..., RoundEnd, final gates...] */
+    std::vector<IrInst> instrs;
+    /** Index of the first body instruction (after RoundBegin). */
+    size_t bodyBegin = 0;
+    /** Index of the RoundEnd instruction. */
+    size_t bodyEnd = 0;
+
+    /** Per stabilizer: its ancilla qubit (parity qubit for LRC tails). */
+    std::vector<int> stabAncilla;
+    /** CSR over stabilizers -> data-qubit support (LRC-pair validity). */
+    std::vector<int> supportOffset;
+    std::vector<int> supportData;
+    /** Per stabilizer: 1 when its first-round outcome is deterministic
+     *  in the memory basis (so round 0 raises a detection event on a
+     *  nonzero readout). */
+    std::vector<uint8_t> detR0;
+
+    IrDetectorMap detectors;
+
+    /** Structural validation: dangling qubit/stabilizer indices,
+     *  unclosed or misplaced round-loop markers, duplicate LRC-slot
+     *  ids, detector-map shape. Returns the first violation found. */
+    Status validate() const;
+
+    /** True when `data` lies in `stab`'s support (valid LRC pairing). */
+    bool supportContains(int stab, int data) const;
+
+    /** Reconstruct the LRC-free flat circuit this program replays —
+     *  round bodies restamped per round plus the final transversal
+     *  measurement — for detector-model enumeration. Matches
+     *  buildMemoryCircuit() op-for-op for the surface family. A
+     *  non-negative `rounds_override` rebuilds the same body for a
+     *  different round count (the DEM tiler's short template). */
+    Circuit baseCircuit(int rounds_override = -1) const;
+};
+
+/** Lowers protocol descriptions into CircuitPrograms. */
+class CircuitCompiler
+{
+  public:
+    /** Lower the rotated-surface-code memory protocol (any basis, any
+     *  LRC tail kind). The emitted round body replays bit-identically
+     *  to buildRoundSchedule()-driven execution. */
+    static CircuitProgram surfaceMemory(const RotatedSurfaceCode &code,
+                                        int rounds, Basis basis,
+                                        IrTailKind tail);
+
+    /** Lower a distance-d repetition-code (bit-flip) memory protocol:
+     *  d data qubits in a line, d-1 ZZ checks, Z memory only. Exists
+     *  entirely as a compiler path — no engine changes. */
+    static CircuitProgram repetitionMemory(int distance, int rounds);
+};
+
+const char *circuitFamilyName(CircuitFamily family);
+
+} // namespace qec

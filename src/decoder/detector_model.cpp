@@ -106,18 +106,77 @@ class EdgeAccumulator
 };
 
 /**
+ * How outcome flips of a base circuit map onto detectors and the
+ * logical observable — the only protocol-specific piece of DEM
+ * construction. Lattice walking (the rotated-surface-code builder)
+ * and a compiled program's measure→detector map both lower to this.
+ */
+struct DemBindings
+{
+    int numQubits = 0;
+    int stabsPerRound = 0;
+    /** Per stabilizer: detector column, or -1 (wrong-basis checks). */
+    std::vector<int> stabColumn;
+    /** Per data qubit: detector columns its final readout toggles. */
+    std::vector<std::vector<int>> dataColumns;
+    /** Per data qubit: whether its final readout flips the logical. */
+    std::vector<uint8_t> dataObs;
+};
+
+DemBindings
+latticeDemBindings(const RotatedSurfaceCode &code, Basis basis)
+{
+    const StabType type = protectingStabType(basis);
+    DemBindings b;
+    b.numQubits = code.numQubits();
+    b.stabsPerRound = code.numBasisStabilizers(basis);
+    b.stabColumn.assign(code.numStabilizers(), -1);
+    for (const auto &stab : code.stabilizers())
+        if (stab.type == type)
+            b.stabColumn[stab.index] = stab.basisIndex;
+    b.dataColumns.resize(code.numData());
+    for (int q = 0; q < code.numData(); ++q)
+        for (int s : code.stabilizersOfData(q))
+            if (code.stabilizer(s).type == type)
+                b.dataColumns[q].push_back(
+                    code.stabilizer(s).basisIndex);
+    b.dataObs.assign(code.numData(), 0);
+    for (int q : code.logicalSupport(basis))
+        b.dataObs[q] = 1;
+    return b;
+}
+
+DemBindings
+programDemBindings(const CircuitProgram &prog)
+{
+    const IrDetectorMap &map = prog.detectors;
+    DemBindings b;
+    b.numQubits = prog.numQubits;
+    b.stabsPerRound = map.cols;
+    b.stabColumn = map.stabColumn;
+    b.dataColumns.resize(prog.numData);
+    for (int col = 0; col < map.cols; ++col) {
+        for (int k = map.colSupportOffset[col];
+             k < map.colSupportOffset[(size_t)col + 1]; ++k)
+            b.dataColumns[map.colSupportData[k]].push_back(col);
+    }
+    b.dataObs.assign(prog.numData, 0);
+    for (int q : map.observable)
+        b.dataObs[q] = 1;
+    return b;
+}
+
+/**
  * Enumerates all Pauli mechanisms of a base memory circuit and
  * produces their detector signatures by frame propagation.
  */
 class Enumerator
 {
   public:
-    Enumerator(const RotatedSurfaceCode &code, int rounds, Basis basis)
-        : code_(code), rounds_(rounds), basis_(basis),
-          type_(protectingStabType(basis)),
-          nS_(code.numBasisStabilizers(basis)),
-          circuit_(buildMemoryCircuit(code, rounds, basis)),
-          sim_(code.numQubits(), ErrorModel::noiseless(), Rng(0))
+    Enumerator(const DemBindings &bindings, Circuit circuit, int rounds)
+        : bindings_(bindings), rounds_(rounds),
+          nS_(bindings.stabsPerRound), circuit_(std::move(circuit)),
+          sim_(bindings.numQubits, ErrorModel::noiseless(), Rng(0))
     {
     }
 
@@ -210,26 +269,20 @@ class Enumerator
     void
     recordAncillaFlip(int stab_index, int round)
     {
-        const auto &stab = code_.stabilizer(stab_index);
-        if (stab.type != type_)
+        const int col = bindings_.stabColumn[stab_index];
+        if (col < 0)
             return;
-        toggle(round * nS_ + stab.basisIndex);
-        toggle((round + 1) * nS_ + stab.basisIndex);
+        toggle(round * nS_ + col);
+        toggle((round + 1) * nS_ + col);
     }
 
     /** Toggle detectors/observable for a final data outcome flip. */
     void
     recordFinalFlip(int data, bool &obs)
     {
-        for (int s : code_.stabilizersOfData(data)) {
-            const auto &stab = code_.stabilizer(s);
-            if (stab.type != type_)
-                continue;
-            toggle(rounds_ * nS_ + stab.basisIndex);
-        }
-        const auto &logical = code_.logicalSupport(basis_);
-        if (std::find(logical.begin(), logical.end(), data) !=
-            logical.end())
+        for (int col : bindings_.dataColumns[data])
+            toggle(rounds_ * nS_ + col);
+        if (bindings_.dataObs[data])
             obs = !obs;
     }
 
@@ -253,10 +306,8 @@ class Enumerator
         return sig;
     }
 
-    const RotatedSurfaceCode &code_;
+    const DemBindings &bindings_;
     int rounds_;
-    Basis basis_;
-    StabType type_;
     int nS_;
     Circuit circuit_;
     FrameSimulator sim_;
@@ -409,18 +460,16 @@ class ModelAssembler
 /** Shortest round count from which tiling is exact. */
 constexpr int kTileShortRounds = 8;
 
-} // namespace
-
 DetectorModel
-buildDetectorModelDirect(const RotatedSurfaceCode &code, int rounds,
-                         Basis basis)
+buildModelDirect(const DemBindings &bindings, Circuit circuit,
+                 int rounds, Basis basis)
 {
     DetectorModel model;
     model.rounds = rounds;
     model.basis = basis;
-    model.stabsPerRound = code.numBasisStabilizers(basis);
+    model.stabsPerRound = bindings.stabsPerRound;
 
-    Enumerator enumerator(code, rounds, basis);
+    Enumerator enumerator(bindings, std::move(circuit), rounds);
     ModelAssembler assembler;
     enumerator.forEachMechanism(
         [&](int, ProbClass cls, const Signature &sig) {
@@ -431,20 +480,19 @@ buildDetectorModelDirect(const RotatedSurfaceCode &code, int rounds,
     return model;
 }
 
+/** Tiled build: `short_circuit` is the kTileShortRounds-round image
+ *  of the same round body. */
 DetectorModel
-buildDetectorModel(const RotatedSurfaceCode &code, int rounds,
-                   Basis basis)
+buildModelTiled(const DemBindings &bindings, Circuit short_circuit,
+                int rounds, Basis basis)
 {
-    if (rounds <= kTileShortRounds)
-        return buildDetectorModelDirect(code, rounds, basis);
-
     // Enumerate a short circuit and tile its bulk round through time.
     // Head: mechanisms of round 0 (round-0 detectors are special).
     // Bulk: mechanisms of round 2 stand in for source rounds 1..R-3.
     // Tail: mechanisms of rounds R0-2, R0-1 and the final data block,
     // shifted by R - R0.
     const int r0 = kTileShortRounds;
-    const int n_s = code.numBasisStabilizers(basis);
+    const int n_s = bindings.stabsPerRound;
 
     DetectorModel model;
     model.rounds = rounds;
@@ -452,7 +500,7 @@ buildDetectorModel(const RotatedSurfaceCode &code, int rounds,
     model.stabsPerRound = n_s;
 
     // Collect per-group signature lists from the short circuit.
-    Enumerator enumerator(code, r0, basis);
+    Enumerator enumerator(bindings, std::move(short_circuit), r0);
     ModelAssembler assembler;
 
     auto shift_sig = [&](const Signature &sig, int dr) {
@@ -484,6 +532,47 @@ buildDetectorModel(const RotatedSurfaceCode &code, int rounds,
     assembler.resolvePending(model);
     model.edges = assembler.take();
     return model;
+}
+
+} // namespace
+
+DetectorModel
+buildDetectorModelDirect(const RotatedSurfaceCode &code, int rounds,
+                         Basis basis)
+{
+    return buildModelDirect(latticeDemBindings(code, basis),
+                            buildMemoryCircuit(code, rounds, basis),
+                            rounds, basis);
+}
+
+DetectorModel
+buildDetectorModel(const RotatedSurfaceCode &code, int rounds,
+                   Basis basis)
+{
+    if (rounds <= kTileShortRounds)
+        return buildDetectorModelDirect(code, rounds, basis);
+    return buildModelTiled(
+        latticeDemBindings(code, basis),
+        buildMemoryCircuit(code, kTileShortRounds, basis), rounds,
+        basis);
+}
+
+DetectorModel
+buildDetectorModelDirect(const CircuitProgram &prog)
+{
+    return buildModelDirect(programDemBindings(prog),
+                            prog.baseCircuit(), prog.rounds,
+                            prog.basis);
+}
+
+DetectorModel
+buildDetectorModel(const CircuitProgram &prog)
+{
+    if (prog.rounds <= kTileShortRounds)
+        return buildDetectorModelDirect(prog);
+    return buildModelTiled(programDemBindings(prog),
+                           prog.baseCircuit(kTileShortRounds),
+                           prog.rounds, prog.basis);
 }
 
 } // namespace qec

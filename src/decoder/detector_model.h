@@ -29,6 +29,7 @@
 
 #include <vector>
 
+#include "code/circuit_ir.h"
 #include "code/rotated_surface_code.h"
 #include "code/types.h"
 
@@ -99,6 +100,19 @@ DetectorModel buildDetectorModel(const RotatedSurfaceCode &code,
 /** Direct (non-tiled) enumeration, exposed for equivalence tests. */
 DetectorModel buildDetectorModelDirect(const RotatedSurfaceCode &code,
                                        int rounds, Basis basis);
+
+/**
+ * Build the DEM of a compiled circuit program from its own
+ * measure→detector/observable map (no lattice walking): the enumerator
+ * propagates mechanisms through the program's base circuit and routes
+ * outcome flips through `prog.detectors`. For surface-memory programs
+ * this reproduces the code-based builder exactly; for new protocol
+ * families (repetition memory) it is the only builder.
+ */
+DetectorModel buildDetectorModel(const CircuitProgram &prog);
+
+/** Direct (non-tiled) program enumeration, for equivalence tests. */
+DetectorModel buildDetectorModelDirect(const CircuitProgram &prog);
 
 } // namespace qec
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "base/simd_word.h"
+#include "code/circuit_ir.h"
 #include "code/rotated_surface_code.h"
 #include "code/types.h"
 #include "sim/batch_frame_simulator.h"
@@ -99,6 +100,20 @@ class SparseSyndromeExtractor
                  const std::vector<BatchMeasureRecordT<NW>> &record,
                  int num_lanes, BatchSyndrome &out);
 
+    /**
+     * As above, but routed through a compiled program's
+     * measure→detector/observable map instead of walking the lattice:
+     * record stabilizer ids select detector columns via
+     * `map.stabColumn`, the final detector row is reconstructed from
+     * the column-support CSR, and the observable is the XOR of
+     * `map.observable`'s final readouts. For surface-memory programs
+     * this emits bit-identical syndromes to the code-based overload.
+     */
+    template <int NW>
+    void extract(const IrDetectorMap &map, int rounds,
+                 const std::vector<BatchMeasureRecordT<NW>> &record,
+                 int num_lanes, BatchSyndrome &out);
+
   private:
     /** All scratch planes are [cell][word] with runtime word stride. */
     std::vector<uint64_t> mflip_;     ///< [round*stab][word] planes.
@@ -114,6 +129,16 @@ extern template void SparseSyndromeExtractor::extract<4>(
     const std::vector<BatchMeasureRecordT<4>> &, int, BatchSyndrome &);
 extern template void SparseSyndromeExtractor::extract<8>(
     const RotatedSurfaceCode &, Basis, int,
+    const std::vector<BatchMeasureRecordT<8>> &, int, BatchSyndrome &);
+
+extern template void SparseSyndromeExtractor::extract<1>(
+    const IrDetectorMap &, int,
+    const std::vector<BatchMeasureRecordT<1>> &, int, BatchSyndrome &);
+extern template void SparseSyndromeExtractor::extract<4>(
+    const IrDetectorMap &, int,
+    const std::vector<BatchMeasureRecordT<4>> &, int, BatchSyndrome &);
+extern template void SparseSyndromeExtractor::extract<8>(
+    const IrDetectorMap &, int,
     const std::vector<BatchMeasureRecordT<8>> &, int, BatchSyndrome &);
 
 } // namespace qec

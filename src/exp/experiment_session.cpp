@@ -83,7 +83,11 @@ ExperimentSession::ExperimentSession(const MemoryExperiment &exp,
     im.options = options;
 
     const ExperimentConfig &cfg = exp.config();
-    const bool batched = options.forceBatched || cfg.batchWidth > 1;
+    // Non-surface families exist only as compiled programs, so they
+    // always replay on the batch engine (width 1 runs the engine's
+    // scalar-delegating single-lane groups).
+    const bool batched = options.forceBatched || cfg.batchWidth > 1 ||
+                         cfg.family != CircuitFamily::SurfaceMemory;
     if (batched) {
         im.width = std::min<unsigned>(
             std::max<unsigned>(cfg.batchWidth, 1),

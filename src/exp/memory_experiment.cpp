@@ -179,6 +179,10 @@ validateExperimentConfig(const ExperimentConfig &config)
     if (config.windowLength < 0 || config.windowSlideLength < 0)
         return invalidArgument(
             "window lengths must be non-negative");
+    if (config.family == CircuitFamily::RepetitionMemory &&
+        config.basis != Basis::Z)
+        return invalidArgument(
+            "repetition-code memory protects the Z basis only");
     if (config.windowLength > 0) {
         // One detector row is the smallest decodable window slice;
         // a zero slide never advances and a slide past the window
@@ -215,6 +219,29 @@ panicOnInvalidConfig(const ExperimentConfig &config)
                 st.toString());
 }
 
+/** Compile (and sanity-validate) the config's circuit program. */
+std::shared_ptr<const CircuitProgram>
+compileFamilyProgram(const RotatedSurfaceCode &code,
+                     const ExperimentConfig &config)
+{
+    CircuitProgram prog;
+    if (config.family == CircuitFamily::RepetitionMemory) {
+        prog = CircuitCompiler::repetitionMemory(code.distance(),
+                                                 config.rounds);
+    } else {
+        const IrTailKind tail =
+            config.protocol == RemovalProtocol::Dqlr
+                ? IrTailKind::Dqlr : IrTailKind::SwapLrc;
+        prog = CircuitCompiler::surfaceMemory(code, config.rounds,
+                                              config.basis, tail);
+    }
+    const Status st = prog.validate();
+    panicIf(!st.isOk(),
+            "compiled circuit program failed validation: " +
+                st.toString());
+    return std::make_shared<const CircuitProgram>(std::move(prog));
+}
+
 } // namespace
 
 MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
@@ -237,9 +264,16 @@ MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
     : code_(code), config_(config), lookup_(code)
 {
     panicOnInvalidConfig(config_);
+    program_ = compileFamilyProgram(code_, config_);
     if (config_.decode) {
+        // Surface memory keeps the lattice-walking model builder (the
+        // frozen baseline); compiled families without a lattice get
+        // their model from the program's detector map.
         dem_ = std::make_shared<DetectorModel>(
-            buildDetectorModel(code_, config_.rounds, config_.basis));
+            config_.family == CircuitFamily::SurfaceMemory
+                ? buildDetectorModel(code_, config_.rounds,
+                                     config_.basis)
+                : buildDetectorModel(*program_));
         decoder_ = decoder_factory(*dem_, config_.em.p);
         panicIf(!decoder_, "decoder factory returned null");
         componentGraph_ = std::make_shared<ComponentGraph>(
@@ -250,11 +284,15 @@ MemoryExperiment::MemoryExperiment(const RotatedSurfaceCode &code,
 MemoryExperiment::MemoryExperiment(
     const RotatedSurfaceCode &code, ExperimentConfig config,
     std::shared_ptr<const DetectorModel> dem,
-    std::shared_ptr<const Decoder> decoder)
+    std::shared_ptr<const Decoder> decoder,
+    std::shared_ptr<const CircuitProgram> program)
     : code_(code), config_(config), lookup_(code),
-      dem_(std::move(dem)), decoder_(std::move(decoder))
+      program_(std::move(program)), dem_(std::move(dem)),
+      decoder_(std::move(decoder))
 {
     panicOnInvalidConfig(config_);
+    if (!program_)
+        program_ = compileFamilyProgram(code_, config_);
     panicIf(config_.decode && (!dem_ || !decoder_),
             "decoding experiment needs a detector model and decoder");
     if (config_.decode)
@@ -279,8 +317,8 @@ MemoryExperiment::resultHeader(const std::string &name) const
     ExperimentResult result;
     result.policy = name;
     result.shots = config_.shots;
-    result.numDataQubits = code_.numData();
-    result.numParityQubits = code_.numStabilizers();
+    result.numDataQubits = program_->numData;
+    result.numParityQubits = program_->numStabs;
     result.roundsTotal = config_.shots * (uint64_t)config_.rounds;
     if (config_.trackLpr) {
         result.lprDataSum.assign(config_.rounds, 0.0);
@@ -378,19 +416,6 @@ popcount64(uint64_t word)
     return __builtin_popcountll(word);
 }
 
-/** Lane-divergent LRC assignment within one 64-lane block: the block
- *  lanes that scheduled (stab, data) this round, in first-insertion
- *  order. Tails are executed block by block so every 64-lane block
- *  replays exactly the op order its standalone 64-lane group (or, at
- *  width 1, the scalar path) would execute — the cross-width
- *  bit-identity anchor. */
-struct ActiveLrc
-{
-    int stab;
-    int data;
-    uint64_t mask;   ///< Lane bits within the owning block.
-};
-
 /**
  * Execute one round, honoring ERASER+M's in-round rule: if an LRC'd
  * data qubit reads out as |L>, squash the MOV-back and reset the
@@ -440,6 +465,9 @@ void
 MemoryExperiment::runShot(uint64_t shot, const PolicyFactory &factory,
                           ExperimentShotStats &stats) const
 {
+    panicIf(config_.family != CircuitFamily::SurfaceMemory,
+            "the scalar per-shot path walks the surface lattice; "
+            "compiled families replay on the batch engine");
     const int n_stabs = code_.numStabilizers();
     const int n_data = code_.numData();
     const StabType primary = protectingStabType(config_.basis);
@@ -554,15 +582,14 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                             ExperimentDecodeContext *ctx) const
 {
     using Lane = LaneWord<NW>;
+    const CircuitProgram &prog = *program_;
     const uint64_t first = first_shot;
     const int W = lanes;
     const int NB = (W + 63) / 64;
-    const int n_stabs = code_.numStabilizers();
-    const int n_data = code_.numData();
-    const StabType primary = protectingStabType(config_.basis);
-    const bool swap_lrc = config_.protocol == RemovalProtocol::SwapLrc;
+    const int n_stabs = prog.numStabs;
+    const int n_data = prog.numData;
 
-    BatchFrameSimulatorT<NW> sim(code_.numQubits(), config_.em, W,
+    BatchFrameSimulatorT<NW> sim(prog.numQubits, config_.em, W,
                                  config_.seed, first);
     const Lane live = sim.liveMask();
     // Each round emits one record per stabilizer plus, per 64-lane
@@ -570,6 +597,11 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
     // stabilizer count again).
     sim.reserveRecord(
         (size_t)config_.rounds * (1 + (size_t)NB) * n_stabs + n_data);
+    // Pin every noise channel's RareStream id up front. Streams are
+    // keyed by probability and initialized lazily per 64-lane block,
+    // so pre-registration cannot change draw content relative to the
+    // hand-wired drivers, which registered on first use.
+    sim.bindProgramStreams(prog);
 
     // Policy evaluation dispatch: a probe instance reports whether the
     // policy has a lane-parallel form. ERASER runs the word-parallel
@@ -580,6 +612,10 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
     const BatchPolicySpec spec = shared->batchSpec();
     const bool multi_level = shared->usesMultiLevelReadout();
     const bool per_lane = spec.kind == BatchPolicyKind::PerLane;
+
+    panicIf(spec.kind == BatchPolicyKind::Eraser &&
+                config_.family != CircuitFamily::SurfaceMemory,
+            "the ERASER controller requires the surface-memory family");
 
     std::vector<std::unique_ptr<LrcPolicy>> policies;
     std::unique_ptr<BatchEraserController<Lane>> controller;
@@ -603,15 +639,6 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
         lrcs[0] = shared->firstRound();
     }
 
-    // The pre-readout segment (round start, data noise, basis changes,
-    // CNOT layers) is schedule-independent: build it once and replay it
-    // on all lanes every round.
-    const RoundSchedule plain = buildRoundSchedule(code_, 0, {});
-    size_t prefix_end = 0;
-    while (prefix_end < plain.ops.size() &&
-           plain.ops[prefix_end].type != OpType::Measure)
-        ++prefix_end;
-
     // The observation arrays hold an all-zero invariant between lanes:
     // per lane only the fired entries are set, the policy consulted,
     // and the same entries cleared again — so the per-lane cost tracks
@@ -634,9 +661,10 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
         leak_off((size_t)W + 1);
     std::vector<uint32_t> ev_cur(W), lab_cur(W), leak_cur(W);
     std::vector<int> ev_arena, lab_arena, leak_arena;
-    // Divergent LRC tails are collected and executed per 64-lane
-    // block, preserving each block's own first-insertion order.
-    std::vector<ActiveLrc> active[NW];
+    // Divergent LRC tails are collected per 64-lane block in
+    // first-insertion order; the program's LRC-slot branch replays
+    // them block by block.
+    std::vector<IrLrcTail> active[NW];
     std::vector<int> stab_epoch(n_stabs, -1), data_epoch(n_data, -1);
     int epoch = 0;
 
@@ -688,11 +716,8 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                                 "same round");
                         stab_epoch[pair.stab] = epoch;
                         data_epoch[pair.data] = epoch;
-                        const auto &support =
-                            code_.stabilizer(pair.stab).support;
-                        panicIf(std::find(support.begin(),
-                                          support.end(),
-                                          pair.data) == support.end(),
+                        panicIf(!prog.supportContains(pair.stab,
+                                                      pair.data),
                                 "LRC data qubit is not adjacent to "
                                 "its parity qubit");
                     }
@@ -700,7 +725,7 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
                     setLane(lrc_on_stab[pair.stab], l);
                     auto it = std::find_if(
                         active[b].begin(), active[b].end(),
-                        [&](const ActiveLrc &a) {
+                        [&](const IrLrcTail &a) {
                             return a.stab == pair.stab &&
                                    a.data == pair.data;
                         });
@@ -736,80 +761,17 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
 
         const size_t record_mark = sim.record().size();
 
-        // Static segment: fully vectorized across lanes.
-        sim.executeRange(plain.ops.data(),
-                         plain.ops.data() + prefix_end, live);
-
-        // Readout: plain stabilizers first (masked off the lanes whose
-        // policies LRC'd them under SwapLrc), then the divergent tails
-        // as masked ops, block by block.
-        for (const auto &stab : code_.stabilizers()) {
-            Lane m = live;
-            if (swap_lrc)
-                m = andnot(m, lrc_on_stab[stab.index]);
-            if (!anyLane(m))
-                continue;
-            Op meas = makeOp(OpType::Measure, stab.ancilla);
-            meas.stab = stab.index;
-            meas.round = r;
-            sim.execute(meas, m);
-            sim.execute(makeOp(OpType::Reset, stab.ancilla), m);
-        }
-        for (int b = 0; b < NB; ++b) {
-            for (const auto &a : active[b]) {
-                const int parity = code_.stabilizer(a.stab).ancilla;
-                // Tail masks never span blocks, so each op runs on the
-                // engine's single-block path: word arithmetic on plane
-                // word b regardless of NW, keeping the per-tail cost
-                // width-invariant.
-                if (swap_lrc) {
-                    // SWAP D <-> P, measure + reset D, MOV back -- with
-                    // the ERASER+M in-round rule: lanes whose data
-                    // readout is labelled |L> squash the MOV and reset
-                    // P instead.
-                    sim.executeBlock(
-                        makeOp(OpType::Cnot, a.data, parity), b,
-                        a.mask);
-                    sim.executeBlock(
-                        makeOp(OpType::Cnot, parity, a.data), b,
-                        a.mask);
-                    sim.executeBlock(
-                        makeOp(OpType::Cnot, a.data, parity), b,
-                        a.mask);
-                    Op meas = makeOp(OpType::Measure, a.data);
-                    meas.stab = a.stab;
-                    meas.round = r;
-                    meas.lrcData = true;
-                    sim.executeBlock(meas, b, a.mask);
-                    uint64_t squash = 0;
-                    if (multi_level)
-                        squash =
-                            laneWord(sim.record().back().leakedLabels,
-                                     b) &
-                            a.mask;
-                    sim.executeBlock(makeOp(OpType::Reset, a.data), b,
-                                     a.mask);
-                    const uint64_t mov = a.mask & ~squash;
-                    if (mov) {
-                        sim.executeBlock(
-                            makeOp(OpType::Cnot, parity, a.data), b,
-                            mov);
-                        sim.executeBlock(
-                            makeOp(OpType::Cnot, a.data, parity), b,
-                            mov);
-                    }
-                    if (squash)
-                        sim.executeBlock(makeOp(OpType::Reset, parity),
-                                         b, squash);
-                } else {
-                    sim.executeBlock(
-                        makeOp(OpType::LeakageIswap, a.data, parity),
-                        b, a.mask);
-                    sim.executeBlock(makeOp(OpType::Reset, parity), b,
-                                     a.mask);
-                }
-            }
-        }
+        // Replay this round of the compiled program: the static
+        // segment, the plain readouts (masked off the lanes whose
+        // policies LRC'd them under SwapLrc), and the LRC-slot branch
+        // expanded to this round's per-block divergent tails.
+        // Draw-for-draw identical to the hand-wired round driver it
+        // replaced (frozen in exp/handwired_reference.h).
+        ProgramLrcFillT<NW> fill;
+        fill.lrcOnStab = lrc_on_stab.data();
+        fill.blockTails = active;
+        fill.multiLevel = multi_level;
+        sim.executeProgramRound(prog, r, live, &fill, 1);
 
         // Gather this round's syndrome words.
         std::fill(flips.begin(), flips.end(), Lane{});
@@ -829,16 +791,16 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
         if (config_.trackLpr) {
             stats.lprData[r] += (double)sim.countLeaked(0, n_data);
             stats.lprParity[r] +=
-                (double)sim.countLeaked(n_data, code_.numQubits());
+                (double)sim.countLeaked(n_data, prog.numQubits);
         }
 
-        // Detection-event planes for the speculation logic.
+        // Detection-event planes for the speculation logic. The
+        // program records which detector columns are deterministic in
+        // round 0 (only the protected-basis checks; the other basis
+        // starts random).
         for (int s = 0; s < n_stabs; ++s) {
             if (r == 0) {
-                // Only the protected-basis checks are deterministic in
-                // the first round; the other basis starts random.
-                events[s] = code_.stabilizer(s).type == primary
-                    ? flips[s] : Lane{};
+                events[s] = prog.detR0[s] ? flips[s] : Lane{};
             } else {
                 events[s] = flips[s] ^ prev_flips[s];
             }
@@ -866,6 +828,17 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
             // once into lane-major arenas; each lane then sets only
             // its fired entries, runs its policy, and clears them
             // again.
+            //
+            // This scatter is NOT subsumed by the circuit IR and must
+            // stay: the IR's LRC-slot branch covers per-lane *circuit*
+            // divergence (which ops run on which lanes), but PerLane
+            // policies are arbitrary user code whose nextRound()
+            // consumes a fully materialized scalar RoundObservation to
+            // *decide* the next schedule. That decision step is policy
+            // evaluation, not circuit replay — no instruction stream
+            // can express it, so the engine keeps no equivalent and
+            // the lane-major gather/scatter here remains the only
+            // bridge from bit-planes to per-lane observations.
             for (int q = 0; q < n_data; ++q)
                 leak_snapshot[q] = sim.leakedWord(q);
 
@@ -941,12 +914,11 @@ MemoryExperiment::runGroupT(uint64_t first_shot, int lanes,
     if (!config_.decode)
         return;
 
-    auto final_ops =
-        buildFinalMeasurement(code_, config_.rounds, config_.basis);
-    sim.executeRange(final_ops.data(),
-                     final_ops.data() + final_ops.size(), live);
+    sim.executeProgramFinal(prog, live);
 
-    ctx->extractor.extract(code_, config_.basis, config_.rounds,
+    // Detector extraction reads the program's measure -> detector map
+    // (for surface programs it is bit-identical to the lattice walk).
+    ctx->extractor.extract(prog.detectors, config_.rounds,
                            sim.record(), W, ctx->syndrome);
     const BatchSyndrome &syndrome = ctx->syndrome;
     if (config_.batchDecode) {

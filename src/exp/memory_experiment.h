@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "code/circuit_ir.h"
 #include "code/rotated_surface_code.h"
 #include "core/policies.h"
 #include "core/qsg.h"
@@ -48,6 +49,15 @@ struct ExperimentConfig
 {
     int rounds = 0;
     Basis basis = Basis::Z;
+    /**
+     * Which circuit family the harness compiles and replays (see
+     * code/circuit_ir.h). SurfaceMemory is the paper's protocol;
+     * RepetitionMemory is a pure compiler path — same engine, same
+     * decode pipeline, no lattice anywhere — protecting the Z basis
+     * only. Non-surface families always run on the batch engine
+     * (the scalar per-shot path walks the surface lattice).
+     */
+    CircuitFamily family = CircuitFamily::SurfaceMemory;
     ErrorModel em = ErrorModel::standard(1e-3);
     RemovalProtocol protocol = RemovalProtocol::SwapLrc;
     uint64_t shots = 1000;
@@ -240,12 +250,16 @@ class MemoryExperiment
      * — the SweepRunner's cross-point cache. Decoders are stateless
      * (all mutable decode state lives in caller workspaces), so
      * sharing is safe across experiments and threads. Both may be
-     * null when `config.decode` is false.
+     * null when `config.decode` is false. A pre-compiled program of
+     * the same (family, distance, rounds, basis, protocol) may be
+     * shared the same way; when null, the constructor compiles one.
      */
     MemoryExperiment(const RotatedSurfaceCode &code,
                      ExperimentConfig config,
                      std::shared_ptr<const DetectorModel> dem,
-                     std::shared_ptr<const Decoder> decoder);
+                     std::shared_ptr<const Decoder> decoder,
+                     std::shared_ptr<const CircuitProgram> program =
+                         nullptr);
     ~MemoryExperiment();
 
     /** Run all shots under a policy kind. */
@@ -284,6 +298,13 @@ class MemoryExperiment
     {
         return decoder_;
     }
+    /** The compiled circuit program the batched drivers replay
+     *  (never null; validated at construction). Shareable with
+     *  sibling experiments of the same shape. */
+    std::shared_ptr<const CircuitProgram> program() const
+    {
+        return program_;
+    }
     /** Component graph for the batched decode pipeline (null when
      *  config.decode is false). Stateless; shared across threads. */
     std::shared_ptr<const ComponentGraph> componentGraph() const
@@ -315,6 +336,7 @@ class MemoryExperiment
     const RotatedSurfaceCode &code_;
     ExperimentConfig config_;
     SwapLookupTable lookup_;
+    std::shared_ptr<const CircuitProgram> program_;
     std::shared_ptr<const DetectorModel> dem_;
     std::shared_ptr<const Decoder> decoder_;
     std::shared_ptr<const ComponentGraph> componentGraph_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "code/builder.h"
+#include "code/circuit_ir.h"
 
 namespace qec
 {
@@ -41,19 +42,47 @@ SweepBuildCache::build(const SweepPoint &point,
     }
     out.code = code_it->second.get();
 
+    const CircuitFamily family = point.config.family;
+    const ProgramKey prog_key{(int)family, point.distance,
+                              point.rounds, (int)point.config.basis,
+                              (int)point.protocol};
+    auto prog_it = programs_.find(prog_key);
+    if (prog_it == programs_.end()) {
+        CircuitProgram prog;
+        if (family == CircuitFamily::RepetitionMemory) {
+            prog = CircuitCompiler::repetitionMemory(point.distance,
+                                                     point.rounds);
+        } else {
+            const IrTailKind tail =
+                point.protocol == RemovalProtocol::Dqlr
+                    ? IrTailKind::Dqlr : IrTailKind::SwapLrc;
+            prog = CircuitCompiler::surfaceMemory(
+                *out.code, point.rounds, point.config.basis, tail);
+        }
+        prog_it = programs_
+                      .emplace(prog_key,
+                               std::make_shared<const CircuitProgram>(
+                                   std::move(prog)))
+                      .first;
+    }
+    out.program = prog_it->second;
+
     if (!point.config.decode)
         return out;
 
-    const DemKey dem_key{point.distance, point.rounds,
+    const DemKey dem_key{(int)family, point.distance, point.rounds,
                          (int)point.config.basis};
     auto dem_it = dems_.find(dem_key);
     if (dem_it == dems_.end()) {
         dem_it = dems_
                      .emplace(dem_key,
                               std::make_shared<DetectorModel>(
-                                  buildDetectorModel(
-                                      *out.code, point.rounds,
-                                      point.config.basis)))
+                                  family == CircuitFamily::SurfaceMemory
+                                      ? buildDetectorModel(
+                                            *out.code, point.rounds,
+                                            point.config.basis)
+                                      : buildDetectorModel(
+                                            *out.program)))
                      .first;
         ++summary.demsBuilt;
     } else {
@@ -61,7 +90,7 @@ SweepBuildCache::build(const SweepPoint &point,
     }
     out.dem = dem_it->second;
 
-    const DecoderKey dec_key{point.distance, point.rounds,
+    const DecoderKey dec_key{(int)family, point.distance, point.rounds,
                              (int)point.config.basis,
                              (int)point.decoderKind,
                              doubleKeyBits(point.p)};

@@ -34,6 +34,8 @@ class SweepBuildCache
     struct Components
     {
         const RotatedSurfaceCode *code = nullptr;
+        /** Compiled circuit program (always set; see circuit_ir.h). */
+        std::shared_ptr<const CircuitProgram> program;
         std::shared_ptr<const DetectorModel> dem;
         std::shared_ptr<const Decoder> decoder;
     };
@@ -51,11 +53,15 @@ class SweepBuildCache
 
   private:
     std::map<int, std::unique_ptr<RotatedSurfaceCode>> codes_;
-    /** (distance, rounds, basis) */
-    using DemKey = std::tuple<int, int, int>;
+    /** (family, distance, rounds, basis, protocol) */
+    using ProgramKey = std::tuple<int, int, int, int, int>;
+    std::map<ProgramKey, std::shared_ptr<const CircuitProgram>>
+        programs_;
+    /** (family, distance, rounds, basis) */
+    using DemKey = std::tuple<int, int, int, int>;
     std::map<DemKey, std::shared_ptr<const DetectorModel>> dems_;
-    /** (distance, rounds, basis, decoder kind, bits(p)) */
-    using DecoderKey = std::tuple<int, int, int, int, uint64_t>;
+    /** (family, distance, rounds, basis, decoder kind, bits(p)) */
+    using DecoderKey = std::tuple<int, int, int, int, int, uint64_t>;
     std::map<DecoderKey, std::shared_ptr<const Decoder>> decoders_;
 };
 

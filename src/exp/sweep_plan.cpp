@@ -54,7 +54,8 @@ SweepPolicy::displayName(RemovalProtocol protocol) const
 // never reorder or remove entries.
 uint64_t
 sweepPointSeed(int distance, int rounds, Basis basis,
-               RemovalProtocol protocol, const ErrorModel &em)
+               RemovalProtocol protocol, const ErrorModel &em,
+               CircuitFamily family)
 {
     // Domain tag so seeds can never collide with hand-picked small
     // integers or with other derivation schemes.
@@ -71,6 +72,10 @@ sweepPointSeed(int distance, int rounds, Basis basis,
     h = chain(h, doubleBits(em.multiLevelErrMult));
     h = chain(h, doubleBits(em.dqlrExciteProb));
     h = chain(h, (uint64_t)em.transport);
+    // The family link is conditional by contract (see header):
+    // surface points never chain it, so pre-family seeds hold.
+    if (family != CircuitFamily::SurfaceMemory)
+        h = chain(h, (uint64_t)family);
     return h;
 }
 
@@ -145,7 +150,7 @@ SweepPlan::points() const
                                 ? *fixedSeed
                                 : sweepPointSeed(d, point.rounds,
                                                  cfg.basis, protocol,
-                                                 cfg.em);
+                                                 cfg.em, cfg.family);
                             point.seed = cfg.seed;
                             point.config = cfg;
                             out.push_back(std::move(point));

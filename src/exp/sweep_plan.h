@@ -96,10 +96,15 @@ struct SweepPolicy
  * scenario, so paired comparisons across those axes (policy tables,
  * decoder ablations, the cross-width bit-identity artifact) share
  * identical noise streams.
+ *
+ * The circuit family joins the chain only when it is not
+ * SurfaceMemory: surface points omit the link entirely, so every
+ * seed published before the family axis existed is unchanged.
  */
 uint64_t sweepPointSeed(int distance, int rounds, Basis basis,
-                        RemovalProtocol protocol,
-                        const ErrorModel &em);
+                        RemovalProtocol protocol, const ErrorModel &em,
+                        CircuitFamily family =
+                            CircuitFamily::SurfaceMemory);
 
 /** One fully-resolved grid point. */
 struct SweepPoint

@@ -471,7 +471,8 @@ SweepRunner::run(const SweepRunOptions &options)
                     point, plan_.base.decoderOptions, summary);
 
                 MemoryExperiment exp(*comp.code, point.config,
-                                     comp.dem, comp.decoder);
+                                     comp.dem, comp.decoder,
+                                     comp.program);
 
                 for (size_t pi = 0; pi < plan_.policies.size();
                      ++pi) {

@@ -323,7 +323,8 @@ SweepScheduler::run(const SweepRunOptions &options)
             lp.dem = comp.dem;
             lp.decoder = comp.decoder;
             lp.exp = std::make_unique<MemoryExperiment>(
-                *comp.code, point.config, lp.dem, lp.decoder);
+                *comp.code, point.config, lp.dem, lp.decoder,
+                comp.program);
             for (size_t pi = 0; pi < plan_.policies.size(); ++pi) {
                 PolicyCheckpoint &pc = lp.working.policies[pi];
                 LiveSession ls;

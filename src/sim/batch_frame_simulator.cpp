@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "code/builder.h"
 
 namespace qec
 {
@@ -839,6 +840,159 @@ BatchFrameSimulatorT<NW>::executeRange(const Op *begin, const Op *end,
 {
     for (const Op *op = begin; op != end; ++op)
         execute(*op, mask);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::executeLrcTail(const CircuitProgram &prog,
+                                         const IrLrcTail &t, int b,
+                                         int round, bool multi_level)
+{
+    const int parity = prog.stabAncilla[t.stab];
+    // Tail masks never span blocks, so each op runs on the engine's
+    // single-block path: word arithmetic on plane word b regardless
+    // of NW, keeping the per-tail cost width-invariant.
+    if (prog.tail == IrTailKind::SwapLrc) {
+        // SWAP D <-> P, measure + reset D, MOV back -- with the
+        // ERASER+M in-round rule: lanes whose data readout is
+        // labelled |L> squash the MOV and reset P instead.
+        executeBlock(makeOp(OpType::Cnot, t.data, parity), b, t.mask);
+        executeBlock(makeOp(OpType::Cnot, parity, t.data), b, t.mask);
+        executeBlock(makeOp(OpType::Cnot, t.data, parity), b, t.mask);
+        Op meas = makeOp(OpType::Measure, t.data);
+        meas.stab = t.stab;
+        meas.round = round;
+        meas.lrcData = true;
+        executeBlock(meas, b, t.mask);
+        uint64_t squash = 0;
+        if (multi_level)
+            squash = laneWord(record_.back().leakedLabels, b) & t.mask;
+        executeBlock(makeOp(OpType::Reset, t.data), b, t.mask);
+        const uint64_t mov = t.mask & ~squash;
+        if (mov) {
+            executeBlock(makeOp(OpType::Cnot, parity, t.data), b, mov);
+            executeBlock(makeOp(OpType::Cnot, t.data, parity), b, mov);
+        }
+        if (squash)
+            executeBlock(makeOp(OpType::Reset, parity), b, squash);
+    } else {
+        executeBlock(makeOp(OpType::LeakageIswap, t.data, parity), b,
+                     t.mask);
+        executeBlock(makeOp(OpType::Reset, parity), b, t.mask);
+    }
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::executeProgramRound(
+    const CircuitProgram &prog, int round, const Lane &mask,
+    const ProgramLrcFillT<NW> *fills, int num_fills)
+{
+    for (size_t i = prog.bodyBegin; i < prog.bodyEnd; ++i) {
+        const IrInst &inst = prog.instrs[i];
+        switch (inst.op) {
+          case IrOpcode::Gate:
+            execute(prog.pool[inst.a], mask);
+            break;
+          case IrOpcode::Readout: {
+            Lane m = mask;
+            if (prog.maskReadoutOnLrc) {
+                for (int f = 0; f < num_fills; ++f)
+                    if (fills[f].lrcOnStab)
+                        m = andnot(m, fills[f].lrcOnStab[inst.a]);
+            }
+            // Skipping the whole pair when no lane remains mirrors
+            // the hand-wired drivers (and execute()'s own empty-mask
+            // early return): no draws, no record entry.
+            if (!anyLane(m))
+                break;
+            Op meas = prog.pool[inst.b];
+            meas.round = round;
+            execute(meas, m);
+            execute(prog.pool[(size_t)inst.b + 1], m);
+            break;
+          }
+          case IrOpcode::LrcSlot: {
+            if (!fills || inst.a >= num_fills)
+                break;
+            const ProgramLrcFillT<NW> &fill = fills[inst.a];
+            if (!fill.blockTails)
+                break;
+            for (int b = 0; b < numBlocks_; ++b)
+                for (const IrLrcTail &t : fill.blockTails[b])
+                    executeLrcTail(prog, t, b, round,
+                                   fill.multiLevel);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::executeProgramFinal(const CircuitProgram &prog,
+                                              const Lane &mask)
+{
+    for (size_t i = prog.bodyEnd + 1; i < prog.instrs.size(); ++i)
+        execute(prog.pool[prog.instrs[i].a], mask);
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::executeProgram(const CircuitProgram &prog)
+{
+    bindProgramStreams(prog);
+    for (int r = 0; r < prog.rounds; ++r)
+        executeProgramRound(prog, r, live_);
+    executeProgramFinal(prog, live_);
+}
+
+template <int NW>
+int
+BatchFrameSimulatorT<NW>::noiseStreamId(double p)
+{
+    if (scalar_ || p <= 0.0 ||
+        p >= BernoulliMaskSampler::kRareThreshold)
+        return -1;
+    RareStream &stream = rareStreamFor(p);
+    return (int)(&stream - rareStreams_.data());
+}
+
+template <int NW>
+void
+BatchFrameSimulatorT<NW>::bindProgramStreams(const CircuitProgram &prog)
+{
+    bool two_qubit = false, measure = false, iswap = false;
+    for (const Op &op : prog.pool) {
+        switch (op.type) {
+          case OpType::Cnot:
+            two_qubit = true;
+            break;
+          case OpType::LeakageIswap:
+            two_qubit = true;
+            iswap = true;
+            break;
+          case OpType::Measure:
+          case OpType::MeasureX:
+            measure = true;
+            break;
+          default:
+            break;
+        }
+    }
+    noiseStreamId(em_.p);
+    if (em_.leakageEnabled) {
+        noiseStreamId(em_.leakInjectProb());
+        noiseStreamId(em_.seepageProb());
+        if (measure)
+            noiseStreamId(em_.multiLevelMissProb());
+        if (two_qubit)
+            noiseStreamId(em_.pTransport);
+        if (iswap)
+            noiseStreamId(em_.dqlrExciteProb);
+    }
 }
 
 template class BatchFrameSimulatorT<1>;

@@ -54,6 +54,7 @@
 #include "base/rng.h"
 #include "base/simd_word.h"
 #include "code/circuit.h"
+#include "code/circuit_ir.h"
 #include "code/types.h"
 #include "sim/bit_mask_sampler.h"
 #include "sim/error_model.h"
@@ -81,6 +82,27 @@ struct BatchMeasureRecordT
 
 /** The pre-SIMD 64-lane record layout (uint64_t lane sets). */
 using BatchMeasureRecord = BatchMeasureRecordT<1>;
+
+/**
+ * What the controller supplies for one LRC-slot id when a program
+ * round is replayed: the per-stabilizer plane of lanes whose plain
+ * readout the slot replaces, and the divergent tails per 64-lane
+ * block (first-insertion order — the cross-width bit-identity
+ * anchor). An empty fill (both pointers null) leaves the branch
+ * untaken, which is also what a slot id without a fill gets.
+ */
+template <int NW>
+struct ProgramLrcFillT
+{
+    using Lane = LaneWord<NW>;
+
+    /** [numStabs] planes, or null when nothing was scheduled. */
+    const Lane *lrcOnStab = nullptr;
+    /** [numBlocks()] tail lists, or null. */
+    const std::vector<IrLrcTail> *blockTails = nullptr;
+    /** Multi-level readout: squash the MOV-back on |L> labels. */
+    bool multiLevel = false;
+};
 
 /**
  * Executes circuits over W parallel shots packed NW words deep. Lane l
@@ -139,6 +161,46 @@ class BatchFrameSimulatorT
         executeRange(begin, end, live_);
     }
 
+    /**
+     * Replay one round of a compiled program on the masked lanes:
+     * Gate instructions run verbatim through execute(), Readout
+     * instructions stamp their pool Measure with `round` (masking off
+     * LRC'd lanes when the program replaces plain readouts), and each
+     * LrcSlot branch expands the fill registered under its slot id
+     * (`fills[id]`, ids >= num_fills stay empty). Draw-for-draw
+     * identical to the hand-wired round drivers this replaces.
+     */
+    void executeProgramRound(const CircuitProgram &prog, int round,
+                             const Lane &mask,
+                             const ProgramLrcFillT<NW> *fills = nullptr,
+                             int num_fills = 0);
+
+    /** Replay the program's final transversal measurement. */
+    void executeProgramFinal(const CircuitProgram &prog,
+                             const Lane &mask);
+
+    /**
+     * Replay a whole program on all live lanes with every LRC-slot
+     * branch left empty: all rounds, then the final measurement.
+     * Protocols without adaptive control (repetition memory, plain
+     * surface memory) run entirely through this loop.
+     */
+    void executeProgram(const CircuitProgram &prog);
+
+    /**
+     * RareStream id for probability p, creating the stream if absent
+     * (-1 when p is outside the rare-sampled range). Streams are
+     * keyed by probability only and initialized lazily per 64-lane
+     * block, so registration order cannot change draw content — ids
+     * exist so program replay can pin every noise channel's stream up
+     * front instead of growing the stream list mid-round.
+     */
+    int noiseStreamId(double p);
+
+    /** Pre-register RareStream ids for every noise channel the
+     *  program's ops can draw under this simulator's error model. */
+    void bindProgramStreams(const CircuitProgram &prog);
+
     const std::vector<Record> &
     record() const
     {
@@ -194,6 +256,10 @@ class BatchFrameSimulatorT
     // Single-block (word-level) op bodies: the divergent-tail images
     // of the Lane-wide ops above, draw-for-draw identical to running
     // the Lane op with a mask confined to block `b`.
+    /** One divergent LRC-slot tail on one 64-lane block. */
+    void executeLrcTail(const CircuitProgram &prog, const IrLrcTail &t,
+                        int b, int round, bool multi_level);
+
     void opResetB(int q, int b, uint64_t mask);
     void opCnotB(int c, int t, int b, uint64_t mask);
     void opLeakageIswapB(int d, int p, int b, uint64_t mask);

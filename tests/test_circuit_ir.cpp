@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Circuit-IR tests: compile-then-replay must be bit-identical to the
+ * frozen hand-wired drivers (fingerprints, counters, LPR) at every
+ * engine width, validation must reject malformed programs, the
+ * program-derived detector model must equal the lattice walk, and the
+ * repetition-code compiler path must produce sane logical error
+ * rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "code/circuit_ir.h"
+#include "decoder/detector_model.h"
+#include "exp/handwired_reference.h"
+#include "exp/memory_experiment.h"
+
+namespace qec
+{
+namespace
+{
+
+// ------------------------------------------------------- compilation
+
+TEST(CircuitIr, CompiledSurfaceProgramsValidate)
+{
+    for (int d : {3, 5}) {
+        RotatedSurfaceCode code(d);
+        for (Basis basis : {Basis::Z, Basis::X}) {
+            for (IrTailKind tail :
+                 {IrTailKind::SwapLrc, IrTailKind::Dqlr}) {
+                CircuitProgram prog = CircuitCompiler::surfaceMemory(
+                    code, 3 * d, basis, tail);
+                EXPECT_TRUE(prog.validate().isOk())
+                    << prog.validate().toString();
+                EXPECT_EQ(prog.family, CircuitFamily::SurfaceMemory);
+                EXPECT_EQ(prog.numData, code.numData());
+                EXPECT_EQ(prog.numStabs, code.numStabilizers());
+                EXPECT_EQ(prog.numQubits, code.numQubits());
+                EXPECT_EQ(prog.rounds, 3 * d);
+            }
+        }
+    }
+}
+
+TEST(CircuitIr, CompiledRepetitionProgramsValidate)
+{
+    for (int d : {2, 3, 5, 9}) {
+        CircuitProgram prog =
+            CircuitCompiler::repetitionMemory(d, 2 * d);
+        EXPECT_TRUE(prog.validate().isOk())
+            << prog.validate().toString();
+        EXPECT_EQ(prog.family, CircuitFamily::RepetitionMemory);
+        EXPECT_EQ(prog.numData, d);
+        EXPECT_EQ(prog.numStabs, d - 1);
+        EXPECT_EQ(prog.numQubits, 2 * d - 1);
+        // Check s acts on data {s, s+1} — the line graph.
+        for (int s = 0; s < d - 1; ++s) {
+            EXPECT_TRUE(prog.supportContains(s, s));
+            EXPECT_TRUE(prog.supportContains(s, s + 1));
+            EXPECT_FALSE(prog.supportContains(s, s + 2));
+        }
+        // Every round-0 detector column is deterministic.
+        for (int s = 0; s < d - 1; ++s)
+            EXPECT_TRUE(prog.detR0[s]);
+    }
+}
+
+// -------------------------------------------------------- validation
+
+CircuitProgram
+surfaceProgram()
+{
+    RotatedSurfaceCode code(3);
+    return CircuitCompiler::surfaceMemory(code, 4, Basis::Z,
+                                          IrTailKind::SwapLrc);
+}
+
+TEST(CircuitIrValidate, RejectsDanglingGateQubit)
+{
+    CircuitProgram prog = surfaceProgram();
+    // Find a qubit-bearing Gate (RoundStart markers carry none) and
+    // point its pool op off the lattice.
+    for (size_t i = prog.bodyBegin; i < prog.bodyEnd; ++i) {
+        if (prog.instrs[i].op == IrOpcode::Gate &&
+            prog.pool[prog.instrs[i].a].type != OpType::RoundStart) {
+            prog.pool[prog.instrs[i].a].q0 = prog.numQubits;
+            break;
+        }
+    }
+    const Status st = prog.validate();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+}
+
+TEST(CircuitIrValidate, RejectsDanglingReadoutStab)
+{
+    CircuitProgram prog = surfaceProgram();
+    for (size_t i = prog.bodyBegin; i < prog.bodyEnd; ++i) {
+        if (prog.instrs[i].op == IrOpcode::Readout) {
+            prog.instrs[i].a = prog.numStabs;
+            break;
+        }
+    }
+    const Status st = prog.validate();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+}
+
+TEST(CircuitIrValidate, RejectsUnclosedRoundLoop)
+{
+    CircuitProgram prog = surfaceProgram();
+    // Drop the RoundEnd marker: the loop never closes.
+    prog.instrs.erase(prog.instrs.begin() + (ptrdiff_t)prog.bodyEnd);
+    const Status st = prog.validate();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_NE(st.message().find("unclosed"), std::string::npos)
+        << st.toString();
+}
+
+TEST(CircuitIrValidate, RejectsDuplicateLrcSlotIds)
+{
+    CircuitProgram prog = surfaceProgram();
+    // A second slot with id 0 inside the round body.
+    IrInst dup;
+    dup.op = IrOpcode::LrcSlot;
+    dup.a = 0;
+    prog.instrs.insert(prog.instrs.begin() + (ptrdiff_t)prog.bodyEnd,
+                       dup);
+    prog.bodyEnd += 1;
+    const Status st = prog.validate();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+}
+
+TEST(CircuitIrValidate, RejectsBadRoundCount)
+{
+    CircuitProgram prog = surfaceProgram();
+    prog.rounds = 0;
+    EXPECT_FALSE(prog.validate().isOk());
+}
+
+// ---------------------------------------------- detector-model parity
+
+using EdgeKey = std::tuple<int, int, bool>;
+using EdgeMap = std::map<EdgeKey, std::tuple<int, int, int>>;
+
+EdgeMap
+toMap(const DetectorModel &model)
+{
+    EdgeMap map;
+    for (const auto &e : model.edges) {
+        auto &counts = map[EdgeKey{e.a, e.b, e.obsFlip}];
+        std::get<0>(counts) += e.n1;
+        std::get<1>(counts) += e.n3;
+        std::get<2>(counts) += e.n15;
+    }
+    return map;
+}
+
+TEST(CircuitIrDem, ProgramModelMatchesLatticeModel)
+{
+    for (int d : {3, 5}) {
+        RotatedSurfaceCode code(d);
+        // 4 exercises direct enumeration, 12 the tiling path.
+        for (int rounds : {4, 12}) {
+            for (Basis basis : {Basis::Z, Basis::X}) {
+                CircuitProgram prog = CircuitCompiler::surfaceMemory(
+                    code, rounds, basis, IrTailKind::SwapLrc);
+                DetectorModel from_code =
+                    buildDetectorModel(code, rounds, basis);
+                DetectorModel from_prog = buildDetectorModel(prog);
+                EXPECT_EQ(from_prog.rounds, from_code.rounds);
+                EXPECT_EQ(from_prog.stabsPerRound,
+                          from_code.stabsPerRound);
+                EXPECT_EQ(toMap(from_prog), toMap(from_code))
+                    << "d=" << d << " rounds=" << rounds;
+            }
+        }
+    }
+}
+
+// -------------------------------------- replay vs hand-wired drivers
+
+void
+expectResultsMatch(const ExperimentResult &ir,
+                   const HandwiredResult &hw)
+{
+    EXPECT_EQ(ir.verdictFingerprint, hw.verdictFingerprint);
+    EXPECT_EQ(ir.logicalErrors, hw.logicalErrors);
+    EXPECT_EQ(ir.tp, hw.tp);
+    EXPECT_EQ(ir.fp, hw.fp);
+    EXPECT_EQ(ir.tn, hw.tn);
+    EXPECT_EQ(ir.fn, hw.fn);
+    EXPECT_EQ(ir.lrcsScheduled, hw.lrcsScheduled);
+    ASSERT_EQ(ir.lprDataSum.size(), hw.lprData.size());
+    for (size_t r = 0; r < hw.lprData.size(); ++r) {
+        EXPECT_EQ(ir.lprDataSum[r], hw.lprData[r]) << "round " << r;
+        EXPECT_EQ(ir.lprParitySum[r], hw.lprParity[r])
+            << "round " << r;
+    }
+}
+
+class IrReplaySweep
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, RemovalProtocol, PolicyKind>>
+{
+};
+
+TEST_P(IrReplaySweep, ReplayMatchesHandwired)
+{
+    const auto [width, protocol, kind] = GetParam();
+    RotatedSurfaceCode code(5);
+
+    ExperimentConfig cfg;
+    cfg.rounds = 12;
+    cfg.basis = Basis::Z;
+    cfg.em = ErrorModel::standard(2e-3);
+    cfg.protocol = protocol;
+    // 161 shots: full groups plus a ragged tail at every width (and
+    // multi-block ragged groups at 256/512).
+    cfg.shots = 161;
+    cfg.seed = 77;
+    cfg.decoderKind = DecoderKind::UnionFind;
+    cfg.trackLpr = true;
+    cfg.threads = 1;
+    cfg.batchWidth = width;
+
+    MemoryExperiment exp(code, cfg);
+    const PolicyFactory factory = makePolicyFactory(
+        kind, exp.code(), exp.lookup(),
+        protocol == RemovalProtocol::Dqlr);
+
+    const ExperimentResult ir = exp.runBatched(factory, "ir");
+    const HandwiredResult hw = runHandwired(exp, factory);
+    expectResultsMatch(ir, hw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, IrReplaySweep,
+    ::testing::Values(
+        // The ERASER controller exercises divergent LRC-slot tails
+        // under both removal protocols at every engine width.
+        std::make_tuple(64u, RemovalProtocol::SwapLrc,
+                        PolicyKind::Eraser),
+        std::make_tuple(256u, RemovalProtocol::SwapLrc,
+                        PolicyKind::Eraser),
+        std::make_tuple(512u, RemovalProtocol::SwapLrc,
+                        PolicyKind::Eraser),
+        std::make_tuple(64u, RemovalProtocol::Dqlr,
+                        PolicyKind::Eraser),
+        std::make_tuple(256u, RemovalProtocol::Dqlr,
+                        PolicyKind::Eraser),
+        std::make_tuple(512u, RemovalProtocol::Dqlr,
+                        PolicyKind::Eraser),
+        // ERASER+M takes the multi-level squash branch in the tails.
+        std::make_tuple(256u, RemovalProtocol::SwapLrc,
+                        PolicyKind::EraserM),
+        // Optimal is the PerLane scatter fallback; Always the
+        // lane-uniform whole-word schedule; Never the empty branch.
+        std::make_tuple(256u, RemovalProtocol::SwapLrc,
+                        PolicyKind::Optimal),
+        std::make_tuple(256u, RemovalProtocol::SwapLrc,
+                        PolicyKind::Always),
+        std::make_tuple(256u, RemovalProtocol::SwapLrc,
+                        PolicyKind::Never)));
+
+// ------------------------------------------------- repetition memory
+
+ExperimentResult
+runRepetition(int distance, double p, uint64_t shots)
+{
+    RotatedSurfaceCode code(distance);
+    ExperimentConfig cfg;
+    cfg.family = CircuitFamily::RepetitionMemory;
+    cfg.rounds = 5;
+    cfg.basis = Basis::Z;
+    cfg.em = ErrorModel::withoutLeakage(p);
+    cfg.shots = shots;
+    cfg.seed = 1234;
+    cfg.decoderKind = DecoderKind::UnionFind;
+    cfg.batchWidth = 256;
+    cfg.threads = 1;
+    MemoryExperiment exp(code, cfg);
+    return exp.run(PolicyKind::Never);
+}
+
+TEST(CircuitIrRepetition, LerSanity)
+{
+    // Below threshold, the repetition code's logical error rate must
+    // fall with distance; at p = 5e-3 and 5 rounds the analytic
+    // leading order (~ rounds * C(d, ceil(d/2)) p^ceil(d/2) per
+    // majority fault path) puts d=3 well above d=5 and both far
+    // below 50%.
+    const ExperimentResult d3 = runRepetition(3, 5e-3, 1 << 14);
+    const ExperimentResult d5 = runRepetition(5, 5e-3, 1 << 14);
+    EXPECT_GT(d3.logicalErrors, 0u);
+    EXPECT_LT(d3.ler(), 0.2);
+    EXPECT_LT(d5.ler(), d3.ler());
+}
+
+TEST(CircuitIrRepetition, RejectsXBasis)
+{
+    ExperimentConfig cfg;
+    cfg.family = CircuitFamily::RepetitionMemory;
+    cfg.rounds = 3;
+    cfg.basis = Basis::X;
+    EXPECT_FALSE(validateExperimentConfig(cfg).isOk());
+}
+
+} // namespace
+} // namespace qec
