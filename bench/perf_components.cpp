@@ -35,6 +35,7 @@
 #include "base/rng.h"
 #include "base/simd_word.h"
 #include "code/builder.h"
+#include "code/ir_analysis.h"
 #include "code/rotated_surface_code.h"
 #include "core/policies.h"
 #include "decoder/batch_decoder.h"
@@ -528,6 +529,32 @@ BENCHMARK(BM_IrReplayVsHandWired)
     ->ArgName("ir")->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Full IrAnalyzer pass stack (liveness, detector coverage, stream
+ * accounting, LRC legality, observable reachability) over the d=11
+ * surface-memory program — the cost the sweep executor pays once per
+ * program-cache entry. Compile-time is excluded: the program is built
+ * once outside the timing loop.
+ */
+void
+BM_IrAnalyze(benchmark::State &state)
+{
+    const int d = (int)state.range(0);
+    RotatedSurfaceCode code(d);
+    const CircuitProgram prog = CircuitCompiler::surfaceMemory(
+        code, 3 * d, Basis::Z, IrTailKind::SwapLrc);
+    const ErrorModel em = ErrorModel::standard(1e-3);
+    for (auto _ : state) {
+        IrAnalysisReport report = IrAnalyzer::analyze(prog, em);
+        benchmark::DoNotOptimize(report.diagnostics.data());
+    }
+    state.counters["instrs"] =
+        benchmark::Counter((double)prog.instrs.size());
+}
+BENCHMARK(BM_IrAnalyze)
+    ->ArgName("d")->Arg(3)->Arg(11)
+    ->Unit(benchmark::kMicrosecond);
+
 void
 BM_BlossomDecoderShaped(benchmark::State &state)
 {
@@ -775,6 +802,15 @@ emitDecodeJson()
         }
         const double ratio =
             ir_rate / (hand_rate > 0.0 ? hand_rate : 1e-9);
+        // Static-analysis pin: the exact program this entry replays
+        // must pass the full IrAnalyzer stack with zero Error
+        // diagnostics under the bench error model.
+        const CircuitProgram analyzed_prog =
+            CircuitCompiler::surfaceMemory(ir_code, cfg.rounds,
+                                           Basis::Z,
+                                           IrTailKind::SwapLrc);
+        const bool analysis_clean =
+            !IrAnalyzer::analyze(analyzed_prog, cfg.em).hasErrors();
         std::fprintf(
             out,
             "\n  ],\n  \"ir_replay\": "
@@ -784,11 +820,13 @@ emitDecodeJson()
             "\"ir_shots_per_s\": %.1f, "
             "\"ir_replay_speed_vs_handwired\": %.3f, "
             "\"ir_replay_within_5pct\": %s, "
-            "\"ir_verdicts_match_handwired\": %s}\n}\n",
+            "\"ir_verdicts_match_handwired\": %s, "
+            "\"ir_analysis_clean\": %s}\n}\n",
             decoderKindName(DecoderKind::UnionFind), d, cfg.rounds,
             (unsigned long long)cfg.shots, hand_rate, ir_rate, ratio,
             ratio >= 0.95 ? "true" : "false",
-            hand_fp == ir_fp ? "true" : "false");
+            hand_fp == ir_fp ? "true" : "false",
+            analysis_clean ? "true" : "false");
     }
     Status commit_status = writer.commit();
     if (!commit_status.isOk()) {

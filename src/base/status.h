@@ -73,7 +73,7 @@ statusCodeName(StatusCode code)
     return "unknown";
 }
 
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** OK by default, so `Status st;` + early returns read naturally. */
@@ -188,7 +188,7 @@ internalError(std::string message)
  * StatusOr is a caller bug (check ok() first) and panics.
  */
 template <typename T>
-class StatusOr
+class [[nodiscard]] StatusOr
 {
   public:
     StatusOr(T value) : value_(std::move(value)) {}

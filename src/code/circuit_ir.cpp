@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "code/builder.h"
+#include "code/ir_analysis.h"
 
 namespace qec
 {
@@ -34,6 +35,36 @@ appendReadout(CircuitProgram &prog, int stab, const Op &meas,
     prog.pool.push_back(meas);
     prog.pool.push_back(reset);
     prog.instrs.push_back({IrOpcode::Readout, stab, mi});
+}
+
+/** The template for one tail kind, mirroring executeLrcTail's
+ *  expansion op for op (the conditional ERASER+M suffix — MOV on
+ *  non-squashed lanes, parity reset on squashed ones — listed
+ *  unconditionally, as the superset static analysis reasons about).
+ *  test_ir_analysis pins this against the engine's hardcoded
+ *  expansion. */
+IrTailTemplate
+makeTailTemplate(IrTailKind kind)
+{
+    constexpr int D = kTailDataQubit, P = kTailParityQubit;
+    IrTailTemplate tmpl;
+    tmpl.kind = kind;
+    if (kind == IrTailKind::SwapLrc) {
+        tmpl.ops.push_back(makeOp(OpType::Cnot, D, P));
+        tmpl.ops.push_back(makeOp(OpType::Cnot, P, D));
+        tmpl.ops.push_back(makeOp(OpType::Cnot, D, P));
+        Op meas = makeOp(OpType::Measure, D);
+        meas.lrcData = true;
+        tmpl.ops.push_back(meas);
+        tmpl.ops.push_back(makeOp(OpType::Reset, D));
+        tmpl.ops.push_back(makeOp(OpType::Cnot, P, D));
+        tmpl.ops.push_back(makeOp(OpType::Cnot, D, P));
+        tmpl.ops.push_back(makeOp(OpType::Reset, P));
+    } else {
+        tmpl.ops.push_back(makeOp(OpType::LeakageIswap, D, P));
+        tmpl.ops.push_back(makeOp(OpType::Reset, P));
+    }
+    return tmpl;
 }
 
 } // namespace
@@ -301,6 +332,7 @@ CircuitCompiler::surfaceMemory(const RotatedSurfaceCode &code,
         map.colSupportOffset.push_back((int)map.colSupportData.size());
     }
     map.observable = code.logicalSupport(basis);
+    prog.tailTemplates.push_back(makeTailTemplate(tail));
     return prog;
 }
 
@@ -377,6 +409,42 @@ CircuitCompiler::repetitionMemory(int distance, int rounds)
     // Any single data qubit's final readout is a logical-Z
     // representative; qubit 0 matches the surface convention.
     map.observable = {0};
+    prog.tailTemplates.push_back(
+        makeTailTemplate(IrTailKind::SwapLrc));
+    return prog;
+}
+
+StatusOr<CircuitProgram>
+CircuitCompiler::surfaceMemoryChecked(const RotatedSurfaceCode &code,
+                                      int rounds, Basis basis,
+                                      IrTailKind tail)
+{
+    if (rounds < 1)
+        return invalidArgument(
+            "memory program needs at least one round, got " +
+            std::to_string(rounds));
+    CircuitProgram prog = surfaceMemory(code, rounds, basis, tail);
+    Status st = IrAnalyzer::verify(prog);
+    if (!st.isOk())
+        return st;
+    return prog;
+}
+
+StatusOr<CircuitProgram>
+CircuitCompiler::repetitionMemoryChecked(int distance, int rounds)
+{
+    if (distance < 2)
+        return invalidArgument(
+            "repetition code needs distance >= 2, got " +
+            std::to_string(distance));
+    if (rounds < 1)
+        return invalidArgument(
+            "memory program needs at least one round, got " +
+            std::to_string(rounds));
+    CircuitProgram prog = repetitionMemory(distance, rounds);
+    Status st = IrAnalyzer::verify(prog);
+    if (!st.isOk())
+        return st;
     return prog;
 }
 

@@ -83,6 +83,25 @@ struct IrLrcTail
     uint64_t mask = 0;
 };
 
+/** Placeholder qubit ids inside IrTailTemplate ops, resolved at replay
+ *  time to the scheduled pair's data / parity qubit. */
+constexpr int kTailDataQubit = -2;
+constexpr int kTailParityQubit = -3;
+
+/** The op sequence a filled LrcSlot branch expands to for one tail
+ *  kind, written against the kTailDataQubit/kTailParityQubit
+ *  placeholders. Conditional suffix ops (the ERASER+M MOV squash) are
+ *  listed unconditionally — the template describes the superset of ops
+ *  a tail may run, which is what static analysis needs. The engine's
+ *  executeLrcTail stays the hardcoded expansion (replay never reads
+ *  templates), so templates are pure metadata; test_ir_analysis pins
+ *  the two against each other. */
+struct IrTailTemplate
+{
+    IrTailKind kind = IrTailKind::SwapLrc;
+    std::vector<Op> ops;
+};
+
 /** The measure→detector/observable binding the extractor reads instead
  *  of lattice-walking the code. Columns index detectors within one
  *  round (detector id = round * cols + column). */
@@ -140,10 +159,16 @@ struct CircuitProgram
 
     IrDetectorMap detectors;
 
+    /** Tail expansions for the LrcSlot branch points (one per
+     *  IrTailKind the program's slots can request). */
+    std::vector<IrTailTemplate> tailTemplates;
+
     /** Structural validation: dangling qubit/stabilizer indices,
      *  unclosed or misplaced round-loop markers, duplicate LRC-slot
-     *  ids, detector-map shape. Returns the first violation found. */
-    Status validate() const;
+     *  ids, detector-map shape. Returns the first violation found.
+     *  Semantic checks (detector coverage, stream sync, tail
+     *  legality, observable reachability) live in IrAnalyzer. */
+    [[nodiscard]] Status validate() const;
 
     /** True when `data` lies in `stab`'s support (valid LRC pairing). */
     bool supportContains(int stab, int data) const;
@@ -172,6 +197,16 @@ class CircuitCompiler
      *  d data qubits in a line, d-1 ZZ checks, Z memory only. Exists
      *  entirely as a compiler path — no engine changes. */
     static CircuitProgram repetitionMemory(int distance, int rounds);
+
+    /** Checked lowering: compile, then run validate() and the full
+     *  IrAnalyzer pass stack, refusing (InvalidArgument, never panic)
+     *  any program carrying Error-severity diagnostics. The form the
+     *  sweep executor and other recoverable callers use. */
+    [[nodiscard]] static StatusOr<CircuitProgram>
+    surfaceMemoryChecked(const RotatedSurfaceCode &code, int rounds,
+                         Basis basis, IrTailKind tail);
+    [[nodiscard]] static StatusOr<CircuitProgram>
+    repetitionMemoryChecked(int distance, int rounds);
 };
 
 const char *circuitFamilyName(CircuitFamily family);

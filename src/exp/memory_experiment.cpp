@@ -219,27 +219,30 @@ panicOnInvalidConfig(const ExperimentConfig &config)
                 st.toString());
 }
 
-/** Compile (and sanity-validate) the config's circuit program. */
+/** Compile the config's circuit program through the checked entry
+ *  points (validate() + the full IrAnalyzer pass stack). A rejected
+ *  program here is a compiler bug — the config was already validated —
+ *  so the constructor-precondition form panics with the diagnostics;
+ *  recoverable callers (the sweep executor) use the checked compilers
+ *  directly and get a Status instead. */
 std::shared_ptr<const CircuitProgram>
 compileFamilyProgram(const RotatedSurfaceCode &code,
                      const ExperimentConfig &config)
 {
-    CircuitProgram prog;
-    if (config.family == CircuitFamily::RepetitionMemory) {
-        prog = CircuitCompiler::repetitionMemory(code.distance(),
-                                                 config.rounds);
-    } else {
-        const IrTailKind tail =
-            config.protocol == RemovalProtocol::Dqlr
-                ? IrTailKind::Dqlr : IrTailKind::SwapLrc;
-        prog = CircuitCompiler::surfaceMemory(code, config.rounds,
-                                              config.basis, tail);
-    }
-    const Status st = prog.validate();
-    panicIf(!st.isOk(),
-            "compiled circuit program failed validation: " +
-                st.toString());
-    return std::make_shared<const CircuitProgram>(std::move(prog));
+    StatusOr<CircuitProgram> prog =
+        config.family == CircuitFamily::RepetitionMemory
+            ? CircuitCompiler::repetitionMemoryChecked(
+                  code.distance(), config.rounds)
+            : CircuitCompiler::surfaceMemoryChecked(
+                  code, config.rounds, config.basis,
+                  config.protocol == RemovalProtocol::Dqlr
+                      ? IrTailKind::Dqlr
+                      : IrTailKind::SwapLrc);
+    panicIf(!prog.ok(),
+            "compiled circuit program failed static analysis: " +
+                prog.status().toString());
+    return std::make_shared<const CircuitProgram>(
+        std::move(prog).value());
 }
 
 } // namespace

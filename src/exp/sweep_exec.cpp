@@ -22,7 +22,7 @@ doubleKeyBits(double v)
 
 } // namespace
 
-SweepBuildCache::Components
+StatusOr<SweepBuildCache::Components>
 SweepBuildCache::build(const SweepPoint &point,
                        const DecoderOptions &decoder_options,
                        SweepSummary &summary)
@@ -48,21 +48,24 @@ SweepBuildCache::build(const SweepPoint &point,
                               (int)point.protocol};
     auto prog_it = programs_.find(prog_key);
     if (prog_it == programs_.end()) {
-        CircuitProgram prog;
-        if (family == CircuitFamily::RepetitionMemory) {
-            prog = CircuitCompiler::repetitionMemory(point.distance,
-                                                     point.rounds);
-        } else {
-            const IrTailKind tail =
-                point.protocol == RemovalProtocol::Dqlr
-                    ? IrTailKind::Dqlr : IrTailKind::SwapLrc;
-            prog = CircuitCompiler::surfaceMemory(
-                *out.code, point.rounds, point.config.basis, tail);
-        }
+        // Checked compile: validate() plus the IrAnalyzer pass stack
+        // run exactly once per cached program; every later point that
+        // shares the key reuses the analyzed program.
+        StatusOr<CircuitProgram> prog =
+            family == CircuitFamily::RepetitionMemory
+                ? CircuitCompiler::repetitionMemoryChecked(
+                      point.distance, point.rounds)
+                : CircuitCompiler::surfaceMemoryChecked(
+                      *out.code, point.rounds, point.config.basis,
+                      point.protocol == RemovalProtocol::Dqlr
+                          ? IrTailKind::Dqlr
+                          : IrTailKind::SwapLrc);
+        if (!prog.ok())
+            return prog.status();
         prog_it = programs_
                       .emplace(prog_key,
                                std::make_shared<const CircuitProgram>(
-                                   std::move(prog)))
+                                   std::move(prog).value()))
                       .first;
     }
     out.program = prog_it->second;

@@ -43,13 +43,17 @@ class SweepBuildCache
     /**
      * Build or reuse the point's components, counting builds/reuses
      * into `summary`. dem/decoder stay null when the point does not
-     * decode. May throw std::bad_alloc (callers map it to a retryable
-     * Status). The returned code pointer stays valid for the cache's
-     * lifetime.
+     * decode. Freshly compiled programs run the full IrAnalyzer pass
+     * stack once (cache hits reuse the verdict along with the
+     * program); an Error-severity program comes back as a non-OK
+     * Status, never a panic. May throw std::bad_alloc (callers map it
+     * to a retryable Status). The returned code pointer stays valid
+     * for the cache's lifetime.
      */
-    Components build(const SweepPoint &point,
-                     const DecoderOptions &decoder_options,
-                     SweepSummary &summary);
+    [[nodiscard]] StatusOr<Components>
+    build(const SweepPoint &point,
+          const DecoderOptions &decoder_options,
+          SweepSummary &summary);
 
   private:
     std::map<int, std::unique_ptr<RotatedSurfaceCode>> codes_;

@@ -467,8 +467,13 @@ SweepRunner::run(const SweepRunOptions &options)
             pr.point = point;
             point_truncated = false;
             try {
-                SweepBuildCache::Components comp = cache.build(
-                    point, plan_.base.decoderOptions, summary);
+                StatusOr<SweepBuildCache::Components> built =
+                    cache.build(point, plan_.base.decoderOptions,
+                                summary);
+                if (!built.ok())
+                    return built.status();
+                SweepBuildCache::Components comp =
+                    std::move(built).value();
 
                 MemoryExperiment exp(*comp.code, point.config,
                                      comp.dem, comp.decoder,

@@ -318,8 +318,16 @@ SweepScheduler::run(const SweepRunOptions &options)
         lp.working.seed = point.seed;
         lp.working.policies.resize(plan_.policies.size());
         try {
+            StatusOr<SweepBuildCache::Components> built =
+                cache.build(point, plan_.base.decoderOptions,
+                            summary);
+            if (!built.ok()) {
+                lp.faultStatus = built.status();
+                lp.faulted.store(true);
+                return;
+            }
             SweepBuildCache::Components comp =
-                cache.build(point, plan_.base.decoderOptions, summary);
+                std::move(built).value();
             lp.dem = comp.dem;
             lp.decoder = comp.decoder;
             lp.exp = std::make_unique<MemoryExperiment>(

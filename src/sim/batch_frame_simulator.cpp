@@ -965,7 +965,7 @@ void
 BatchFrameSimulatorT<NW>::bindProgramStreams(const CircuitProgram &prog)
 {
     bool two_qubit = false, measure = false, iswap = false;
-    for (const Op &op : prog.pool) {
+    const auto scan = [&](const Op &op) {
         switch (op.type) {
           case OpType::Cnot:
             two_qubit = true;
@@ -981,7 +981,17 @@ BatchFrameSimulatorT<NW>::bindProgramStreams(const CircuitProgram &prog)
           default:
             break;
         }
-    }
+    };
+    for (const Op &op : prog.pool)
+        scan(op);
+    // Tail templates draw streams the pool may not (a DQLR program's
+    // pool has no LeakageIswap — only its tails do). Registration is
+    // content-neutral (streams are keyed by probability, lazily
+    // initialized per block), so scanning them only moves allocation
+    // up front.
+    for (const IrTailTemplate &tmpl : prog.tailTemplates)
+        for (const Op &op : tmpl.ops)
+            scan(op);
     noiseStreamId(em_.p);
     if (em_.leakageEnabled) {
         noiseStreamId(em_.leakInjectProb());
